@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation study (beyond the paper's three configurations): privilege
+ * cache size sweep, SGT cache on/off, bypass register on/off, and
+ * software prefetch, measured as decomposed-kernel overhead on the
+ * most kernel-intensive application profile.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+struct Sample
+{
+    Cycle cycles;
+    double inst_hit;
+    double reg_hit;
+    std::uint64_t cam_compares;
+};
+
+Sample
+runOne(bool x86, PcuConfig pcu, bool prefetch)
+{
+    AppProfile profile = AppProfile::sqlite();
+    profile.total_blocks = 12000;
+    KernelConfig cfg;
+    cfg.mode = KernelMode::Decomposed;
+    cfg.prefetch_on_entry = prefetch;
+    std::unique_ptr<Machine> keep;
+    Cycle cycles = runAppOnKernel(x86, profile, cfg, pcu, nullptr,
+                                  &keep);
+    auto rate = [](auto &cache) {
+        double total = double(cache.hits() + cache.misses());
+        return total == 0 ? 1.0 : double(cache.hits()) / total;
+    };
+    PrivilegeCheckUnit &p = keep->pcu();
+    return {cycles, rate(p.instCache()), rate(p.regCache()),
+            p.instCache().camCompares() + p.regCache().camCompares() +
+                p.maskCache().camCompares() +
+                p.sgtCache().camCompares()};
+}
+
+} // namespace
+
+int
+main()
+{
+    for (bool x86 : {false, true}) {
+        heading(std::string("Ablation: privilege-cache sweep (") +
+                (x86 ? "x86" : "RISC-V") +
+                ", sqlite profile, decomposed kernel)");
+
+        KernelConfig native_cfg;
+        AppProfile profile = AppProfile::sqlite();
+        profile.total_blocks = 12000;
+        native_cfg.mode = KernelMode::Monolithic;
+        Cycle native = runAppOnKernel(x86, profile, native_cfg,
+                                      PcuConfig::config8E());
+
+        Table t({"HPT entries", "SGT entries", "bypass", "prefetch",
+                 "overhead", "inst-hit", "reg-hit", "CAM compares"});
+        struct Variant
+        {
+            std::uint32_t hpt, sgt;
+            bool bypass, prefetch;
+            std::uint32_t legal = 0; //!< Draco-style cache (Section 8)
+            bool unified = false;    //!< unified HPT cache (Section 4.3)
+        };
+        std::vector<Variant> variants;
+        for (std::uint32_t e : {1u, 2u, 4u, 8u, 16u, 32u})
+            variants.push_back({e, e, true, false});
+        variants.push_back({8, 0, true, false});      // 8E.N
+        variants.push_back({8, 8, false, false});     // no bypass
+        variants.push_back({8, 8, true, true});       // prefetch
+        variants.push_back({1, 1, false, false});     // worst case
+        variants.push_back({8, 8, false, false, 64}); // Draco cache
+        variants.push_back({8, 8, true, false, 0, true}); // unified HPT
+
+        for (const auto &v : variants) {
+            PcuConfig pcu;
+            pcu.hpt_cache_entries = v.hpt;
+            pcu.sgt_cache_entries = v.sgt;
+            pcu.bypass_enabled = v.bypass;
+            pcu.legal_cache_entries = v.legal;
+            pcu.unified_hpt_cache = v.unified;
+            Sample s = runOne(x86, pcu, v.prefetch);
+            std::string label = std::to_string(v.hpt);
+            if (v.legal)
+                label += " +legal" + std::to_string(v.legal);
+            if (v.unified)
+                label += " unified";
+            t.row({label, std::to_string(v.sgt),
+                   v.bypass ? "on" : "off",
+                   v.prefetch ? "on" : "off",
+                   fmtPercent(100.0 * (double(s.cycles) / native - 1.0),
+                              3),
+                   fmtPercent(100 * s.inst_hit, 2),
+                   fmtPercent(100 * s.reg_hit, 2),
+                   std::to_string(s.cam_compares)});
+        }
+        t.print();
+    }
+    std::printf("\nExpected shape: overhead shrinks with cache size "
+                "and saturates by 8 entries (hence the paper's 8E. "
+                "default); disabling the bypass multiplies CAM "
+                "compares (energy proxy) without helping performance; "
+                "prefetch trims cold misses after domain entry.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table rendering and the
+ * measured-loop harness used by the microbenchmarks.
+ */
+
+#ifndef ISAGRID_BENCH_BENCH_COMMON_HH_
+#define ISAGRID_BENCH_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "kernel/asm_iface.hh"
+#include "kernel/kernel_builder.hh"
+#include "workloads/apps.hh"
+#include "workloads/lmbench.hh"
+
+namespace isagrid {
+namespace bench {
+
+/** Print a separator + heading. */
+inline void
+heading(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Echo the simulated x86 configuration (the paper's Table 3). */
+inline void
+printTable3()
+{
+    std::printf(
+        "simulated x86 (Table 3): 8-wide fetch/decode/issue/commit, "
+        "192-entry ROB, 32/32 LQ/SQ,\n  L1 I/D 32KB 4-way 2c, "
+        "L2 256KB 16-way 20c, L3 2MB 16-way 32c, DRAM 150c "
+        "(~30ns)\n");
+}
+
+/** A fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns)
+        : cols(std::move(columns))
+    {
+    }
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(cols.size());
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            widths[c] = cols[c].size();
+        for (const auto &r : rows)
+            for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], r[c].size());
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cols.size(); ++c) {
+                std::printf("%-*s  ", int(widths[c]),
+                            c < cells.size() ? cells[c].c_str() : "");
+            }
+            std::printf("\n");
+        };
+        line(cols);
+        std::string sep;
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            sep += std::string(widths[c], '-') + "  ";
+        std::printf("%s\n", sep.c_str());
+        for (const auto &r : rows)
+            line(r);
+    }
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmtPercent(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", prec, v);
+    return buf;
+}
+
+/**
+ * Build a decomposed (or other mode) kernel + an application profile
+ * and return the ROI cycle count.
+ */
+inline Cycle
+runAppOnKernel(bool x86, const AppProfile &profile, KernelConfig config,
+               PcuConfig pcu, Machine **machine_out = nullptr,
+               std::unique_ptr<Machine> *keep = nullptr)
+{
+    MachineConfig mc;
+    mc.pcu = pcu;
+    auto machine = x86 ? Machine::gem5x86(mc) : Machine::rocket(mc);
+    Addr entry = buildApp(*machine, profile);
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 500'000'000);
+    if (r.reason != StopReason::Halted) {
+        fatal("app %s did not halt: %s", profile.name.c_str(),
+              faultName(r.fault));
+    }
+    Cycle cycles = appRoiCycles(machine->core());
+    if (machine_out)
+        *machine_out = machine.get();
+    if (keep)
+        *keep = std::move(machine);
+    return cycles;
+}
+
+} // namespace bench
+} // namespace isagrid
+
+#endif // ISAGRID_BENCH_BENCH_COMMON_HH_

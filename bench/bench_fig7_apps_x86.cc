@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7 reproduction: normalized execution time of the application
+ * workloads with the decomposed kernel on x86 (16E./8E./8E.N).
+ */
+
+#include "bench_common.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+int
+main()
+{
+    printTable3();
+    heading("Figure 7: application normalized execution time, "
+            "x86 kernel decomposition");
+
+    struct Config
+    {
+        const char *name;
+        PcuConfig pcu;
+    } configs[] = {
+        {"16E.", PcuConfig::config16E()},
+        {"8E.", PcuConfig::config8E()},
+        {"8E.N", PcuConfig::config8EN()},
+    };
+
+    Table t({"app", "native (cycles)", "16E.", "8E.", "8E.N"});
+    double worst = 1.0;
+    for (const AppProfile &profile : AppProfile::all()) {
+        KernelConfig native_cfg;
+        native_cfg.mode = KernelMode::Monolithic;
+        Cycle native = runAppOnKernel(true, profile, native_cfg,
+                                      PcuConfig::config8E());
+        std::vector<std::string> row{profile.name,
+                                     std::to_string(native)};
+        for (const auto &c : configs) {
+            KernelConfig cfg;
+            cfg.mode = KernelMode::Decomposed;
+            Cycle cycles = runAppOnKernel(true, profile, cfg, c.pcu);
+            double norm = double(cycles) / double(native);
+            worst = std::max(worst, norm);
+            row.push_back(fmt(norm, 4));
+        }
+        t.row(row);
+    }
+    t.print();
+    std::printf("\nworst normalized time: %.4f (paper: <1.01 for "
+                "real-world applications)\n", worst);
+    return 0;
+}

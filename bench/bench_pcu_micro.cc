@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Host-side microbenchmarks (Google Benchmark) of the PCU fast paths:
+ * how expensive the simulator's privilege checks are per simulated
+ * instruction. These measure the *simulator*, not the modelled
+ * hardware — useful for keeping the reproduction fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/riscv/riscv_isa.hh"
+#include "isa/x86/x86_isa.hh"
+#include "isagrid/domain_manager.hh"
+#include "isagrid/pcu.hh"
+#include "mem/phys_mem.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : mem(16 * 1024 * 1024),
+          pcu(isa, mem, PcuConfig::config8E()),
+          dm(pcu, mem, makeConfig())
+    {
+        domain = dm.createBaselineDomain();
+        for (std::uint32_t csr : riscv::RiscvIsa::controlledCsrs())
+            dm.allowCsrRead(domain, csr);
+        gate = dm.registerGate(0x1000, 0x2000, domain);
+        gate_back = dm.registerGate(0x2000, 0x1000, 1);
+        dm.publish();
+        pcu.setGridReg(GridReg::Domain, domain);
+    }
+
+    static DomainManagerConfig
+    makeConfig()
+    {
+        DomainManagerConfig c;
+        c.tmem_base = 8 * 1024 * 1024;
+        c.tmem_size = 1024 * 1024;
+        return c;
+    }
+
+    riscv::RiscvIsa isa;
+    PhysMem mem;
+    PrivilegeCheckUnit pcu;
+    DomainManager dm;
+    DomainId domain;
+    GateId gate;
+    GateId gate_back;
+};
+
+void
+BM_InstructionCheckBypassed(benchmark::State &state)
+{
+    Fixture f;
+    f.pcu.checkInstruction(riscv::IT_ADD); // fill the bypass register
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.pcu.checkInstruction(riscv::IT_ADD));
+    }
+}
+BENCHMARK(BM_InstructionCheckBypassed);
+
+void
+BM_CsrReadCheckWarm(benchmark::State &state)
+{
+    Fixture f;
+    f.pcu.checkCsrRead(riscv::CSR_SEPC);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.pcu.checkCsrRead(riscv::CSR_SEPC));
+    }
+}
+BENCHMARK(BM_CsrReadCheckWarm);
+
+void
+BM_CsrWriteMaskCheck(benchmark::State &state)
+{
+    Fixture f;
+    f.dm.setCsrMask(f.domain, riscv::CSR_SSTATUS, 0x2);
+    f.dm.publish();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            f.pcu.checkCsrWrite(riscv::CSR_SSTATUS, 0, 2));
+    }
+}
+BENCHMARK(BM_CsrWriteMaskCheck);
+
+void
+BM_GateRoundTrip(benchmark::State &state)
+{
+    Fixture f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            f.pcu.gateCall(f.gate, 0x1000, false));
+        benchmark::DoNotOptimize(
+            f.pcu.gateCall(f.gate_back, 0x2000, false));
+    }
+}
+BENCHMARK(BM_GateRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 1 reproduction: the ISA-abuse-based attack matrix. Each
+ * scenario's prerequisite is attempted natively (succeeds) and inside
+ * the decomposed kernel's basic domain (blocked by the PCU).
+ */
+
+#include "attacks/attacks.hh"
+#include "bench_common.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+void
+runArch(bool x86)
+{
+    heading(std::string("Table 1: ISA-abuse-based attacks (") +
+            (x86 ? "x86" : "RISC-V") + ")");
+    Table t({"Attack", "Prerequisite", "Native", "With ISA-Grid",
+             "Exception", "Mitigated"});
+    for (const auto &s : attackScenarios(x86)) {
+        std::string native = "n/a";
+        if (!s.requires_isagrid) {
+            AttackOutcome o = runAttack(s, x86, false);
+            native = o.reached_halt ? "succeeds" : "fails";
+        }
+        AttackOutcome g = runAttack(s, x86, true);
+        t.row({s.name, s.prerequisite, native,
+               g.blocked ? "blocked" : "NOT BLOCKED",
+               g.blocked ? faultName(g.fault) : "-",
+               g.blocked ? "yes" : "NO"});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    runArch(true);
+    runArch(false);
+    std::printf("\nPaper reference (Table 1): all eight surveyed "
+                "ISA-abuse-based attacks are mitigated by ISA-Grid "
+                "(100%%). The ARM rows (NAILGUN, Super Root) are "
+                "modelled by their closest x86/RISC-V analogues.\n");
+    return 0;
+}

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Table 4 reproduction: domain-switching latency of ISA-Grid against
+ * memory misses, system calls and prior isolation mechanisms.
+ *
+ * Measured rows come from the simulators (steady state, privilege
+ * caches warm, 8E. configuration). Rows the paper itself cites from
+ * other works (CHERI, Donky, MPK/EPT switch costs) are reproduced as
+ * reference constants and marked "cited".
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "kernel/layout.hh"
+#include "kernel/syscalls.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+constexpr unsigned kSites = 16;   // unrolled measurement sites
+constexpr unsigned kIters = 400;  // loop iterations
+
+struct GatePlan
+{
+    Addr gate_pc;
+    AsmIface::Label dest;
+    DomainId dest_domain;
+};
+
+/**
+ * Measure cycles per unrolled site: emits a warmup pass plus a marked
+ * loop whose body `body(site)` is emitted kSites times.
+ */
+double
+measure(Machine &machine,
+        const std::function<void(AsmIface &, unsigned)> &body,
+        std::vector<GatePlan> *gates = nullptr,
+        DomainId start_domain = 0,
+        const std::function<void(AsmIface &)> &setup = {})
+{
+    auto ap = machine.isa().name() == "x86"
+                  ? makeX86Asm(layout::userCodeBase)
+                  : makeRiscvAsm(layout::userCodeBase);
+    AsmIface &a = *ap;
+    unsigned u0 = a.regUser(0), m = a.regArg(2);
+
+    a.li(a.regSp(), layout::userStackTop);
+    if (setup)
+        setup(a);
+    // Warmup pass (fills privilege caches and the branch predictor).
+    body(a, ~0u);
+    a.li(m, 1);
+    a.simmark(m);
+    a.li(u0, kIters);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    for (unsigned s = 0; s < kSites; ++s)
+        body(a, s);
+    a.loopDec(u0, loop);
+    a.li(m, 2);
+    a.simmark(m);
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    a.loadInto(machine.mem());
+
+    if (gates) {
+        for (const auto &g : *gates) {
+            machine.domains().registerGate(g.gate_pc, a.labelAddr(g.dest),
+                                           g.dest_domain);
+        }
+        machine.domains().publish();
+    }
+    machine.core().reset(layout::userCodeBase);
+    if (start_domain)
+        machine.pcu().setGridReg(GridReg::Domain, start_domain);
+    RunResult r = machine.core().run(200'000'000);
+    if (r.reason != StopReason::Halted)
+        fatal("measurement did not halt: %s", faultName(r.fault));
+    Cycle roi = appRoiCycles(machine.core());
+    return double(roi) / double(kIters * kSites);
+}
+
+/** Cycles per hccall: ping-pong between two domains, minus baseline. */
+double
+measureHccall(bool x86)
+{
+    auto mk = [&] { return x86 ? Machine::gem5x86() : Machine::rocket(); };
+
+    // Baseline: identical loop shape with li+nop per site.
+    auto base_machine = mk();
+    base_machine->domains().createBaselineDomain();
+    double baseline = measure(*base_machine, [](AsmIface &a, unsigned) {
+        a.li(a.regGate(), 0);
+        a.mov(a.regTmp(0), a.regTmp(0));
+    });
+
+    auto machine = mk();
+    DomainId d1 = machine->domains().createBaselineDomain();
+    DomainId d2 = machine->domains().createBaselineDomain();
+    std::vector<GatePlan> gates;
+    double with = measure(
+        *machine,
+        [&](AsmIface &a, unsigned site) {
+            GateId id = gates.size();
+            a.li(a.regGate(), id);
+            Addr pc = a.here();
+            auto dest = a.newLabel();
+            a.hccall(a.regGate());
+            a.bind(dest);
+            // Warmup sites and loop sites each get their own gate,
+            // alternating d1/d2 so every hccall really switches.
+            gates.push_back({pc, dest, (site % 2) ? d1 : d2});
+        },
+        &gates, 0);
+    return with - baseline;
+}
+
+/** Cycles for an hccalls+hcrets pair (cross-domain call and return). */
+double
+measureHccallsPair(bool x86)
+{
+    auto mk = [&] { return x86 ? Machine::gem5x86() : Machine::rocket(); };
+
+    auto base_machine = mk();
+    base_machine->domains().createBaselineDomain();
+    double baseline = measure(*base_machine, [](AsmIface &a, unsigned) {
+        a.li(a.regGate(), 0);
+        a.mov(a.regTmp(0), a.regTmp(0));
+    });
+
+    auto machine = mk();
+    DomainId d1 = machine->domains().createBaselineDomain();
+    DomainId d2 = machine->domains().createBaselineDomain();
+    std::vector<GatePlan> gates;
+    bool entered = false;
+    double with = measure(
+        *machine,
+        [&](AsmIface &a, unsigned site) {
+            if (!entered) {
+                // hcrets may never re-enter domain-0 (Section 4.4),
+                // so leave it through a plain gate before the first
+                // extended call.
+                entered = true;
+                GateId id = gates.size();
+                a.li(a.regGate(), id);
+                Addr pc = a.here();
+                auto in_d1 = a.newLabel();
+                a.hccall(a.regGate());
+                a.bind(in_d1);
+                gates.push_back({pc, in_d1, d1});
+            }
+            GateId id = gates.size();
+            a.li(a.regGate(), id);
+            Addr pc = a.here();
+            a.hccalls(a.regGate());
+            // Callee: jump over it inline.
+            auto after = a.newLabel();
+            a.jmp(after);
+            auto callee = a.newLabel();
+            a.bind(callee);
+            a.hcrets();
+            a.bind(after);
+            gates.push_back({pc, callee, (site % 2) ? d1 : d2});
+        },
+        &gates, 0);
+    // The emitted jmp-over adds one taken branch per site; subtract a
+    // measured taken-branch cost? The jmp is short and identical in
+    // baseline terms; keep the pair cost inclusive of one jmp, which
+    // is how a real call site would look.
+    return with - baseline;
+}
+
+/**
+ * Cache-missing load *latency* (the paper's ">120 / >200" rows): a
+ * dependent pointer chase, so out-of-order overlap cannot hide it.
+ */
+double
+measureMissLoad(bool x86)
+{
+    auto mk = [&] { return x86 ? Machine::gem5x86() : Machine::rocket(); };
+    constexpr Addr chain = layout::userDataBase;
+    constexpr std::uint64_t span = 8ull << 20; // 8 MiB
+    // Line-sized stride: defeats every cache level over an 8 MiB span
+    // while staying TLB-friendly (one page walk per 64 lines), so the
+    // row isolates the *memory* miss latency like the paper's.
+    constexpr std::uint64_t stride = 64;
+
+    auto chase = [](AsmIface &a, unsigned) {
+        a.load64(a.regUser(1), a.regUser(1), 0);
+    };
+    auto setup = [](AsmIface &a) { a.li(a.regUser(1), chain); };
+
+    // Miss chain: each element points stride bytes ahead, wrapping.
+    auto miss_machine = mk();
+    for (Addr p = 0; p < span; p += stride) {
+        Addr next = (p + stride) % span;
+        miss_machine->mem().write64(chain + p, chain + next);
+    }
+    double miss = measure(*miss_machine, chase, nullptr, 0, setup);
+
+    // Hit chain: one element pointing at itself.
+    auto hit_machine = mk();
+    hit_machine->mem().write64(chain, chain);
+    double hit = measure(*hit_machine, chase, nullptr, 0, setup);
+    return miss - hit;
+}
+
+/** Empty syscall cost (cycles per round trip), optionally with PTI. */
+double
+measureSyscall(bool x86, bool pti)
+{
+    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    auto ap = x86 ? makeX86Asm(layout::userCodeBase)
+                  : makeRiscvAsm(layout::userCodeBase);
+    AsmIface &a = *ap;
+    unsigned u0 = a.regUser(0), m = a.regArg(2);
+    a.li(a.regSp(), layout::userStackTop);
+    a.li(a.regArg(0), std::uint64_t(Sys::Getpid));
+    a.syscallInst(); // warmup
+    a.li(m, 1);
+    a.simmark(m);
+    a.li(u0, kIters);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.li(a.regArg(0), std::uint64_t(Sys::Getpid));
+    a.syscallInst();
+    a.loopDec(u0, loop);
+    a.li(m, 2);
+    a.simmark(m);
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    a.loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = KernelMode::Monolithic;
+    config.pti = pti;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 200'000'000);
+    if (r.reason != StopReason::Halted)
+        fatal("syscall bench did not halt: %s", faultName(r.fault));
+    return double(appRoiCycles(machine->core())) / double(kIters);
+}
+
+} // namespace
+
+int
+main()
+{
+    printTable3();
+    heading("Table 4: domain switching latency (measured, 8E.)");
+    Table t({"CPU", "Instruction / scheme", "Cycles", "Source"});
+
+    for (bool x86 : {false, true}) {
+        const char *cpu = x86 ? "x86 O3 (sim)" : "RISC-V in-order (sim)";
+        t.row({cpu, "load/store (all-level miss)",
+               fmt(measureMissLoad(x86), 1), "measured"});
+        double one = measureHccall(x86);
+        t.row({cpu, "hccall", fmt(one, 1), "measured"});
+        double pair = measureHccallsPair(x86);
+        t.row({cpu, "hccalls+hcrets (pair)", fmt(pair, 1), "measured"});
+        // The paper's "X-domain call" rows: an empty cross-domain
+        // function call, via two hccall or one hccalls+hcrets pair.
+        t.row({cpu, "X-domain call (2x hccall)", fmt(2 * one, 1),
+               "measured"});
+        t.row({cpu, "X-domain call (hccalls+hcrets)", fmt(pair, 1),
+               "measured"});
+        t.row({cpu, "empty syscall w/o PTI",
+               fmt(measureSyscall(x86, false), 1), "measured"});
+        t.row({cpu, "empty syscall w/ PTI",
+               fmt(measureSyscall(x86, true), 1), "measured"});
+    }
+
+    // Rows the paper cites from other systems, for context.
+    t.row({"CHERI MIPS", "CHERI domain crossing", ">400", "cited [71]"});
+    t.row({"RISC-V Ariane", "Donky permission change", "2136",
+           "cited [59]"});
+    t.row({"x86 KVM", "empty VM call", "~1700", "cited [29]"});
+    t.row({"x86", "wrpkru (MPK)", "26", "cited [29]"});
+    t.print();
+
+    std::printf(
+        "\nPaper reference (Table 4): Rocket load/store miss >120, "
+        "hccall 5, hccalls/hcrets 12/12, syscall w/PTI 532, supervisor "
+        "call 434; x86 load/store miss >200, hccall 34, hccalls/hcrets "
+        "52/44.\nShape to preserve: gate switch is roughly an order of "
+        "magnitude cheaper than a trap and two orders cheaper than "
+        "VM/permission-table switches.\n");
+    return 0;
+}

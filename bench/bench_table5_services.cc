@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 5 reproduction: latency of four kernel services, each placed
+ * in its own ISA domain with exactly the privileged resource it needs,
+ * invoked from user space (ioctl-style). Baseline: the same services
+ * in the unmodified kernel. Paper: <5% overhead per service.
+ */
+
+#include "bench_common.hh"
+#include "kernel/layout.hh"
+#include "kernel/syscalls.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+struct ServiceRow
+{
+    Sys sys;
+    const char *resource;
+    const char *purpose;
+};
+
+const ServiceRow rows[] = {
+    {Sys::ServiceCpuid, "CPUID", "Get CPU information."},
+    {Sys::ServiceMtrr, "MTRR", "Get memory type."},
+    {Sys::ServicePmc0, "PMC", "Get number of interrupts."},
+    {Sys::ServicePmc1, "PMC", "Get number of iTLB miss."},
+};
+
+double
+measureService(bool x86, Sys sys, KernelMode mode)
+{
+    const unsigned iters = 300;
+    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    auto ap = x86 ? makeX86Asm(layout::userCodeBase)
+                  : makeRiscvAsm(layout::userCodeBase);
+    AsmIface &a = *ap;
+    unsigned u0 = a.regUser(0), m = a.regArg(2);
+    a.li(a.regSp(), layout::userStackTop);
+    a.li(a.regArg(0), std::uint64_t(sys));
+    a.syscallInst(); // warmup
+    a.li(m, 1);
+    a.simmark(m);
+    a.li(u0, iters);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.li(a.regArg(0), std::uint64_t(sys));
+    a.syscallInst();
+    a.loopDec(u0, loop);
+    a.li(m, 2);
+    a.simmark(m);
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    a.loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = mode;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 200'000'000);
+    if (r.reason != StopReason::Halted)
+        fatal("service bench did not halt: %s", faultName(r.fault));
+    return double(appRoiCycles(machine->core())) / double(iters);
+}
+
+void
+runArch(bool x86)
+{
+    heading(std::string("Table 5: kernel service latency (") +
+            (x86 ? "x86" : "RISC-V") + ", cycles per invocation)");
+    Table t({"service", "Inst./Reg.", "Purpose", "ISA-Grid", "Native",
+             "Overhead"});
+    unsigned index = 1;
+    for (const auto &row : rows) {
+        double native =
+            measureService(x86, row.sys, KernelMode::Monolithic);
+        double grid =
+            measureService(x86, row.sys, KernelMode::Decomposed);
+        t.row({"Service-" + std::to_string(index++), row.resource,
+               row.purpose, fmt(grid, 0), fmt(native, 0),
+               fmtPercent(100.0 * (grid - native) / native)});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    printTable3();
+    runArch(true);
+    runArch(false);
+    std::printf("\nPaper reference (Table 5, x86): 2081/1997 (+4.21%%), "
+                "2038/1970 (+3.45%%), 1803/1721 (+4.76%%), 1776/1698 "
+                "(+4.60%%) — service isolation costs less than 5%%.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Demonstration of Table 1: run one ISA-abuse-based attack payload
+ * natively (it succeeds) and inside a de-privileged ISA domain (the
+ * PCU blocks it), narrating each step.
+ *
+ * Build & run:  ./build/examples/attack_mitigation
+ */
+
+#include <cstdio>
+
+#include "attacks/attacks.hh"
+
+using namespace isagrid;
+
+int
+main()
+{
+    // Pick the Plundervolt/V0LTpwn row: writing MSR 0x150 changes the
+    // core voltage and lets an attacker inject faults into SGX.
+    auto scenarios = attackScenarios(true);
+    const AttackScenario *attack = nullptr;
+    for (const auto &s : scenarios)
+        if (s.name.find("V0LTpwn") != std::string::npos)
+            attack = &s;
+    if (!attack)
+        return 1;
+
+    std::printf("attack        : %s\n", attack->name.c_str());
+    std::printf("prerequisite  : %s\n", attack->prerequisite.c_str());
+    std::printf("consequence   : %s\n\n", attack->consequence.c_str());
+
+    std::printf("[1] native kernel (no ISA-Grid restrictions):\n");
+    AttackOutcome native = runAttack(*attack, true, false);
+    std::printf("    payload %s -> the attacker can configure the "
+                "voltage regulator\n\n",
+                native.reached_halt ? "SUCCEEDED" : "failed?!");
+
+    std::printf("[2] decomposed kernel (exploited component runs in "
+                "the basic ISA domain):\n");
+    AttackOutcome guarded = runAttack(*attack, true, true);
+    std::printf("    payload %s with hardware exception '%s'\n",
+                guarded.blocked ? "BLOCKED" : "succeeded?!",
+                faultName(guarded.fault));
+    std::printf("    MSR 0x150 can only be written by the component "
+                "that owns it; a vulnerability\n    elsewhere in the "
+                "kernel no longer reaches it (Section 8).\n");
+
+    return (native.reached_halt && guarded.blocked) ? 0 : 1;
+}

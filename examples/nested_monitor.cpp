@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Use case 2 (Section 6.2): a Nested-Kernel-style monitor built with
+ * ISA-Grid. The monitor domain owns the control registers and toggles
+ * CR0.WP around every mapping change; the outer kernel can only flip
+ * CR4.SMAP. Unlike the original Nested Kernel, no binary scanning is
+ * needed: the hardware guarantees unintended sensitive instructions
+ * can never execute in the outer kernel.
+ *
+ * Build & run:  ./build/examples/nested_monitor
+ */
+
+#include <cstdio>
+
+#include "isa/x86/opcodes.hh"
+#include "kernel/kernel_builder.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+int
+main()
+{
+    const unsigned iters = 100;
+    auto machine = Machine::gem5x86();
+    Addr entry = buildLmbenchSuite(*machine, iters);
+
+    KernelConfig config;
+    config.mode = KernelMode::NestedMonitor;
+    config.monitor_log = true; // journal mapping changes (Nest.Mon.Log)
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+
+    RunResult r = machine->run(image.boot_pc, 200'000'000);
+    if (r.reason != StopReason::Halted) {
+        std::printf("run failed: %s\n", faultName(r.fault));
+        return 1;
+    }
+
+    std::printf("outer kernel domain : %llu\n",
+                (unsigned long long)image.kernel_domain);
+    std::printf("monitor domain      : %llu\n",
+                (unsigned long long)image.mm_domain);
+    std::printf("domain switches     : %llu\n",
+                (unsigned long long)machine->pcu().switches());
+    std::printf("CR0.WP after run    : %s (monitor re-protects)\n",
+                (machine->core().state().csrs.read(x86::CSR_CR0) &
+                 x86::CR0_WP) ? "set" : "CLEAR?!");
+    std::uint64_t logged =
+        machine->mem().read64(layout::monitorLogHead);
+    std::printf("mapping changes journaled: %llu\n",
+                (unsigned long long)logged);
+
+    auto results = extractLmbenchResults(machine->core(), iters);
+    std::printf("\nper-operation latency under the monitor:\n");
+    for (const auto &res : results) {
+        std::printf("  %-12s %8.1f cycles/op\n",
+                    lmbenchOpName(res.op), res.cycles_per_op);
+    }
+    return 0;
+}

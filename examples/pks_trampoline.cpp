@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Use case 3 (Section 6.3): protecting Intel PKS/MPK with ISA-Grid.
+ *
+ * wrpkru can be executed by ANY code, so untrusted code can switch
+ * MPK memory domains at will. With ISA-Grid, only the trampoline's
+ * ISA domain may execute wrpkru: the untrusted domain's attempt raises
+ * an instruction-privilege exception, and the legal path goes
+ * trampoline-gate -> wrpkru -> gate back.
+ *
+ * Build & run:  ./build/examples/pks_trampoline
+ */
+
+#include <cstdio>
+
+#include "cpu/machine.hh"
+#include "isa/x86/assembler.hh"
+#include "isa/x86/opcodes.hh"
+
+using namespace isagrid;
+using namespace isagrid::x86;
+
+int
+main()
+{
+    auto machine = Machine::gem5x86();
+    DomainManager &dm = machine->domains();
+
+    // The untrusted domain: everything except wrpkru/rdpkru.
+    DomainId untrusted = dm.createBaselineDomain();
+    // The trampoline domain: additionally owns the PKRU instructions.
+    DomainId trampoline = dm.createBaselineDomain();
+    dm.allowInstruction(trampoline, IT_WRPKRU);
+    dm.allowInstruction(trampoline, IT_RDPKRU);
+    dm.allowCsrRead(trampoline, CSR_PKRU);
+    dm.allowCsrWrite(trampoline, CSR_PKRU);
+
+    X86Asm a(0x1000);
+    // Enter the untrusted domain.
+    a.movImm(RCX, 0);
+    Addr g0 = a.here();
+    auto in_untrusted = a.newLabel();
+    a.hccall(RCX);
+    a.bind(in_untrusted);
+
+    // Legal path: call the trampoline, which switches the MPK domain.
+    a.movImm(RCX, 1);
+    Addr g1 = a.here();
+    auto tramp = a.newLabel();
+    a.hccalls(RCX);
+    // ... back from the trampoline; PKRU now holds the new key mask.
+    a.rdpkru(RAX); // ILLEGAL here: untrusted may not even read PKRU
+    a.halt(RAX);
+
+    a.bind(tramp);
+    a.movImm(RBX, 0x0000000c); // deny key 1
+    a.wrpkru(RBX);
+    a.hcrets();
+    a.finalize();
+
+    dm.registerGate(g0, a.labelAddr(in_untrusted), untrusted);
+    dm.registerGate(g1, a.labelAddr(tramp), trampoline);
+    dm.publish();
+    a.loadInto(machine->mem());
+
+    RunResult r = machine->run(0x1000);
+
+    std::printf("PKRU after trampoline : %#llx (set by the trampoline "
+                "domain)\n",
+                (unsigned long long)machine->core().state().csrs.read(
+                    CSR_PKRU));
+    std::printf("untrusted rdpkru      : %s (%s)\n",
+                r.reason == StopReason::UnhandledFault ? "BLOCKED"
+                                                       : "allowed?!",
+                faultName(r.fault));
+    std::printf("\nEstimate of Section 7.2 Case 3: MPK trampoline "
+                "(105 cyc, Hodor) + two hccall crossings ~ 175 cyc,\n"
+                "cheaper than page-table (577-938) or vmfunc (268) "
+                "switches. Run bench_case3_pks for the measured "
+                "figure.\n");
+    return r.fault == FaultType::InstPrivilege ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: create ISA domains, register an unforgeable gate, run
+ * guest code through the PCU, and watch a privilege violation trap.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cpu/machine.hh"
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/opcodes.hh"
+
+using namespace isagrid;
+
+int
+main()
+{
+    // 1. A complete simulated machine: RV64 in-order core + PCU,
+    //    modelled after the paper's Rocket FPGA prototype.
+    auto machine = Machine::rocket();
+
+    // 2. Domain-0 configuration (Section 5.2): a de-privileged domain
+    //    that may execute general-purpose code and *read* the
+    //    supervisor status register — but never write satp.
+    DomainManager &dm = machine->domains();
+    DomainId sandbox = dm.createBaselineDomain();
+    dm.allowCsrRead(sandbox, riscv::CSR_SSTATUS);
+
+    // 3. Guest program: enter the sandbox through a registered gate,
+    //    read sstatus (allowed), then try to hijack the page table
+    //    base register (blocked).
+    riscv::RiscvAsm a(0x1000);
+    a.li(10, 0);              // a0 = gate id 0
+    Addr gate_pc = a.here();
+    auto entry = a.newLabel();
+    a.hccall(10);             // unforgeable switch into the sandbox
+    a.bind(entry);
+    a.csrr(11, riscv::CSR_SSTATUS); // allowed: read permission granted
+    a.csrr(12, riscv::CSR_GRID_BASE); // read own domain id
+    a.li(13, 0xdead0000);
+    a.csrw(riscv::CSR_SATP, 13); // DENIED: raises an exception
+    a.halt(13);                  // never reached
+    a.finalize();
+
+    dm.registerGate(gate_pc, a.labelAddr(entry), sandbox);
+    dm.publish();
+    a.loadInto(machine->mem());
+
+    // 4. Run. No trap handler is installed, so the violation stops
+    //    the simulation and we can inspect it.
+    RunResult r = machine->run(0x1000);
+
+    std::printf("stopped: %s\n",
+                r.reason == StopReason::UnhandledFault
+                    ? "privilege fault (as expected)" : "unexpected");
+    std::printf("fault type       : %s\n", faultName(r.fault));
+    std::printf("faulting pc      : %#llx\n",
+                (unsigned long long)r.fault_pc);
+    std::printf("current domain   : %llu (sandbox id %llu)\n",
+                (unsigned long long)machine->pcu().currentDomain(),
+                (unsigned long long)sandbox);
+    std::printf("sstatus read ok  : a1 = %#llx\n",
+                (unsigned long long)machine->core().state().reg(11));
+    std::printf("satp untouched   : %#llx\n",
+                (unsigned long long)machine->core().state().csrs.read(
+                    riscv::CSR_SATP));
+    std::printf("domain switches  : %llu\n",
+                (unsigned long long)machine->pcu().switches());
+    return r.fault == FaultType::CsrPrivilege ? 0 : 1;
+}

@@ -1,0 +1,352 @@
+#include "attacks/attacks.hh"
+
+#include "isa/riscv/opcodes.hh"
+#include "isa/x86/opcodes.hh"
+#include "kernel/kernel_builder.hh"
+#include "kernel/layout.hh"
+
+namespace isagrid {
+
+namespace {
+
+constexpr Addr attackBase = 0x60000;
+
+/** Payload epilogue: halt(0) signals "prerequisite achieved". */
+void
+win(AsmIface &a)
+{
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+}
+
+/** Simple CSR-write payload. */
+AttackScenario
+csrWriteAttack(std::string name, std::string prereq,
+               std::string consequence, std::uint32_t csr,
+               std::uint64_t value, bool x86_only = false)
+{
+    AttackScenario s;
+    s.name = std::move(name);
+    s.prerequisite = std::move(prereq);
+    s.consequence = std::move(consequence);
+    s.x86_only = x86_only;
+    s.emit = [csr, value](AsmIface &a) {
+        Addr entry = a.here();
+        a.li(a.regTmp(0), value);
+        a.csrWrite(csr, a.regTmp(0));
+        win(a);
+        return entry;
+    };
+    return s;
+}
+
+/** Simple CSR-read payload. */
+AttackScenario
+csrReadAttack(std::string name, std::string prereq,
+              std::string consequence, std::uint32_t csr,
+              bool x86_only = false)
+{
+    AttackScenario s;
+    s.name = std::move(name);
+    s.prerequisite = std::move(prereq);
+    s.consequence = std::move(consequence);
+    s.x86_only = x86_only;
+    s.emit = [csr](AsmIface &a) {
+        Addr entry = a.here();
+        a.csrRead(a.regTmp(0), csr);
+        win(a);
+        return entry;
+    };
+    return s;
+}
+
+} // namespace
+
+std::vector<AttackScenario>
+attackScenarios(bool x86)
+{
+    std::vector<AttackScenario> list;
+
+    if (x86) {
+        // --- Table 1 rows (x86 flavours) ---
+        list.push_back(csrWriteAttack(
+            "Controlled-Channel", "IDTR",
+            "replace the fault handler to leak TEE secrets",
+            x86::CSR_IDTR, 0x66000, true));
+
+        {
+            AttackScenario s;
+            s.name = "FORESHADOW";
+            s.prerequisite = "wbinvd instruction, DR0-7";
+            s.consequence = "extract enclave secrets";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                a.rawBytes({0x0f, 0x09}); // wbinvd
+                a.csrWrite(x86::CSR_DR_BASE + 0, a.regTmp(0));
+                win(a);
+                return entry;
+            };
+            list.push_back(s);
+        }
+
+        list.push_back(csrReadAttack(
+            "NAILGUN", "PMU registers (PMC MSRs)",
+            "steal sensitive data via debug/PMU state",
+            x86::MSR_PMC0, true));
+
+        {
+            // Stealthy Page Table-Based: set CR0.CD. The kernel
+            // domain has only the CR4.SMAP mask, so the bit-mask
+            // equation rejects the CD flip.
+            AttackScenario s;
+            s.name = "Stealthy Page Table-Based";
+            s.prerequisite = "CR0.CD";
+            s.consequence = "steal data from SGX enclaves";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                a.li(a.regTmp(0),
+                     (x86::CR0_PE | x86::CR0_ET | x86::CR0_NE |
+                      x86::CR0_WP | x86::CR0_PG | x86::CR0_CD));
+                a.csrWrite(x86::CSR_CR0, a.regTmp(0));
+                win(a);
+                return entry;
+            };
+            list.push_back(s);
+        }
+
+        list.push_back(csrWriteAttack(
+            "SgxPectre", "MSR 0x48, MSR 0x49",
+            "steal SGX attestation keys via BTB poisoning",
+            x86::MSR_SPEC_CTRL, 0x0, true));
+
+        list.push_back(csrReadAttack(
+            "TRESOR-HUNT", "DR0-7",
+            "steal CPU-bound cryptographic keys",
+            x86::CSR_DR_BASE + 0, true));
+
+        list.push_back(csrWriteAttack(
+            "V0LTpwn/Plundervolt/VoltJockey", "MSR 0x150",
+            "inject faults into / steal secrets from SGX",
+            x86::MSR_VOLTAGE, 0xdeadbeef, true));
+
+        list.push_back(csrWriteAttack(
+            "CR3 abuse", "CR3",
+            "construct malicious mappings, break page-table isolation",
+            x86::CSR_CR3, 0x13370000, true));
+
+        // --- Section 2.3 / 6.3: unintended instructions & MPK ---
+        {
+            AttackScenario s;
+            s.name = "Unintended instruction (out in immediate)";
+            s.prerequisite = "out instruction at instruction boundary";
+            s.consequence = "execute a hidden privileged instruction";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                // movabs rax, imm64 whose immediate bytes decode, at
+                // +2, as: out ; halt(rax).
+                Addr mov_addr = a.here();
+                a.li(a.regArg(4), 0x0000001f0feeull);
+                a.jmpAbs(mov_addr + 2, a.regTmp(1));
+                return mov_addr;
+            };
+            list.push_back(s);
+        }
+        {
+            // Section 2.2: cycle counters speed up timing-based side
+            // channels; ISA-Grid can deny rdtsc per component.
+            AttackScenario s;
+            s.name = "rdtsc timing primitive";
+            s.prerequisite = "rdtsc instruction";
+            s.consequence = "high-resolution timing side channels";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                a.rawBytes({0x0f, 0x31}); // rdtsc
+                win(a);
+                return entry;
+            };
+            list.push_back(s);
+        }
+        {
+            AttackScenario s;
+            s.name = "wrpkru abuse (ERIM/Hodor/PKS threat)";
+            s.prerequisite = "wrpkru/wrpkrs instruction";
+            s.consequence = "switch to an arbitrary MPK memory domain";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                a.li(a.regTmp(0), 0);
+                a.csrWrite(x86::CSR_PKRU, a.regTmp(0));
+                win(a);
+                return entry;
+            };
+            list.push_back(s);
+        }
+    } else {
+        // --- RISC-V analogues of the ARM / generic rows ---
+        list.push_back(csrReadAttack(
+            "NAILGUN (PMU analogue)", "instret counter",
+            "steal sensitive data via performance counters",
+            riscv::CSR_INSTRET));
+
+        list.push_back(csrWriteAttack(
+            "Super Root (trap-vector analogue)", "stvec",
+            "hijack exception handling to gain full privilege",
+            riscv::CSR_STVEC, 0x66000));
+
+        list.push_back(csrWriteAttack(
+            "SATP abuse", "satp",
+            "construct malicious mappings, break page-table isolation",
+            riscv::CSR_SATP, 0x13370000));
+
+        {
+            AttackScenario s;
+            s.name = "Unintended instruction (sfence.vma at boundary)";
+            s.prerequisite = "sfence.vma at instruction boundary";
+            s.consequence = "execute a hidden privileged instruction";
+            s.emit = [](AsmIface &a) {
+                // Three words whose bytes, read at +2, decode as
+                // sfence.vma ; halt(a0).
+                Addr island = a.here();
+                a.rawBytes({0x13, 0x00, 0x73, 0x00,   // addi (low half)
+                            0x00, 0x12, 0x2b, 0x00,   // carrier words
+                            0x05, 0x00, 0x00, 0x00});
+                Addr entry = a.here();
+                a.li(a.regArg(0), 0);
+                a.jmpAbs(island + 2, a.regTmp(0));
+                return entry;
+            };
+            list.push_back(s);
+        }
+    }
+
+    // --- gate-forgery scenarios (Section 4.2 properties) ---
+    {
+        AttackScenario s;
+        s.name = "Forged gate (injected hccall)";
+        s.prerequisite = "hccall at unregistered address";
+        s.consequence = "switch to a privileged ISA domain";
+        s.requires_isagrid = true;
+        s.emit = [](AsmIface &a) {
+            Addr entry = a.here();
+            a.li(a.regGate(), 0); // a real gate id...
+            a.hccall(a.regGate()); // ...from the wrong address
+            win(a);
+            return entry;
+        };
+        list.push_back(s);
+    }
+    {
+        AttackScenario s;
+        s.name = "Out-of-range gate id";
+        s.prerequisite = "hccall with unregistered gate id";
+        s.consequence = "switch through a non-existent gate";
+        s.requires_isagrid = true;
+        s.emit = [](AsmIface &a) {
+            Addr entry = a.here();
+            a.li(a.regGate(), 9999);
+            a.hccall(a.regGate());
+            win(a);
+            return entry;
+        };
+        list.push_back(s);
+    }
+    {
+        // Dynamic code injection (Section 8's security analysis): the
+        // attacker writes a fresh gate instruction into memory at
+        // runtime and jumps to it. Its address matches no SGT entry.
+        AttackScenario s;
+        s.name = "Injected gate (runtime code write)";
+        s.prerequisite = "write + execute of a new hccall";
+        s.consequence = "switch to a privileged ISA domain";
+        s.requires_isagrid = true;
+        s.emit = [](AsmIface &a) {
+            Addr entry = a.here();
+            Addr injected = 0x68000;
+            // Write the gate-instruction bytes into fresh memory.
+            std::vector<std::uint8_t> gate_bytes;
+            if (a.isX86()) {
+                gate_bytes = {0x0f, 0x1a,
+                              std::uint8_t(a.regGate() & 0xf)};
+            } else {
+                // hccall: custom-0, funct3 0, rs1 = regGate.
+                std::uint32_t w = 0x0b | (a.regGate() << 15);
+                gate_bytes = {std::uint8_t(w), std::uint8_t(w >> 8),
+                              std::uint8_t(w >> 16),
+                              std::uint8_t(w >> 24)};
+            }
+            a.li(a.regTmp(1), injected);
+            for (std::size_t i = 0; i < gate_bytes.size(); ++i) {
+                a.li(a.regTmp(2), gate_bytes[i]);
+                a.store8(a.regTmp(2), a.regTmp(1),
+                         std::int32_t(i));
+            }
+            a.li(a.regGate(), 0); // a real gate id
+            a.jmpAbs(injected, a.regTmp(0));
+            return entry;
+        };
+        list.push_back(s);
+    }
+    {
+        AttackScenario s;
+        s.name = "hcrets without a call (ROP-style)";
+        s.prerequisite = "hcrets with attacker-controlled stack";
+        s.consequence = "return into domain-0 with full privileges";
+        s.requires_isagrid = true;
+        s.emit = [](AsmIface &a) {
+            Addr entry = a.here();
+            a.hcrets();
+            win(a);
+            return entry;
+        };
+        list.push_back(s);
+    }
+
+    return list;
+}
+
+AttackOutcome
+runAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
+{
+    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+
+    // A trivial user program so the kernel builder has an entry.
+    {
+        auto ua = x86 ? makeX86Asm(layout::userCodeBase)
+                      : makeRiscvAsm(layout::userCodeBase);
+        ua->li(ua->regArg(0), 0);
+        ua->halt(ua->regArg(0));
+        ua->loadInto(machine->mem());
+    }
+
+    KernelConfig config;
+    config.mode = with_isagrid ? KernelMode::Decomposed
+                               : KernelMode::Monolithic;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+
+    // Emit the payload.
+    auto pa = x86 ? makeX86Asm(attackBase) : makeRiscvAsm(attackBase);
+    Addr entry = scenario.emit(*pa);
+    pa->loadInto(machine->mem());
+
+    // The attacker executes at supervisor level inside the compromised
+    // component's ISA domain (the kernel's basic domain). Traps are
+    // not handled (the trap vector is unset), so any hardware
+    // exception ends the run and is the "blocked" signal.
+    machine->core().reset(entry);
+    if (with_isagrid) {
+        machine->pcu().setGridReg(GridReg::Domain, image.kernel_domain);
+    }
+
+    RunResult r = machine->core().run(100'000);
+    AttackOutcome outcome;
+    outcome.reached_halt = r.reason == StopReason::Halted;
+    outcome.blocked = r.reason == StopReason::UnhandledFault;
+    outcome.fault = r.fault;
+    return outcome;
+}
+
+} // namespace isagrid

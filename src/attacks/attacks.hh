@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The ISA-abuse-based attack scenarios of Table 1 (plus gate-forgery
+ * scenarios from Section 4.2's security analysis).
+ *
+ * Each scenario models the paper's threat: the attacker has exploited
+ * a vulnerability in a de-privileged kernel component and executes
+ * arbitrary code at supervisor level inside that component's ISA
+ * domain. The payload attempts the attack's prerequisite ISA-resource
+ * access. Natively (no ISA-Grid restrictions, i.e. domain-0) the
+ * prerequisite succeeds; in the decomposed kernel's basic domain the
+ * PCU blocks it with a hardware exception.
+ *
+ * The two ARM-based rows of Table 1 (NAILGUN's PMU registers and
+ * Super Root's debug/hypervisor registers) are modelled by their
+ * closest equivalents in our ISAs: the performance-counter MSRs and
+ * the debug registers on x86, and supervisor system registers on
+ * RISC-V. DESIGN.md records the substitution.
+ */
+
+#ifndef ISAGRID_ATTACKS_ATTACKS_HH_
+#define ISAGRID_ATTACKS_ATTACKS_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "kernel/asm_iface.hh"
+
+namespace isagrid {
+
+/** One ISA-abuse-based attack scenario. */
+struct AttackScenario
+{
+    std::string name;        //!< Table 1 row (or extra scenario) name
+    std::string prerequisite; //!< the register/instruction abused
+    std::string consequence;  //!< what the paper says the attack does
+    bool x86_only = false;
+    /**
+     * Gate-forgery scenarios exercise ISA-Grid's own instructions and
+     * have no native equivalent; they are expected to be blocked even
+     * without a decomposed kernel.
+     */
+    bool requires_isagrid = false;
+    /** Emit the payload; returns the entry PC. Ends with halt(0). */
+    std::function<Addr(AsmIface &)> emit;
+};
+
+/** Result of one payload run. */
+struct AttackOutcome
+{
+    bool blocked = false;       //!< a hardware exception stopped it
+    FaultType fault = FaultType::None;
+    bool reached_halt = false;  //!< the payload completed (succeeded)
+};
+
+/** The scenario list for one ISA. */
+std::vector<AttackScenario> attackScenarios(bool x86);
+
+/**
+ * Run one scenario.
+ * @param x86           target machine flavour
+ * @param with_isagrid  true: decomposed-kernel basic domain;
+ *                      false: native (domain-0, no restrictions)
+ */
+AttackOutcome runAttack(const AttackScenario &scenario, bool x86,
+                        bool with_isagrid);
+
+} // namespace isagrid
+
+#endif // ISAGRID_ATTACKS_ATTACKS_HH_

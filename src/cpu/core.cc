@@ -1,0 +1,426 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/disasm.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+CoreBase::CoreBase(const IsaModel &isa, PhysMem &mem,
+                   PrivilegeCheckUnit &pcu, CacheHierarchy *icache,
+                   CacheHierarchy *dcache)
+    : isa_(isa), mem(mem), pcu_(pcu), icache(icache), dcache(dcache),
+      statGroup("core")
+{
+    isa_.initState(archState);
+    statGroup.addCounter("instructions", instCount, "retired");
+    statGroup.addCounter("loads", loadCount, "memory reads");
+    statGroup.addCounter("stores", storeCount, "memory writes");
+    statGroup.addCounter("branches", branchCount, "control flow changes");
+    statGroup.addCounter("csr_accesses", csrAccessCount,
+                         "explicit CSR accesses");
+    statGroup.addCounter("gates", gateCount, "gate instructions");
+    statGroup.addCounter("traps", trapCount, "trap entries");
+    statGroup.addFormula("cycles", [this] { return double(cycleCount); },
+                         "total cycles");
+}
+
+void
+CoreBase::reset(Addr boot_pc)
+{
+    archState = ArchState{};
+    isa_.initState(archState);
+    archState.pc = boot_pc;
+    cycleCount = 0;
+    nextTimer = timerInterval;
+    simMarks.clear();
+}
+
+Cycle
+CoreBase::l1Hit(CacheHierarchy *h)
+{
+    if (!h || h->numLevels() == 0)
+        return 0;
+    return h->level(0).params().hit_latency;
+}
+
+std::uint64_t
+CoreBase::faultsTaken(FaultType fault) const
+{
+    return faultCounters[static_cast<std::size_t>(fault)].value();
+}
+
+bool
+CoreBase::deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
+                       RetireInfo &retire)
+{
+    ++faultCounters[static_cast<std::size_t>(fault)];
+    ++trapCount;
+    if (traceStream) {
+        *traceStream << "           >>> " << faultName(fault)
+                     << " at " << std::hex << faulting_pc << std::dec
+                     << "\n";
+    }
+    Addr handler = isa_.takeTrap(archState, fault, faulting_pc, info);
+    retire.trap = true;
+    retire.serializing = true;
+    retire.taken_branch = true;
+    if (handler == 0)
+        return false; // no handler installed: stop the run
+    archState.pc = handler;
+    return true;
+}
+
+RunResult
+CoreBase::run(std::uint64_t max_insts)
+{
+    // Stat counters are cumulative across runs (gem5 convention); the
+    // RunResult reports this run's deltas.
+    const std::uint64_t inst_start = instCount.value();
+    const Cycle cycle_start = cycleCount;
+    RunResult result;
+    for (std::uint64_t i = 0; i < max_insts; ++i) {
+        if (!stepOne(result)) {
+            result.instructions = instCount.value() - inst_start;
+            result.cycles = cycleCount - cycle_start;
+            return result;
+        }
+    }
+    result.reason = StopReason::MaxInstructions;
+    result.instructions = instCount.value() - inst_start;
+    result.cycles = cycleCount - cycle_start;
+    return result;
+}
+
+bool
+CoreBase::stepOne(RunResult &result)
+{
+    // Asynchronous timer delivery (between instructions, user mode
+    // only so kernel execution is never re-entered).
+    if (timerInterval != 0 && cycleCount >= nextTimer &&
+        archState.mode == PrivMode::User) {
+        nextTimer = cycleCount + timerInterval;
+        ++trapCount;
+        ++faultCounters[std::size_t(FaultType::TimerInterrupt)];
+        Addr handler = isa_.takeTrap(archState, FaultType::TimerInterrupt,
+                                     archState.pc, 0);
+        if (handler == 0) {
+            result.reason = StopReason::UnhandledFault;
+            result.fault = FaultType::TimerInterrupt;
+            result.fault_pc = archState.pc;
+            return false;
+        }
+        archState.pc = handler;
+        cycleCount += trapPenalty();
+        archState.cycle = cycleCount;
+    }
+
+    const Addr pc = archState.pc;
+    RetireInfo retire;
+    retire.pc = pc;
+
+    auto finish = [&](bool keep_running) {
+        ++instCount;
+        Cycle delta = timeInstruction(retire);
+        cycleCount += delta;
+        archState.cycle = cycleCount;
+        DomainUsage &usage = domainUsage_[pcu_.currentDomain()];
+        ++usage.instructions;
+        usage.cycles += delta;
+        return keep_running;
+    };
+    auto fault_out = [&](FaultType fault, Addr fpc, RegVal info) {
+        if (deliverFault(fault, fpc, info, retire))
+            return finish(true);
+        result.reason = StopReason::UnhandledFault;
+        result.fault = fault;
+        result.fault_pc = fpc;
+        finish(false);
+        return false;
+    };
+
+    // --- fetch ---
+    std::uint8_t buf[16] = {};
+    std::size_t avail = std::min<std::size_t>(isa_.maxInstBytes(),
+                                              mem.size() - pc);
+    if (pc >= mem.size())
+        return fault_out(FaultType::MemoryFault, pc, pc);
+    // Fetching from the trusted region would let an attacker execute
+    // HPT/SGT bytes as code; it obeys the same domain-0-only rule as
+    // loads and stores (Section 4.5).
+    if (!pcu_.memoryAccessAllowed(pc, 1))
+        return fault_out(FaultType::TrustedMemoryViolation, pc, pc);
+    mem.readBlock(pc, buf, avail);
+    if (itlb)
+        retire.icache_extra += itlb->access(pc);
+    if (icache) {
+        retire.icache_extra += icache->access(pc, false) - l1Hit(icache);
+        // Next-line prefetcher: both prototype front ends fetch ahead,
+        // so sequential code does not pay a miss per line. The fill is
+        // modelled as fully hidden (it overlaps the demand miss above).
+        Addr next_line = (pc & ~Addr{63}) + 64;
+        if (next_line + 64 <= mem.size())
+            icache->access(next_line, false);
+    }
+
+    // --- decode ---
+    DecodedInst inst = isa_.decode(buf, avail, pc);
+    if (!inst.valid)
+        return fault_out(FaultType::IllegalInstruction, pc, pc);
+    retire.inst = &inst;
+    retire.cls = inst.cls;
+
+    if (traceStream) {
+        char head[64];
+        std::snprintf(head, sizeof head, "%10llu d%llu %#10llx: ",
+                      (unsigned long long)cycleCount,
+                      (unsigned long long)pcu_.currentDomain(),
+                      (unsigned long long)pc);
+        *traceStream << head << disassemble(inst) << "\n";
+    }
+
+    // --- classical privilege-level check (coexists with ISA-Grid,
+    // Section 4.1: either rejection raises an exception) ---
+    if (archState.mode == PrivMode::User && isa_.instPrivileged(inst))
+        return fault_out(FaultType::IllegalInstruction, pc, pc);
+
+    // --- ISA-Grid instruction privilege check ---
+    {
+        // Value-dependent legality (CSR operands, gates, cache
+        // management) must re-run the full check logic every time;
+        // everything else may be served by the legal-instruction
+        // cache when configured (Section 8).
+        bool cacheable = !inst.isCsrAccess() && !inst.csr_dynamic &&
+                         !isGateClass(inst.cls) &&
+                         inst.cls != InstClass::Prefetch &&
+                         inst.cls != InstClass::CacheFlush;
+        CheckOutcome chk =
+            pcu_.checkInstructionAt(inst.type, pc, cacheable);
+        retire.pcu_stall += chk.stall;
+        if (!chk.allowed)
+            return fault_out(chk.fault, pc, inst.type);
+    }
+
+    // --- unforgeable domain switching (Section 4.2) ---
+    if (isGateClass(inst.cls)) {
+        ++gateCount;
+        GateOutcome gate;
+        if (inst.cls == InstClass::GateRet) {
+            gate = pcu_.gateReturn();
+        } else {
+            GateId gid = archState.reg(inst.rs1);
+            gate = pcu_.gateCall(gid, pc,
+                                 inst.cls == InstClass::GateCallS,
+                                 pc + inst.length);
+        }
+        retire.pcu_stall += gate.stall;
+        if (!gate.ok)
+            return fault_out(gate.fault, pc, 0);
+        archState.pc = gate.dest_pc;
+        retire.taken_branch = true;
+        retire.serializing = true;
+        return finish(true);
+    }
+
+    // --- privilege cache management ---
+    if (inst.cls == InstClass::Prefetch) {
+        retire.pcu_stall += pcu_.prefetch(archState.reg(inst.rs1));
+        archState.pc = pc + inst.length;
+        return finish(true);
+    }
+    if (inst.cls == InstClass::CacheFlush) {
+        pcu_.flushBuffers(
+            static_cast<PcuBuffer>(archState.reg(inst.rs1)));
+        archState.pc = pc + inst.length;
+        return finish(true);
+    }
+
+    // --- execute ---
+    ExecResult res = isa_.execute(inst, archState);
+    if (res.fault == FaultType::SyscallTrap) {
+        // The resume point (pc past the trapping instruction) is saved,
+        // matching syscall/ecall return conventions.
+        return fault_out(FaultType::SyscallTrap, pc + inst.length, 0);
+    }
+    if (res.fault != FaultType::None)
+        return fault_out(res.fault, pc, 0);
+
+    retire.taken_branch = res.taken_branch;
+    retire.serializing = res.serializing;
+
+    // --- trap return ---
+    if (inst.cls == InstClass::TrapRet) {
+        archState.pc = isa_.trapReturn(archState);
+        retire.taken_branch = true;
+        return finish(true);
+    }
+
+    // --- explicit CSR access (register bitmap + bit-mask checks) ---
+    if (inst.isCsrAccess() || res.csr_write || inst.csr_dynamic) {
+        ++csrAccessCount;
+        std::uint32_t csr_addr =
+            inst.csr_dynamic
+                ? static_cast<std::uint32_t>(archState.reg(inst.rs1))
+                : inst.csr_addr;
+        if (isa_.isGridReg(csr_addr)) {
+            GridReg reg = isa_.gridRegId(csr_addr);
+            RegVal old = pcu_.gridReg(reg);
+            if (res.csr_old_reg_valid) {
+                RegVal value = 0;
+                CheckOutcome chk = pcu_.readGridReg(reg, value);
+                if (!chk.allowed)
+                    return fault_out(FaultType::CsrPrivilege, pc,
+                                     csr_addr);
+                old = value;
+            }
+            if (res.csr_write) {
+                RegVal newv =
+                    isa_.csrNewValue(inst, old, res.csr_write_value);
+                CheckOutcome chk = pcu_.writeGridReg(reg, newv);
+                if (!chk.allowed)
+                    return fault_out(chk.fault, pc, csr_addr);
+            }
+            if (res.csr_old_reg_valid)
+                archState.setReg(res.csr_old_reg, old);
+        } else {
+            if (!archState.csrs.exists(csr_addr))
+                return fault_out(FaultType::IllegalInstruction, pc,
+                                 csr_addr);
+            if (archState.mode == PrivMode::User &&
+                isa_.csrPrivileged(csr_addr)) {
+                return fault_out(FaultType::IllegalInstruction, pc,
+                                 csr_addr);
+            }
+            RegVal old = archState.csrs.read(csr_addr);
+            if (res.csr_old_reg_valid) {
+                CheckOutcome chk = pcu_.checkCsrRead(csr_addr);
+                retire.pcu_stall += chk.stall;
+                if (!chk.allowed)
+                    return fault_out(chk.fault, pc, csr_addr);
+            }
+            if (res.csr_write) {
+                RegVal newv =
+                    isa_.csrNewValue(inst, old, res.csr_write_value);
+                CheckOutcome chk =
+                    pcu_.checkCsrWrite(csr_addr, old, newv);
+                retire.pcu_stall += chk.stall;
+                if (!chk.allowed)
+                    return fault_out(chk.fault, pc, csr_addr);
+                archState.csrs.write(csr_addr, newv);
+                // An address-space switch invalidates the TLBs.
+                if (csr_addr == isa_.ptbrCsrAddr()) {
+                    if (itlb)
+                        itlb->flushAll();
+                    if (dtlb)
+                        dtlb->flushAll();
+                }
+            }
+            if (res.csr_old_reg_valid)
+                archState.setReg(res.csr_old_reg, old);
+        }
+    }
+
+    // --- memory access (with the trusted-memory check, Section 4.5) ---
+    if (res.mem_valid) {
+        if (!pcu_.memoryAccessAllowed(res.mem_addr, res.mem_size)) {
+            return fault_out(FaultType::TrustedMemoryViolation, pc,
+                             res.mem_addr);
+        }
+        if (res.mem_addr + res.mem_size > mem.size())
+            return fault_out(FaultType::MemoryFault, pc, res.mem_addr);
+        if (dtlb)
+            retire.dcache_extra += dtlb->access(res.mem_addr);
+        if (dcache) {
+            retire.dcache_extra +=
+                dcache->access(res.mem_addr, res.mem_write) -
+                l1Hit(dcache);
+        }
+        retire.mem_addr = res.mem_addr;
+        if (res.mem_write) {
+            ++storeCount;
+            retire.is_store = true;
+            switch (res.mem_size) {
+              case 1: mem.write8(res.mem_addr,
+                                 std::uint8_t(res.store_value)); break;
+              case 2: mem.write16(res.mem_addr,
+                                  std::uint16_t(res.store_value)); break;
+              case 4: mem.write32(res.mem_addr,
+                                  std::uint32_t(res.store_value)); break;
+              case 8: mem.write64(res.mem_addr, res.store_value); break;
+              default:
+                panic("bad store size %u", res.mem_size);
+            }
+        } else {
+            ++loadCount;
+            retire.is_load = true;
+            RegVal value = 0;
+            switch (res.mem_size) {
+              case 1:
+                value = mem.read8(res.mem_addr);
+                if (res.mem_sign_extend)
+                    value = RegVal(std::int64_t(std::int8_t(value)));
+                break;
+              case 2:
+                value = mem.read16(res.mem_addr);
+                if (res.mem_sign_extend)
+                    value = RegVal(std::int64_t(std::int16_t(value)));
+                break;
+              case 4:
+                value = mem.read32(res.mem_addr);
+                if (res.mem_sign_extend)
+                    value = RegVal(std::int64_t(std::int32_t(value)));
+                break;
+              case 8:
+                value = mem.read64(res.mem_addr);
+                break;
+              default:
+                panic("bad load size %u", res.mem_size);
+            }
+            if (res.mem_to_pc)
+                res.next_pc = value;
+            else
+                archState.setReg(res.mem_reg, value);
+        }
+    }
+
+    if (res.flush_caches) {
+        if (dcache)
+            dcache->flushAll();
+        if (icache)
+            icache->flushAll();
+    }
+    if (res.flush_tlb) {
+        if (itlb)
+            itlb->flushAll();
+        if (dtlb)
+            dtlb->flushAll();
+    }
+    if (res.flush_tlb_page) {
+        if (itlb)
+            itlb->flushPage(res.flush_page_addr);
+        if (dtlb)
+            dtlb->flushPage(res.flush_page_addr);
+    }
+
+    if (retire.taken_branch)
+        ++branchCount;
+
+    if (inst.cls == InstClass::SimMark) {
+        simMarks.push_back({archState.reg(inst.rs1), cycleCount,
+                            instCount.value()});
+    }
+
+    if (res.halt) {
+        result.reason = StopReason::Halted;
+        result.halt_code = res.halt_code;
+        finish(false);
+        return false;
+    }
+
+    archState.pc = res.next_pc;
+    return finish(true);
+}
+
+} // namespace isagrid

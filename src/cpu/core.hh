@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ISA-agnostic core base: functional execution with PCU integration.
+ *
+ * CoreBase performs the architectural step of every instruction —
+ * fetch, decode, the classical privilege-level check, the ISA-Grid
+ * checks (Section 4.1 ordering: instruction bitmap first, then the
+ * register bitmap / bit-mask for explicit CSR accesses), gate
+ * execution, memory access with the trusted-memory bound check, and
+ * trap entry/return. Derived classes supply the *timing* model: the
+ * in-order 5-stage model (the Rocket prototype) and the out-of-order
+ * model (the gem5 x86 prototype).
+ */
+
+#ifndef ISAGRID_CPU_CORE_HH_
+#define ISAGRID_CPU_CORE_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "isagrid/pcu.hh"
+#include "mem/cache.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb.hh"
+#include "sim/stats.hh"
+
+namespace isagrid {
+
+/** Everything the timing model needs to know about one instruction. */
+struct RetireInfo
+{
+    Addr pc = 0;
+    /** Decoded instruction; null when fetch/decode itself faulted. */
+    const DecodedInst *inst = nullptr;
+    InstClass cls = InstClass::Nop;
+    bool taken_branch = false;
+    bool serializing = false;
+    bool is_load = false;
+    bool is_store = false;
+    Addr mem_addr = 0;
+    Cycle icache_extra = 0; //!< fetch latency beyond an L1 hit
+    Cycle dcache_extra = 0; //!< data latency beyond an L1 hit
+    Cycle pcu_stall = 0;    //!< privilege-cache miss / gate traffic
+    bool trap = false;      //!< this instruction entered a trap handler
+};
+
+/** Why run() returned. */
+enum class StopReason
+{
+    Halted,        //!< the guest executed the halt magic instruction
+    MaxInstructions,
+    UnhandledFault, //!< fault with no trap handler configured
+};
+
+/** Result of a run() call. */
+struct RunResult
+{
+    StopReason reason = StopReason::Halted;
+    std::uint64_t halt_code = 0;
+    FaultType fault = FaultType::None;
+    Addr fault_pc = 0;
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+};
+
+/** A simmark record (ROI boundaries for benchmarks). */
+struct SimMark
+{
+    std::uint64_t value = 0;
+    Cycle cycle = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** Execution attributed to one ISA domain. */
+struct DomainUsage
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+};
+
+/** Functional core with PCU hooks (see file comment). */
+class CoreBase
+{
+  public:
+    /**
+     * @param isa     ISA model
+     * @param mem     physical memory
+     * @param pcu     the privilege check unit attached to this core
+     * @param icache  instruction-fetch hierarchy (may be null: ideal)
+     * @param dcache  data hierarchy (may be null: ideal)
+     */
+    CoreBase(const IsaModel &isa, PhysMem &mem, PrivilegeCheckUnit &pcu,
+             CacheHierarchy *icache, CacheHierarchy *dcache);
+    virtual ~CoreBase() = default;
+
+    /** Reset architectural state and set the boot PC. */
+    void reset(Addr boot_pc);
+
+    /** Run until halt, an unhandled fault, or @p max_insts. */
+    RunResult run(std::uint64_t max_insts = ~0ull);
+
+    /** Single-step one instruction (tests). */
+    RunResult step() { return run(1); }
+
+    ArchState &state() { return archState; }
+    const ArchState &state() const { return archState; }
+    PrivilegeCheckUnit &pcu() { return pcu_; }
+    const IsaModel &isa() const { return isa_; }
+
+    /**
+     * Arm a periodic timer: every @p interval cycles an asynchronous
+     * TimerInterrupt is delivered between instructions, while the core
+     * is in user mode (kernel execution is never re-entered). 0
+     * disarms.
+     */
+    void
+    setTimer(Cycle interval)
+    {
+        timerInterval = interval;
+        nextTimer = cycleCount + interval;
+    }
+
+    Cycle cycles() const { return cycleCount; }
+    std::uint64_t instructions() const { return instCount.value(); }
+    const std::vector<SimMark> &marks() const { return simMarks; }
+    void clearMarks() { simMarks.clear(); }
+
+    /** Count of faults taken, by type. */
+    std::uint64_t faultsTaken(FaultType fault) const;
+
+    /**
+     * Instructions and cycles attributed to each ISA domain — where a
+     * decomposed system actually spends its time.
+     */
+    const std::map<DomainId, DomainUsage> &
+    domainUsage() const
+    {
+        return domainUsage_;
+    }
+
+    /**
+     * Stream an execution trace (one line per retired instruction,
+     * plus fault-delivery lines) to @p os; nullptr disables. The
+     * stream must outlive the core or be cleared first.
+     */
+    void setTrace(std::ostream *os) { traceStream = os; }
+
+    /** Attach instruction/data TLB timing models (may be null). */
+    void
+    setTlbs(Tlb *instruction_tlb, Tlb *data_tlb)
+    {
+        itlb = instruction_tlb;
+        dtlb = data_tlb;
+    }
+
+    StatGroup &stats() { return statGroup; }
+
+  protected:
+    /** Advance the timing model by one retired instruction. */
+    virtual Cycle timeInstruction(const RetireInfo &info) = 0;
+
+    /** Extra cycles charged when a trap redirects the front end. */
+    virtual Cycle trapPenalty() const = 0;
+
+    const IsaModel &isa_;
+    PhysMem &mem;
+    PrivilegeCheckUnit &pcu_;
+    CacheHierarchy *icache;
+    CacheHierarchy *dcache;
+    Tlb *itlb = nullptr;
+    Tlb *dtlb = nullptr;
+
+  private:
+    /** One architectural step; returns false when the run must stop. */
+    bool stepOne(RunResult &result);
+
+    /** Deliver @p fault; returns false if no handler is installed. */
+    bool deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
+                      RetireInfo &retire);
+
+    /** L1 hit latency of a hierarchy (0 if null). */
+    static Cycle l1Hit(CacheHierarchy *h);
+
+    ArchState archState;
+    Cycle cycleCount = 0;
+    Cycle timerInterval = 0;
+    Cycle nextTimer = 0;
+
+    Counter instCount;
+    Counter loadCount;
+    Counter storeCount;
+    Counter branchCount;
+    Counter csrAccessCount;
+    Counter gateCount;
+    Counter trapCount;
+    std::array<Counter, 16> faultCounters;
+    std::map<DomainId, DomainUsage> domainUsage_;
+    std::vector<SimMark> simMarks;
+    StatGroup statGroup;
+    std::ostream *traceStream = nullptr;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_CPU_CORE_HH_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * In-order scalar timing model: the Rocket-class 5-stage pipeline the
+ * paper's FPGA prototype extends (Section 7, "RISC-V Prototype").
+ *
+ * The model charges one cycle per instruction (a scalar in-order
+ * pipeline at CPI 1) plus structural penalties: fetch-miss stalls,
+ * blocking data-cache miss stalls, a redirect penalty for taken
+ * branches (the front of a 5-stage pipeline is flushed), a short drain
+ * for serializing instructions, and the PCU stall cycles (privilege
+ * cache misses, trusted-stack traffic). With an SGT-cache hit this
+ * yields the ~5-cycle hccall of Table 4.
+ */
+
+#ifndef ISAGRID_CPU_INORDER_INORDER_CORE_HH_
+#define ISAGRID_CPU_INORDER_INORDER_CORE_HH_
+
+#include "cpu/core.hh"
+
+namespace isagrid {
+
+/** Timing parameters of the in-order model. */
+struct InOrderParams
+{
+    Cycle branch_penalty = 3;    //!< redirect after a taken branch
+    Cycle serialize_penalty = 1; //!< CSR writes, fences, gates
+    Cycle trap_penalty = 5;      //!< full flush plus vector fetch
+};
+
+/** Rocket-like in-order scalar core (see file comment). */
+class InOrderCore : public CoreBase
+{
+  public:
+    InOrderCore(const IsaModel &isa, PhysMem &mem,
+                PrivilegeCheckUnit &pcu, CacheHierarchy *icache,
+                CacheHierarchy *dcache,
+                const InOrderParams &params = InOrderParams{})
+        : CoreBase(isa, mem, pcu, icache, dcache), params(params)
+    {
+    }
+
+  protected:
+    Cycle timeInstruction(const RetireInfo &info) override;
+    Cycle trapPenalty() const override { return params.trap_penalty; }
+
+  private:
+    InOrderParams params;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_CPU_INORDER_INORDER_CORE_HH_

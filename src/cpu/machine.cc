@@ -1,0 +1,112 @@
+#include "cpu/machine.hh"
+
+#include "isa/riscv/riscv_isa.hh"
+#include "isa/x86/x86_isa.hh"
+
+namespace isagrid {
+
+namespace {
+
+/** Place the trusted region in the top power-of-two-sized megabyte. */
+void
+placeTrustedMemory(MachineConfig &config)
+{
+    if (config.domains.tmem_size == 0)
+        config.domains.tmem_size = 1024 * 1024;
+    if (config.domains.tmem_base == 0) {
+        config.domains.tmem_base =
+            config.mem_bytes - config.domains.tmem_size;
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Machine>
+Machine::rocket(MachineConfig config)
+{
+    placeTrustedMemory(config);
+    auto m = std::unique_ptr<Machine>(new Machine);
+    m->config_ = config;
+    m->isaModel = std::make_unique<riscv::RiscvIsa>();
+    m->physMem = std::make_unique<PhysMem>(config.mem_bytes);
+
+    // Rocket-class memory system on the VC707: small blocking L1s in
+    // front of DDR3; a full miss costs >120 cycles (Table 4).
+    std::vector<CacheParams> il1 = {
+        {"l1i", 16 * 1024, 64, 4, 1}};
+    std::vector<CacheParams> dl1 = {
+        {"l1d", 16 * 1024, 64, 4, 1}};
+    m->icache = std::make_unique<CacheHierarchy>(il1, 120);
+    m->dcache = std::make_unique<CacheHierarchy>(dl1, 120);
+    // Rocket-class TLBs: 32-entry fully refilled by a hardware page
+    // walker through the memory system.
+    m->itlb = std::make_unique<Tlb>(TlbParams{"itlb", 32, 4, 4096, 60});
+    m->dtlb = std::make_unique<Tlb>(TlbParams{"dtlb", 32, 4, 4096, 60});
+
+    m->pcu_ = std::make_unique<PrivilegeCheckUnit>(
+        *m->isaModel, *m->physMem, config.pcu, m->dcache.get());
+    m->domainMgr = std::make_unique<DomainManager>(*m->pcu_, *m->physMem,
+                                                   config.domains);
+    m->core_ = std::make_unique<InOrderCore>(*m->isaModel, *m->physMem,
+                                             *m->pcu_, m->icache.get(),
+                                             m->dcache.get());
+    m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
+    return m;
+}
+
+std::unique_ptr<Machine>
+Machine::gem5x86(MachineConfig config)
+{
+    placeTrustedMemory(config);
+    auto m = std::unique_ptr<Machine>(new Machine);
+    m->config_ = config;
+    m->isaModel = std::make_unique<x86::X86Isa>();
+    m->physMem = std::make_unique<PhysMem>(config.mem_bytes);
+
+    // Table 3 hierarchy. The L2/L3 are logically shared between the
+    // instruction and data paths; modelling them as per-path copies
+    // with identical latencies preserves the timing shape.
+    std::vector<CacheParams> ipath = {
+        {"l1i", 32 * 1024, 64, 4, 2},
+        {"l2i", 256 * 1024, 64, 16, 20},
+        {"l3i", 2 * 1024 * 1024, 64, 16, 32}};
+    std::vector<CacheParams> dpath = {
+        {"l1d", 32 * 1024, 64, 4, 2},
+        {"l2d", 256 * 1024, 64, 16, 20},
+        {"l3d", 2 * 1024 * 1024, 64, 16, 32}};
+    m->icache = std::make_unique<CacheHierarchy>(ipath, 150);
+    m->dcache = std::make_unique<CacheHierarchy>(dpath, 150);
+    // x86-class TLBs: larger arrays, faster cached page walks.
+    m->itlb = std::make_unique<Tlb>(TlbParams{"itlb", 64, 4, 4096, 30});
+    m->dtlb = std::make_unique<Tlb>(TlbParams{"dtlb", 64, 4, 4096, 30});
+
+    m->pcu_ = std::make_unique<PrivilegeCheckUnit>(
+        *m->isaModel, *m->physMem, config.pcu, m->dcache.get());
+    m->domainMgr = std::make_unique<DomainManager>(*m->pcu_, *m->physMem,
+                                                   config.domains);
+    m->core_ = std::make_unique<O3Core>(*m->isaModel, *m->physMem,
+                                        *m->pcu_, m->icache.get(),
+                                        m->dcache.get());
+    m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
+    return m;
+}
+
+RunResult
+Machine::run(Addr boot_pc, std::uint64_t max_insts)
+{
+    core_->reset(boot_pc);
+    return core_->run(max_insts);
+}
+
+void
+Machine::dumpStats(std::ostream &os)
+{
+    core_->stats().dump(os);
+    pcu_->stats().dump(os);
+    icache->stats().dump(os, "icache");
+    dcache->stats().dump(os, "dcache");
+    itlb->stats().dump(os);
+    dtlb->stats().dump(os);
+}
+
+} // namespace isagrid

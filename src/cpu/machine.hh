@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A complete simulated machine: ISA model, physical memory, cache
+ * hierarchies, the Privilege Check Unit, domain-0 runtime and a core.
+ *
+ * Two factory configurations mirror the paper's prototypes:
+ *  - rocket():  RV64 in-order scalar core, 100 MHz FPGA-class memory
+ *    system (load/store miss >120 cycles, Table 4);
+ *  - gem5x86(): x86-like out-of-order core with the Table 3 cache
+ *    hierarchy (L1 32K/2c, L2 256K/20c, L3 2M/32c, ~150-cycle DRAM).
+ */
+
+#ifndef ISAGRID_CPU_MACHINE_HH_
+#define ISAGRID_CPU_MACHINE_HH_
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "cpu/inorder/inorder_core.hh"
+#include "cpu/o3/o3_core.hh"
+#include "isagrid/domain_manager.hh"
+#include "isagrid/pcu.hh"
+#include "mem/cache.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb.hh"
+
+namespace isagrid {
+
+/** Machine-level configuration knobs. */
+struct MachineConfig
+{
+    std::size_t mem_bytes = 64ull * 1024 * 1024;
+    PcuConfig pcu = PcuConfig::config8E();
+    DomainManagerConfig domains; //!< tmem placement filled by factories
+};
+
+/** A fully assembled simulated machine (see file comment). */
+class Machine
+{
+  public:
+    /** The paper's RISC-V FPGA prototype substrate. */
+    static std::unique_ptr<Machine> rocket(MachineConfig config = {});
+
+    /** The paper's gem5 x86 prototype substrate (Table 3). */
+    static std::unique_ptr<Machine> gem5x86(MachineConfig config = {});
+
+    PhysMem &mem() { return *physMem; }
+    CoreBase &core() { return *core_; }
+    PrivilegeCheckUnit &pcu() { return *pcu_; }
+    DomainManager &domains() { return *domainMgr; }
+    const IsaModel &isa() const { return *isaModel; }
+    CacheHierarchy &icacheHierarchy() { return *icache; }
+    CacheHierarchy &dcacheHierarchy() { return *dcache; }
+    Tlb &instructionTlb() { return *itlb; }
+    Tlb &dataTlb() { return *dtlb; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Reset the core to @p boot_pc and run. */
+    RunResult run(Addr boot_pc, std::uint64_t max_insts = 100'000'000);
+
+    /** Dump all statistics. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    Machine() = default;
+
+    MachineConfig config_;
+    std::unique_ptr<IsaModel> isaModel;
+    std::unique_ptr<PhysMem> physMem;
+    std::unique_ptr<CacheHierarchy> icache;
+    std::unique_ptr<CacheHierarchy> dcache;
+    std::unique_ptr<Tlb> itlb;
+    std::unique_ptr<Tlb> dtlb;
+    std::unique_ptr<PrivilegeCheckUnit> pcu_;
+    std::unique_ptr<DomainManager> domainMgr;
+    std::unique_ptr<CoreBase> core_;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_CPU_MACHINE_HH_

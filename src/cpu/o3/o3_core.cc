@@ -1,0 +1,140 @@
+#include "cpu/o3/o3_core.hh"
+
+#include <algorithm>
+
+namespace isagrid {
+
+O3Core::O3Core(const IsaModel &isa, PhysMem &mem, PrivilegeCheckUnit &pcu,
+               CacheHierarchy *icache, CacheHierarchy *dcache,
+               const O3Params &params)
+    : CoreBase(isa, mem, pcu, icache, dcache), params(params),
+      bimodal(params.btb_entries, 1), btb(params.btb_entries, ~Addr{0})
+{
+}
+
+bool
+O3Core::predictAndTrain(Addr pc, bool taken)
+{
+    std::size_t index = (pc >> 1) % bimodal.size();
+    bool target_known = btb[index] == pc;
+    bool predicted_taken = bimodal[index] >= 2;
+    bool correct = (predicted_taken == taken) && (!taken || target_known);
+    // Train.
+    if (taken) {
+        if (bimodal[index] < 3)
+            ++bimodal[index];
+        btb[index] = pc;
+    } else if (bimodal[index] > 0) {
+        --bimodal[index];
+    }
+    return correct;
+}
+
+Cycle
+O3Core::timeInstruction(const RetireInfo &info)
+{
+    // --- dispatch bandwidth ---
+    if (++slotInCycle >= params.width) {
+        slotInCycle = 0;
+        ++frontier;
+    }
+    Cycle dispatch = frontier;
+
+    // Front-end fetch stalls delay dispatch directly.
+    if (info.icache_extra) {
+        frontier += info.icache_extra;
+        dispatch = frontier;
+        slotInCycle = 0;
+    }
+
+    // --- ROB occupancy ---
+    while (!rob.empty() && rob.front() <= dispatch)
+        rob.pop_front();
+    if (rob.size() >= params.rob_entries) {
+        dispatch = std::max(dispatch, rob.front());
+        while (!rob.empty() && rob.front() <= dispatch)
+            rob.pop_front();
+        frontier = std::max(frontier, dispatch);
+    }
+
+    // --- operand readiness ---
+    Cycle ready = dispatch;
+    if (info.inst) {
+        ready = std::max({ready, regReady[info.inst->rs1],
+                          regReady[info.inst->rs2]});
+    }
+
+    // PCU checks serialize with issue: a privilege-cache miss delays
+    // the instruction by the fill latency (Section 4.3).
+    Cycle issue = ready + info.pcu_stall;
+
+    // --- execution latency ---
+    Cycle latency = info.inst ? info.inst->exec_latency : 1;
+    if (info.is_load) {
+        // Store-to-load forwarding from the LSQ.
+        bool forwarded = false;
+        for (const auto &[addr, avail_cycle] : storeBuffer) {
+            if (addr == info.mem_addr) {
+                latency = 1;
+                issue = std::max(issue, avail_cycle);
+                forwarded = true;
+                break;
+            }
+        }
+        if (!forwarded)
+            latency = params.load_to_use + info.dcache_extra;
+    } else if (info.is_store) {
+        latency = 1; // retires through the store buffer
+    }
+
+    Cycle complete = issue + latency;
+
+    if (info.is_store) {
+        storeBuffer.emplace_back(info.mem_addr, complete);
+        if (storeBuffer.size() > params.store_buffer)
+            storeBuffer.pop_front();
+    }
+    if (info.inst && !info.is_store)
+        regReady[info.inst->rd] = complete;
+    rob.push_back(complete);
+
+    // --- control flow ---
+    if (info.cls == InstClass::Branch || info.cls == InstClass::Jump) {
+        bool correct = predictAndTrain(info.pc, info.taken_branch);
+        if (!correct) {
+            frontier = complete + params.mispredict_penalty;
+            slotInCycle = 0;
+        }
+    }
+
+    // --- serialization (CSR writes, gates, fences) ---
+    if (info.serializing) {
+        Cycle drain = complete;
+        for (Cycle c : rob)
+            drain = std::max(drain, c);
+        frontier = drain + params.serialize_penalty;
+        slotInCycle = 0;
+        rob.clear();
+        storeBuffer.clear();
+    }
+
+    // --- traps flush everything and run the exception microcode ---
+    if (info.trap) {
+        Cycle drain = complete;
+        for (Cycle c : rob)
+            drain = std::max(drain, c);
+        frontier = drain + params.trap_penalty;
+        slotInCycle = 0;
+        rob.clear();
+        storeBuffer.clear();
+    }
+
+    // --- retire bandwidth: commit width per cycle ---
+    retireSlot = std::max(retireSlot + 1, complete * params.width);
+    Cycle total = retireSlot / params.width;
+    Cycle delta = total - lastTotal;
+    lastTotal = total;
+    return delta;
+}
+
+} // namespace isagrid

@@ -1,0 +1,170 @@
+#include "hwcost/hwcost.hh"
+
+#include <array>
+
+namespace isagrid {
+
+namespace {
+
+/**
+ * The paper's three synthesized deltas over the Rocket baseline
+ * (Table 6), used as the fitting anchors: {LUT delta, FF delta}.
+ */
+struct Anchor
+{
+    PcuConfig config;
+    double lut_delta;
+    double ff_delta;
+};
+
+const std::array<Anchor, 3> &
+anchors()
+{
+    static const std::array<Anchor, 3> a = {{
+        {PcuConfig::config16E(), 53421 - 51137.0, 40280 - 37576.0},
+        {PcuConfig::config8E(), 52685 - 51137.0, 39208 - 37576.0},
+        {PcuConfig::config8EN(), 52267 - 51137.0, 38683 - 37576.0},
+    }};
+    return a;
+}
+
+/** Least-squares fit of y = k*x + b over the three anchors. */
+void
+fitLine(const double xs[3], const double ys[3], double &k, double &b)
+{
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (int i = 0; i < 3; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double n = 3;
+    double denom = n * sxx - sx * sx;
+    k = (n * sxy - sx * sy) / denom;
+    b = (sy - k * sx) / n;
+}
+
+/** RISC-V prototype parameters used for fitting (Section 7). */
+PcuStructure
+anchorStructure(const PcuConfig &config)
+{
+    // The Rocket prototype: RV64 instruction types, the controlled
+    // supervisor/user CSR set, one bit-maskable register (SSTATUS),
+    // 2^12 domains.
+    return pcuStructure(config, 64, 13, 1, 12);
+}
+
+struct Fit
+{
+    double lut_k, lut_b;
+    double ff_k, ff_b;
+};
+
+const Fit &
+fit()
+{
+    static const Fit f = [] {
+        double lut_x[3], lut_y[3], ff_x[3], ff_y[3];
+        for (int i = 0; i < 3; ++i) {
+            PcuStructure s = anchorStructure(anchors()[i].config);
+            // LUTs scale with CAM compare bits plus payload muxing;
+            // FFs scale with storage bits.
+            lut_x[i] = double(s.cam_bits + s.mux_bits);
+            lut_y[i] = anchors()[i].lut_delta;
+            ff_x[i] = double(s.storage_bits + s.reg_bits);
+            ff_y[i] = anchors()[i].ff_delta;
+        }
+        Fit f;
+        fitLine(lut_x, lut_y, f.lut_k, f.lut_b);
+        fitLine(ff_x, ff_y, f.ff_k, f.ff_b);
+        return f;
+    }();
+    return f;
+}
+
+} // namespace
+
+PcuStructure
+pcuStructure(const PcuConfig &config, std::uint32_t num_inst_types,
+             std::uint32_t num_csrs, std::uint32_t num_maskable,
+             std::uint32_t domain_bits)
+{
+    HptLayout layout(num_inst_types, num_csrs, num_maskable);
+    PcuStructure s;
+
+    auto add_cache = [&](std::uint32_t entries, std::uint32_t tag_bits,
+                         std::uint32_t payload_bits) {
+        if (entries == 0)
+            return;
+        std::uint32_t lru_bits = 8; // per-entry LRU counter
+        s.storage_bits +=
+            std::uint64_t(entries) * (tag_bits + payload_bits + 1 +
+                                      lru_bits);
+        s.cam_bits += std::uint64_t(entries) * tag_bits;
+        s.mux_bits += std::uint64_t(entries) * payload_bits;
+    };
+
+    std::uint32_t inst_group_bits = 4;
+    std::uint32_t reg_group_bits = 4;
+    std::uint32_t mask_index_bits = 4;
+    std::uint32_t gate_bits = 12;
+
+    add_cache(config.hpt_cache_entries, domain_bits + inst_group_bits,
+              HptLayout::wordBits);
+    add_cache(config.hpt_cache_entries, domain_bits + reg_group_bits,
+              HptLayout::wordBits);
+    add_cache(config.hpt_cache_entries, domain_bits + mask_index_bits,
+              HptLayout::wordBits);
+    add_cache(config.sgt_cache_entries, gate_bits,
+              3 * 64); // gate addr + dest addr + dest domain
+
+    // Table 2 architectural registers plus the bypass register.
+    s.reg_bits = std::uint64_t(numGridRegs) * 64;
+    if (config.bypass_enabled)
+        s.reg_bits += layout.numInstGroups() * HptLayout::wordBits + 1;
+
+    return s;
+}
+
+HwCost
+pcuCost(const PcuStructure &structure)
+{
+    const Fit &f = fit();
+    HwCost cost;
+    cost.lut_logic =
+        f.lut_k * double(structure.cam_bits + structure.mux_bits) +
+        f.lut_b;
+    cost.slice_regs =
+        f.ff_k * double(structure.storage_bits + structure.reg_bits) +
+        f.ff_b;
+    if (cost.lut_logic < 0)
+        cost.lut_logic = 0;
+    if (cost.slice_regs < 0)
+        cost.slice_regs = 0;
+    // The PCU adds no LUTRAM, block RAM or DSP slices (Table 6 shows
+    // 0% deltas in those categories).
+    return cost;
+}
+
+HwCost
+totalWithPcu(const PcuStructure &structure)
+{
+    HwCost delta = pcuCost(structure);
+    HwCost total;
+    total.lut_logic = RocketBaseline::lut_logic + delta.lut_logic;
+    total.lut_memory = RocketBaseline::lut_memory;
+    total.slice_regs = RocketBaseline::slice_regs + delta.slice_regs;
+    total.ramb36 = RocketBaseline::ramb36;
+    total.ramb18 = RocketBaseline::ramb18;
+    total.dsp = RocketBaseline::dsp;
+    return total;
+}
+
+double
+overheadPercent(double delta, double base)
+{
+    return 100.0 * delta / base;
+}
+
+} // namespace isagrid

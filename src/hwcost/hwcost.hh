@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytical FPGA cost model for Table 6.
+ *
+ * We cannot synthesize to a VC707, so the hardware cost of the PCU is
+ * *modelled*: structural quantities (storage bits, CAM compare bits,
+ * payload mux width) are computed exactly from a PcuConfig, and a
+ * linear technology-mapping (LUTs/FFs per structural unit) is fitted
+ * by least squares to the paper's three synthesis points (16E., 8E.,
+ * 8E.N on the Rocket baseline). The model's value is extrapolation:
+ * the ablation bench sweeps cache sizes the paper never synthesized.
+ * EXPERIMENTS.md records this substitution.
+ */
+
+#ifndef ISAGRID_HWCOST_HWCOST_HH_
+#define ISAGRID_HWCOST_HWCOST_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "isagrid/pcu.hh"
+
+namespace isagrid {
+
+/** Structural quantities of one PCU configuration. */
+struct PcuStructure
+{
+    std::uint64_t storage_bits = 0; //!< cache payload+tag+state bits
+    std::uint64_t cam_bits = 0;     //!< tag compare bits per lookup
+    std::uint64_t mux_bits = 0;     //!< payload mux width
+    std::uint64_t reg_bits = 0;     //!< Table 2 registers + bypass
+};
+
+/** Modelled resource cost (Vivado report categories of Table 6). */
+struct HwCost
+{
+    double lut_logic = 0;
+    double lut_memory = 0; //!< zero: the PCU adds no LUTRAM
+    double slice_regs = 0;
+    double ramb36 = 0;     //!< zero: no block RAM
+    double ramb18 = 0;
+    double dsp = 0;        //!< zero: no DSP slices
+};
+
+/** Rocket Core baseline utilization from the paper's Table 6. */
+struct RocketBaseline
+{
+    static constexpr double lut_logic = 51137;
+    static constexpr double lut_memory = 6420;
+    static constexpr double slice_regs = 37576;
+    static constexpr double ramb36 = 10;
+    static constexpr double ramb18 = 10;
+    static constexpr double dsp = 15;
+};
+
+/** Exact structural quantities of a configuration. */
+PcuStructure pcuStructure(const PcuConfig &config,
+                          std::uint32_t num_inst_types,
+                          std::uint32_t num_csrs,
+                          std::uint32_t num_maskable,
+                          std::uint32_t domain_bits = 12);
+
+/** Modelled *additional* cost of the PCU (delta over the baseline). */
+HwCost pcuCost(const PcuStructure &structure);
+
+/** Modelled total = baseline + delta, as Table 6 reports. */
+HwCost totalWithPcu(const PcuStructure &structure);
+
+/** Percent overhead of a delta against a baseline value. */
+double overheadPercent(double delta, double base);
+
+} // namespace isagrid
+
+#endif // ISAGRID_HWCOST_HWCOST_HH_

@@ -1,0 +1,118 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace isagrid {
+
+namespace {
+
+std::string
+reg(unsigned n)
+{
+    return "r" + std::to_string(n);
+}
+
+std::string
+imm(std::int64_t value)
+{
+    char buf[32];
+    if (value >= -4096 && value <= 4096)
+        std::snprintf(buf, sizeof buf, "%lld", (long long)value);
+    else
+        std::snprintf(buf, sizeof buf, "%#llx", (long long)value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+disassemble(const DecodedInst &inst)
+{
+    if (!inst.valid)
+        return "<invalid>";
+    std::string out = inst.mnemonic;
+    auto sep = [&] { out += out == inst.mnemonic ? " " : ", "; };
+
+    switch (inst.cls) {
+      case InstClass::IntAlu:
+        if (inst.csr_addr != ~0u)
+            break; // handled below
+        sep();
+        out += reg(inst.rd);
+        if (inst.rs1 || inst.rs2) {
+            sep();
+            out += reg(inst.rs1);
+        }
+        if (inst.rs2) {
+            sep();
+            out += reg(inst.rs2);
+        }
+        if (inst.imm) {
+            sep();
+            out += imm(inst.imm);
+        }
+        break;
+      case InstClass::Load:
+        sep();
+        out += reg(inst.rd);
+        sep();
+        out += imm(inst.imm) + "(" + reg(inst.rs1) + ")";
+        break;
+      case InstClass::Store:
+        sep();
+        out += reg(inst.rs2);
+        sep();
+        out += imm(inst.imm) + "(" + reg(inst.rs1) + ")";
+        break;
+      case InstClass::Branch:
+        sep();
+        out += reg(inst.rs1);
+        sep();
+        out += reg(inst.rs2);
+        sep();
+        out += std::string("pc") + (inst.imm >= 0 ? "+" : "") +
+                   imm(inst.imm);
+        break;
+      case InstClass::Jump:
+        sep();
+        out += reg(inst.rd);
+        if (inst.rs1) {
+            sep();
+            out += reg(inst.rs1);
+        }
+        if (inst.imm) {
+            sep();
+            out += std::string("pc") + (inst.imm >= 0 ? "+" : "") +
+                   imm(inst.imm);
+        }
+        break;
+      case InstClass::GateCall:
+      case InstClass::GateCallS:
+      case InstClass::Prefetch:
+      case InstClass::CacheFlush:
+      case InstClass::Halt:
+      case InstClass::SimMark:
+        sep();
+        out += reg(inst.rs1);
+        break;
+      default:
+        break;
+    }
+
+    if (inst.isCsrAccess()) {
+        sep();
+        if (inst.cls == InstClass::CsrRead)
+            out += reg(inst.rd) + ", ";
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "csr:%#x", inst.csr_addr);
+        out += buf;
+        if (inst.cls == InstClass::CsrWrite)
+            out += ", " + reg(inst.rs1);
+    } else if (inst.csr_dynamic) {
+        sep();
+        out += "csr:[" + reg(inst.rs1) + "]";
+    }
+    return out;
+}
+
+} // namespace isagrid

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * ISA-agnostic disassembly of DecodedInst for traces and debugging.
+ */
+
+#ifndef ISAGRID_ISA_DISASM_HH_
+#define ISAGRID_ISA_DISASM_HH_
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace isagrid {
+
+/**
+ * Render a decoded instruction as "mnemonic operands". Registers are
+ * printed as rN; the exact names are ISA-specific but the numbers are
+ * unambiguous within a trace.
+ */
+std::string disassemble(const DecodedInst &inst);
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_DISASM_HH_

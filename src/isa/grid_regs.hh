@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The new architectural registers introduced by ISA-Grid (Table 2).
+ *
+ * Each ISA maps a block of its CSR/MSR address space onto these
+ * registers; the PrivilegeCheckUnit owns their values. All of them are
+ * writable only from domain-0, and `domain`/`pdomain` are never writable
+ * by ordinary CSR-write instructions (only the switching engine changes
+ * them).
+ */
+
+#ifndef ISAGRID_ISA_GRID_REGS_HH_
+#define ISAGRID_ISA_GRID_REGS_HH_
+
+#include <cstdint>
+
+namespace isagrid {
+
+/** Identifier of one ISA-Grid architectural register. */
+enum class GridReg : std::uint8_t
+{
+    Domain = 0,  //!< id of the current domain (read-only)
+    PDomain,     //!< id of the previous domain (read-only)
+    DomainNr,    //!< number of valid domains
+    CsrCap,      //!< base address of the CSR read/write bitmaps
+    CsrBitMask,  //!< base address of the CSR bit-mask arrays
+    InstCap,     //!< base address of the instruction bitmaps
+    GateAddr,    //!< base address of the switching gate table
+    GateNr,      //!< number of valid gates
+    Hcsp,        //!< trusted stack pointer
+    Hcsb,        //!< trusted stack base
+    Hcsl,        //!< trusted stack limit
+    Tmemb,       //!< trusted memory base
+    Tmeml,       //!< trusted memory limit
+    NumRegs,
+};
+
+inline constexpr std::uint8_t numGridRegs =
+    static_cast<std::uint8_t>(GridReg::NumRegs);
+
+/** Human-readable name (matches Table 2 spellings). */
+const char *gridRegName(GridReg reg);
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_GRID_REGS_HH_

@@ -1,0 +1,48 @@
+#include "isa/inst.hh"
+
+#include "isa/grid_regs.hh"
+
+namespace isagrid {
+
+const char *
+faultName(FaultType fault)
+{
+    switch (fault) {
+      case FaultType::None: return "none";
+      case FaultType::IllegalInstruction: return "illegal-instruction";
+      case FaultType::InstPrivilege: return "isagrid-inst-privilege";
+      case FaultType::CsrPrivilege: return "isagrid-csr-privilege";
+      case FaultType::CsrMaskViolation: return "isagrid-csr-mask";
+      case FaultType::GateFault: return "isagrid-gate-fault";
+      case FaultType::TrustedMemoryViolation: return "trusted-memory";
+      case FaultType::TrustedStackFault: return "trusted-stack";
+      case FaultType::MemoryFault: return "memory-fault";
+      case FaultType::SyscallTrap: return "syscall";
+      case FaultType::TimerInterrupt: return "timer-interrupt";
+    }
+    return "unknown";
+}
+
+const char *
+gridRegName(GridReg reg)
+{
+    switch (reg) {
+      case GridReg::Domain: return "domain";
+      case GridReg::PDomain: return "pdomain";
+      case GridReg::DomainNr: return "domain-nr";
+      case GridReg::CsrCap: return "csr-cap";
+      case GridReg::CsrBitMask: return "csr-bit-mask";
+      case GridReg::InstCap: return "inst-cap";
+      case GridReg::GateAddr: return "gate-addr";
+      case GridReg::GateNr: return "gate-nr";
+      case GridReg::Hcsp: return "hcsp";
+      case GridReg::Hcsb: return "hcsb";
+      case GridReg::Hcsl: return "hcsl";
+      case GridReg::Tmemb: return "tmemb";
+      case GridReg::Tmeml: return "tmeml";
+      case GridReg::NumRegs: break;
+    }
+    return "invalid";
+}
+
+} // namespace isagrid

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ISA-independent instruction representation.
+ *
+ * Both ISA models (RISC-V and the x86-like CISC) decode raw bytes into a
+ * DecodedInst. The core models consume this one representation, which
+ * carries exactly the information the Privilege Check Unit needs:
+ * the dense instruction-type index (for the instruction bitmap), whether
+ * the instruction *explicitly* accesses a CSR and which one (for the
+ * register bitmap / bit-mask checks, Section 4.1), and whether it is one
+ * of the ISA-Grid gate/cache-management instructions (Table 2).
+ */
+
+#ifndef ISAGRID_ISA_INST_HH_
+#define ISAGRID_ISA_INST_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** Broad behavioural class of an instruction. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,     //!< register/immediate arithmetic and logic
+    Load,       //!< memory read
+    Store,      //!< memory write
+    Branch,     //!< conditional control flow
+    Jump,       //!< unconditional control flow (incl. call/ret)
+    CsrRead,    //!< explicit CSR read (no write)
+    CsrWrite,   //!< explicit CSR write (may also read the old value)
+    Syscall,    //!< trap into the kernel (ecall / syscall)
+    TrapRet,    //!< return from trap (sret / iretq)
+    GateCall,   //!< hccall: unforgeable domain switch
+    GateCallS,  //!< hccalls: extended gate, pushes trusted stack
+    GateRet,    //!< hcrets: extended return, pops trusted stack
+    Prefetch,   //!< pfch: privilege-cache prefetch
+    CacheFlush, //!< pflh: privilege-cache flush
+    SysOther,   //!< other privileged system ops (wbinvd, out, hlt, ...)
+    Nop,
+    Halt,       //!< end-of-simulation magic instruction
+    SimMark,    //!< region-of-interest marker magic instruction
+};
+
+/** Returns true for the three unforgeable-gate instruction classes. */
+inline bool
+isGateClass(InstClass c)
+{
+    return c == InstClass::GateCall || c == InstClass::GateCallS ||
+           c == InstClass::GateRet;
+}
+
+/** A fully decoded instruction ready for execution. */
+struct DecodedInst
+{
+    bool valid = false;        //!< false: undecodable byte sequence
+    std::uint8_t length = 0;   //!< encoded length in bytes
+    InstClass cls = InstClass::Nop;
+    InstTypeId type = invalidInstType; //!< index into instruction bitmap
+    /**
+     * The un-grouped type id when an IsaModel decorator remaps `type`
+     * (isagrid/grouped_isa.hh); equals `type` otherwise.
+     */
+    InstTypeId raw_type = invalidInstType;
+
+    std::uint8_t rd = 0;   //!< destination register number
+    std::uint8_t rs1 = 0;  //!< first source register
+    std::uint8_t rs2 = 0;  //!< second source register
+    std::int64_t imm = 0;  //!< sign-extended immediate
+
+    /**
+     * Explicit CSR operand address (ISA encoding space), or ~0u when the
+     * instruction does not explicitly name a CSR. Side-effect CSR
+     * updates (e.g. scause on a trap) are deliberately *not* represented
+     * here: the paper exempts them from privilege checks.
+     */
+    std::uint32_t csr_addr = ~0u;
+
+    /**
+     * True for rdmsr/wrmsr-style instructions whose CSR address is a
+     * runtime register value (rs1); the core resolves it before the
+     * privilege check.
+     */
+    bool csr_dynamic = false;
+
+    /** Sub-operation selector (ISA-private meaning). */
+    std::uint16_t subop = 0;
+
+    /** Functional-unit latency in cycles (1 for simple ALU ops). */
+    std::uint8_t exec_latency = 1;
+
+    /** Mnemonic for tracing and tests. */
+    const char *mnemonic = "invalid";
+
+    bool isCsrAccess() const { return csr_addr != ~0u; }
+    bool isMem() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+};
+
+/** Architectural faults (hardware exceptions). */
+enum class FaultType : std::uint8_t
+{
+    None = 0,
+    IllegalInstruction,     //!< undecodable or privilege-level violation
+    InstPrivilege,          //!< ISA-Grid: instruction bitmap rejected
+    CsrPrivilege,           //!< ISA-Grid: register bitmap rejected
+    CsrMaskViolation,       //!< ISA-Grid: bit-mask equation rejected
+    GateFault,              //!< ISA-Grid: gate misuse (properties i-iv)
+    TrustedMemoryViolation, //!< software touched trusted memory
+    TrustedStackFault,      //!< hcsp outside [hcsb, hcsl]
+    MemoryFault,            //!< unmapped / misaligned access
+    SyscallTrap,            //!< not an error: ecall/syscall trap
+    TimerInterrupt,         //!< not an error: asynchronous timer tick
+};
+
+/** Human-readable fault name. */
+const char *faultName(FaultType fault);
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_INST_HH_

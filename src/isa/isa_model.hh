@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The interface an ISA model presents to the core models and the PCU.
+ *
+ * The execute() method is *pure* with respect to privileged state: it
+ * computes what the instruction wants to do (memory request, CSR write
+ * value, next PC) but mutates only general-purpose registers. The core
+ * performs the privileged effects after consulting the Privilege Check
+ * Unit, so an instruction that fails a check leaves no trace — exactly
+ * the hardware behaviour the paper requires.
+ */
+
+#ifndef ISAGRID_ISA_ISA_MODEL_HH_
+#define ISAGRID_ISA_ISA_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/grid_regs.hh"
+#include "isa/inst.hh"
+#include "isa/state.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** What an executed instruction asks the core to do. */
+struct ExecResult
+{
+    Addr next_pc = 0;
+    FaultType fault = FaultType::None;
+
+    // --- memory request (at most one) ---
+    bool mem_valid = false;
+    bool mem_write = false;
+    Addr mem_addr = 0;
+    std::uint8_t mem_size = 0;     //!< 1, 2, 4 or 8 bytes
+    bool mem_sign_extend = false;  //!< sign-extend loaded value
+    std::uint8_t mem_reg = 0;      //!< destination register of a load
+    bool mem_to_pc = false;        //!< loaded value becomes next PC (ret)
+    RegVal store_value = 0;
+
+    // --- explicit CSR write request ---
+    bool csr_write = false;
+    std::uint32_t csr_write_addr = 0;
+    /** Source operand; final value is csrNewValue(inst, old, operand). */
+    RegVal csr_write_value = 0;
+    std::uint8_t csr_old_reg = 0;   //!< register receiving the old value
+    bool csr_old_reg_valid = false; //!< write old CSR value to csr_old_reg
+
+    // --- control flow / timing hints ---
+    bool taken_branch = false; //!< redirected control flow (for timing)
+    bool serializing = false;  //!< drains the pipeline (CSR writes etc.)
+
+    // --- simulation control ---
+    bool halt = false;         //!< magic end-of-simulation instruction
+    std::uint64_t halt_code = 0;
+    bool flush_caches = false; //!< wbinvd: invalidate the data caches
+    bool flush_tlb = false;      //!< sfence.vma: invalidate the TLBs
+    bool flush_tlb_page = false; //!< invlpg: invalidate one page
+    Addr flush_page_addr = 0;
+};
+
+/**
+ * Abstract ISA model: decoding, execution semantics, and the three
+ * hardware mappings of Section 4.1 (instruction type -> bitmap index,
+ * CSR address -> register bitmap index, CSR address -> bit-mask index).
+ */
+class IsaModel
+{
+  public:
+    virtual ~IsaModel() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Number of architectural general-purpose registers. */
+    virtual unsigned numRegs() const = 0;
+
+    /** Maximum encoded instruction length in bytes. */
+    virtual unsigned maxInstBytes() const = 0;
+
+    /**
+     * Decode the bytes at @p bytes (up to @p avail valid bytes).
+     * Returns an invalid DecodedInst when no instruction matches;
+     * variable-length ISAs may decode *different* instructions at
+     * interior byte offsets, which is the unintended-instruction attack
+     * surface the paper closes.
+     */
+    virtual DecodedInst decode(const std::uint8_t *bytes,
+                               std::size_t avail, Addr pc) const = 0;
+
+    /** Execute @p inst against @p state (see file comment for purity). */
+    virtual ExecResult execute(const DecodedInst &inst,
+                               ArchState &state) const = 0;
+
+    /**
+     * Final value of a read-modify-write CSR instruction. The core owns
+     * the old value (it may come from the PCU for ISA-Grid registers),
+     * so the ISA folds it in here. Default: plain replacement.
+     */
+    virtual RegVal
+    csrNewValue(const DecodedInst &inst, RegVal old_value,
+                RegVal operand) const
+    {
+        (void)inst; (void)old_value;
+        return operand;
+    }
+
+    /** Populate the reset CSR map and initial mode for this ISA. */
+    virtual void initState(ArchState &state) const = 0;
+
+    // --- ISA-Grid hardware mapping parameters (Section 4.1) ---
+
+    /** Instruction-bitmap length in bits. */
+    virtual std::uint32_t numInstTypes() const = 0;
+
+    /** Register-bitmap length in CSRs (2 bits each). */
+    virtual std::uint32_t numControlledCsrs() const = 0;
+
+    /** Dense register-bitmap index; invalidCsrIndex if uncontrolled. */
+    virtual CsrIndex csrBitmapIndex(std::uint32_t csr_addr) const = 0;
+
+    /** Number of CSRs that carry bit-level masks. */
+    virtual std::uint32_t numMaskableCsrs() const = 0;
+
+    /** Bit-mask array index; invalidCsrIndex if not bit-maskable. */
+    virtual CsrIndex csrMaskIndex(std::uint32_t csr_addr) const = 0;
+
+    // --- ISA-Grid architectural registers (Table 2) ---
+
+    /** Is this CSR address one of the ISA-Grid registers? */
+    virtual bool isGridReg(std::uint32_t csr_addr) const = 0;
+
+    /** Which one (only valid when isGridReg()). */
+    virtual GridReg gridRegId(std::uint32_t csr_addr) const = 0;
+
+    /** CSR address of a given ISA-Grid register in this ISA. */
+    virtual std::uint32_t gridRegAddr(GridReg reg) const = 0;
+
+    /**
+     * CSR address of the page-table base register (satp / CR3);
+     * writing it switches the address space, so the core flushes the
+     * TLBs.
+     */
+    virtual std::uint32_t ptbrCsrAddr() const = 0;
+
+    // --- classical privilege level checks ---
+
+    /** Does this CSR require supervisor mode? */
+    virtual bool csrPrivileged(std::uint32_t csr_addr) const = 0;
+
+    /** Does this instruction require supervisor mode? */
+    virtual bool instPrivileged(const DecodedInst &inst) const = 0;
+
+    /** Mnemonic of an instruction-type index (tracing / tables). */
+    virtual const char *instTypeName(InstTypeId type) const = 0;
+
+    /**
+     * The general-computing instruction types a de-privileged domain
+     * still needs (ALU, memory, control flow, CSR-access *instructions*
+     * — the register bitmap separately controls which CSRs they may
+     * touch — plus the gate instructions, which Section 4.2 makes
+     * executable from every domain). Sensitive types (out, wbinvd,
+     * rdtsc, wrpkru, sfence.vma, ...) are excluded and granted
+     * per-domain.
+     */
+    virtual std::vector<InstTypeId> baselineInstTypes() const = 0;
+
+    // --- trap mechanics ---
+
+    /**
+     * Architectural trap entry: record cause/EPC as CSR side effects
+     * (exempt from privilege checks per Section 4.1), raise the
+     * privilege mode, and return the handler address.
+     */
+    virtual Addr takeTrap(ArchState &state, FaultType fault,
+                          Addr faulting_pc, RegVal info) const = 0;
+
+    /** Architectural trap return (sret / iretq): returns resume PC. */
+    virtual Addr trapReturn(ArchState &state) const = 0;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_ISA_MODEL_HH_

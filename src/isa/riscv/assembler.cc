@@ -1,0 +1,341 @@
+#include "isa/riscv/assembler.hh"
+
+#include "mem/phys_mem.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+namespace riscv {
+
+namespace {
+
+std::uint32_t
+checkReg(unsigned r)
+{
+    ISAGRID_ASSERT(r < 32, "register x%u", r);
+    return r;
+}
+
+std::uint32_t
+encodeB(unsigned f3, unsigned rs1, unsigned rs2, std::int64_t off)
+{
+    ISAGRID_ASSERT(off >= -4096 && off < 4096 && (off & 1) == 0,
+                   "branch offset %lld", (long long)off);
+    std::uint64_t imm = static_cast<std::uint64_t>(off);
+    return OP_BRANCH | (((imm >> 11) & 1) << 7) | (((imm >> 1) & 0xf) << 8) |
+           (f3 << 12) | (checkReg(rs1) << 15) | (checkReg(rs2) << 20) |
+           (((imm >> 5) & 0x3f) << 25) | (((imm >> 12) & 1) << 31);
+}
+
+std::uint32_t
+encodeJ(unsigned rd, std::int64_t off)
+{
+    ISAGRID_ASSERT(off >= -(1 << 20) && off < (1 << 20) && (off & 1) == 0,
+                   "jal offset %lld", (long long)off);
+    std::uint64_t imm = static_cast<std::uint64_t>(off);
+    return OP_JAL | (checkReg(rd) << 7) | (((imm >> 12) & 0xff) << 12) |
+           (((imm >> 11) & 1) << 20) | (((imm >> 1) & 0x3ff) << 21) |
+           (((imm >> 20) & 1) << 31);
+}
+
+} // namespace
+
+void
+RiscvAsm::emit32(std::uint32_t word)
+{
+    ISAGRID_ASSERT(!finalized, "emit after finalize");
+    code.push_back(word & 0xff);
+    code.push_back((word >> 8) & 0xff);
+    code.push_back((word >> 16) & 0xff);
+    code.push_back((word >> 24) & 0xff);
+}
+
+void
+RiscvAsm::emitI(std::uint32_t op, unsigned rd, unsigned f3, unsigned rs1,
+                std::int64_t imm)
+{
+    ISAGRID_ASSERT(imm >= -2048 && imm < 2048, "I-imm %lld",
+                   (long long)imm);
+    emit32(op | (checkReg(rd) << 7) | (f3 << 12) | (checkReg(rs1) << 15) |
+           (static_cast<std::uint32_t>(imm & 0xfff) << 20));
+}
+
+void
+RiscvAsm::emitR(std::uint32_t op, unsigned rd, unsigned f3, unsigned rs1,
+                unsigned rs2, unsigned f7)
+{
+    emit32(op | (checkReg(rd) << 7) | (f3 << 12) | (checkReg(rs1) << 15) |
+           (checkReg(rs2) << 20) | (f7 << 25));
+}
+
+void
+RiscvAsm::emitS(unsigned f3, unsigned rs1, unsigned rs2, std::int64_t imm)
+{
+    ISAGRID_ASSERT(imm >= -2048 && imm < 2048, "S-imm %lld",
+                   (long long)imm);
+    std::uint32_t uimm = static_cast<std::uint32_t>(imm & 0xfff);
+    emit32(OP_STORE | ((uimm & 0x1f) << 7) | (f3 << 12) |
+           (checkReg(rs1) << 15) | (checkReg(rs2) << 20) |
+           ((uimm >> 5) << 25));
+}
+
+RiscvAsm::Label
+RiscvAsm::newLabel()
+{
+    labels.push_back(~Addr{0});
+    return labels.size() - 1;
+}
+
+void
+RiscvAsm::bind(Label label)
+{
+    ISAGRID_ASSERT(label < labels.size(), "label %zu", label);
+    ISAGRID_ASSERT(labels[label] == ~Addr{0}, "label bound twice");
+    labels[label] = here();
+}
+
+Addr
+RiscvAsm::labelAddr(Label label) const
+{
+    ISAGRID_ASSERT(label < labels.size() && labels[label] != ~Addr{0},
+                   "unbound label %zu", label);
+    return labels[label];
+}
+
+void
+RiscvAsm::emitBranch(unsigned f3, unsigned rs1, unsigned rs2, Label target)
+{
+    fixups.push_back({code.size(), target, false});
+    // Operands are stored now; offset patched at finalize().
+    emit32(encodeB(f3, rs1, rs2, 0));
+}
+
+void RiscvAsm::lui(unsigned rd, std::int64_t imm20)
+{
+    emit32(OP_LUI | (checkReg(rd) << 7) |
+           (static_cast<std::uint32_t>(imm20 & 0xfffff) << 12));
+}
+
+void RiscvAsm::auipc(unsigned rd, std::int64_t imm20)
+{
+    emit32(OP_AUIPC | (checkReg(rd) << 7) |
+           (static_cast<std::uint32_t>(imm20 & 0xfffff) << 12));
+}
+
+void
+RiscvAsm::jal(unsigned rd, Label target)
+{
+    fixups.push_back({code.size(), target, true});
+    emit32(encodeJ(rd, 0));
+}
+
+void RiscvAsm::jalr(unsigned rd, unsigned rs1, std::int64_t imm)
+{
+    emitI(OP_JALR, rd, 0, rs1, imm);
+}
+
+void RiscvAsm::beq(unsigned a, unsigned b, Label t) { emitBranch(0, a, b, t); }
+void RiscvAsm::bne(unsigned a, unsigned b, Label t) { emitBranch(1, a, b, t); }
+void RiscvAsm::blt(unsigned a, unsigned b, Label t) { emitBranch(4, a, b, t); }
+void RiscvAsm::bge(unsigned a, unsigned b, Label t) { emitBranch(5, a, b, t); }
+void RiscvAsm::bltu(unsigned a, unsigned b, Label t) { emitBranch(6, a, b, t); }
+void RiscvAsm::bgeu(unsigned a, unsigned b, Label t) { emitBranch(7, a, b, t); }
+
+void RiscvAsm::lb(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 0, rs1, imm); }
+void RiscvAsm::lh(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 1, rs1, imm); }
+void RiscvAsm::lw(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 2, rs1, imm); }
+void RiscvAsm::ld(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 3, rs1, imm); }
+void RiscvAsm::lbu(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 4, rs1, imm); }
+void RiscvAsm::lhu(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 5, rs1, imm); }
+void RiscvAsm::lwu(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_LOAD, rd, 6, rs1, imm); }
+
+void RiscvAsm::sb(unsigned rs2, unsigned rs1, std::int64_t imm)
+{ emitS(0, rs1, rs2, imm); }
+void RiscvAsm::sh(unsigned rs2, unsigned rs1, std::int64_t imm)
+{ emitS(1, rs1, rs2, imm); }
+void RiscvAsm::sw(unsigned rs2, unsigned rs1, std::int64_t imm)
+{ emitS(2, rs1, rs2, imm); }
+void RiscvAsm::sd(unsigned rs2, unsigned rs1, std::int64_t imm)
+{ emitS(3, rs1, rs2, imm); }
+
+void RiscvAsm::addi(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 0, rs1, imm); }
+void RiscvAsm::slti(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 2, rs1, imm); }
+void RiscvAsm::sltiu(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 3, rs1, imm); }
+void RiscvAsm::xori(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 4, rs1, imm); }
+void RiscvAsm::ori(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 6, rs1, imm); }
+void RiscvAsm::andi(unsigned rd, unsigned rs1, std::int64_t imm)
+{ emitI(OP_IMM, rd, 7, rs1, imm); }
+
+void RiscvAsm::slli(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    ISAGRID_ASSERT(shamt < 64, "shamt %u", shamt);
+    emitR(OP_IMM, rd, 1, rs1, shamt & 0x1f, shamt >> 5);
+}
+
+void RiscvAsm::srli(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    ISAGRID_ASSERT(shamt < 64, "shamt %u", shamt);
+    emitR(OP_IMM, rd, 5, rs1, shamt & 0x1f, shamt >> 5);
+}
+
+void RiscvAsm::srai(unsigned rd, unsigned rs1, unsigned shamt)
+{
+    ISAGRID_ASSERT(shamt < 64, "shamt %u", shamt);
+    emitR(OP_IMM, rd, 5, rs1, shamt & 0x1f, 0x20 | (shamt >> 5));
+}
+
+void RiscvAsm::add(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 0, a, b, 0); }
+void RiscvAsm::sub(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 0, a, b, 0x20); }
+void RiscvAsm::sll(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 1, a, b, 0); }
+void RiscvAsm::slt(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 2, a, b, 0); }
+void RiscvAsm::sltu(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 3, a, b, 0); }
+void RiscvAsm::xor_(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 4, a, b, 0); }
+void RiscvAsm::srl(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 5, a, b, 0); }
+void RiscvAsm::sra(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 5, a, b, 0x20); }
+void RiscvAsm::or_(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 6, a, b, 0); }
+void RiscvAsm::and_(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 7, a, b, 0); }
+void RiscvAsm::mul(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 0, a, b, 1); }
+void RiscvAsm::div(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 4, a, b, 1); }
+void RiscvAsm::rem(unsigned rd, unsigned a, unsigned b)
+{ emitR(OP_REG, rd, 6, a, b, 1); }
+
+void RiscvAsm::fence() { emit32(OP_FENCE); }
+void RiscvAsm::ecall() { emit32(OP_SYSTEM); }
+void RiscvAsm::ebreak() { emit32(OP_SYSTEM | (1u << 20)); }
+void RiscvAsm::sret() { emit32(OP_SYSTEM | (0x102u << 20)); }
+void RiscvAsm::wfi() { emit32(OP_SYSTEM | (0x105u << 20)); }
+void RiscvAsm::sfenceVma() { emit32(OP_SYSTEM | (0x09u << 25)); }
+
+void RiscvAsm::csrrw(unsigned rd, std::uint32_t csr, unsigned rs1)
+{ emit32(OP_SYSTEM | (checkReg(rd) << 7) | (1u << 12) |
+         (checkReg(rs1) << 15) | (csr << 20)); }
+void RiscvAsm::csrrs(unsigned rd, std::uint32_t csr, unsigned rs1)
+{ emit32(OP_SYSTEM | (checkReg(rd) << 7) | (2u << 12) |
+         (checkReg(rs1) << 15) | (csr << 20)); }
+void RiscvAsm::csrrc(unsigned rd, std::uint32_t csr, unsigned rs1)
+{ emit32(OP_SYSTEM | (checkReg(rd) << 7) | (3u << 12) |
+         (checkReg(rs1) << 15) | (csr << 20)); }
+void RiscvAsm::csrrwi(unsigned rd, std::uint32_t csr, unsigned uimm)
+{
+    ISAGRID_ASSERT(uimm < 32, "uimm %u", uimm);
+    emit32(OP_SYSTEM | (checkReg(rd) << 7) | (5u << 12) | (uimm << 15) |
+           (csr << 20));
+}
+
+void RiscvAsm::hccall(unsigned gate_id_reg)
+{ emit32(OP_CUSTOM0 | (F3_HCCALL << 12) | (checkReg(gate_id_reg) << 15)); }
+void RiscvAsm::hccalls(unsigned gate_id_reg)
+{ emit32(OP_CUSTOM0 | (F3_HCCALLS << 12) | (checkReg(gate_id_reg) << 15)); }
+void RiscvAsm::hcrets()
+{ emit32(OP_CUSTOM0 | (F3_HCRETS << 12)); }
+void RiscvAsm::pfch(unsigned csr_sel_reg)
+{ emit32(OP_CUSTOM0 | (F3_PFCH << 12) | (checkReg(csr_sel_reg) << 15)); }
+void RiscvAsm::pflh(unsigned buf_id_reg)
+{ emit32(OP_CUSTOM0 | (F3_PFLH << 12) | (checkReg(buf_id_reg) << 15)); }
+
+void RiscvAsm::halt(unsigned code_reg)
+{ emit32(OP_CUSTOM1 | (F3_HALT << 12) | (checkReg(code_reg) << 15)); }
+void RiscvAsm::simmark(unsigned mark_reg)
+{ emit32(OP_CUSTOM1 | (F3_SIMMARK << 12) | (checkReg(mark_reg) << 15)); }
+
+void
+RiscvAsm::li(unsigned rd, std::uint64_t value)
+{
+    // Standard recursive materialization: peel the low 12 bits, build
+    // the rest, shift, then add the low chunk back. No scratch needed.
+    std::int64_t sval = static_cast<std::int64_t>(value);
+    if (sval >= -2048 && sval < 2048) {
+        addi(rd, 0, sval);
+        return;
+    }
+    if (sval >= INT32_MIN && sval <= INT32_MAX) {
+        std::int64_t hi = (sval + 0x800) >> 12;
+        std::int64_t lo = sval - (hi << 12);
+        lui(rd, hi);
+        if (lo != 0)
+            addi(rd, rd, lo);
+        return;
+    }
+    std::int64_t lo12 = (sval << 52) >> 52; // sign-extended low 12 bits
+    std::int64_t hi = (sval - lo12) >> 12;
+    li(rd, static_cast<std::uint64_t>(hi));
+    slli(rd, rd, 12);
+    if (lo12 != 0)
+        addi(rd, rd, lo12);
+}
+
+void
+RiscvAsm::raw32(std::uint32_t word)
+{
+    emit32(word);
+}
+
+void
+RiscvAsm::rawBytes(const std::vector<std::uint8_t> &bytes)
+{
+    ISAGRID_ASSERT(!finalized, "emit after finalize%s", "");
+    code.insert(code.end(), bytes.begin(), bytes.end());
+}
+
+const std::vector<std::uint8_t> &
+RiscvAsm::finalize()
+{
+    if (finalized)
+        return code;
+    finalized = true;
+    for (const auto &fix : fixups) {
+        Addr inst_addr = baseAddr + fix.offset;
+        Addr target = labelAddr(fix.label);
+        std::int64_t off = static_cast<std::int64_t>(target) -
+                           static_cast<std::int64_t>(inst_addr);
+        std::uint32_t old = std::uint32_t(code[fix.offset]) |
+                            (std::uint32_t(code[fix.offset + 1]) << 8) |
+                            (std::uint32_t(code[fix.offset + 2]) << 16) |
+                            (std::uint32_t(code[fix.offset + 3]) << 24);
+        std::uint32_t patched;
+        if (fix.is_jal) {
+            patched = encodeJ((old >> 7) & 0x1f, off);
+        } else {
+            patched = encodeB((old >> 12) & 7, (old >> 15) & 0x1f,
+                              (old >> 20) & 0x1f, off);
+        }
+        code[fix.offset] = patched & 0xff;
+        code[fix.offset + 1] = (patched >> 8) & 0xff;
+        code[fix.offset + 2] = (patched >> 16) & 0xff;
+        code[fix.offset + 3] = (patched >> 24) & 0xff;
+    }
+    return code;
+}
+
+void
+RiscvAsm::loadInto(PhysMem &mem)
+{
+    finalize();
+    mem.writeBlock(baseAddr, code.data(), code.size());
+}
+
+} // namespace riscv
+} // namespace isagrid

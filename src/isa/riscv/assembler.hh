@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A small RV64 assembler used to build guest programs.
+ *
+ * Supports forward references through labels; finalize() patches all
+ * fixups and returns the encoded bytes. The emitted encodings are the
+ * real RV64I/Zicsr formats, so the decoder is exercised end-to-end.
+ */
+
+#ifndef ISAGRID_ISA_RISCV_ASSEMBLER_HH_
+#define ISAGRID_ISA_RISCV_ASSEMBLER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/riscv/opcodes.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+class PhysMem;
+
+namespace riscv {
+
+/** Incremental RV64 instruction emitter (see file comment). */
+class RiscvAsm
+{
+  public:
+    using Label = std::size_t;
+
+    explicit RiscvAsm(Addr base) : baseAddr(base) {}
+
+    Addr base() const { return baseAddr; }
+    Addr here() const { return baseAddr + code.size(); }
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Address a bound label resolved to (finalize() must have run). */
+    Addr labelAddr(Label label) const;
+
+    // --- RV64I ---
+    void lui(unsigned rd, std::int64_t imm20);
+    void auipc(unsigned rd, std::int64_t imm20);
+    void jal(unsigned rd, Label target);
+    void jalr(unsigned rd, unsigned rs1, std::int64_t imm);
+    void beq(unsigned rs1, unsigned rs2, Label target);
+    void bne(unsigned rs1, unsigned rs2, Label target);
+    void blt(unsigned rs1, unsigned rs2, Label target);
+    void bge(unsigned rs1, unsigned rs2, Label target);
+    void bltu(unsigned rs1, unsigned rs2, Label target);
+    void bgeu(unsigned rs1, unsigned rs2, Label target);
+    void lb(unsigned rd, unsigned rs1, std::int64_t imm);
+    void lh(unsigned rd, unsigned rs1, std::int64_t imm);
+    void lw(unsigned rd, unsigned rs1, std::int64_t imm);
+    void ld(unsigned rd, unsigned rs1, std::int64_t imm);
+    void lbu(unsigned rd, unsigned rs1, std::int64_t imm);
+    void lhu(unsigned rd, unsigned rs1, std::int64_t imm);
+    void lwu(unsigned rd, unsigned rs1, std::int64_t imm);
+    void sb(unsigned rs2, unsigned rs1, std::int64_t imm);
+    void sh(unsigned rs2, unsigned rs1, std::int64_t imm);
+    void sw(unsigned rs2, unsigned rs1, std::int64_t imm);
+    void sd(unsigned rs2, unsigned rs1, std::int64_t imm);
+    void addi(unsigned rd, unsigned rs1, std::int64_t imm);
+    void slti(unsigned rd, unsigned rs1, std::int64_t imm);
+    void sltiu(unsigned rd, unsigned rs1, std::int64_t imm);
+    void xori(unsigned rd, unsigned rs1, std::int64_t imm);
+    void ori(unsigned rd, unsigned rs1, std::int64_t imm);
+    void andi(unsigned rd, unsigned rs1, std::int64_t imm);
+    void slli(unsigned rd, unsigned rs1, unsigned shamt);
+    void srli(unsigned rd, unsigned rs1, unsigned shamt);
+    void srai(unsigned rd, unsigned rs1, unsigned shamt);
+    void add(unsigned rd, unsigned rs1, unsigned rs2);
+    void sub(unsigned rd, unsigned rs1, unsigned rs2);
+    void sll(unsigned rd, unsigned rs1, unsigned rs2);
+    void slt(unsigned rd, unsigned rs1, unsigned rs2);
+    void sltu(unsigned rd, unsigned rs1, unsigned rs2);
+    void xor_(unsigned rd, unsigned rs1, unsigned rs2);
+    void srl(unsigned rd, unsigned rs1, unsigned rs2);
+    void sra(unsigned rd, unsigned rs1, unsigned rs2);
+    void or_(unsigned rd, unsigned rs1, unsigned rs2);
+    void and_(unsigned rd, unsigned rs1, unsigned rs2);
+    void mul(unsigned rd, unsigned rs1, unsigned rs2);
+    void div(unsigned rd, unsigned rs1, unsigned rs2);
+    void rem(unsigned rd, unsigned rs1, unsigned rs2);
+    void fence();
+    void ecall();
+    void ebreak();
+    void sret();
+    void wfi();
+    void sfenceVma();
+    void nop() { addi(0, 0, 0); }
+
+    // --- Zicsr ---
+    void csrrw(unsigned rd, std::uint32_t csr, unsigned rs1);
+    void csrrs(unsigned rd, std::uint32_t csr, unsigned rs1);
+    void csrrc(unsigned rd, std::uint32_t csr, unsigned rs1);
+    void csrrwi(unsigned rd, std::uint32_t csr, unsigned uimm);
+    /** Pure CSR read: csrrs rd, csr, x0. */
+    void csrr(unsigned rd, std::uint32_t csr) { csrrs(rd, csr, 0); }
+    /** CSR write discarding the old value: csrrw x0, csr, rs. */
+    void csrw(std::uint32_t csr, unsigned rs1) { csrrw(0, csr, rs1); }
+
+    // --- ISA-Grid extension (Table 2) ---
+    void hccall(unsigned gate_id_reg);
+    void hccalls(unsigned gate_id_reg);
+    void hcrets();
+    void pfch(unsigned csr_sel_reg);
+    void pflh(unsigned buf_id_reg);
+
+    // --- simulation magic ---
+    void halt(unsigned code_reg);
+    void simmark(unsigned mark_reg);
+
+    // --- convenience macros ---
+    /** Load an arbitrary 64-bit constant (multiple instructions). */
+    void li(unsigned rd, std::uint64_t value);
+    /** Unconditional jump to label: jal x0. */
+    void j(Label target) { jal(0, target); }
+    /** Function return: jalr x0, ra, 0. */
+    void ret() { jalr(0, 1, 0); }
+    /** Emit a raw 32-bit word (attack payloads, data in text). */
+    void raw32(std::uint32_t word);
+    /** Emit raw bytes (attack payloads). */
+    void rawBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** Resolve fixups; further emission is a bug. */
+    const std::vector<std::uint8_t> &finalize();
+
+    /** finalize() and copy into guest memory at base(). */
+    void loadInto(PhysMem &mem);
+
+    std::size_t sizeBytes() const { return code.size(); }
+
+  private:
+    struct Fixup
+    {
+        std::size_t offset;   //!< byte offset of the instruction
+        Label label;
+        bool is_jal;          //!< J-type vs B-type patch
+    };
+
+    void emit32(std::uint32_t word);
+    void emitI(std::uint32_t op, unsigned rd, unsigned f3, unsigned rs1,
+               std::int64_t imm);
+    void emitR(std::uint32_t op, unsigned rd, unsigned f3, unsigned rs1,
+               unsigned rs2, unsigned f7);
+    void emitS(unsigned f3, unsigned rs1, unsigned rs2, std::int64_t imm);
+    void emitBranch(unsigned f3, unsigned rs1, unsigned rs2, Label target);
+
+    Addr baseAddr;
+    std::vector<std::uint8_t> code;
+    std::vector<Addr> labels; // resolved addresses; ~0 when unbound
+    std::vector<Fixup> fixups;
+    bool finalized = false;
+};
+
+} // namespace riscv
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_RISCV_ASSEMBLER_HH_

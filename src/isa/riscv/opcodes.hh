@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RISC-V instruction-type and CSR numbering used by the ISA-Grid
+ * hardware mappings (Section 4.1).
+ *
+ * The reproduction implements the RV64I base subset plus Zicsr plus the
+ * ISA-Grid custom extension (custom-0 major opcode). Every mnemonic has
+ * a dense InstTypeId used as its index in the instruction bitmap.
+ */
+
+#ifndef ISAGRID_ISA_RISCV_OPCODES_HH_
+#define ISAGRID_ISA_RISCV_OPCODES_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace isagrid {
+namespace riscv {
+
+/** Dense instruction-type indices (bitmap positions). */
+enum InstType : InstTypeId
+{
+    IT_LUI = 0, IT_AUIPC, IT_JAL, IT_JALR,
+    IT_BEQ, IT_BNE, IT_BLT, IT_BGE, IT_BLTU, IT_BGEU,
+    IT_LB, IT_LH, IT_LW, IT_LD, IT_LBU, IT_LHU, IT_LWU,
+    IT_SB, IT_SH, IT_SW, IT_SD,
+    IT_ADDI, IT_SLTI, IT_SLTIU, IT_XORI, IT_ORI, IT_ANDI,
+    IT_SLLI, IT_SRLI, IT_SRAI,
+    IT_ADD, IT_SUB, IT_SLL, IT_SLT, IT_SLTU, IT_XOR,
+    IT_SRL, IT_SRA, IT_OR, IT_AND,
+    IT_MUL, IT_DIV, IT_REM,
+    IT_FENCE, IT_ECALL, IT_EBREAK, IT_SRET, IT_WFI, IT_SFENCE_VMA,
+    IT_CSRRW, IT_CSRRS, IT_CSRRC, IT_CSRRWI, IT_CSRRSI, IT_CSRRCI,
+    // --- ISA-Grid custom extension (Table 2) ---
+    IT_HCCALL, IT_HCCALLS, IT_HCRETS, IT_PFCH, IT_PFLH,
+    // --- simulation magic ---
+    IT_HALT, IT_SIMMARK,
+    NumInstTypes,
+};
+
+/** Major opcodes (bits [6:0]). */
+enum MajorOp : std::uint32_t
+{
+    OP_LUI = 0x37, OP_AUIPC = 0x17, OP_JAL = 0x6f, OP_JALR = 0x67,
+    OP_BRANCH = 0x63, OP_LOAD = 0x03, OP_STORE = 0x23,
+    OP_IMM = 0x13, OP_REG = 0x33, OP_FENCE = 0x0f, OP_SYSTEM = 0x73,
+    OP_CUSTOM0 = 0x0b, //!< ISA-Grid extension
+    OP_CUSTOM1 = 0x2b, //!< simulation magic (m5ops-style)
+};
+
+/** funct3 selectors within OP_CUSTOM0 (ISA-Grid). */
+enum GridFunct3 : std::uint32_t
+{
+    F3_HCCALL = 0, F3_HCCALLS = 1, F3_HCRETS = 2,
+    F3_PFCH = 3, F3_PFLH = 4,
+};
+
+/** funct3 selectors within OP_CUSTOM1 (simulation magic). */
+enum MagicFunct3 : std::uint32_t
+{
+    F3_HALT = 0, F3_SIMMARK = 1,
+};
+
+/** Architectural CSR addresses (subset + ISA-Grid block). */
+enum CsrAddr : std::uint32_t
+{
+    CSR_SSTATUS = 0x100, CSR_SIE = 0x104, CSR_STVEC = 0x105,
+    CSR_SCOUNTEREN = 0x106, CSR_SSCRATCH = 0x140, CSR_SEPC = 0x141,
+    CSR_SCAUSE = 0x142, CSR_STVAL = 0x143, CSR_SIP = 0x144,
+    CSR_SATP = 0x180,
+    CSR_CYCLE = 0xc00, CSR_TIME = 0xc01, CSR_INSTRET = 0xc02,
+    // Supervisor custom read/write block hosting ISA-Grid registers.
+    CSR_GRID_BASE = 0x5c0, // domain at 0x5c0 .. tmeml at 0x5cc
+};
+
+/** SSTATUS fields (the bit-maskable register of the RISC-V prototype). */
+enum SstatusBits : std::uint64_t
+{
+    SSTATUS_SIE = 1ull << 1,   //!< supervisor interrupt enable
+    SSTATUS_SPIE = 1ull << 5,  //!< prior interrupt enable
+    SSTATUS_SPP = 1ull << 8,   //!< previous privilege (0=U, 1=S)
+    SSTATUS_SUM = 1ull << 18,  //!< supervisor user-memory access
+    SSTATUS_MXR = 1ull << 19,  //!< make executable readable
+};
+
+/** scause values for the faults this model raises. */
+enum CauseCode : std::uint64_t
+{
+    CAUSE_ILLEGAL_INST = 2,
+    CAUSE_ECALL_FROM_U = 8,
+    CAUSE_ECALL_FROM_S = 9,
+    CAUSE_LOAD_FAULT = 5,
+    CAUSE_STORE_FAULT = 7,
+    // ISA-Grid exception causes (custom block, >= 24 per the spec's
+    // designated-for-custom-use range).
+    CAUSE_GRID_INST_PRIV = 24,
+    CAUSE_GRID_CSR_PRIV = 25,
+    CAUSE_GRID_CSR_MASK = 26,
+    CAUSE_GRID_GATE = 27,
+    CAUSE_GRID_TMEM = 28,
+    CAUSE_GRID_TSTACK = 29,
+};
+
+/** Supervisor timer interrupt (interrupt bit | code 5). */
+inline constexpr std::uint64_t causeTimer = (1ull << 63) | 5;
+
+} // namespace riscv
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_RISCV_OPCODES_HH_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RISC-V (RV64I subset + Zicsr + ISA-Grid custom extension) ISA model.
+ *
+ * This is the ISA of the paper's FPGA prototype (Rocket Core). SSTATUS
+ * is the bit-maskable register; the other supervisor/user CSRs are
+ * controlled by the register read/write bitmap only (Section 7,
+ * "RISC-V Prototype").
+ */
+
+#ifndef ISAGRID_ISA_RISCV_RISCV_ISA_HH_
+#define ISAGRID_ISA_RISCV_RISCV_ISA_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "isa/riscv/opcodes.hh"
+
+namespace isagrid {
+namespace riscv {
+
+/** The RV64 ISA model (see file comment). */
+class RiscvIsa : public IsaModel
+{
+  public:
+    RiscvIsa();
+
+    const std::string &name() const override { return name_; }
+    unsigned numRegs() const override { return 32; }
+    unsigned maxInstBytes() const override { return 4; }
+
+    DecodedInst decode(const std::uint8_t *bytes, std::size_t avail,
+                       Addr pc) const override;
+    ExecResult execute(const DecodedInst &inst,
+                       ArchState &state) const override;
+    RegVal csrNewValue(const DecodedInst &inst, RegVal old_value,
+                       RegVal operand) const override;
+    void initState(ArchState &state) const override;
+
+    std::uint32_t numInstTypes() const override { return NumInstTypes; }
+    std::uint32_t numControlledCsrs() const override;
+    CsrIndex csrBitmapIndex(std::uint32_t csr_addr) const override;
+    std::uint32_t numMaskableCsrs() const override { return 1; }
+    CsrIndex csrMaskIndex(std::uint32_t csr_addr) const override;
+
+    bool isGridReg(std::uint32_t csr_addr) const override;
+    GridReg gridRegId(std::uint32_t csr_addr) const override;
+    std::uint32_t gridRegAddr(GridReg reg) const override;
+    std::uint32_t ptbrCsrAddr() const override { return CSR_SATP; }
+
+    bool csrPrivileged(std::uint32_t csr_addr) const override;
+    bool instPrivileged(const DecodedInst &inst) const override;
+    const char *instTypeName(InstTypeId type) const override;
+    std::vector<InstTypeId> baselineInstTypes() const override;
+
+    Addr takeTrap(ArchState &state, FaultType fault, Addr faulting_pc,
+                  RegVal info) const override;
+    Addr trapReturn(ArchState &state) const override;
+
+    /** The ordered list of register-bitmap-controlled CSR addresses. */
+    static const std::vector<std::uint32_t> &controlledCsrs();
+
+  private:
+    std::string name_ = "rv64";
+};
+
+} // namespace riscv
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_RISCV_RISCV_ISA_HH_

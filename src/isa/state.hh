@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Architectural state shared by both ISA models: general-purpose
+ * registers, program counter, privilege mode and the CSR file.
+ */
+
+#ifndef ISAGRID_ISA_STATE_HH_
+#define ISAGRID_ISA_STATE_HH_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** Classical CPU privilege level (orthogonal to ISA domains). */
+enum class PrivMode : std::uint8_t { User = 0, Supervisor = 1 };
+
+/**
+ * The control/status register file.
+ *
+ * CSRs must be registered (with a reset value) before use; access to an
+ * unregistered address is reported to the caller so it can raise an
+ * illegal-instruction fault, mirroring real hardware.
+ */
+class CsrFile
+{
+  public:
+    /** Declare a CSR. */
+    void
+    define(std::uint32_t addr, const std::string &name,
+           RegVal reset_value = 0)
+    {
+        auto [it, inserted] = csrs.try_emplace(addr);
+        if (!inserted)
+            panic("CSR %#x defined twice", addr);
+        it->second.name = name;
+        it->second.value = reset_value;
+        it->second.reset = reset_value;
+    }
+
+    bool exists(std::uint32_t addr) const { return csrs.count(addr) != 0; }
+
+    RegVal
+    read(std::uint32_t addr) const
+    {
+        auto it = csrs.find(addr);
+        if (it == csrs.end())
+            panic("read of undefined CSR %#x", addr);
+        return it->second.value;
+    }
+
+    void
+    write(std::uint32_t addr, RegVal value)
+    {
+        auto it = csrs.find(addr);
+        if (it == csrs.end())
+            panic("write of undefined CSR %#x", addr);
+        it->second.value = value;
+    }
+
+    const std::string &
+    nameOf(std::uint32_t addr) const
+    {
+        auto it = csrs.find(addr);
+        if (it == csrs.end())
+            panic("name of undefined CSR %#x", addr);
+        return it->second.name;
+    }
+
+    /** Restore every CSR to its reset value. */
+    void
+    reset()
+    {
+        for (auto &[addr, csr] : csrs)
+            csr.value = csr.reset;
+    }
+
+  private:
+    struct Csr
+    {
+        std::string name;
+        RegVal value = 0;
+        RegVal reset = 0;
+    };
+
+    std::map<std::uint32_t, Csr> csrs;
+};
+
+/** Complete per-hart architectural state. */
+struct ArchState
+{
+    static constexpr unsigned maxRegs = 32;
+
+    std::array<RegVal, maxRegs> regs{};
+    Addr pc = 0;
+    PrivMode mode = PrivMode::Supervisor;
+    CsrFile csrs;
+
+    /** RISC-V hardwires register x0 to zero; x86 has no such register. */
+    bool zero_reg_hardwired = false;
+
+    /** Current cycle count, maintained by the core (read by rdtsc). */
+    Cycle cycle = 0;
+
+    RegVal
+    reg(unsigned index) const
+    {
+        ISAGRID_ASSERT(index < maxRegs, "register index %u", index);
+        return regs[index];
+    }
+
+    void
+    setReg(unsigned index, RegVal value)
+    {
+        ISAGRID_ASSERT(index < maxRegs, "register index %u", index);
+        if (index != 0 || !zero_reg_hardwired)
+            regs[index] = value;
+    }
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_STATE_HH_

@@ -1,0 +1,447 @@
+#include "isa/x86/assembler.hh"
+
+#include "mem/phys_mem.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+namespace x86 {
+
+namespace {
+
+unsigned
+checkReg(unsigned r)
+{
+    ISAGRID_ASSERT(r < 16, "register r%u", r);
+    return r;
+}
+
+} // namespace
+
+void
+X86Asm::emitOperand(unsigned a, unsigned b)
+{
+    emit(static_cast<std::uint8_t>((checkReg(a) & 0xf) |
+                                   (checkReg(b) << 4)));
+}
+
+void
+X86Asm::emitImm32(std::int32_t value)
+{
+    std::uint32_t v = static_cast<std::uint32_t>(value);
+    emit(v & 0xff);
+    emit((v >> 8) & 0xff);
+    emit((v >> 16) & 0xff);
+    emit((v >> 24) & 0xff);
+}
+
+X86Asm::Label
+X86Asm::newLabel()
+{
+    labels.push_back(~Addr{0});
+    return labels.size() - 1;
+}
+
+void
+X86Asm::bind(Label label)
+{
+    ISAGRID_ASSERT(label < labels.size(), "label %zu", label);
+    ISAGRID_ASSERT(labels[label] == ~Addr{0}, "label bound twice");
+    labels[label] = here();
+}
+
+Addr
+X86Asm::labelAddr(Label label) const
+{
+    ISAGRID_ASSERT(label < labels.size() && labels[label] != ~Addr{0},
+                   "unbound label %zu", label);
+    return labels[label];
+}
+
+void
+X86Asm::emitRel(std::uint8_t opc1, int opc2, Label target, bool rel8)
+{
+    emit(opc1);
+    if (opc2 >= 0)
+        emit(static_cast<std::uint8_t>(opc2));
+    std::size_t patch = code.size();
+    if (rel8) {
+        emit(0);
+    } else {
+        emitImm32(0);
+    }
+    fixups.push_back({patch, code.size(), target, rel8});
+}
+
+void X86Asm::nop() { emit(OPC_NOP); }
+
+void
+X86Asm::mov(unsigned dst, unsigned src)
+{
+    emit(OPC_MOV_RR);
+    emitOperand(dst, src);
+}
+
+void
+X86Asm::movImm(unsigned dst, std::uint64_t imm)
+{
+    emit(OPC_MOV_IMM);
+    emit(static_cast<std::uint8_t>(checkReg(dst)));
+    for (int i = 0; i < 8; ++i)
+        emit((imm >> (8 * i)) & 0xff);
+}
+
+void
+X86Asm::load8(unsigned dst, unsigned base, std::int32_t disp)
+{
+    emit(OPC_LOAD8);
+    emitOperand(dst, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::load64(unsigned dst, unsigned base, std::int32_t disp)
+{
+    emit(OPC_LOAD64);
+    emitOperand(dst, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::load16(unsigned dst, unsigned base, std::int32_t disp)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_LOAD16);
+    emitOperand(dst, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::load32(unsigned dst, unsigned base, std::int32_t disp)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_LOAD32);
+    emitOperand(dst, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::store8(unsigned src, unsigned base, std::int32_t disp)
+{
+    emit(OPC_STORE8);
+    emitOperand(src, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::store64(unsigned src, unsigned base, std::int32_t disp)
+{
+    emit(OPC_STORE64);
+    emitOperand(src, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::store16(unsigned src, unsigned base, std::int32_t disp)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_STORE16);
+    emitOperand(src, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::store32(unsigned src, unsigned base, std::int32_t disp)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_STORE32);
+    emitOperand(src, base);
+    emitImm32(disp);
+}
+
+void
+X86Asm::push(unsigned reg)
+{
+    emit(OPC_PUSH);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::pop(unsigned reg)
+{
+    emit(OPC_POP);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void X86Asm::add(unsigned d, unsigned s) { emit(OPC_ADD); emitOperand(d, s); }
+void X86Asm::sub(unsigned d, unsigned s) { emit(OPC_SUB); emitOperand(d, s); }
+void X86Asm::xor_(unsigned d, unsigned s) { emit(OPC_XOR); emitOperand(d, s); }
+void X86Asm::and_(unsigned d, unsigned s) { emit(OPC_AND); emitOperand(d, s); }
+void X86Asm::or_(unsigned d, unsigned s) { emit(OPC_OR); emitOperand(d, s); }
+void X86Asm::cmp(unsigned a, unsigned b) { emit(OPC_CMP); emitOperand(a, b); }
+
+void
+X86Asm::imul(unsigned dst, unsigned src)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_IMUL);
+    emitOperand(dst, src);
+}
+
+void
+X86Asm::addi(unsigned reg, std::int32_t imm)
+{
+    if (imm >= -128 && imm < 128) {
+        emit(OPC_ADDI8);
+        emit(static_cast<std::uint8_t>(checkReg(reg)));
+        emit(static_cast<std::uint8_t>(imm & 0xff));
+    } else {
+        emit(OPC_ADDI32);
+        emit(static_cast<std::uint8_t>(checkReg(reg)));
+        emitImm32(imm);
+    }
+}
+
+void
+X86Asm::shl(unsigned reg, unsigned count)
+{
+    emit(OPC_SHIFT);
+    emitOperand(reg, 0);
+    emit(static_cast<std::uint8_t>(count & 63));
+}
+
+void
+X86Asm::shr(unsigned reg, unsigned count)
+{
+    emit(OPC_SHIFT);
+    emitOperand(reg, 1);
+    emit(static_cast<std::uint8_t>(count & 63));
+}
+
+void
+X86Asm::sar(unsigned reg, unsigned count)
+{
+    emit(OPC_SHIFT);
+    emitOperand(reg, 2);
+    emit(static_cast<std::uint8_t>(count & 63));
+}
+
+void X86Asm::jmp(Label t) { emitRel(OPC_JMP32, -1, t, false); }
+void X86Asm::jz(Label t) { emitRel(OPC_ESCAPE, OPC2_JZ32, t, false); }
+void X86Asm::jnz(Label t) { emitRel(OPC_ESCAPE, OPC2_JNZ32, t, false); }
+void X86Asm::jmp8(Label t) { emitRel(OPC_JMP8, -1, t, true); }
+void X86Asm::jz8(Label t) { emitRel(OPC_JZ8, -1, t, true); }
+void X86Asm::jnz8(Label t) { emitRel(OPC_JNZ8, -1, t, true); }
+void X86Asm::jl8(Label t) { emitRel(OPC_JL8, -1, t, true); }
+void X86Asm::jge8(Label t) { emitRel(OPC_JGE8, -1, t, true); }
+void X86Asm::call(Label t) { emitRel(OPC_CALL, -1, t, false); }
+
+void
+X86Asm::jmpReg(unsigned reg)
+{
+    emit(OPC_JMP_R);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::callReg(unsigned reg)
+{
+    emit(OPC_CALL_R);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void X86Asm::ret() { emit(OPC_RET); }
+void X86Asm::out() { emit(OPC_OUT); }
+void X86Asm::hlt() { emit(OPC_HLT); }
+void X86Asm::syscall() { emit(OPC_ESCAPE); emit(OPC2_SYSCALL); }
+void X86Asm::iretq() { emit(OPC_ESCAPE); emit(OPC2_IRETQ); }
+void X86Asm::wbinvd() { emit(OPC_ESCAPE); emit(OPC2_WBINVD); }
+
+void
+X86Asm::invlpg(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_INVLPG);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::movFromCr(unsigned dst, unsigned crn)
+{
+    ISAGRID_ASSERT(crn < 16, "cr%u", crn);
+    emit(OPC_ESCAPE);
+    emit(OPC2_MOV_R_CR);
+    emitOperand(dst, crn);
+}
+
+void
+X86Asm::movToCr(unsigned crn, unsigned src)
+{
+    ISAGRID_ASSERT(crn < 16, "cr%u", crn);
+    emit(OPC_ESCAPE);
+    emit(OPC2_MOV_CR_R);
+    emitOperand(src, crn);
+}
+
+void
+X86Asm::movFromDr(unsigned dst, unsigned drn)
+{
+    ISAGRID_ASSERT(drn < 8, "dr%u", drn);
+    emit(OPC_ESCAPE);
+    emit(OPC2_MOV_R_DR);
+    emitOperand(dst, drn);
+}
+
+void
+X86Asm::movToDr(unsigned drn, unsigned src)
+{
+    ISAGRID_ASSERT(drn < 8, "dr%u", drn);
+    emit(OPC_ESCAPE);
+    emit(OPC2_MOV_DR_R);
+    emitOperand(src, drn);
+}
+
+void X86Asm::rdmsr() { emit(OPC_ESCAPE); emit(OPC2_RDMSR); }
+void X86Asm::wrmsr() { emit(OPC_ESCAPE); emit(OPC2_WRMSR); }
+void X86Asm::rdtsc() { emit(OPC_ESCAPE); emit(OPC2_RDTSC); }
+void X86Asm::cpuid() { emit(OPC_ESCAPE); emit(OPC2_CPUID); }
+
+void
+X86Asm::lidt(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SYS01);
+    emitOperand(reg, SUB_LIDT);
+}
+
+void
+X86Asm::lgdt(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SYS01);
+    emitOperand(reg, SUB_LGDT);
+}
+
+void
+X86Asm::lldt(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SYS01);
+    emitOperand(reg, SUB_LLDT);
+}
+
+void
+X86Asm::wrpkru(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SYS01);
+    emitOperand(reg, SUB_WRPKRU);
+}
+
+void
+X86Asm::rdpkru(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SYS01);
+    emitOperand(reg, SUB_RDPKRU);
+}
+
+void
+X86Asm::hccall(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_HCCALL);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::hccalls(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_HCCALLS);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void X86Asm::hcrets() { emit(OPC_ESCAPE); emit(OPC2_HCRETS); }
+
+void
+X86Asm::pfch(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_PFCH);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::pflh(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_PFLH);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::halt(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_HALT);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::simmark(unsigned reg)
+{
+    emit(OPC_ESCAPE);
+    emit(OPC2_SIMMARK);
+    emit(static_cast<std::uint8_t>(checkReg(reg)));
+}
+
+void
+X86Asm::prefix(std::uint8_t byte)
+{
+    ISAGRID_ASSERT(isPrefixByte(byte), "not a prefix byte %#x", byte);
+    emit(byte);
+}
+
+void
+X86Asm::rawBytes(const std::vector<std::uint8_t> &bytes)
+{
+    for (std::uint8_t b : bytes)
+        emit(b);
+}
+
+const std::vector<std::uint8_t> &
+X86Asm::finalize()
+{
+    if (finalized)
+        return code;
+    finalized = true;
+    for (const auto &fix : fixups) {
+        Addr next = baseAddr + fix.next_offset;
+        std::int64_t rel = static_cast<std::int64_t>(labelAddr(fix.label)) -
+                           static_cast<std::int64_t>(next);
+        if (fix.rel8) {
+            ISAGRID_ASSERT(rel >= -128 && rel < 128,
+                           "rel8 out of range: %lld", (long long)rel);
+            code[fix.patch_offset] = static_cast<std::uint8_t>(rel & 0xff);
+        } else {
+            ISAGRID_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX,
+                           "rel32 out of range: %lld", (long long)rel);
+            std::uint32_t v = static_cast<std::uint32_t>(rel);
+            code[fix.patch_offset] = v & 0xff;
+            code[fix.patch_offset + 1] = (v >> 8) & 0xff;
+            code[fix.patch_offset + 2] = (v >> 16) & 0xff;
+            code[fix.patch_offset + 3] = (v >> 24) & 0xff;
+        }
+    }
+    return code;
+}
+
+void
+X86Asm::loadInto(PhysMem &mem)
+{
+    finalize();
+    mem.writeBlock(baseAddr, code.data(), code.size());
+}
+
+} // namespace x86
+} // namespace isagrid

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Assembler for the x86-like ISA.
+ *
+ * Emits the variable-length encodings of opcodes.hh with label/fixup
+ * support. Because instructions have different lengths, jumping into
+ * the middle of an emitted instruction can decode a *different*
+ * instruction — the unintended-instruction surface the attack payloads
+ * exploit and ISA-Grid closes.
+ */
+
+#ifndef ISAGRID_ISA_X86_ASSEMBLER_HH_
+#define ISAGRID_ISA_X86_ASSEMBLER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/x86/opcodes.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+class PhysMem;
+
+namespace x86 {
+
+/** Incremental x86-like instruction emitter (see file comment). */
+class X86Asm
+{
+  public:
+    using Label = std::size_t;
+
+    explicit X86Asm(Addr base) : baseAddr(base) {}
+
+    Addr base() const { return baseAddr; }
+    Addr here() const { return baseAddr + code.size(); }
+
+    Label newLabel();
+    void bind(Label label);
+    Addr labelAddr(Label label) const;
+
+    // --- data movement ---
+    void nop();
+    void mov(unsigned dst, unsigned src);
+    void movImm(unsigned dst, std::uint64_t imm);
+    void load8(unsigned dst, unsigned base, std::int32_t disp);
+    void load16(unsigned dst, unsigned base, std::int32_t disp);
+    void load32(unsigned dst, unsigned base, std::int32_t disp);
+    void load64(unsigned dst, unsigned base, std::int32_t disp);
+    void store8(unsigned src, unsigned base, std::int32_t disp);
+    void store16(unsigned src, unsigned base, std::int32_t disp);
+    void store32(unsigned src, unsigned base, std::int32_t disp);
+    void store64(unsigned src, unsigned base, std::int32_t disp);
+    void push(unsigned reg);
+    void pop(unsigned reg);
+
+    // --- arithmetic / logic ---
+    void add(unsigned dst, unsigned src);
+    void sub(unsigned dst, unsigned src);
+    void xor_(unsigned dst, unsigned src);
+    void and_(unsigned dst, unsigned src);
+    void or_(unsigned dst, unsigned src);
+    void cmp(unsigned a, unsigned b);
+    void imul(unsigned dst, unsigned src);
+    void addi(unsigned reg, std::int32_t imm); //!< picks 8/32-bit form
+    void shl(unsigned reg, unsigned count);
+    void shr(unsigned reg, unsigned count);
+    void sar(unsigned reg, unsigned count);
+
+    // --- control flow ---
+    void jmp(Label target);   //!< rel32 form
+    void jz(Label target);    //!< rel32 form
+    void jnz(Label target);   //!< rel32 form
+    void jmp8(Label target);
+    void jz8(Label target);
+    void jnz8(Label target);
+    void jl8(Label target);
+    void jge8(Label target);
+    void jmpReg(unsigned reg);
+    void call(Label target);
+    void callReg(unsigned reg);
+    void ret();
+
+    // --- system ---
+    void out();
+    void hlt();
+    void syscall();
+    void iretq();
+    void wbinvd();
+    void invlpg(unsigned reg);
+    void movFromCr(unsigned dst, unsigned crn);
+    void movToCr(unsigned crn, unsigned src);
+    void movFromDr(unsigned dst, unsigned drn);
+    void movToDr(unsigned drn, unsigned src);
+    void rdmsr(); //!< index in RCX, value to RAX
+    void wrmsr(); //!< index in RCX, value from RAX
+    void rdtsc(); //!< cycle count to RAX
+    void cpuid();
+    void lidt(unsigned reg);
+    void lgdt(unsigned reg);
+    void lldt(unsigned reg);
+    void wrpkru(unsigned reg);
+    void rdpkru(unsigned reg);
+
+    // --- ISA-Grid extension ---
+    void hccall(unsigned gate_id_reg);
+    void hccalls(unsigned gate_id_reg);
+    void hcrets();
+    void pfch(unsigned csr_sel_reg);
+    void pflh(unsigned buf_id_reg);
+
+    // --- simulation magic ---
+    void halt(unsigned code_reg);
+    void simmark(unsigned mark_reg);
+
+    /** Emit a legal prefix byte in front of the next instruction. */
+    void prefix(std::uint8_t byte);
+
+    /** Emit raw bytes (attack payloads, data islands in text). */
+    void rawBytes(const std::vector<std::uint8_t> &bytes);
+
+    const std::vector<std::uint8_t> &finalize();
+    void loadInto(PhysMem &mem);
+    std::size_t sizeBytes() const { return code.size(); }
+
+  private:
+    struct Fixup
+    {
+        std::size_t patch_offset; //!< where the rel field lives
+        std::size_t next_offset;  //!< offset of the following instruction
+        Label label;
+        bool rel8;
+    };
+
+    void emit(std::uint8_t byte) { code.push_back(byte); }
+    void emitOperand(unsigned a, unsigned b);
+    void emitImm32(std::int32_t value);
+    void emitRel(std::uint8_t opc1, int opc2, Label target, bool rel8);
+
+    Addr baseAddr;
+    std::vector<std::uint8_t> code;
+    std::vector<Addr> labels;
+    std::vector<Fixup> fixups;
+    bool finalized = false;
+};
+
+} // namespace x86
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_X86_ASSEMBLER_HH_

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The x86-like ISA: instruction types, encodings and register numbers.
+ *
+ * This is the simulator-prototype ISA of the paper (gem5 x86, Section 7).
+ * We model the properties that matter to ISA-Grid rather than the full
+ * x86 encoding: variable-length instructions with prefix bytes (prefixes
+ * are ignored when deriving the instruction type, exactly as the paper
+ * specifies), one-byte opcodes such as `out` that create unintended
+ * instructions at interior byte offsets, two-byte 0x0F-escape system
+ * opcodes, control registers CR0-CR8 with bit-level semantics, debug
+ * registers, and a model-specific-register (MSR) file addressed by a
+ * runtime register value (rdmsr/wrmsr).
+ */
+
+#ifndef ISAGRID_ISA_X86_OPCODES_HH_
+#define ISAGRID_ISA_X86_OPCODES_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace isagrid {
+namespace x86 {
+
+/** General-purpose register numbers (16 GPRs). */
+enum Gpr : unsigned
+{
+    RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5,
+    RSI = 6, RDI = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11,
+    R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    /** Pseudo-register slot holding RFLAGS (ZF/SF/CF). */
+    RFLAGS = 31,
+};
+
+/** RFLAGS bits used by this model. */
+enum FlagBits : std::uint64_t
+{
+    FLAG_ZF = 1ull << 0,
+    FLAG_SF = 1ull << 1,
+    FLAG_CF = 1ull << 2,
+};
+
+/** Dense instruction-type indices (instruction bitmap positions). */
+enum InstType : InstTypeId
+{
+    IT_NOP = 0,
+    IT_MOV_RR, IT_MOV_IMM,
+    IT_LOAD8, IT_LOAD16, IT_LOAD32, IT_LOAD64,
+    IT_STORE8, IT_STORE16, IT_STORE32, IT_STORE64,
+    IT_ADD, IT_SUB, IT_XOR, IT_AND, IT_OR, IT_CMP, IT_IMUL,
+    IT_ADDI8, IT_ADDI32, IT_SHL, IT_SHR, IT_SAR,
+    IT_JMP8, IT_JMP32, IT_JZ8, IT_JNZ8, IT_JL8, IT_JGE8,
+    IT_JZ32, IT_JNZ32, IT_JMP_R,
+    IT_CALL, IT_CALL_R, IT_RET, IT_PUSH, IT_POP,
+    IT_OUT, IT_HLT,
+    IT_SYSCALL, IT_IRETQ,
+    IT_MOV_R_CR, IT_MOV_CR_R,  //!< read CR / write CR
+    IT_MOV_R_DR, IT_MOV_DR_R,  //!< read DR / write DR
+    IT_RDMSR, IT_WRMSR, IT_RDTSC, IT_CPUID,
+    IT_WBINVD, IT_INVLPG,
+    IT_LIDT, IT_LGDT, IT_LLDT,
+    IT_WRPKRU, IT_RDPKRU,
+    IT_HCCALL, IT_HCCALLS, IT_HCRETS, IT_PFCH, IT_PFLH,
+    IT_HALT, IT_SIMMARK,
+    NumInstTypes,
+};
+
+/** One-byte opcodes. */
+enum Op1 : std::uint8_t
+{
+    OPC_NOP = 0x90,
+    OPC_MOV_RR = 0x8d,   //!< [op][dst<<4|src]
+    OPC_MOV_IMM = 0xb8,  //!< [op][reg][imm64]
+    OPC_LOAD8 = 0x8a,    //!< [op][dst<<4|base][disp32]
+    OPC_LOAD64 = 0x8b,
+    OPC_STORE8 = 0x88,   //!< [op][src<<4|base][disp32]
+    OPC_STORE64 = 0x89,
+    OPC_ADD = 0x01,      //!< [op][dst<<4|src]
+    OPC_SUB = 0x29,
+    OPC_XOR = 0x31,
+    OPC_AND = 0x21,
+    OPC_OR = 0x09,
+    OPC_CMP = 0x39,
+    OPC_ADDI8 = 0x83,    //!< [op][reg][imm8]
+    OPC_ADDI32 = 0x81,   //!< [op][reg][imm32]
+    OPC_SHIFT = 0xc1,    //!< [op][reg|sub<<4][imm8] sub:0=shl 1=shr 2=sar
+    OPC_JMP8 = 0xeb,     //!< [op][rel8]
+    OPC_JMP32 = 0xe9,    //!< [op][rel32]
+    OPC_JZ8 = 0x74, OPC_JNZ8 = 0x75, OPC_JL8 = 0x7c, OPC_JGE8 = 0x7d,
+    OPC_JMP_R = 0xff,    //!< [op][reg]
+    OPC_CALL = 0xe8,     //!< [op][rel32], pushes return address
+    OPC_CALL_R = 0xfd,   //!< [op][reg], indirect call
+    OPC_RET = 0xc3,
+    OPC_PUSH = 0x50,     //!< [op][reg]
+    OPC_POP = 0x58,      //!< [op][reg]
+    OPC_OUT = 0xee,      //!< ONE byte: the unintended-instruction example
+    OPC_HLT = 0xf4,
+    OPC_ESCAPE = 0x0f,   //!< two-byte opcode escape
+};
+
+/** Second byte after the 0x0F escape. */
+enum Op2 : std::uint8_t
+{
+    OPC2_SYSCALL = 0x05,
+    OPC2_IRETQ = 0x07,
+    OPC2_WBINVD = 0x09,
+    OPC2_INVLPG = 0x02,  //!< [0f][02][reg]
+    OPC2_SYS01 = 0x01,   //!< [0f][01][sub|reg<<4]: lidt/lgdt/lldt/pkru
+    OPC2_SIMMARK = 0x18, //!< [0f][18][reg]
+    OPC2_HCCALL = 0x1a,  //!< [0f][1a][reg]
+    OPC2_HCCALLS = 0x1b,
+    OPC2_HCRETS = 0x1c,
+    OPC2_PFCH = 0x1d,    //!< [0f][1d][reg]
+    OPC2_PFLH = 0x1e,
+    OPC2_HALT = 0x1f,    //!< [0f][1f][reg]
+    OPC2_MOV_R_CR = 0x20, //!< [0f][20][reg|crn<<4] read CR into reg
+    OPC2_MOV_R_DR = 0x21,
+    OPC2_MOV_CR_R = 0x22, //!< [0f][22][reg|crn<<4] write CR from reg
+    OPC2_MOV_DR_R = 0x23,
+    OPC2_WRMSR = 0x30,
+    OPC2_RDTSC = 0x31,
+    OPC2_RDMSR = 0x32,
+    OPC2_JZ32 = 0x84,    //!< [0f][84][rel32]
+    OPC2_JNZ32 = 0x85,
+    OPC2_CPUID = 0xa2,
+    OPC2_IMUL = 0xaf,    //!< [0f][af][dst<<4|src]
+    OPC2_LOAD16 = 0xb7,  //!< [0f][b7][dst<<4|base][disp32]
+    OPC2_LOAD32 = 0xb6,
+    OPC2_STORE16 = 0xb3,
+    OPC2_STORE32 = 0xb2,
+};
+
+/** Sub-operations of the 0x0F 0x01 group. */
+enum Sys01Sub : std::uint8_t
+{
+    SUB_LIDT = 0, SUB_LGDT = 1, SUB_LLDT = 2,
+    SUB_WRPKRU = 3, SUB_RDPKRU = 4,
+};
+
+/** Legal prefix bytes (consumed and ignored for instruction typing). */
+inline bool
+isPrefixByte(std::uint8_t b)
+{
+    return b == 0x66 || b == 0xf2 || b == 0xf3 || b == 0x2e ||
+           (b >= 0x40 && b <= 0x4f); // REX block
+}
+
+/**
+ * CSR address space of the x86 model. Control/debug/system registers
+ * get synthetic addresses outside the MSR range; MSRs use their real
+ * indices.
+ */
+enum CsrAddr : std::uint32_t
+{
+    // Control registers (synthetic block).
+    CSR_CR0 = 0x1000, CSR_CR2 = 0x1002, CSR_CR3 = 0x1003,
+    CSR_CR4 = 0x1004, CSR_CR8 = 0x1008,
+    // Descriptor-table and segment system registers.
+    CSR_IDTR = 0x1100, CSR_GDTR = 0x1101, CSR_LDTR = 0x1102,
+    // Protection keys.
+    CSR_PKRU = 0x1200,
+    // Debug registers DR0-DR7.
+    CSR_DR_BASE = 0x2000,
+    // Trap plumbing (side-effect registers, never privilege-checked).
+    CSR_TRAP_RIP = 0x1301, CSR_TRAP_CAUSE = 0x1302,
+    CSR_TRAP_INFO = 0x1303, CSR_TRAP_MODE = 0x1304,
+    CSR_TRAP_FLAGS = 0x1305, //!< RFLAGS saved/restored by trap/iretq
+    // Real MSR indices.
+    MSR_TSC = 0x10, MSR_APIC_BASE = 0x1b, MSR_SPEC_CTRL = 0x48,
+    MSR_PRED_CMD = 0x49, MSR_PMC0 = 0xc1, MSR_PMC1 = 0xc2,
+    MSR_VOLTAGE = 0x150, //!< the V0LTpwn / Plundervolt register
+    MSR_PERFEVTSEL0 = 0x186, MSR_PERFEVTSEL1 = 0x187,
+    MSR_MISC_ENABLE = 0x1a0, MSR_MTRR_PHYSBASE0 = 0x200,
+    MSR_MTRR_PHYSMASK0 = 0x201, MSR_PAT = 0x277,
+    MSR_MTRR_DEF_TYPE = 0x2ff,
+    MSR_EFER = 0xc0000080, MSR_STAR = 0xc0000081,
+    MSR_LSTAR = 0xc0000082, MSR_FSBASE = 0xc0000100,
+    MSR_GSBASE = 0xc0000101, MSR_TSC_AUX = 0xc0000103,
+    // ISA-Grid architectural registers as an MSR block (Table 2).
+    MSR_GRID_BASE = 0x4700,
+};
+
+/** CR0 bits (bit-maskable register, Figure 1 analogue). */
+enum Cr0Bits : std::uint64_t
+{
+    CR0_PE = 1ull << 0, CR0_MP = 1ull << 1, CR0_EM = 1ull << 2,
+    CR0_TS = 1ull << 3, CR0_ET = 1ull << 4, CR0_NE = 1ull << 5,
+    CR0_WP = 1ull << 16, CR0_AM = 1ull << 18, CR0_NW = 1ull << 29,
+    CR0_CD = 1ull << 30, CR0_PG = 1ull << 31,
+};
+
+/** CR4 bits (bit-maskable register, Figure 1). */
+enum Cr4Bits : std::uint64_t
+{
+    CR4_VME = 1ull << 0, CR4_PVI = 1ull << 1, CR4_TSD = 1ull << 2,
+    CR4_DE = 1ull << 3, CR4_PSE = 1ull << 4, CR4_PAE = 1ull << 5,
+    CR4_MCE = 1ull << 6, CR4_PGE = 1ull << 7, CR4_PCE = 1ull << 8,
+    CR4_OSFXSR = 1ull << 9, CR4_UMIP = 1ull << 11,
+    CR4_VMXE = 1ull << 13, CR4_SMXE = 1ull << 14,
+    CR4_FSGSBASE = 1ull << 16, CR4_PCIDE = 1ull << 17,
+    CR4_OSXSAVE = 1ull << 18, CR4_SMEP = 1ull << 20,
+    CR4_SMAP = 1ull << 21, CR4_PKE = 1ull << 22,
+};
+
+/** Trap cause codes stored in CSR_TRAP_CAUSE. */
+enum TrapCause : std::uint64_t
+{
+    VEC_UD = 6,          //!< illegal instruction (#UD)
+    VEC_GP = 13,         //!< general protection (#GP)
+    VEC_SYSCALL = 0x80,
+    VEC_GRID_INST = 0x20, VEC_GRID_CSR = 0x21, VEC_GRID_MASK = 0x22,
+    VEC_GRID_GATE = 0x23, VEC_GRID_TMEM = 0x24, VEC_GRID_TSTACK = 0x25,
+    VEC_MEM = 0x0e,
+    VEC_TIMER = 0xec, //!< LAPIC-timer-class vector
+};
+
+} // namespace x86
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_X86_OPCODES_HH_

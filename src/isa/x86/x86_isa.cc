@@ -1,0 +1,831 @@
+#include "isa/x86/x86_isa.hh"
+
+#include "sim/logging.hh"
+
+namespace isagrid {
+namespace x86 {
+
+namespace {
+
+const char *const instTypeNames[NumInstTypes] = {
+    "nop",
+    "mov", "movabs",
+    "load8", "load16", "load32", "load64",
+    "store8", "store16", "store32", "store64",
+    "add", "sub", "xor", "and", "or", "cmp", "imul",
+    "addi8", "addi32", "shl", "shr", "sar",
+    "jmp8", "jmp32", "jz8", "jnz8", "jl8", "jge8",
+    "jz32", "jnz32", "jmpr",
+    "call", "callr", "ret", "push", "pop",
+    "out", "hlt",
+    "syscall", "iretq",
+    "movrcr", "movcrr",
+    "movrdr", "movdrr",
+    "rdmsr", "wrmsr", "rdtsc", "cpuid",
+    "wbinvd", "invlpg",
+    "lidt", "lgdt", "lldt",
+    "wrpkru", "rdpkru",
+    "hccall", "hccalls", "hcrets", "pfch", "pflh",
+    "halt", "simmark",
+};
+
+DecodedInst
+make(InstTypeId type, InstClass cls, std::uint8_t length)
+{
+    DecodedInst inst;
+    inst.valid = true;
+    inst.length = length;
+    inst.type = type;
+    inst.cls = cls;
+    inst.mnemonic = instTypeNames[type];
+    return inst;
+}
+
+std::int64_t
+readRel8(const std::uint8_t *p)
+{
+    return static_cast<std::int8_t>(p[0]);
+}
+
+std::int64_t
+readImm32(const std::uint8_t *p)
+{
+    std::uint32_t v = std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+                      (std::uint32_t(p[2]) << 16) |
+                      (std::uint32_t(p[3]) << 24);
+    return static_cast<std::int32_t>(v);
+}
+
+std::uint64_t
+readImm64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Flag computation after an arithmetic/logic result. */
+void
+setFlags(ArchState &state, std::uint64_t result, bool carry)
+{
+    std::uint64_t flags = 0;
+    if (result == 0)
+        flags |= FLAG_ZF;
+    if (result >> 63)
+        flags |= FLAG_SF;
+    if (carry)
+        flags |= FLAG_CF;
+    state.regs[RFLAGS] = flags;
+}
+
+} // namespace
+
+X86Isa::X86Isa()
+{
+    const auto &csrs = controlledCsrs();
+    for (CsrIndex i = 0; i < csrs.size(); ++i)
+        bitmapIndex.emplace(csrs[i], i);
+}
+
+const std::vector<std::uint32_t> &
+X86Isa::controlledCsrs()
+{
+    static const std::vector<std::uint32_t> csrs = {
+        CSR_CR0, CSR_CR2, CSR_CR3, CSR_CR4, CSR_CR8,
+        CSR_IDTR, CSR_GDTR, CSR_LDTR, CSR_PKRU,
+        CSR_DR_BASE + 0, CSR_DR_BASE + 1, CSR_DR_BASE + 2,
+        CSR_DR_BASE + 3, CSR_DR_BASE + 4, CSR_DR_BASE + 5,
+        CSR_DR_BASE + 6, CSR_DR_BASE + 7,
+        MSR_TSC, MSR_APIC_BASE, MSR_SPEC_CTRL, MSR_PRED_CMD,
+        MSR_PMC0, MSR_PMC1, MSR_VOLTAGE,
+        MSR_PERFEVTSEL0, MSR_PERFEVTSEL1, MSR_MISC_ENABLE,
+        MSR_MTRR_PHYSBASE0, MSR_MTRR_PHYSMASK0, MSR_PAT,
+        MSR_MTRR_DEF_TYPE, MSR_EFER, MSR_STAR, MSR_LSTAR,
+        MSR_FSBASE, MSR_GSBASE, MSR_TSC_AUX,
+    };
+    return csrs;
+}
+
+std::uint32_t
+X86Isa::numControlledCsrs() const
+{
+    return static_cast<std::uint32_t>(controlledCsrs().size());
+}
+
+CsrIndex
+X86Isa::csrBitmapIndex(std::uint32_t csr_addr) const
+{
+    auto it = bitmapIndex.find(csr_addr);
+    return it == bitmapIndex.end() ? invalidCsrIndex : it->second;
+}
+
+CsrIndex
+X86Isa::csrMaskIndex(std::uint32_t csr_addr) const
+{
+    // CR0 and CR4 require bitwise control in the x86 prototype.
+    if (csr_addr == CSR_CR0)
+        return 0;
+    if (csr_addr == CSR_CR4)
+        return 1;
+    return invalidCsrIndex;
+}
+
+bool
+X86Isa::isGridReg(std::uint32_t csr_addr) const
+{
+    return csr_addr >= MSR_GRID_BASE &&
+           csr_addr < MSR_GRID_BASE + numGridRegs;
+}
+
+GridReg
+X86Isa::gridRegId(std::uint32_t csr_addr) const
+{
+    ISAGRID_ASSERT(isGridReg(csr_addr), "csr %#x", csr_addr);
+    return static_cast<GridReg>(csr_addr - MSR_GRID_BASE);
+}
+
+std::uint32_t
+X86Isa::gridRegAddr(GridReg reg) const
+{
+    return MSR_GRID_BASE + static_cast<std::uint32_t>(reg);
+}
+
+bool
+X86Isa::csrPrivileged(std::uint32_t csr_addr) const
+{
+    // PKRU is the one user-accessible control register (the MPK story).
+    return csr_addr != CSR_PKRU;
+}
+
+bool
+X86Isa::instPrivileged(const DecodedInst &inst) const
+{
+    switch (inst.type) {
+      case IT_OUT: case IT_HLT: case IT_WBINVD: case IT_INVLPG:
+      case IT_LIDT: case IT_LGDT: case IT_LLDT:
+      case IT_MOV_R_CR: case IT_MOV_CR_R:
+      case IT_MOV_R_DR: case IT_MOV_DR_R:
+      case IT_RDMSR: case IT_WRMSR: case IT_IRETQ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+X86Isa::instTypeName(InstTypeId type) const
+{
+    ISAGRID_ASSERT(type < NumInstTypes, "type %u", type);
+    return instTypeNames[type];
+}
+
+std::vector<InstTypeId>
+X86Isa::baselineInstTypes() const
+{
+    std::vector<InstTypeId> types;
+    for (InstTypeId t = 0; t < NumInstTypes; ++t) {
+        switch (t) {
+          // Sensitive types: granted per domain, never by default.
+          case IT_OUT: case IT_HLT: case IT_WBINVD: case IT_INVLPG:
+          case IT_LIDT: case IT_LGDT: case IT_LLDT:
+          case IT_WRPKRU: case IT_RDPKRU:
+          case IT_RDTSC: case IT_CPUID:
+          case IT_MOV_R_CR: case IT_MOV_CR_R:
+          case IT_MOV_R_DR: case IT_MOV_DR_R:
+          case IT_RDMSR: case IT_WRMSR:
+            continue;
+          default:
+            types.push_back(t);
+        }
+    }
+    return types;
+}
+
+void
+X86Isa::initState(ArchState &state) const
+{
+    state.zero_reg_hardwired = false;
+    state.mode = PrivMode::Supervisor;
+    for (std::uint32_t addr : controlledCsrs())
+        state.csrs.define(addr, "csr");
+    state.csrs.define(CSR_TRAP_RIP, "trap-rip");
+    state.csrs.define(CSR_TRAP_CAUSE, "trap-cause");
+    state.csrs.define(CSR_TRAP_INFO, "trap-info");
+    state.csrs.define(CSR_TRAP_MODE, "trap-mode");
+    state.csrs.define(CSR_TRAP_FLAGS, "trap-flags");
+    // Reasonable boot values.
+    state.csrs.write(CSR_CR0, CR0_PE | CR0_ET | CR0_NE | CR0_WP | CR0_PG);
+    state.csrs.write(CSR_CR4, CR4_PAE | CR4_PGE | CR4_OSFXSR);
+}
+
+DecodedInst
+X86Isa::decode(const std::uint8_t *bytes, std::size_t avail,
+               Addr pc) const
+{
+    (void)pc;
+    DecodedInst bad;
+    std::size_t off = 0;
+    // Consume (and ignore, per Section 7) up to four prefix bytes.
+    while (off < avail && off < 4 && isPrefixByte(bytes[off]))
+        ++off;
+    if (off >= avail)
+        return bad;
+    std::uint8_t prefix_len = static_cast<std::uint8_t>(off);
+    const std::uint8_t *p = bytes + off;
+    std::size_t rem = avail - off;
+
+    auto fit = [&](std::size_t need) { return rem >= need; };
+    auto fin = [&](DecodedInst inst) {
+        inst.length = static_cast<std::uint8_t>(inst.length + prefix_len);
+        return inst;
+    };
+    auto regA = [](std::uint8_t b) { return std::uint8_t(b & 0xf); };
+    auto regB = [](std::uint8_t b) { return std::uint8_t(b >> 4); };
+
+    switch (p[0]) {
+      case OPC_NOP:
+        return fin(make(IT_NOP, InstClass::Nop, 1));
+      case OPC_MOV_RR: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_MOV_RR, InstClass::IntAlu, 2);
+        inst.rd = regA(p[1]); inst.rs1 = regB(p[1]);
+        return fin(inst);
+      }
+      case OPC_MOV_IMM: {
+        if (!fit(10)) return bad;
+        auto inst = make(IT_MOV_IMM, InstClass::IntAlu, 10);
+        inst.rd = p[1] & 0xf;
+        inst.imm = static_cast<std::int64_t>(readImm64(p + 2));
+        return fin(inst);
+      }
+      case OPC_LOAD8: case OPC_LOAD64: {
+        if (!fit(6)) return bad;
+        bool is8 = p[0] == OPC_LOAD8;
+        auto inst = make(is8 ? IT_LOAD8 : IT_LOAD64, InstClass::Load, 6);
+        inst.rd = regA(p[1]); inst.rs1 = regB(p[1]);
+        inst.imm = readImm32(p + 2);
+        inst.subop = is8 ? 1 : 8;
+        return fin(inst);
+      }
+      case OPC_STORE8: case OPC_STORE64: {
+        if (!fit(6)) return bad;
+        bool is8 = p[0] == OPC_STORE8;
+        auto inst = make(is8 ? IT_STORE8 : IT_STORE64,
+                         InstClass::Store, 6);
+        inst.rs2 = regA(p[1]); inst.rs1 = regB(p[1]);
+        inst.imm = readImm32(p + 2);
+        inst.subop = is8 ? 1 : 8;
+        return fin(inst);
+      }
+      case OPC_ADD: case OPC_SUB: case OPC_XOR: case OPC_AND:
+      case OPC_OR: case OPC_CMP: {
+        if (!fit(2)) return bad;
+        InstTypeId type;
+        switch (p[0]) {
+          case OPC_ADD: type = IT_ADD; break;
+          case OPC_SUB: type = IT_SUB; break;
+          case OPC_XOR: type = IT_XOR; break;
+          case OPC_AND: type = IT_AND; break;
+          case OPC_OR: type = IT_OR; break;
+          default: type = IT_CMP; break;
+        }
+        auto inst = make(type, InstClass::IntAlu, 2);
+        inst.rd = regA(p[1]); inst.rs1 = regA(p[1]);
+        inst.rs2 = regB(p[1]);
+        return fin(inst);
+      }
+      case OPC_ADDI8: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_ADDI8, InstClass::IntAlu, 3);
+        inst.rd = p[1] & 0xf; inst.rs1 = inst.rd;
+        inst.imm = readRel8(p + 2);
+        return fin(inst);
+      }
+      case OPC_ADDI32: {
+        if (!fit(6)) return bad;
+        auto inst = make(IT_ADDI32, InstClass::IntAlu, 6);
+        inst.rd = p[1] & 0xf; inst.rs1 = inst.rd;
+        inst.imm = readImm32(p + 2);
+        return fin(inst);
+      }
+      case OPC_SHIFT: {
+        if (!fit(3)) return bad;
+        std::uint8_t sub = regB(p[1]);
+        InstTypeId type;
+        switch (sub) {
+          case 0: type = IT_SHL; break;
+          case 1: type = IT_SHR; break;
+          case 2: type = IT_SAR; break;
+          default: return bad;
+        }
+        auto inst = make(type, InstClass::IntAlu, 3);
+        inst.rd = regA(p[1]); inst.rs1 = inst.rd;
+        inst.imm = p[2] & 63;
+        return fin(inst);
+      }
+      case OPC_JMP8: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_JMP8, InstClass::Jump, 2);
+        inst.imm = readRel8(p + 1);
+        return fin(inst);
+      }
+      case OPC_JMP32: {
+        if (!fit(5)) return bad;
+        auto inst = make(IT_JMP32, InstClass::Jump, 5);
+        inst.imm = readImm32(p + 1);
+        return fin(inst);
+      }
+      case OPC_JZ8: case OPC_JNZ8: case OPC_JL8: case OPC_JGE8: {
+        if (!fit(2)) return bad;
+        InstTypeId type;
+        switch (p[0]) {
+          case OPC_JZ8: type = IT_JZ8; break;
+          case OPC_JNZ8: type = IT_JNZ8; break;
+          case OPC_JL8: type = IT_JL8; break;
+          default: type = IT_JGE8; break;
+        }
+        auto inst = make(type, InstClass::Branch, 2);
+        inst.imm = readRel8(p + 1);
+        return fin(inst);
+      }
+      case OPC_JMP_R: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_JMP_R, InstClass::Jump, 2);
+        inst.rs1 = p[1] & 0xf;
+        return fin(inst);
+      }
+      case OPC_CALL: {
+        if (!fit(5)) return bad;
+        auto inst = make(IT_CALL, InstClass::Jump, 5);
+        inst.imm = readImm32(p + 1);
+        return fin(inst);
+      }
+      case OPC_CALL_R: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_CALL_R, InstClass::Jump, 2);
+        inst.rs1 = p[1] & 0xf;
+        return fin(inst);
+      }
+      case OPC_RET:
+        return fin(make(IT_RET, InstClass::Jump, 1));
+      case OPC_PUSH: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_PUSH, InstClass::Store, 2);
+        inst.rs2 = p[1] & 0xf;
+        return fin(inst);
+      }
+      case OPC_POP: {
+        if (!fit(2)) return bad;
+        auto inst = make(IT_POP, InstClass::Load, 2);
+        inst.rd = p[1] & 0xf;
+        return fin(inst);
+      }
+      case OPC_OUT:
+        return fin(make(IT_OUT, InstClass::SysOther, 1));
+      case OPC_HLT:
+        return fin(make(IT_HLT, InstClass::SysOther, 1));
+      case OPC_ESCAPE:
+        break; // fall through to two-byte decode below
+      default:
+        return bad;
+    }
+
+    // --- 0x0F two-byte opcodes ---
+    if (!fit(2))
+        return bad;
+    switch (p[1]) {
+      case OPC2_SYSCALL:
+        return fin(make(IT_SYSCALL, InstClass::Syscall, 2));
+      case OPC2_IRETQ:
+        return fin(make(IT_IRETQ, InstClass::TrapRet, 2));
+      case OPC2_WBINVD:
+        return fin(make(IT_WBINVD, InstClass::SysOther, 2));
+      case OPC2_INVLPG: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_INVLPG, InstClass::SysOther, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_SYS01: {
+        if (!fit(3)) return bad;
+        std::uint8_t sub = regB(p[2]);
+        std::uint8_t reg = regA(p[2]);
+        DecodedInst inst;
+        switch (sub) {
+          case SUB_LIDT:
+            inst = make(IT_LIDT, InstClass::CsrWrite, 3);
+            inst.csr_addr = CSR_IDTR;
+            break;
+          case SUB_LGDT:
+            inst = make(IT_LGDT, InstClass::CsrWrite, 3);
+            inst.csr_addr = CSR_GDTR;
+            break;
+          case SUB_LLDT:
+            inst = make(IT_LLDT, InstClass::CsrWrite, 3);
+            inst.csr_addr = CSR_LDTR;
+            break;
+          case SUB_WRPKRU:
+            inst = make(IT_WRPKRU, InstClass::CsrWrite, 3);
+            inst.csr_addr = CSR_PKRU;
+            break;
+          case SUB_RDPKRU:
+            inst = make(IT_RDPKRU, InstClass::CsrRead, 3);
+            inst.csr_addr = CSR_PKRU;
+            break;
+          default:
+            return bad;
+        }
+        inst.rs1 = reg;
+        inst.rd = reg;
+        return fin(inst);
+      }
+      case OPC2_SIMMARK: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_SIMMARK, InstClass::SimMark, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_HCCALL: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_HCCALL, InstClass::GateCall, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_HCCALLS: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_HCCALLS, InstClass::GateCallS, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_HCRETS:
+        return fin(make(IT_HCRETS, InstClass::GateRet, 2));
+      case OPC2_PFCH: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_PFCH, InstClass::Prefetch, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_PFLH: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_PFLH, InstClass::CacheFlush, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_HALT: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_HALT, InstClass::Halt, 3);
+        inst.rs1 = p[2] & 0xf;
+        return fin(inst);
+      }
+      case OPC2_MOV_R_CR: case OPC2_MOV_R_DR: {
+        if (!fit(3)) return bad;
+        bool is_cr = p[1] == OPC2_MOV_R_CR;
+        auto inst = make(is_cr ? IT_MOV_R_CR : IT_MOV_R_DR,
+                         InstClass::CsrRead, 3);
+        inst.rd = regA(p[2]);
+        std::uint8_t n = regB(p[2]);
+        inst.csr_addr = is_cr ? (CSR_CR0 + n) : (CSR_DR_BASE + n);
+        return fin(inst);
+      }
+      case OPC2_MOV_CR_R: case OPC2_MOV_DR_R: {
+        if (!fit(3)) return bad;
+        bool is_cr = p[1] == OPC2_MOV_CR_R;
+        auto inst = make(is_cr ? IT_MOV_CR_R : IT_MOV_DR_R,
+                         InstClass::CsrWrite, 3);
+        inst.rs1 = regA(p[2]);
+        std::uint8_t n = regB(p[2]);
+        inst.csr_addr = is_cr ? (CSR_CR0 + n) : (CSR_DR_BASE + n);
+        return fin(inst);
+      }
+      case OPC2_WRMSR: {
+        auto inst = make(IT_WRMSR, InstClass::CsrWrite, 2);
+        inst.csr_dynamic = true;
+        inst.rs1 = RCX; // MSR index register
+        inst.rs2 = RAX; // value register
+        return fin(inst);
+      }
+      case OPC2_RDMSR: {
+        auto inst = make(IT_RDMSR, InstClass::CsrRead, 2);
+        inst.csr_dynamic = true;
+        inst.rs1 = RCX;
+        inst.rd = RAX;
+        return fin(inst);
+      }
+      case OPC2_RDTSC: {
+        auto inst = make(IT_RDTSC, InstClass::IntAlu, 2);
+        inst.rd = RAX;
+        return fin(inst);
+      }
+      case OPC2_CPUID:
+        return fin(make(IT_CPUID, InstClass::SysOther, 2));
+      case OPC2_JZ32: case OPC2_JNZ32: {
+        if (!fit(6)) return bad;
+        auto inst = make(p[1] == OPC2_JZ32 ? IT_JZ32 : IT_JNZ32,
+                         InstClass::Branch, 6);
+        inst.imm = readImm32(p + 2);
+        return fin(inst);
+      }
+      case OPC2_IMUL: {
+        if (!fit(3)) return bad;
+        auto inst = make(IT_IMUL, InstClass::IntAlu, 3);
+        inst.rd = regA(p[2]); inst.rs1 = inst.rd; inst.rs2 = regB(p[2]);
+        inst.exec_latency = 3;
+        return fin(inst);
+      }
+      case OPC2_LOAD16: case OPC2_LOAD32: {
+        if (!fit(7)) return bad;
+        bool is16 = p[1] == OPC2_LOAD16;
+        auto inst = make(is16 ? IT_LOAD16 : IT_LOAD32,
+                         InstClass::Load, 7);
+        inst.rd = regA(p[2]); inst.rs1 = regB(p[2]);
+        inst.imm = readImm32(p + 3);
+        inst.subop = is16 ? 2 : 4;
+        return fin(inst);
+      }
+      case OPC2_STORE16: case OPC2_STORE32: {
+        if (!fit(7)) return bad;
+        bool is16 = p[1] == OPC2_STORE16;
+        auto inst = make(is16 ? IT_STORE16 : IT_STORE32,
+                         InstClass::Store, 7);
+        inst.rs2 = regA(p[2]); inst.rs1 = regB(p[2]);
+        inst.imm = readImm32(p + 3);
+        inst.subop = is16 ? 2 : 4;
+        return fin(inst);
+      }
+      default:
+        return bad;
+    }
+}
+
+ExecResult
+X86Isa::execute(const DecodedInst &inst, ArchState &state) const
+{
+    ExecResult res;
+    res.next_pc = state.pc + inst.length;
+    RegVal flags = state.regs[RFLAGS];
+
+    switch (inst.type) {
+      case IT_NOP:
+      case IT_SIMMARK:
+        break;
+      case IT_MOV_RR:
+        state.setReg(inst.rd, state.reg(inst.rs1));
+        break;
+      case IT_MOV_IMM:
+        state.setReg(inst.rd, static_cast<RegVal>(inst.imm));
+        break;
+      case IT_LOAD8: case IT_LOAD16: case IT_LOAD32: case IT_LOAD64:
+        res.mem_valid = true;
+        res.mem_addr = state.reg(inst.rs1) +
+                       static_cast<RegVal>(inst.imm);
+        res.mem_size = static_cast<std::uint8_t>(inst.subop);
+        res.mem_reg = inst.rd;
+        break;
+      case IT_STORE8: case IT_STORE16: case IT_STORE32: case IT_STORE64:
+        res.mem_valid = true;
+        res.mem_write = true;
+        res.mem_addr = state.reg(inst.rs1) +
+                       static_cast<RegVal>(inst.imm);
+        res.mem_size = static_cast<std::uint8_t>(inst.subop);
+        res.store_value = state.reg(inst.rs2);
+        break;
+      case IT_ADD: case IT_SUB: case IT_XOR: case IT_AND: case IT_OR:
+      case IT_IMUL: {
+        RegVal a = state.reg(inst.rs1);
+        RegVal b = state.reg(inst.rs2);
+        RegVal r = 0;
+        bool carry = false;
+        switch (inst.type) {
+          case IT_ADD: r = a + b; carry = r < a; break;
+          case IT_SUB: r = a - b; carry = a < b; break;
+          case IT_XOR: r = a ^ b; break;
+          case IT_AND: r = a & b; break;
+          case IT_OR: r = a | b; break;
+          case IT_IMUL: r = a * b; break;
+          default: break;
+        }
+        state.setReg(inst.rd, r);
+        setFlags(state, r, carry);
+        break;
+      }
+      case IT_CMP: {
+        RegVal a = state.reg(inst.rs1);
+        RegVal b = state.reg(inst.rs2);
+        setFlags(state, a - b, a < b);
+        break;
+      }
+      case IT_ADDI8: case IT_ADDI32: {
+        RegVal r = state.reg(inst.rs1) + static_cast<RegVal>(inst.imm);
+        state.setReg(inst.rd, r);
+        setFlags(state, r, false);
+        break;
+      }
+      case IT_SHL:
+        state.setReg(inst.rd, state.reg(inst.rs1) << inst.imm);
+        break;
+      case IT_SHR:
+        state.setReg(inst.rd, state.reg(inst.rs1) >> inst.imm);
+        break;
+      case IT_SAR:
+        state.setReg(inst.rd, static_cast<RegVal>(
+            static_cast<std::int64_t>(state.reg(inst.rs1)) >> inst.imm));
+        break;
+      case IT_JMP8: case IT_JMP32:
+        res.next_pc = state.pc + inst.length +
+                      static_cast<RegVal>(inst.imm);
+        res.taken_branch = true;
+        break;
+      case IT_JZ8: case IT_JZ32:
+        if (flags & FLAG_ZF) {
+            res.next_pc = state.pc + inst.length +
+                          static_cast<RegVal>(inst.imm);
+            res.taken_branch = true;
+        }
+        break;
+      case IT_JNZ8: case IT_JNZ32:
+        if (!(flags & FLAG_ZF)) {
+            res.next_pc = state.pc + inst.length +
+                          static_cast<RegVal>(inst.imm);
+            res.taken_branch = true;
+        }
+        break;
+      case IT_JL8:
+        if (flags & FLAG_SF) {
+            res.next_pc = state.pc + inst.length +
+                          static_cast<RegVal>(inst.imm);
+            res.taken_branch = true;
+        }
+        break;
+      case IT_JGE8:
+        if (!(flags & FLAG_SF)) {
+            res.next_pc = state.pc + inst.length +
+                          static_cast<RegVal>(inst.imm);
+            res.taken_branch = true;
+        }
+        break;
+      case IT_JMP_R:
+        res.next_pc = state.reg(inst.rs1);
+        res.taken_branch = true;
+        break;
+      case IT_CALL: {
+        RegVal rsp = state.reg(RSP) - 8;
+        state.setReg(RSP, rsp);
+        res.mem_valid = true;
+        res.mem_write = true;
+        res.mem_addr = rsp;
+        res.mem_size = 8;
+        res.store_value = state.pc + inst.length;
+        res.next_pc = state.pc + inst.length +
+                      static_cast<RegVal>(inst.imm);
+        res.taken_branch = true;
+        break;
+      }
+      case IT_CALL_R: {
+        RegVal rsp = state.reg(RSP) - 8;
+        state.setReg(RSP, rsp);
+        res.mem_valid = true;
+        res.mem_write = true;
+        res.mem_addr = rsp;
+        res.mem_size = 8;
+        res.store_value = state.pc + inst.length;
+        res.next_pc = state.reg(inst.rs1);
+        res.taken_branch = true;
+        break;
+      }
+      case IT_RET: {
+        RegVal rsp = state.reg(RSP);
+        state.setReg(RSP, rsp + 8);
+        res.mem_valid = true;
+        res.mem_addr = rsp;
+        res.mem_size = 8;
+        res.mem_to_pc = true;
+        res.taken_branch = true;
+        break;
+      }
+      case IT_PUSH: {
+        RegVal rsp = state.reg(RSP) - 8;
+        state.setReg(RSP, rsp);
+        res.mem_valid = true;
+        res.mem_write = true;
+        res.mem_addr = rsp;
+        res.mem_size = 8;
+        res.store_value = state.reg(inst.rs2);
+        break;
+      }
+      case IT_POP: {
+        RegVal rsp = state.reg(RSP);
+        state.setReg(RSP, rsp + 8);
+        res.mem_valid = true;
+        res.mem_addr = rsp;
+        res.mem_size = 8;
+        res.mem_reg = inst.rd;
+        break;
+      }
+      case IT_OUT:
+      case IT_HLT:
+        break; // port writes / halts have no modelled effect
+      case IT_INVLPG:
+        res.flush_tlb_page = true;
+        res.flush_page_addr = state.reg(inst.rs1);
+        res.serializing = true;
+        break;
+      case IT_WBINVD:
+        res.flush_caches = true;
+        res.serializing = true;
+        break;
+      case IT_SYSCALL:
+        res.fault = FaultType::SyscallTrap;
+        res.serializing = true;
+        break;
+      case IT_IRETQ:
+        res.serializing = true;
+        break;
+      case IT_MOV_R_CR: case IT_MOV_R_DR: case IT_RDPKRU:
+        res.csr_old_reg = inst.rd;
+        res.csr_old_reg_valid = true;
+        break;
+      case IT_MOV_CR_R: case IT_MOV_DR_R: case IT_LIDT: case IT_LGDT:
+      case IT_LLDT: case IT_WRPKRU:
+        res.csr_write = true;
+        res.csr_write_addr = inst.csr_addr;
+        res.csr_write_value = state.reg(inst.rs1);
+        res.serializing = true;
+        break;
+      case IT_RDMSR:
+        res.csr_old_reg = inst.rd;
+        res.csr_old_reg_valid = true;
+        break;
+      case IT_WRMSR:
+        res.csr_write = true;
+        res.csr_write_value = state.reg(inst.rs2);
+        res.serializing = true;
+        break;
+      case IT_RDTSC:
+        state.setReg(RAX, state.cycle);
+        break;
+      case IT_CPUID:
+        state.setReg(RAX, 0x000806e9);    // family/model/stepping
+        state.setReg(RBX, 0x47724964);    // "GrId"
+        state.setReg(RCX, 0x49534147);    // "ISAG"
+        state.setReg(RDX, 0x00000001);
+        res.serializing = true;
+        break;
+      case IT_HCCALL: case IT_HCCALLS: case IT_HCRETS:
+        res.serializing = true;
+        break;
+      case IT_PFCH: case IT_PFLH:
+        break;
+      case IT_HALT:
+        res.halt = true;
+        res.halt_code = state.reg(inst.rs1);
+        break;
+      default:
+        res.fault = FaultType::IllegalInstruction;
+        break;
+    }
+    return res;
+}
+
+Addr
+X86Isa::takeTrap(ArchState &state, FaultType fault, Addr faulting_pc,
+                 RegVal info) const
+{
+    std::uint64_t cause;
+    switch (fault) {
+      case FaultType::SyscallTrap: cause = VEC_SYSCALL; break;
+      case FaultType::IllegalInstruction: cause = VEC_UD; break;
+      case FaultType::InstPrivilege: cause = VEC_GRID_INST; break;
+      case FaultType::CsrPrivilege: cause = VEC_GRID_CSR; break;
+      case FaultType::CsrMaskViolation: cause = VEC_GRID_MASK; break;
+      case FaultType::GateFault: cause = VEC_GRID_GATE; break;
+      case FaultType::TrustedMemoryViolation: cause = VEC_GRID_TMEM; break;
+      case FaultType::TrustedStackFault: cause = VEC_GRID_TSTACK; break;
+      case FaultType::MemoryFault: cause = VEC_MEM; break;
+      case FaultType::TimerInterrupt: cause = VEC_TIMER; break;
+      default:
+        panic("takeTrap with fault %s", faultName(fault));
+    }
+    state.csrs.write(CSR_TRAP_RIP, faulting_pc);
+    state.csrs.write(CSR_TRAP_CAUSE, cause);
+    state.csrs.write(CSR_TRAP_INFO, info);
+    state.csrs.write(CSR_TRAP_MODE,
+                     state.mode == PrivMode::Supervisor ? 1 : 0);
+    // Interrupt/exception delivery saves RFLAGS; iretq restores it —
+    // asynchronous interrupts may land between a cmp and its branch.
+    state.csrs.write(CSR_TRAP_FLAGS, state.regs[RFLAGS]);
+    state.mode = PrivMode::Supervisor;
+    return state.csrs.read(CSR_IDTR);
+}
+
+Addr
+X86Isa::trapReturn(ArchState &state) const
+{
+    state.mode = state.csrs.read(CSR_TRAP_MODE) ? PrivMode::Supervisor
+                                                : PrivMode::User;
+    state.regs[RFLAGS] = state.csrs.read(CSR_TRAP_FLAGS);
+    return state.csrs.read(CSR_TRAP_RIP);
+}
+
+} // namespace x86
+} // namespace isagrid

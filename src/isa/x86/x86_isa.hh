@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The x86-like ISA model (the paper's gem5 prototype ISA).
+ *
+ * CR0 and CR4 are the bit-maskable registers (Section 7, "x86
+ * Prototype"); other control registers and MSRs are controlled by the
+ * register read/write bitmap. Instruction prefixes are consumed by the
+ * decoder but ignored when deriving the instruction type, as the paper
+ * specifies.
+ */
+
+#ifndef ISAGRID_ISA_X86_X86_ISA_HH_
+#define ISAGRID_ISA_X86_X86_ISA_HH_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "isa/x86/opcodes.hh"
+
+namespace isagrid {
+namespace x86 {
+
+/** The x86-like ISA model (see file comment). */
+class X86Isa : public IsaModel
+{
+  public:
+    X86Isa();
+
+    const std::string &name() const override { return name_; }
+    unsigned numRegs() const override { return 16; }
+    unsigned maxInstBytes() const override { return 15; }
+
+    DecodedInst decode(const std::uint8_t *bytes, std::size_t avail,
+                       Addr pc) const override;
+    ExecResult execute(const DecodedInst &inst,
+                       ArchState &state) const override;
+    void initState(ArchState &state) const override;
+
+    std::uint32_t numInstTypes() const override { return NumInstTypes; }
+    std::uint32_t numControlledCsrs() const override;
+    CsrIndex csrBitmapIndex(std::uint32_t csr_addr) const override;
+    std::uint32_t numMaskableCsrs() const override { return 2; }
+    CsrIndex csrMaskIndex(std::uint32_t csr_addr) const override;
+
+    bool isGridReg(std::uint32_t csr_addr) const override;
+    GridReg gridRegId(std::uint32_t csr_addr) const override;
+    std::uint32_t gridRegAddr(GridReg reg) const override;
+    std::uint32_t ptbrCsrAddr() const override { return CSR_CR3; }
+
+    bool csrPrivileged(std::uint32_t csr_addr) const override;
+    bool instPrivileged(const DecodedInst &inst) const override;
+    const char *instTypeName(InstTypeId type) const override;
+    std::vector<InstTypeId> baselineInstTypes() const override;
+
+    Addr takeTrap(ArchState &state, FaultType fault, Addr faulting_pc,
+                  RegVal info) const override;
+    Addr trapReturn(ArchState &state) const override;
+
+    /** Ordered list of register-bitmap-controlled CSR/MSR addresses. */
+    static const std::vector<std::uint32_t> &controlledCsrs();
+
+  private:
+    std::string name_ = "x86";
+    std::unordered_map<std::uint32_t, CsrIndex> bitmapIndex;
+};
+
+} // namespace x86
+} // namespace isagrid
+
+#endif // ISAGRID_ISA_X86_X86_ISA_HH_

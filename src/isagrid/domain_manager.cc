@@ -1,0 +1,172 @@
+#include "isagrid/domain_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+DomainManager::DomainManager(PrivilegeCheckUnit &pcu, PhysMem &mem,
+                             const DomainManagerConfig &config)
+    : pcu(pcu), mem(mem), config_(config)
+{
+    const HptLayout &hpt = pcu.layout();
+
+    // Carve the trusted region: HPT structures, then the SGT, then the
+    // trusted stack. Everything is 8-byte aligned by construction.
+    Addr cursor = config_.tmem_base;
+    instBase = cursor;
+    cursor += hpt.instStride() * config_.max_domains;
+    regBase = cursor;
+    cursor += hpt.regStride() * config_.max_domains;
+    maskBase = cursor;
+    cursor += hpt.maskStride() * config_.max_domains;
+    gateBase = cursor;
+    cursor += SgtEntry::sizeBytes * config_.max_gates;
+    stackBase = cursor;
+    cursor += config_.trusted_stack_bytes;
+    stackLimit = cursor;
+
+    Addr end = config_.tmem_base + config_.tmem_size;
+    if (cursor > end) {
+        fatal("trusted memory too small: need %llu bytes, have %llu",
+              (unsigned long long)(cursor - config_.tmem_base),
+              (unsigned long long)config_.tmem_size);
+    }
+
+    // Zero the tables: a fresh domain has no privileges and a fresh
+    // gate table has no valid gates.
+    for (Addr a = config_.tmem_base; a < cursor; a += 8)
+        mem.write64(a, 0);
+
+    // Point the Table 2 registers at the structures. This mirrors what
+    // domain-0 boot software does with CSR writes.
+    pcu.setGridReg(GridReg::InstCap, instBase);
+    pcu.setGridReg(GridReg::CsrCap, regBase);
+    pcu.setGridReg(GridReg::CsrBitMask, maskBase);
+    pcu.setGridReg(GridReg::GateAddr, gateBase);
+    pcu.setGridReg(GridReg::GateNr, 0);
+    pcu.setGridReg(GridReg::DomainNr, 1);
+    pcu.setGridReg(GridReg::Hcsb, stackBase);
+    pcu.setGridReg(GridReg::Hcsl, stackLimit);
+    pcu.setGridReg(GridReg::Hcsp, stackBase);
+    pcu.setGridReg(GridReg::Tmemb, config_.tmem_base);
+    pcu.setGridReg(GridReg::Tmeml, config_.tmem_base + config_.tmem_size);
+}
+
+void
+DomainManager::checkDomain(DomainId domain) const
+{
+    ISAGRID_ASSERT(domain < nextDomain, "domain %llu not registered",
+                   (unsigned long long)domain);
+    ISAGRID_ASSERT(domain != 0,
+                   "domain-0 privileges are hardwired%s", "");
+}
+
+DomainId
+DomainManager::createDomain()
+{
+    if (nextDomain >= config_.max_domains)
+        fatal("out of domain slots (max %u)", config_.max_domains);
+    DomainId id = nextDomain++;
+    pcu.setGridReg(GridReg::DomainNr, nextDomain);
+    return id;
+}
+
+DomainId
+DomainManager::createBaselineDomain()
+{
+    DomainId id = createDomain();
+    for (InstTypeId type : pcu.isa().baselineInstTypes())
+        allowInstruction(id, type);
+    return id;
+}
+
+void
+DomainManager::allowInstruction(DomainId domain, InstTypeId type)
+{
+    checkDomain(domain);
+    const HptLayout &hpt = pcu.layout();
+    ISAGRID_ASSERT(type < hpt.instTypes(), "inst type %u", type);
+    Addr addr = hpt.instWordAddr(instBase, domain,
+                                 HptLayout::instGroupOf(type));
+    mem.write64(addr, mem.read64(addr) |
+                          (1ull << HptLayout::instBitOf(type)));
+}
+
+void
+DomainManager::revokeInstruction(DomainId domain, InstTypeId type)
+{
+    checkDomain(domain);
+    const HptLayout &hpt = pcu.layout();
+    ISAGRID_ASSERT(type < hpt.instTypes(), "inst type %u", type);
+    Addr addr = hpt.instWordAddr(instBase, domain,
+                                 HptLayout::instGroupOf(type));
+    mem.write64(addr, mem.read64(addr) &
+                          ~(1ull << HptLayout::instBitOf(type)));
+}
+
+void
+DomainManager::allowCsrRead(DomainId domain, std::uint32_t csr_addr)
+{
+    checkDomain(domain);
+    CsrIndex index = pcu.isa().csrBitmapIndex(csr_addr);
+    ISAGRID_ASSERT(index != invalidCsrIndex, "csr %#x uncontrolled",
+                   csr_addr);
+    Addr addr = pcu.layout().regWordAddr(regBase, domain,
+                                         HptLayout::regGroupOf(index));
+    mem.write64(addr, mem.read64(addr) |
+                          (1ull << HptLayout::regReadBit(index)));
+}
+
+void
+DomainManager::allowCsrWrite(DomainId domain, std::uint32_t csr_addr)
+{
+    checkDomain(domain);
+    CsrIndex index = pcu.isa().csrBitmapIndex(csr_addr);
+    ISAGRID_ASSERT(index != invalidCsrIndex, "csr %#x uncontrolled",
+                   csr_addr);
+    Addr addr = pcu.layout().regWordAddr(regBase, domain,
+                                         HptLayout::regGroupOf(index));
+    mem.write64(addr, mem.read64(addr) |
+                          (1ull << HptLayout::regWriteBit(index)));
+}
+
+void
+DomainManager::setCsrMask(DomainId domain, std::uint32_t csr_addr,
+                          RegVal mask)
+{
+    checkDomain(domain);
+    CsrIndex mask_index = pcu.isa().csrMaskIndex(csr_addr);
+    ISAGRID_ASSERT(mask_index != invalidCsrIndex,
+                   "csr %#x not bit-maskable", csr_addr);
+    mem.write64(pcu.layout().maskAddr(maskBase, domain, mask_index),
+                mask);
+}
+
+GateId
+DomainManager::registerGate(Addr gate_addr, Addr dest_addr,
+                            DomainId dest_domain)
+{
+    if (nextGate >= config_.max_gates)
+        fatal("out of gate slots (max %u)", config_.max_gates);
+    GateId id = nextGate++;
+    sgtWrite(mem, gateBase, id, {gate_addr, dest_addr, dest_domain});
+    pcu.setGridReg(GridReg::GateNr, nextGate);
+    return id;
+}
+
+void
+DomainManager::updateGate(GateId gate, Addr gate_addr, Addr dest_addr,
+                          DomainId dest_domain)
+{
+    ISAGRID_ASSERT(gate < nextGate, "gate %llu not registered",
+                   (unsigned long long)gate);
+    sgtWrite(mem, gateBase, gate, {gate_addr, dest_addr, dest_domain});
+}
+
+void
+DomainManager::publish()
+{
+    pcu.flushBuffers(PcuBuffer::All);
+}
+
+} // namespace isagrid

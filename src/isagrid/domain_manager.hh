@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Domain-0 configuration software (Sections 4.4 and 5.2).
+ *
+ * DomainManager plays the role of the domain-0 runtime: it carves the
+ * trusted memory region into the HPT structures, the SGT and the
+ * trusted stack, points the Table 2 base registers at them, and offers
+ * the registration API (create domains, grant privileges, register
+ * gates). All table state lives in guest physical memory — the PCU
+ * reads exactly the bytes written here, so a test can also drive the
+ * same layout from guest code running in domain-0.
+ */
+
+#ifndef ISAGRID_ISAGRID_DOMAIN_MANAGER_HH_
+#define ISAGRID_ISAGRID_DOMAIN_MANAGER_HH_
+
+#include <cstdint>
+
+#include "isagrid/pcu.hh"
+
+namespace isagrid {
+
+/** Sizing of the trusted-memory carve-up. */
+struct DomainManagerConfig
+{
+    Addr tmem_base = 0;           //!< power-of-two aligned
+    Addr tmem_size = 64 * 1024;   //!< power-of-two sized
+    std::uint32_t max_domains = 64;
+    std::uint32_t max_gates = 128;
+    std::uint64_t trusted_stack_bytes = 4096;
+};
+
+/** The domain-0 runtime (see file comment). */
+class DomainManager
+{
+  public:
+    DomainManager(PrivilegeCheckUnit &pcu, PhysMem &mem,
+                  const DomainManagerConfig &config);
+
+    // --- domain registration ---
+
+    /** Allocate a new domain with no privileges. Returns its id. */
+    DomainId createDomain();
+
+    /** Allocate a new domain pre-granted the ISA's baseline types. */
+    DomainId createBaselineDomain();
+
+    /** Grant execute permission for one instruction type. */
+    void allowInstruction(DomainId domain, InstTypeId type);
+
+    /** Revoke execute permission for one instruction type. */
+    void revokeInstruction(DomainId domain, InstTypeId type);
+
+    /** Grant read permission for a controlled CSR. */
+    void allowCsrRead(DomainId domain, std::uint32_t csr_addr);
+
+    /** Grant full write permission for a controlled CSR. */
+    void allowCsrWrite(DomainId domain, std::uint32_t csr_addr);
+
+    /**
+     * Set the bit-level write mask of a bit-maskable CSR: writes may
+     * change only bits set in @p mask (Section 4.1 equation).
+     */
+    void setCsrMask(DomainId domain, std::uint32_t csr_addr, RegVal mask);
+
+    // --- gate registration ---
+
+    /** Register an unforgeable gate; returns its gate id. */
+    GateId registerGate(Addr gate_addr, Addr dest_addr,
+                        DomainId dest_domain);
+
+    /** Re-point an existing gate (e.g. module reload). */
+    void updateGate(GateId gate, Addr gate_addr, Addr dest_addr,
+                    DomainId dest_domain);
+
+    /**
+     * Flush the privilege caches after (re)configuration, as domain-0
+     * software must (the PCU caches are not snooped).
+     */
+    void publish();
+
+    // --- accessors ---
+
+    std::uint32_t numDomains() const { return nextDomain; }
+    std::uint32_t numGates() const { return nextGate; }
+    Addr instBitmapBase() const { return instBase; }
+    Addr regBitmapBase() const { return regBase; }
+    Addr maskArrayBase() const { return maskBase; }
+    Addr sgtBase() const { return gateBase; }
+    Addr trustedStackBase() const { return stackBase; }
+    Addr trustedStackLimit() const { return stackLimit; }
+
+  private:
+    void checkDomain(DomainId domain) const;
+
+    PrivilegeCheckUnit &pcu;
+    PhysMem &mem;
+    DomainManagerConfig config_;
+
+    Addr instBase = 0;
+    Addr regBase = 0;
+    Addr maskBase = 0;
+    Addr gateBase = 0;
+    Addr stackBase = 0;
+    Addr stackLimit = 0;
+
+    std::uint32_t nextDomain = 1; //!< domain-0 pre-exists
+    std::uint32_t nextGate = 0;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISAGRID_DOMAIN_MANAGER_HH_

@@ -1,0 +1,58 @@
+#include "isagrid/grouped_isa.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+GroupedIsa::GroupedIsa(const IsaModel &inner,
+                       const std::vector<std::vector<InstTypeId>> &groups)
+    : inner(inner), name_(inner.name() + "-grouped")
+{
+    std::uint32_t n = inner.numInstTypes();
+    remap.assign(n, invalidInstType);
+
+    // Grouped types come first, one id per group.
+    std::set<InstTypeId> grouped;
+    for (const auto &group : groups) {
+        ISAGRID_ASSERT(!group.empty(), "empty instruction group%s", "");
+        std::string label = "group{";
+        for (InstTypeId t : group) {
+            ISAGRID_ASSERT(t < n, "type %u out of range", t);
+            ISAGRID_ASSERT(grouped.insert(t).second,
+                           "type %u grouped twice", t);
+            remap[t] = numTypes;
+            label += std::string(inner.instTypeName(t)) + ",";
+        }
+        label.back() = '}';
+        typeNames.push_back(label);
+        ++numTypes;
+    }
+    // Remaining types are re-packed densely.
+    for (InstTypeId t = 0; t < n; ++t) {
+        if (remap[t] == invalidInstType) {
+            remap[t] = numTypes++;
+            typeNames.push_back(inner.instTypeName(t));
+        }
+    }
+}
+
+const char *
+GroupedIsa::instTypeName(InstTypeId type) const
+{
+    ISAGRID_ASSERT(type < numTypes, "type %u", type);
+    return typeNames[type].c_str();
+}
+
+std::vector<InstTypeId>
+GroupedIsa::baselineInstTypes() const
+{
+    std::set<InstTypeId> types;
+    for (InstTypeId t : inner.baselineInstTypes())
+        types.insert(remap[t]);
+    return {types.begin(), types.end()};
+}
+
+} // namespace isagrid

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Coarse-grained instruction grouping (Section 8, "Possible
+ * Simplification").
+ *
+ * For ISA extensions whose instructions are always used together, one
+ * privilege bit can control the whole group, shrinking the instruction
+ * bitmap. GroupedIsa is a decorator over any IsaModel: it maps several
+ * inner instruction types onto one shared *group* type id and re-packs
+ * the remaining types densely. A PCU built over the decorated model
+ * sees the shorter bitmap — the hardware simplification the paper
+ * sketches — while decode/execute semantics pass through unchanged.
+ */
+
+#ifndef ISAGRID_ISAGRID_GROUPED_ISA_HH_
+#define ISAGRID_ISAGRID_GROUPED_ISA_HH_
+
+#include <string>
+#include <vector>
+
+#include "isa/isa_model.hh"
+
+namespace isagrid {
+
+/** Instruction-grouping decorator (see file comment). */
+class GroupedIsa : public IsaModel
+{
+  public:
+    /**
+     * @param inner   the underlying ISA model (not owned)
+     * @param groups  disjoint sets of inner type ids; each set shares
+     *                one privilege bit. Types in no set keep their own.
+     */
+    GroupedIsa(const IsaModel &inner,
+               const std::vector<std::vector<InstTypeId>> &groups);
+
+    const std::string &name() const override { return name_; }
+    unsigned numRegs() const override { return inner.numRegs(); }
+    unsigned maxInstBytes() const override
+    {
+        return inner.maxInstBytes();
+    }
+
+    DecodedInst
+    decode(const std::uint8_t *bytes, std::size_t avail,
+           Addr pc) const override
+    {
+        DecodedInst inst = inner.decode(bytes, avail, pc);
+        if (inst.valid) {
+            // The privilege check sees the group id; execution still
+            // dispatches on the inner id (stashed in subop's sibling
+            // field raw_type).
+            inst.raw_type = inst.type;
+            inst.type = remap[inst.type];
+        }
+        return inst;
+    }
+
+    ExecResult
+    execute(const DecodedInst &inst, ArchState &state) const override
+    {
+        return inner.execute(unmapped(inst), state);
+    }
+
+    RegVal
+    csrNewValue(const DecodedInst &inst, RegVal old_value,
+                RegVal operand) const override
+    {
+        return inner.csrNewValue(inst, old_value, operand);
+    }
+
+    void initState(ArchState &state) const override
+    {
+        inner.initState(state);
+    }
+
+    std::uint32_t numInstTypes() const override { return numTypes; }
+    std::uint32_t numControlledCsrs() const override
+    {
+        return inner.numControlledCsrs();
+    }
+    CsrIndex csrBitmapIndex(std::uint32_t addr) const override
+    {
+        return inner.csrBitmapIndex(addr);
+    }
+    std::uint32_t numMaskableCsrs() const override
+    {
+        return inner.numMaskableCsrs();
+    }
+    CsrIndex csrMaskIndex(std::uint32_t addr) const override
+    {
+        return inner.csrMaskIndex(addr);
+    }
+    bool isGridReg(std::uint32_t addr) const override
+    {
+        return inner.isGridReg(addr);
+    }
+    GridReg gridRegId(std::uint32_t addr) const override
+    {
+        return inner.gridRegId(addr);
+    }
+    std::uint32_t gridRegAddr(GridReg reg) const override
+    {
+        return inner.gridRegAddr(reg);
+    }
+    std::uint32_t ptbrCsrAddr() const override
+    {
+        return inner.ptbrCsrAddr();
+    }
+    bool csrPrivileged(std::uint32_t addr) const override
+    {
+        return inner.csrPrivileged(addr);
+    }
+    bool instPrivileged(const DecodedInst &inst) const override
+    {
+        return inner.instPrivileged(unmapped(inst));
+    }
+    const char *instTypeName(InstTypeId type) const override;
+    std::vector<InstTypeId> baselineInstTypes() const override;
+    Addr takeTrap(ArchState &state, FaultType fault, Addr pc,
+                  RegVal info) const override
+    {
+        return inner.takeTrap(state, fault, pc, info);
+    }
+    Addr trapReturn(ArchState &state) const override
+    {
+        return inner.trapReturn(state);
+    }
+
+    /** The grouped type id an inner type maps to. */
+    InstTypeId groupedType(InstTypeId inner_type) const
+    {
+        return remap[inner_type];
+    }
+
+  private:
+    /** The instruction with its inner (pre-grouping) type restored. */
+    static DecodedInst
+    unmapped(const DecodedInst &inst)
+    {
+        DecodedInst copy = inst;
+        copy.type = inst.raw_type;
+        return copy;
+    }
+
+    const IsaModel &inner;
+    std::string name_;
+    std::vector<InstTypeId> remap;      //!< inner type -> grouped type
+    std::vector<std::string> typeNames; //!< grouped type -> label
+    std::uint32_t numTypes = 0;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISAGRID_GROUPED_ISA_HH_

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * The Privilege Check Unit (PCU) — the hardware unit ISA-Grid adds to
+ * the CPU core (Section 3.3, Figure 3/4).
+ *
+ * The PCU bundles the three engines of the design:
+ *
+ *  - the hybrid-grained privilege check engine (Section 4.1): checks
+ *    every issued instruction against the current domain's instruction
+ *    bitmap and explicit CSR accesses against the register bitmap and
+ *    bit-mask arrays;
+ *  - the unforgeable domain switching engine (Section 4.2): executes
+ *    hccall/hccalls/hcrets against the SGT and the trusted stack,
+ *    enforcing gate properties (i)-(iv);
+ *  - the domain privilege cache (Section 4.3): fully associative LRU
+ *    caches over the HPT and SGT, an instruction-privilege bypass
+ *    register, and software prefetch/flush.
+ *
+ * It also owns the new architectural registers of Table 2 and the
+ * trusted-memory bounds (Section 4.5).
+ *
+ * Timing: check methods return the stall cycles the pipeline must pay.
+ * A privilege-cache hit costs nothing extra; a miss pays a data-path
+ * memory access for the HPT/SGT fill.
+ */
+
+#ifndef ISAGRID_ISAGRID_PCU_HH_
+#define ISAGRID_ISAGRID_PCU_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "isagrid/hpt.hh"
+#include "isagrid/pcu_cache.hh"
+#include "isagrid/sgt.hh"
+#include "mem/cache.hh"
+#include "mem/phys_mem.hh"
+#include "mem/trusted_memory.hh"
+#include "sim/stats.hh"
+
+namespace isagrid {
+
+/** Cache/bypass configuration (the 16E. / 8E. / 8E.N of Section 7). */
+struct PcuConfig
+{
+    std::uint32_t hpt_cache_entries = 8; //!< per HPT cache (3 caches)
+    std::uint32_t sgt_cache_entries = 8; //!< 0 disables the SGT cache
+    bool bypass_enabled = true; //!< instruction privilege register
+    /** Memory latency charged per fill when no hierarchy is attached. */
+    Cycle fallback_fill_latency = 100;
+    /**
+     * Draco-style legal-instruction cache (Section 8, "Cache
+     * Optimization"): caches (domain, pc) pairs whose instruction
+     * check passed, skipping the check logic entirely on a hit.
+     * Value-dependent checks (CSR operands, gates) are never cached.
+     * 0 disables it (the paper's prototypes do not include it).
+     */
+    std::uint32_t legal_cache_entries = 0;
+    /**
+     * Unified HPT cache (Section 4.3): one fully associative array of
+     * 3 * hpt_cache_entries entries shared by the instruction-bitmap,
+     * register-bitmap and bit-mask structures, with an entry-type
+     * field in the tag. May improve the overall hit rate at the cost
+     * of hardware complexity; the paper's prototypes use three
+     * separate caches (the default here).
+     */
+    bool unified_hpt_cache = false;
+
+    /** The paper's three evaluated configurations. */
+    static PcuConfig config16E() { return {16, 16, true, 100, 0}; }
+    static PcuConfig config8E() { return {8, 8, true, 100, 0}; }
+    static PcuConfig config8EN() { return {8, 0, true, 100, 0}; }
+};
+
+/** Outcome of a privilege check. */
+struct CheckOutcome
+{
+    bool allowed = false;
+    FaultType fault = FaultType::None;
+    Cycle stall = 0; //!< extra cycles (HPT fills on cache miss)
+};
+
+/** Outcome of a gate instruction. */
+struct GateOutcome
+{
+    bool ok = false;
+    FaultType fault = FaultType::None;
+    Addr dest_pc = 0;
+    DomainId dest_domain = 0;
+    Cycle stall = 0; //!< SGT fill + trusted-stack traffic
+};
+
+/** Identifiers accepted by pflh (Table 2). */
+enum class PcuBuffer : std::uint64_t
+{
+    All = 0, InstCache = 1, RegCache = 2, MaskCache = 3, SgtCache = 4,
+};
+
+/** The Privilege Check Unit (see file comment). */
+class PrivilegeCheckUnit
+{
+  public:
+    /**
+     * @param isa     ISA model supplying the Section 4.1 mappings
+     * @param mem     guest physical memory holding HPT/SGT
+     * @param config  cache configuration
+     * @param timing  optional data-path hierarchy for fill latency
+     */
+    PrivilegeCheckUnit(const IsaModel &isa, PhysMem &mem,
+                       const PcuConfig &config,
+                       CacheHierarchy *timing = nullptr);
+
+    // --- domain state ---
+
+    DomainId currentDomain() const { return gridRegs[idx(GridReg::Domain)]; }
+    DomainId previousDomain() const
+    {
+        return gridRegs[idx(GridReg::PDomain)];
+    }
+
+    /** Processor reset: back to domain-0 with all privileges. */
+    void reset();
+
+    // --- hybrid-grained privilege check engine (Section 4.1) ---
+
+    /** Check execute permission of one instruction type. */
+    CheckOutcome checkInstruction(InstTypeId type);
+
+    /**
+     * Instruction check with the legal-instruction cache consulted
+     * first (Section 8). @p cacheable must be false for instructions
+     * whose legality depends on runtime values (explicit CSR accesses,
+     * gates); their full checks always run.
+     */
+    CheckOutcome checkInstructionAt(InstTypeId type, Addr pc,
+                                    bool cacheable);
+
+    /** Check read permission of an explicitly accessed CSR. */
+    CheckOutcome checkCsrRead(std::uint32_t csr_addr);
+
+    /**
+     * Check write permission of an explicitly accessed CSR. For
+     * bit-maskable CSRs a set write bit grants the full write and an
+     * unset one defers to the bit-mask equation
+     * (V_csr ^ V_write) & ~M == 0.
+     */
+    CheckOutcome checkCsrWrite(std::uint32_t csr_addr, RegVal old_value,
+                               RegVal new_value);
+
+    // --- unforgeable domain switching engine (Section 4.2) ---
+
+    /**
+     * Execute hccall/hccalls.
+     * @param gate       gate id from the operand register
+     * @param gate_pc    runtime address of the gate instruction
+     * @param extended   true for hccalls (pushes the trusted stack)
+     * @param return_pc  pushed return address (hccalls only)
+     */
+    GateOutcome gateCall(GateId gate, Addr gate_pc, bool extended,
+                         Addr return_pc = 0);
+
+    /** Execute hcrets (pops the trusted stack; never re-enters domain-0). */
+    GateOutcome gateReturn();
+
+    // --- domain privilege cache management (Section 4.3 / Table 2) ---
+
+    /** pfch: pre-fill CSR bitmap/mask entries (0 selects all CSRs). */
+    Cycle prefetch(std::uint64_t csr_selector);
+
+    /** pflh: invalidate privilege-cache buffers. */
+    void flushBuffers(PcuBuffer buffer);
+
+    // --- ISA-Grid architectural registers (Table 2) ---
+
+    /**
+     * CSR-instruction read of an ISA-Grid register. domain/pdomain are
+     * readable from any domain; everything else is domain-0 only.
+     */
+    CheckOutcome readGridReg(GridReg reg, RegVal &value) const;
+
+    /**
+     * CSR-instruction write of an ISA-Grid register: domain-0 only,
+     * and never domain/pdomain (only the switching engine moves them).
+     */
+    CheckOutcome writeGridReg(GridReg reg, RegVal value);
+
+    /** Raw register value (host-side configuration/tests). */
+    RegVal gridReg(GridReg reg) const { return gridRegs[idx(reg)]; }
+
+    /** Raw register update (host-side configuration; no checks). */
+    void setGridReg(GridReg reg, RegVal value);
+
+    // --- trusted memory (Section 4.5) ---
+
+    const TrustedMemory &trustedMemory() const { return tmem; }
+
+    /** May a software load/store touch [addr, addr+size)? */
+    bool
+    memoryAccessAllowed(Addr addr, std::size_t size) const
+    {
+        return tmem.softwareAccessAllowed(currentDomain(), addr, size);
+    }
+
+    // --- introspection ---
+
+    const HptLayout &layout() const { return hpt; }
+    const PcuConfig &config() const { return config_; }
+    const IsaModel &isa() const { return isa_; }
+    StatGroup &stats() { return statGroup; }
+
+    PcuCache<std::uint64_t> &instCache() { return instBitmapCache; }
+    PcuCache<std::uint64_t> &regCache() { return regBitmapCache; }
+    PcuCache<std::uint64_t> &maskCache() { return bitMaskCache; }
+    PcuCache<SgtEntry> &sgtCache() { return sgtCache_; }
+    PcuCache<std::uint8_t> &legalCache() { return legalCache_; }
+
+    std::uint64_t switches() const { return switchCount.value(); }
+    std::uint64_t faults() const { return faultCount.value(); }
+    std::uint64_t bypassChecks() const { return bypassCheckCount.value(); }
+
+  private:
+    static constexpr std::size_t idx(GridReg r)
+    {
+        return static_cast<std::size_t>(r);
+    }
+
+    /** HPT structure kinds (the unified cache's entry-type field). */
+    enum class HptKind : std::uint64_t
+    {
+        InstBitmap = 1, RegBitmap = 2, BitMask = 3,
+    };
+
+    /** Cache tag combining domain and structure index. */
+    static std::uint64_t
+    tagOf(DomainId domain, std::uint32_t index)
+    {
+        return (domain << 16) | index;
+    }
+
+    /** The cache serving @p kind (one of three, or the unified one). */
+    PcuCache<std::uint64_t> &hptCacheFor(HptKind kind);
+
+    /** Tag for @p kind: carries the entry type when unified. */
+    std::uint64_t
+    hptTag(HptKind kind, DomainId domain, std::uint32_t index) const
+    {
+        std::uint64_t tag = tagOf(domain, index);
+        if (config_.unified_hpt_cache)
+            tag |= std::uint64_t(kind) << 62;
+        return tag;
+    }
+
+    Cycle fillLatency(Addr addr);
+
+    /** Fetch one HPT word through a privilege cache. */
+    std::uint64_t cachedWord(PcuCache<std::uint64_t> &cache, Addr addr,
+                             std::uint64_t tag, Cycle &stall);
+
+    /** Refill the instruction-privilege bypass register. */
+    Cycle refillBypass();
+
+    void switchDomain(DomainId dest);
+
+    const IsaModel &isa_;
+    PhysMem &mem;
+    PcuConfig config_;
+    CacheHierarchy *timing;
+    HptLayout hpt;
+    TrustedMemory tmem;
+
+    std::array<RegVal, numGridRegs> gridRegs{};
+
+    PcuCache<std::uint64_t> instBitmapCache;
+    PcuCache<std::uint64_t> regBitmapCache;
+    PcuCache<std::uint64_t> bitMaskCache;
+    PcuCache<SgtEntry> sgtCache_;
+    PcuCache<std::uint8_t> legalCache_;
+
+    /** Instruction-privilege register (cache bypass, Section 4.3). */
+    std::vector<std::uint64_t> bypassBitmap;
+    bool bypassValid = false;
+
+    Counter instChecks;
+    Counter csrReadChecks;
+    Counter csrWriteChecks;
+    Counter maskChecks;
+    Counter switchCount;
+    Counter extendedCallCount;
+    Counter faultCount;
+    Counter bypassCheckCount;
+    Counter prefetchFills;
+    StatGroup statGroup;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISAGRID_PCU_HH_

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The domain privilege caches of Section 4.3.
+ *
+ * Fully associative, true-LRU caches used by the PCU for the three HPT
+ * structures and the SGT. Tags carry the domain id, so no flush is
+ * needed on a domain switch. Lookup counting doubles as the dynamic-
+ * energy proxy for the cache-bypass evaluation: a fully associative
+ * lookup compares every entry's tag, so `lookups * entries` CAM
+ * compares is the figure the bypass mechanism reduces.
+ */
+
+#ifndef ISAGRID_ISAGRID_PCU_CACHE_HH_
+#define ISAGRID_ISAGRID_PCU_CACHE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/**
+ * A fully associative LRU cache mapping a 64-bit tag to a payload.
+ * @tparam Payload  entry payload (a 64-bit HPT word or an SgtEntry)
+ */
+template <typename Payload>
+class PcuCache
+{
+  public:
+    PcuCache(std::string name, std::uint32_t num_entries)
+        : name_(std::move(name)), statGroup(name_), entries(num_entries)
+    {
+        statGroup.addCounter("hits", hitCount, "tag matches");
+        statGroup.addCounter("misses", missCount, "fills from memory");
+        statGroup.addCounter("lookups", lookupCount,
+                             "associative searches (energy proxy)");
+        statGroup.addCounter("flushes", flushCount, "pflh invalidations");
+        statGroup.addFormula("hit_rate", [this] {
+            double total = double(hitCount.value() + missCount.value());
+            return total == 0 ? 0.0 : double(hitCount.value()) / total;
+        }, "hits / probes");
+    }
+
+    std::uint32_t numEntries() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    /** Probe; on hit copies payload into @p out. Counts a CAM lookup. */
+    bool
+    lookup(std::uint64_t tag, Payload &out)
+    {
+        ++lookupCount;
+        for (auto &e : entries) {
+            if (e.valid && e.tag == tag) {
+                e.lru = ++lruClock;
+                out = e.payload;
+                ++hitCount;
+                return true;
+            }
+        }
+        ++missCount;
+        return false;
+    }
+
+    /** Probe without stats or LRU update (prefetch presence check). */
+    bool
+    contains(std::uint64_t tag) const
+    {
+        for (const auto &e : entries)
+            if (e.valid && e.tag == tag)
+                return true;
+        return false;
+    }
+
+    /** Insert (or update) an entry, evicting the LRU victim. */
+    void
+    fill(std::uint64_t tag, const Payload &payload)
+    {
+        if (entries.empty())
+            return;
+        Entry *victim = &entries[0];
+        for (auto &e : entries) {
+            if (e.valid && e.tag == tag) { // update in place
+                e.payload = payload;
+                e.lru = ++lruClock;
+                return;
+            }
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lru < victim->lru)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->payload = payload;
+        victim->lru = ++lruClock;
+    }
+
+    /** Invalidate everything (pflh). */
+    void
+    flushAll()
+    {
+        ++flushCount;
+        for (auto &e : entries)
+            e.valid = false;
+    }
+
+    std::uint64_t hits() const { return hitCount.value(); }
+    std::uint64_t misses() const { return missCount.value(); }
+    std::uint64_t lookups() const { return lookupCount.value(); }
+
+    /** Total CAM tag compares performed (energy proxy). */
+    std::uint64_t camCompares() const
+    {
+        return lookupCount.value() * entries.size();
+    }
+
+    StatGroup &stats() { return statGroup; }
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        Payload payload{};
+    };
+
+    std::string name_;
+    Counter hitCount;
+    Counter missCount;
+    Counter lookupCount;
+    Counter flushCount;
+    StatGroup statGroup;
+    std::vector<Entry> entries;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISAGRID_PCU_CACHE_HH_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Switching Gate Table (SGT) of Section 4.2.
+ *
+ * Each entry registers one legal domain switch: the address the gate
+ * instruction must execute at, the destination address control flow is
+ * redirected to, and the destination domain. The entry index is the
+ * gate id presented by hccall/hccalls at runtime. The table lives in
+ * trusted memory at the address held in the gate-addr register.
+ */
+
+#ifndef ISAGRID_ISAGRID_SGT_HH_
+#define ISAGRID_ISAGRID_SGT_HH_
+
+#include <cstdint>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** One registered gate (24 bytes in memory). */
+struct SgtEntry
+{
+    Addr gate_addr = 0;    //!< the only PC this gate may execute at
+    Addr dest_addr = 0;    //!< where control flow lands
+    DomainId dest_domain = 0;
+
+    static constexpr std::uint64_t sizeBytes = 24;
+
+    bool operator==(const SgtEntry &) const = default;
+};
+
+/** Address of entry @p gate in the in-memory table. */
+inline Addr
+sgtEntryAddr(Addr table_base, GateId gate)
+{
+    return table_base + gate * SgtEntry::sizeBytes;
+}
+
+/** Read entry @p gate from guest memory. */
+inline SgtEntry
+sgtRead(const PhysMem &mem, Addr table_base, GateId gate)
+{
+    Addr a = sgtEntryAddr(table_base, gate);
+    return {mem.read64(a), mem.read64(a + 8), mem.read64(a + 16)};
+}
+
+/** Write entry @p gate to guest memory (domain-0 configuration). */
+inline void
+sgtWrite(PhysMem &mem, Addr table_base, GateId gate, const SgtEntry &entry)
+{
+    Addr a = sgtEntryAddr(table_base, gate);
+    mem.write64(a, entry.gate_addr);
+    mem.write64(a + 8, entry.dest_addr);
+    mem.write64(a + 16, entry.dest_domain);
+}
+
+} // namespace isagrid
+
+#endif // ISAGRID_ISAGRID_SGT_HH_

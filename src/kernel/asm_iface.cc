@@ -1,0 +1,369 @@
+#include "kernel/asm_iface.hh"
+
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/opcodes.hh"
+#include "isa/x86/assembler.hh"
+#include "isa/x86/opcodes.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+namespace {
+
+/** RV64 flavour of the facade. */
+class RiscvIface : public AsmIface
+{
+  public:
+    explicit RiscvIface(Addr base) : a(base) {}
+
+    Addr here() const override { return a.here(); }
+    Label newLabel() override { return a.newLabel(); }
+    void bind(Label l) override { a.bind(l); }
+    Addr labelAddr(Label l) const override { return a.labelAddr(l); }
+
+    unsigned regArg(unsigned i) const override
+    {
+        ISAGRID_ASSERT(i < 6, "arg %u", i);
+        return 10 + i; // a0..a5
+    }
+    unsigned regTmp(unsigned i) const override
+    {
+        static constexpr unsigned tmps[5] = {5, 6, 7, 28, 29};
+        ISAGRID_ASSERT(i < 5, "tmp %u", i);
+        return tmps[i];
+    }
+    unsigned regUser(unsigned i) const override
+    {
+        static constexpr unsigned users[4] = {8, 9, 18, 19};
+        ISAGRID_ASSERT(i < 4, "user %u", i);
+        return users[i];
+    }
+    unsigned regGate() const override { return 30; }
+    unsigned regSp() const override { return 2; }
+
+    void li(unsigned rd, std::uint64_t v) override { a.li(rd, v); }
+    void mov(unsigned rd, unsigned rs) override { a.addi(rd, rs, 0); }
+    void add(unsigned rd, unsigned rs) override { a.add(rd, rd, rs); }
+    void sub(unsigned rd, unsigned rs) override { a.sub(rd, rd, rs); }
+    void xor_(unsigned rd, unsigned rs) override { a.xor_(rd, rd, rs); }
+    void and_(unsigned rd, unsigned rs) override { a.and_(rd, rd, rs); }
+    void or_(unsigned rd, unsigned rs) override { a.or_(rd, rd, rs); }
+    void mul(unsigned rd, unsigned rs) override { a.mul(rd, rd, rs); }
+    void addi(unsigned rd, std::int32_t imm) override
+    {
+        a.addi(rd, rd, imm);
+    }
+    void shli(unsigned rd, unsigned c) override { a.slli(rd, rd, c); }
+    void shri(unsigned rd, unsigned c) override { a.srli(rd, rd, c); }
+    void load64(unsigned rd, unsigned b, std::int32_t d) override
+    {
+        a.ld(rd, b, d);
+    }
+    void store64(unsigned rs, unsigned b, std::int32_t d) override
+    {
+        a.sd(rs, b, d);
+    }
+    void load8(unsigned rd, unsigned b, std::int32_t d) override
+    {
+        a.lbu(rd, b, d);
+    }
+    void store8(unsigned rs, unsigned b, std::int32_t d) override
+    {
+        a.sb(rs, b, d);
+    }
+
+    void jmp(Label t) override { a.j(t); }
+    void beqz(unsigned r, Label t) override { a.beq(r, 0, t); }
+    void bnez(unsigned r, Label t) override { a.bne(r, 0, t); }
+    void bne(unsigned ra, unsigned rb, Label t) override
+    {
+        a.bne(ra, rb, t);
+    }
+    void loopDec(unsigned rd, Label t) override
+    {
+        a.addi(rd, rd, -1);
+        a.bne(rd, 0, t);
+    }
+    void jmpAbs(Addr target, unsigned tmp) override
+    {
+        a.li(tmp, target);
+        a.jalr(0, tmp, 0);
+    }
+    void jmpReg(unsigned reg) override { a.jalr(0, reg, 0); }
+    void call(Label t) override { a.jal(1, t); }
+    void callAbs(Addr target, unsigned tmp) override
+    {
+        a.li(tmp, target);
+        a.jalr(1, tmp, 0);
+    }
+    void ret() override { a.jalr(0, 1, 0); }
+
+    void csrRead(unsigned rd, std::uint32_t csr) override
+    {
+        a.csrr(rd, csr);
+    }
+    void csrWrite(std::uint32_t csr, unsigned rs) override
+    {
+        a.csrw(csr, rs);
+    }
+
+    void syscallInst() override { a.ecall(); }
+    void trapRet() override { a.sret(); }
+    std::uint32_t trapVecCsr() const override { return riscv::CSR_STVEC; }
+    std::uint32_t trapCauseCsr() const override
+    {
+        return riscv::CSR_SCAUSE;
+    }
+    std::uint32_t trapEpcCsr() const override { return riscv::CSR_SEPC; }
+    std::uint64_t syscallCause() const override
+    {
+        return riscv::CAUSE_ECALL_FROM_U;
+    }
+    std::uint64_t timerCause() const override
+    {
+        return riscv::causeTimer;
+    }
+    void setTrapRetToUser() override
+    {
+        // Clear sstatus.SPP so sret drops to user mode. A CSR write:
+        // the kernel domain needs the SPP mask bit.
+        a.li(regArg(5), riscv::SSTATUS_SPP);
+        a.csrrc(0, riscv::CSR_SSTATUS, regArg(5));
+    }
+
+    void flushTlb() override { a.sfenceVma(); }
+
+    void hccall(unsigned r) override { a.hccall(r); }
+    void hccalls(unsigned r) override { a.hccalls(r); }
+    void hcrets() override { a.hcrets(); }
+    void pfch(unsigned r) override { a.pfch(r); }
+    void pflh(unsigned r) override { a.pflh(r); }
+
+    void halt(unsigned r) override { a.halt(r); }
+    void simmark(unsigned r) override { a.simmark(r); }
+    void cpuid() override { a.csrrs(regArg(4), riscv::CSR_TIME, 0); }
+    bool isX86() const override { return false; }
+    void rawBytes(const std::vector<std::uint8_t> &bytes) override
+    {
+        a.rawBytes(bytes);
+    }
+
+    std::uint32_t gridRegCsr(GridReg reg) const override
+    {
+        return riscv::CSR_GRID_BASE + static_cast<std::uint32_t>(reg);
+    }
+    std::uint32_t ptbrCsr() const override { return riscv::CSR_SATP; }
+
+    void loadInto(PhysMem &mem) override { a.loadInto(mem); }
+
+  private:
+    riscv::RiscvAsm a;
+};
+
+/** x86 flavour of the facade. */
+class X86Iface : public AsmIface
+{
+  public:
+    explicit X86Iface(Addr base) : a(base) {}
+
+    Addr here() const override { return a.here(); }
+    Label newLabel() override { return a.newLabel(); }
+    void bind(Label l) override { a.bind(l); }
+    Addr labelAddr(Label l) const override { return a.labelAddr(l); }
+
+    unsigned regArg(unsigned i) const override
+    {
+        static constexpr unsigned args[6] = {
+            x86::RDI, x86::RSI, x86::RDX, x86::R10, x86::RAX, x86::RCX};
+        ISAGRID_ASSERT(i < 6, "arg %u", i);
+        return args[i];
+    }
+    unsigned regTmp(unsigned i) const override
+    {
+        static constexpr unsigned tmps[5] = {
+            x86::R8, x86::R9, x86::R11, x86::R12, x86::RBX};
+        ISAGRID_ASSERT(i < 5, "tmp %u", i);
+        return tmps[i];
+    }
+    unsigned regUser(unsigned i) const override
+    {
+        static constexpr unsigned users[4] = {
+            x86::RBP, x86::R13, x86::R14, x86::R15};
+        ISAGRID_ASSERT(i < 4, "user %u", i);
+        return users[i];
+    }
+    unsigned regGate() const override { return x86::RCX; }
+    unsigned regSp() const override { return x86::RSP; }
+
+    void li(unsigned rd, std::uint64_t v) override { a.movImm(rd, v); }
+    void mov(unsigned rd, unsigned rs) override { a.mov(rd, rs); }
+    void add(unsigned rd, unsigned rs) override { a.add(rd, rs); }
+    void sub(unsigned rd, unsigned rs) override { a.sub(rd, rs); }
+    void xor_(unsigned rd, unsigned rs) override { a.xor_(rd, rs); }
+    void and_(unsigned rd, unsigned rs) override { a.and_(rd, rs); }
+    void or_(unsigned rd, unsigned rs) override { a.or_(rd, rs); }
+    void mul(unsigned rd, unsigned rs) override { a.imul(rd, rs); }
+    void addi(unsigned rd, std::int32_t imm) override { a.addi(rd, imm); }
+    void shli(unsigned rd, unsigned c) override { a.shl(rd, c); }
+    void shri(unsigned rd, unsigned c) override { a.shr(rd, c); }
+    void load64(unsigned rd, unsigned b, std::int32_t d) override
+    {
+        a.load64(rd, b, d);
+    }
+    void store64(unsigned rs, unsigned b, std::int32_t d) override
+    {
+        a.store64(rs, b, d);
+    }
+    void load8(unsigned rd, unsigned b, std::int32_t d) override
+    {
+        a.load8(rd, b, d);
+    }
+    void store8(unsigned rs, unsigned b, std::int32_t d) override
+    {
+        a.store8(rs, b, d);
+    }
+
+    void jmp(Label t) override { a.jmp(t); }
+    void beqz(unsigned r, Label t) override
+    {
+        a.or_(r, r); // value unchanged, ZF updated
+        a.jz(t);
+    }
+    void bnez(unsigned r, Label t) override
+    {
+        a.or_(r, r);
+        a.jnz(t);
+    }
+    void bne(unsigned ra, unsigned rb, Label t) override
+    {
+        a.cmp(ra, rb);
+        a.jnz(t);
+    }
+    void loopDec(unsigned rd, Label t) override
+    {
+        a.addi(rd, -1); // updates ZF
+        a.jnz(t);
+    }
+    void jmpAbs(Addr target, unsigned tmp) override
+    {
+        a.movImm(tmp, target);
+        a.jmpReg(tmp);
+    }
+    void jmpReg(unsigned reg) override { a.jmpReg(reg); }
+    void call(Label t) override { a.call(t); }
+    void callAbs(Addr target, unsigned tmp) override
+    {
+        a.movImm(tmp, target);
+        a.callReg(tmp);
+    }
+    void ret() override { a.ret(); }
+
+    void csrRead(unsigned rd, std::uint32_t csr) override
+    {
+        using namespace x86;
+        if (csr >= CSR_CR0 && csr <= CSR_CR8) {
+            a.movFromCr(rd, csr - CSR_CR0);
+        } else if (csr >= CSR_DR_BASE && csr < CSR_DR_BASE + 8) {
+            a.movFromDr(rd, csr - CSR_DR_BASE);
+        } else if (csr == CSR_PKRU) {
+            a.rdpkru(rd);
+        } else {
+            a.movImm(RCX, csr);
+            a.rdmsr();
+            if (rd != RAX)
+                a.mov(rd, RAX);
+        }
+    }
+    void csrWrite(std::uint32_t csr, unsigned rs) override
+    {
+        using namespace x86;
+        if (csr >= CSR_CR0 && csr <= CSR_CR8) {
+            a.movToCr(csr - CSR_CR0, rs);
+        } else if (csr >= CSR_DR_BASE && csr < CSR_DR_BASE + 8) {
+            a.movToDr(csr - CSR_DR_BASE, rs);
+        } else if (csr == CSR_PKRU) {
+            a.wrpkru(rs);
+        } else if (csr == CSR_IDTR) {
+            a.lidt(rs);
+        } else if (csr == CSR_GDTR) {
+            a.lgdt(rs);
+        } else if (csr == CSR_LDTR) {
+            a.lldt(rs);
+        } else {
+            if (rs != RAX)
+                a.mov(RAX, rs);
+            a.movImm(RCX, csr);
+            a.wrmsr();
+        }
+    }
+
+    void syscallInst() override { a.syscall(); }
+    void trapRet() override { a.iretq(); }
+    std::uint32_t trapVecCsr() const override { return x86::CSR_IDTR; }
+    std::uint32_t trapCauseCsr() const override
+    {
+        return x86::CSR_TRAP_CAUSE;
+    }
+    std::uint32_t trapEpcCsr() const override
+    {
+        return x86::CSR_TRAP_RIP;
+    }
+    std::uint64_t syscallCause() const override
+    {
+        return x86::VEC_SYSCALL;
+    }
+    std::uint64_t timerCause() const override
+    {
+        return x86::VEC_TIMER;
+    }
+    void setTrapRetToUser() override
+    {
+        a.movImm(x86::RAX, 0);
+        a.movImm(x86::RCX, x86::CSR_TRAP_MODE);
+        a.wrmsr();
+    }
+
+    void flushTlb() override { a.invlpg(regArg(1)); }
+
+    void hccall(unsigned r) override { a.hccall(r); }
+    void hccalls(unsigned r) override { a.hccalls(r); }
+    void hcrets() override { a.hcrets(); }
+    void pfch(unsigned r) override { a.pfch(r); }
+    void pflh(unsigned r) override { a.pflh(r); }
+
+    void halt(unsigned r) override { a.halt(r); }
+    void simmark(unsigned r) override { a.simmark(r); }
+    void cpuid() override { a.cpuid(); }
+    bool isX86() const override { return true; }
+    void rawBytes(const std::vector<std::uint8_t> &bytes) override
+    {
+        a.rawBytes(bytes);
+    }
+
+    std::uint32_t gridRegCsr(GridReg reg) const override
+    {
+        return x86::MSR_GRID_BASE + static_cast<std::uint32_t>(reg);
+    }
+    std::uint32_t ptbrCsr() const override { return x86::CSR_CR3; }
+
+    void loadInto(PhysMem &mem) override { a.loadInto(mem); }
+
+  private:
+    x86::X86Asm a;
+};
+
+} // namespace
+
+std::unique_ptr<AsmIface>
+makeRiscvAsm(Addr base)
+{
+    return std::make_unique<RiscvIface>(base);
+}
+
+std::unique_ptr<AsmIface>
+makeX86Asm(Addr base)
+{
+    return std::make_unique<X86Iface>(base);
+}
+
+} // namespace isagrid

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * ISA-neutral assembler facade.
+ *
+ * The mini-kernel, the workload generators and the attack payloads are
+ * written once against this interface and materialize as real RV64 or
+ * x86-like machine code. The facade exposes a small register
+ * convention instead of raw register numbers:
+ *
+ *   - regArg(i), i in [0,5]: argument/syscall ABI registers; the
+ *     syscall number and return value travel in regArg(0)
+ *   - regTmp(i), i in [0,4]: kernel-side scratch registers
+ *   - regUser(i), i in [0,3]: user-side working registers the kernel
+ *     never touches (static partitioning instead of a full trap frame;
+ *     the kernel still saves/restores its own set to memory on entry
+ *     so the memory traffic of a real trap path is modelled)
+ *   - regGate(): register conventionally holding gate ids
+ *   - regSp(): stack pointer (x86 call/ret pushes through it)
+ *
+ * csrRead/csrWrite dispatch to the right instruction form per ISA
+ * (csrr/csrw vs rdmsr/wrmsr/mov-cr/mov-dr/lidt/wrpkru) and clobber
+ * regArg(4) and regArg(5).
+ */
+
+#ifndef ISAGRID_KERNEL_ASM_IFACE_HH_
+#define ISAGRID_KERNEL_ASM_IFACE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/grid_regs.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+class PhysMem;
+
+/** ISA-neutral code emitter (see file comment). */
+class AsmIface
+{
+  public:
+    using Label = std::size_t;
+
+    virtual ~AsmIface() = default;
+
+    // --- positions and labels ---
+    virtual Addr here() const = 0;
+    virtual Label newLabel() = 0;
+    virtual void bind(Label label) = 0;
+    virtual Addr labelAddr(Label label) const = 0;
+
+    // --- register convention ---
+    virtual unsigned regArg(unsigned i) const = 0;   //!< i in [0,5]
+    virtual unsigned regTmp(unsigned i) const = 0;   //!< i in [0,4]
+    virtual unsigned regUser(unsigned i) const = 0;  //!< i in [0,3]
+    virtual unsigned regGate() const = 0;
+    virtual unsigned regSp() const = 0;
+
+    // --- data movement / arithmetic ---
+    virtual void li(unsigned rd, std::uint64_t value) = 0;
+    virtual void mov(unsigned rd, unsigned rs) = 0;
+    virtual void add(unsigned rd, unsigned rs) = 0;     //!< rd += rs
+    virtual void sub(unsigned rd, unsigned rs) = 0;     //!< rd -= rs
+    virtual void xor_(unsigned rd, unsigned rs) = 0;
+    virtual void and_(unsigned rd, unsigned rs) = 0;
+    virtual void or_(unsigned rd, unsigned rs) = 0;
+    virtual void mul(unsigned rd, unsigned rs) = 0;
+    virtual void addi(unsigned rd, std::int32_t imm) = 0;
+    virtual void shli(unsigned rd, unsigned count) = 0;
+    virtual void shri(unsigned rd, unsigned count) = 0;
+    virtual void load64(unsigned rd, unsigned base, std::int32_t d) = 0;
+    virtual void store64(unsigned rs, unsigned base, std::int32_t d) = 0;
+    virtual void load8(unsigned rd, unsigned base, std::int32_t d) = 0;
+    virtual void store8(unsigned rs, unsigned base, std::int32_t d) = 0;
+
+    // --- control flow ---
+    virtual void jmp(Label target) = 0;
+    virtual void beqz(unsigned reg, Label target) = 0;
+    virtual void bnez(unsigned reg, Label target) = 0;
+    /** Branch if ra != rb (may clobber regTmp(7)). */
+    virtual void bne(unsigned ra, unsigned rb, Label target) = 0;
+    /** rd -= 1; branch to target if rd != 0 (loop back edge). */
+    virtual void loopDec(unsigned rd, Label target) = 0;
+    /** Jump to an absolute address using @p tmp as scratch. */
+    virtual void jmpAbs(Addr target, unsigned tmp) = 0;
+    /** Jump to the address in @p reg. */
+    virtual void jmpReg(unsigned reg) = 0;
+    /** Call a label; return lands after this sequence. */
+    virtual void call(Label target) = 0;
+    /** Call an absolute address using @p tmp as scratch. */
+    virtual void callAbs(Addr target, unsigned tmp) = 0;
+    virtual void ret() = 0;
+
+    // --- CSR access (dispatches per ISA; see clobber note above) ---
+    virtual void csrRead(unsigned rd, std::uint32_t csr) = 0;
+    virtual void csrWrite(std::uint32_t csr, unsigned rs) = 0;
+
+    // --- traps ---
+    virtual void syscallInst() = 0;  //!< ecall / syscall
+    virtual void trapRet() = 0;      //!< sret / iretq
+    /** CSR address of the trap vector (stvec / IDTR). */
+    virtual std::uint32_t trapVecCsr() const = 0;
+    /** CSR address of the trap cause (scause / TRAP_CAUSE). */
+    virtual std::uint32_t trapCauseCsr() const = 0;
+    /** CSR address of the saved PC (sepc / TRAP_RIP). */
+    virtual std::uint32_t trapEpcCsr() const = 0;
+    /** Cause value of a syscall trap in this ISA. */
+    virtual std::uint64_t syscallCause() const = 0;
+    /** Cause value of a timer interrupt in this ISA. */
+    virtual std::uint64_t timerCause() const = 0;
+    /** Write "previous mode = user" so trapRet() drops privilege. */
+    virtual void setTrapRetToUser() = 0;
+
+    /**
+     * TLB maintenance after a mapping change: sfence.vma on RISC-V,
+     * invlpg of the address in regArg(1) on x86. Privileged.
+     */
+    virtual void flushTlb() = 0;
+
+    // --- ISA-Grid instructions ---
+    virtual void hccall(unsigned gate_id_reg) = 0;
+    virtual void hccalls(unsigned gate_id_reg) = 0;
+    virtual void hcrets() = 0;
+    virtual void pfch(unsigned sel_reg) = 0;
+    virtual void pflh(unsigned buf_reg) = 0;
+
+    // --- simulation magic ---
+    virtual void halt(unsigned code_reg) = 0;
+    virtual void simmark(unsigned mark_reg) = 0;
+
+    /**
+     * CPU identification (Table 5 service-1): x86 emits cpuid (result
+     * in regArg(4)); RISC-V reads the time CSR as the closest analogue.
+     * Clobbers regArg(4) and regArg(5).
+     */
+    virtual void cpuid() = 0;
+
+    /** True for the x86-like flavour (ISA-specific kernel grants). */
+    virtual bool isX86() const = 0;
+
+    /**
+     * Emit raw bytes (attack payloads: unintended instructions hidden
+     * inside immediates, hand-crafted encodings).
+     */
+    virtual void rawBytes(const std::vector<std::uint8_t> &bytes) = 0;
+
+    // --- ISA facts ---
+    virtual std::uint32_t gridRegCsr(GridReg reg) const = 0;
+    /** The page-table base register of this ISA (satp / CR3). */
+    virtual std::uint32_t ptbrCsr() const = 0;
+
+    // --- finalize ---
+    virtual void loadInto(PhysMem &mem) = 0;
+};
+
+namespace riscv { class RiscvAsm; }
+namespace x86 { class X86Asm; }
+
+/** Facade over the RV64 assembler. */
+std::unique_ptr<AsmIface> makeRiscvAsm(Addr base);
+
+/** Facade over the x86 assembler. */
+std::unique_ptr<AsmIface> makeX86Asm(Addr base);
+
+} // namespace isagrid
+
+#endif // ISAGRID_KERNEL_ASM_IFACE_HH_

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The mini-kernel builder — the Linux-decomposition substrate of the
+ * paper's use cases (Sections 6.1 and 6.2).
+ *
+ * The builder emits a complete guest kernel (trap entry, syscall
+ * dispatch, the Sys handlers, the Table 5 services and boot code) as
+ * real machine code for either ISA, in one of three protection modes:
+ *
+ *  - Monolithic: the unmodified-kernel baseline. Everything runs in
+ *    domain-0, so the PCU short-circuits every check — exactly the
+ *    behaviour of a core without ISA-Grid restrictions.
+ *  - Decomposed (Section 6.1): the kernel runs in a de-privileged
+ *    basic domain; every function that writes a control register runs
+ *    in its own ISA domain reached through hccalls/hcrets gates (the
+ *    MM domain owns the page-table base register and TLB flushes; each
+ *    Table 5 service owns exactly the MSRs it touches).
+ *  - NestedMonitor (Section 6.2): a nested monitor domain mediates all
+ *    memory-mapping changes, toggling CR0.WP around them; the outer
+ *    kernel can modify no control register except the CR4.SMAP bit.
+ *    The Log variant additionally journals mapping changes to a ring.
+ */
+
+#ifndef ISAGRID_KERNEL_KERNEL_BUILDER_HH_
+#define ISAGRID_KERNEL_KERNEL_BUILDER_HH_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "kernel/asm_iface.hh"
+#include "kernel/layout.hh"
+#include "kernel/syscalls.hh"
+
+namespace isagrid {
+
+/** Protection mode of the built kernel. */
+enum class KernelMode
+{
+    Monolithic,    //!< native baseline (no ISA-Grid restrictions)
+    Decomposed,    //!< Section 6.1 kernel decomposition
+    NestedMonitor, //!< Section 6.2 nested monitor
+};
+
+/** Kernel build options. */
+struct KernelConfig
+{
+    KernelMode mode = KernelMode::Monolithic;
+    bool monitor_log = false;      //!< Nest.Mon.Log variant (Figure 8)
+    bool prefetch_on_entry = false; //!< pfch after each domain switch
+    /**
+     * Page-table isolation: reload the page-table base register and
+     * flush the TLB on every kernel entry and exit (the Table 4
+     * "w/ PTI" syscall row). Monolithic mode only.
+     */
+    bool pti = false;
+    /**
+     * Per-thread trusted stacks (Sections 5.2 / 8, "Extending to User
+     * Space"): each TCB owns a disjoint window of the trusted stack
+     * region; the context-switch path calls into domain-0 — the only
+     * domain that may write hcsp/hcsb/hcsl — to save the outgoing
+     * thread's stack pointer and install the incoming thread's window.
+     * Decomposed/NestedMonitor modes only.
+     */
+    bool per_thread_tstack = false;
+    /**
+     * Preemptive scheduling: a timer interrupt every N cycles drives
+     * the context-switch path from user mode (0 disables). The same
+     * TCB/page-table/trusted-stack switching runs as for the explicit
+     * CtxSwitch syscall.
+     */
+    Cycle timer_interval = 0;
+    /**
+     * Kernel text base (a KASLR slide). Section 5.2: ISA-Grid works
+     * under KASLR because domains and gates are registered *after* the
+     * kernel is loaded, when its addresses are known — exactly what
+     * this builder does.
+     */
+    Addr code_base = layout::kernelCodeBase;
+};
+
+/** Addresses and ids the workloads need to target the built kernel. */
+struct KernelImage
+{
+    Addr boot_pc = 0;        //!< reset vector (runs in domain-0)
+    Addr trap_entry = 0;
+    DomainId kernel_domain = 0;
+    DomainId mm_domain = 0;       //!< or the monitor domain
+    std::map<Sys, DomainId> service_domains;
+    std::uint32_t gates_registered = 0;
+};
+
+/** Emits the mini-kernel into a machine (see file comment). */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(Machine &machine, const KernelConfig &config);
+
+    /**
+     * Build and load the kernel.
+     * @param user_entry  where boot transfers control (user mode)
+     */
+    KernelImage build(Addr user_entry);
+
+  private:
+    struct PendingGate
+    {
+        Addr gate_pc;
+        AsmIface::Label dest;
+        DomainId dest_domain;
+    };
+
+    /** Emit `li(regGate, id); hccalls` and record the registration. */
+    void emitGateCall(AsmIface &a, AsmIface::Label dest,
+                      DomainId dest_domain);
+
+    Machine &machine;
+    KernelConfig config_;
+    KernelImage image;
+    std::vector<PendingGate> pendingGates;
+    bool decomposed() const
+    {
+        return config_.mode != KernelMode::Monolithic;
+    }
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_KERNEL_KERNEL_BUILDER_HH_

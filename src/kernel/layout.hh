@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Guest physical memory map shared by the mini-kernel, the workload
+ * generators and the attack payloads.
+ */
+
+#ifndef ISAGRID_KERNEL_LAYOUT_HH_
+#define ISAGRID_KERNEL_LAYOUT_HH_
+
+#include "sim/types.hh"
+
+namespace isagrid {
+namespace layout {
+
+// --- code ---
+inline constexpr Addr kernelCodeBase = 0x1000;
+inline constexpr Addr userCodeBase = 0x80000;
+
+// --- kernel data ---
+inline constexpr Addr kernelDataBase = 0x40000;
+inline constexpr Addr regSaveArea = kernelDataBase + 0x000;
+inline constexpr Addr faultCount = kernelDataBase + 0x0c0;
+inline constexpr Addr recoveryAddr = kernelDataBase + 0x0c8;
+inline constexpr Addr lastFaultCause = kernelDataBase + 0x0d0;
+inline constexpr Addr fdTable = kernelDataBase + 0x100;      // 16 x 8B
+inline constexpr Addr pipeBuffer = kernelDataBase + 0x200;   // 32 x 8B
+inline constexpr Addr pipeHead = kernelDataBase + 0x300;
+inline constexpr Addr pipeTail = kernelDataBase + 0x308;
+inline constexpr Addr sigHandler = kernelDataBase + 0x400;
+inline constexpr Addr sigSavedEpc = kernelDataBase + 0x408;
+inline constexpr Addr statBuffer = kernelDataBase + 0x500;   // 8 x 8B
+inline constexpr Addr tcbArea = kernelDataBase + 0x600;      // 2 x 64B
+inline constexpr Addr currentTcb = kernelDataBase + 0x700;
+inline constexpr Addr monitorLogBase = kernelDataBase + 0x800; // ring
+inline constexpr Addr monitorLogHead = kernelDataBase + 0x900;
+inline constexpr Addr pageTableArea = kernelDataBase + 0x1000; // 4 KiB
+inline constexpr Addr kernelIoBuffer = kernelDataBase + 0x2000; // 4 KiB
+
+// --- user data ---
+inline constexpr Addr userDataBase = 0x100000;  //!< working sets
+inline constexpr Addr userStackTop = 0x3000000; //!< x86 call stack
+
+inline constexpr unsigned pipeEntries = 32;
+inline constexpr unsigned fdEntries = 16;
+inline constexpr unsigned monitorLogEntries = 32;
+
+} // namespace layout
+} // namespace isagrid
+
+#endif // ISAGRID_KERNEL_LAYOUT_HH_

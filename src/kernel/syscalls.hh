@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The mini-kernel's syscall surface — the operations the lmbench-like
+ * microbenchmarks (Figure 5) and the application profiles (Figures
+ * 6-8) exercise, plus the Table 5 kernel services.
+ */
+
+#ifndef ISAGRID_KERNEL_SYSCALLS_HH_
+#define ISAGRID_KERNEL_SYSCALLS_HH_
+
+#include <cstdint>
+
+namespace isagrid {
+
+/** Syscall numbers (passed in regArg(0)). */
+enum class Sys : std::uint64_t
+{
+    Getpid = 0,   //!< the null syscall
+    Read,         //!< copy from the kernel buffer to user memory
+    Write,        //!< copy from user memory to the kernel buffer
+    Open,         //!< allocate an fd-table slot
+    Close,        //!< release an fd-table slot
+    Stat,         //!< fill a stat record
+    PipeWrite,    //!< enqueue one word
+    PipeRead,     //!< dequeue one word
+    SigInstall,   //!< register a user signal handler
+    SigRaise,     //!< deliver the signal to the handler
+    SigReturn,    //!< return from the handler
+    CtxSwitch,    //!< switch TCBs and the page-table base register
+    MmapTouch,    //!< update PTEs and flush the TLB
+    ServiceCpuid, //!< Table 5 service-1: CPU identification
+    ServiceMtrr,  //!< Table 5 service-2: memory type query
+    ServicePmc0,  //!< Table 5 service-3: interrupt counter
+    ServicePmc1,  //!< Table 5 service-4: iTLB-miss counter
+    NumSyscalls,
+};
+
+inline constexpr std::uint64_t numSyscalls =
+    static_cast<std::uint64_t>(Sys::NumSyscalls);
+
+} // namespace isagrid
+
+#endif // ISAGRID_KERNEL_SYSCALLS_HH_

@@ -1,0 +1,178 @@
+#include "mem/cache.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : params_(params), statGroup(params.name)
+{
+    if (!isPowerOfTwo(params_.line_bytes))
+        fatal("cache %s: line size must be a power of two",
+              params_.name.c_str());
+    std::uint64_t num_lines = params_.size_bytes / params_.line_bytes;
+    if (num_lines == 0 || num_lines % params_.assoc != 0)
+        fatal("cache %s: size/line/assoc combination invalid",
+              params_.name.c_str());
+    numSets = static_cast<std::uint32_t>(num_lines / params_.assoc);
+    if (!isPowerOfTwo(numSets))
+        fatal("cache %s: set count must be a power of two",
+              params_.name.c_str());
+    lines.resize(num_lines);
+
+    statGroup.addCounter("hits", hitCount, "demand hits");
+    statGroup.addCounter("misses", missCount, "demand misses");
+    statGroup.addCounter("writebacks", writebackCount,
+                         "dirty lines evicted");
+    statGroup.addFormula("hit_rate", [this] {
+        double total = double(hitCount.value() + missCount.value());
+        return total == 0 ? 0.0 : double(hitCount.value()) / total;
+    }, "hits / accesses");
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params_.line_bytes) & (numSets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.line_bytes) / numSets;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        const Line &line = lines[set * params_.assoc + way];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+Cache::access(Addr addr, bool is_write, bool &hit)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *victim = nullptr;
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = lines[set * params_.assoc + way];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lruClock;
+            line.dirty = line.dirty || is_write;
+            ++hitCount;
+            hit = true;
+            return params_.hit_latency;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lru < victim->lru)) {
+            victim = &line;
+        }
+    }
+
+    ++missCount;
+    hit = false;
+    if (victim->valid && victim->dirty)
+        ++writebackCount;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++lruClock;
+    return params_.hit_latency;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines) {
+        if (line.valid && line.dirty)
+            ++writebackCount;
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+Cache::flushLine(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = lines[set * params_.assoc + way];
+        if (line.valid && line.tag == tag) {
+            if (line.dirty)
+                ++writebackCount;
+            line.valid = false;
+            line.dirty = false;
+            return;
+        }
+    }
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheParams> &level_params,
+                               Cycle memory_latency)
+    : memLatency(memory_latency), statGroup("hierarchy")
+{
+    for (const auto &p : level_params) {
+        levels.push_back(std::make_unique<Cache>(p));
+        statGroup.addChild(levels.back()->stats());
+    }
+    statGroup.addCounter("mem_accesses", memAccesses,
+                         "accesses reaching main memory");
+}
+
+Cycle
+CacheHierarchy::access(Addr addr, bool is_write)
+{
+    Cycle latency = 0;
+    for (auto &level : levels) {
+        bool hit = false;
+        latency += level->access(addr, is_write, hit);
+        if (hit)
+            return latency;
+    }
+    ++memAccesses;
+    return latency + memLatency;
+}
+
+bool
+CacheHierarchy::l1Contains(Addr addr) const
+{
+    return !levels.empty() && levels.front()->contains(addr);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (auto &level : levels)
+        level->flushAll();
+}
+
+Cycle
+CacheHierarchy::missLatency() const
+{
+    Cycle total = memLatency;
+    for (const auto &level : levels)
+        total += level->params().hit_latency;
+    return total;
+}
+
+} // namespace isagrid

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A set-associative write-back cache timing model.
+ *
+ * The model tracks tags only (data lives in PhysMem); an access returns
+ * the latency it would have taken, including fills from the next level.
+ * This is sufficient for the paper's evaluation, which reports cycle
+ * counts and hit rates rather than data movement.
+ */
+
+#ifndef ISAGRID_MEM_CACHE_HH_
+#define ISAGRID_MEM_CACHE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** Configuration of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t assoc = 4;
+    Cycle hit_latency = 2;
+};
+
+/**
+ * One level of a cache hierarchy with true-LRU replacement.
+ *
+ * access() returns the number of cycles this level adds. On a miss the
+ * caller (CacheHierarchy) recurses into the next level and the line is
+ * filled here.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Look up the line containing addr, filling it on a miss.
+     * @param addr      byte address of the access
+     * @param is_write  marks the line dirty on hit/fill
+     * @param hit       out-parameter: whether this level hit
+     * @return latency contributed by this level (its hit latency)
+     */
+    Cycle access(Addr addr, bool is_write, bool &hit);
+
+    /** Invalidate every line (e.g. wbinvd). */
+    void flushAll();
+
+    /** Invalidate the line containing addr if present. */
+    void flushLine(Addr addr);
+
+    const CacheParams &params() const { return params_; }
+    StatGroup &stats() { return statGroup; }
+
+    std::uint64_t hits() const { return hitCount.value(); }
+    std::uint64_t misses() const { return missCount.value(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0; // larger == more recently used
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint32_t numSets;
+    std::vector<Line> lines; // numSets * assoc
+    std::uint64_t lruClock = 0;
+
+    Counter hitCount;
+    Counter missCount;
+    Counter writebackCount;
+    StatGroup statGroup;
+};
+
+/**
+ * A stack of cache levels in front of main memory.
+ *
+ * access() walks levels from L1 outward, accumulating latency, and
+ * returns the total access latency in cycles.
+ */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param level_params  parameters for each level, innermost first
+     * @param memory_latency cycles for a DRAM access after last-level miss
+     */
+    CacheHierarchy(const std::vector<CacheParams> &level_params,
+                   Cycle memory_latency);
+
+    /** Timed access; returns total latency in cycles. */
+    Cycle access(Addr addr, bool is_write);
+
+    /** Untimed probe of the first level. */
+    bool l1Contains(Addr addr) const;
+
+    /** Invalidate all levels. */
+    void flushAll();
+
+    Cache &level(std::size_t i) { return *levels[i]; }
+    std::size_t numLevels() const { return levels.size(); }
+    Cycle memoryLatency() const { return memLatency; }
+
+    /** Worst-case (all-miss) latency; used for sizing expectations. */
+    Cycle missLatency() const;
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    std::vector<std::unique_ptr<Cache>> levels;
+    Cycle memLatency;
+    Counter memAccesses;
+    StatGroup statGroup;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_MEM_CACHE_HH_

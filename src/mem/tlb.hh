@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A TLB timing model.
+ *
+ * The guest runs physically addressed (the mini-kernel's "page tables"
+ * are synthetic), so the TLB models *timing only*: a set-associative
+ * LRU array of page numbers whose misses charge a page-walk latency.
+ * This gives the kernel's TLB-maintenance instructions (sfence.vma,
+ * invlpg) and address-space switches (satp/CR3 writes) their real
+ * cost: the flush itself is cheap, the refill misses afterwards are
+ * not — the effect the paper's MM-domain traffic ultimately exercises.
+ */
+
+#ifndef ISAGRID_MEM_TLB_HH_
+#define ISAGRID_MEM_TLB_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** TLB geometry and walk cost. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 64;
+    std::uint32_t assoc = 4;
+    std::uint32_t page_bytes = 4096;
+    Cycle walk_latency = 40; //!< charged per miss (page-table walk)
+};
+
+/** Set-associative LRU TLB (see file comment). */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params)
+        : params_(params), statGroup(params.name)
+    {
+        if (params_.entries % params_.assoc != 0)
+            fatal("tlb %s: entries/assoc mismatch",
+                  params_.name.c_str());
+        numSets = params_.entries / params_.assoc;
+        if ((numSets & (numSets - 1)) != 0)
+            fatal("tlb %s: set count must be a power of two",
+                  params_.name.c_str());
+        slots.resize(params_.entries);
+        statGroup.addCounter("hits", hitCount, "translations hit");
+        statGroup.addCounter("misses", missCount, "page walks");
+        statGroup.addCounter("flushes", flushCount,
+                             "full invalidations");
+        statGroup.addFormula("hit_rate", [this] {
+            double total = double(hitCount.value() + missCount.value());
+            return total == 0 ? 0.0
+                              : double(hitCount.value()) / total;
+        });
+    }
+
+    /** Translate (timing only): returns added cycles (0 on hit). */
+    Cycle
+    access(Addr addr)
+    {
+        std::uint64_t vpn = addr / params_.page_bytes;
+        std::uint64_t set = vpn & (numSets - 1);
+        Slot *victim = nullptr;
+        for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+            Slot &slot = slots[set * params_.assoc + way];
+            if (slot.valid && slot.vpn == vpn) {
+                slot.lru = ++lruClock;
+                ++hitCount;
+                return 0;
+            }
+            if (!victim || !slot.valid ||
+                (victim->valid && slot.lru < victim->lru)) {
+                victim = &slot;
+            }
+        }
+        ++missCount;
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->lru = ++lruClock;
+        return params_.walk_latency;
+    }
+
+    /** Full invalidation (sfence.vma / address-space switch). */
+    void
+    flushAll()
+    {
+        ++flushCount;
+        for (auto &slot : slots)
+            slot.valid = false;
+    }
+
+    /** Invalidate one page (invlpg). */
+    void
+    flushPage(Addr addr)
+    {
+        std::uint64_t vpn = addr / params_.page_bytes;
+        std::uint64_t set = vpn & (numSets - 1);
+        for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+            Slot &slot = slots[set * params_.assoc + way];
+            if (slot.valid && slot.vpn == vpn)
+                slot.valid = false;
+        }
+    }
+
+    std::uint64_t hits() const { return hitCount.value(); }
+    std::uint64_t misses() const { return missCount.value(); }
+    const TlbParams &params() const { return params_; }
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t vpn = 0;
+        std::uint64_t lru = 0;
+    };
+
+    TlbParams params_;
+    std::uint32_t numSets = 1;
+    std::vector<Slot> slots;
+    std::uint64_t lruClock = 0;
+
+    Counter hitCount;
+    Counter missCount;
+    Counter flushCount;
+    StatGroup statGroup;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_MEM_TLB_HH_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The trusted memory region of Section 4.5.
+ *
+ * A power-of-two sized, aligned physical range reserved for the HPT,
+ * SGT and trusted stack. The range is set in domain-0 via the
+ * tmemb/tmeml registers. Ordinary loads and stores may touch it only
+ * while the core is in domain-0; in every other domain only the PCU may
+ * read it, and software accesses raise a fault.
+ */
+
+#ifndef ISAGRID_MEM_TRUSTED_MEMORY_HH_
+#define ISAGRID_MEM_TRUSTED_MEMORY_HH_
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** Bounds checker for the reserved trusted range. */
+class TrustedMemory
+{
+  public:
+    TrustedMemory() = default;
+
+    /**
+     * Configure the range [base, limit). Only legal from domain-0; the
+     * caller (CSR write path) enforces that. The range must be
+     * power-of-two sized and aligned so the hardware check is a single
+     * mask compare.
+     */
+    void
+    configure(Addr base, Addr limit)
+    {
+        if (limit < base)
+            fatal("trusted memory: limit %#llx below base %#llx",
+                  (unsigned long long)limit, (unsigned long long)base);
+        Addr size = limit - base;
+        if (size != 0) {
+            if ((size & (size - 1)) != 0)
+                fatal("trusted memory: size %#llx not a power of two",
+                      (unsigned long long)size);
+            if ((base & (size - 1)) != 0)
+                fatal("trusted memory: base %#llx not size-aligned",
+                      (unsigned long long)base);
+        }
+        base_ = base;
+        limit_ = limit;
+    }
+
+    Addr base() const { return base_; }
+    Addr limit() const { return limit_; }
+    bool enabled() const { return limit_ > base_; }
+
+    /** Does [addr, addr+len) overlap the trusted range? */
+    bool
+    overlaps(Addr addr, std::size_t len) const
+    {
+        if (!enabled())
+            return false;
+        Addr end = addr + len;
+        return addr < limit_ && end > base_;
+    }
+
+    /**
+     * May a software load/store from @p domain touch [addr, addr+len)?
+     * Domain-0 always may; other domains may only when the access lies
+     * entirely outside the trusted range.
+     */
+    bool
+    softwareAccessAllowed(DomainId domain, Addr addr,
+                          std::size_t len) const
+    {
+        return domain == 0 || !overlaps(addr, len);
+    }
+
+  private:
+    Addr base_ = 0;
+    Addr limit_ = 0;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_MEM_TRUSTED_MEMORY_HH_

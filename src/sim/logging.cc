@@ -1,0 +1,103 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace isagrid {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Inform: tag = "info: "; break;
+      case LogLevel::Warn:   tag = "warn: "; break;
+      case LogLevel::Fatal:  tag = "fatal: "; break;
+      case LogLevel::Panic:  tag = "panic: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+LogSink currentSink = defaultSink;
+LogLevel threshold = LogLevel::Warn;
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (len < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+emit(LogLevel level, const char *fmt, std::va_list args)
+{
+    if (static_cast<int>(level) < static_cast<int>(threshold))
+        return;
+    currentSink(level, vformat(fmt, args));
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink old = currentSink;
+    currentSink = sink ? sink : defaultSink;
+    return old;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    threshold = level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Panic, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+} // namespace isagrid

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 style.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in the
+ *            simulator itself); aborts.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something may be modelled imperfectly but execution can
+ *            continue.
+ * inform() - a purely informative status message.
+ */
+
+#ifndef ISAGRID_SIM_LOGGING_HH_
+#define ISAGRID_SIM_LOGGING_HH_
+
+#include <cstdarg>
+#include <string>
+
+namespace isagrid {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Route all log output through one sink so tests can capture it.
+ * Returns the previously installed sink.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+LogSink setLogSink(LogSink sink);
+
+/** Minimum level that is actually emitted (default: Warn). */
+void setLogThreshold(LogLevel level);
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the given condition holds. */
+#define ISAGRID_ASSERT(cond, fmt, ...)                                     \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::isagrid::panic("assertion '%s' failed: " fmt, #cond,         \
+                             ##__VA_ARGS__);                               \
+    } while (0)
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_LOGGING_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in the simulator draws from a seeded
+ * SplitMix64 stream so that simulations (and therefore tests and
+ * benchmark tables) are bit-reproducible.
+ */
+
+#ifndef ISAGRID_SIM_RANDOM_HH_
+#define ISAGRID_SIM_RANDOM_HH_
+
+#include <cstdint>
+
+namespace isagrid {
+
+/** A SplitMix64 PRNG: tiny state, excellent statistical quality. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability numer/denom. */
+    bool
+    chance(std::uint64_t numer, std::uint64_t denom)
+    {
+        return below(denom) < numer;
+    }
+
+    /** Floating draw in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_RANDOM_HH_

@@ -1,0 +1,44 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace isagrid {
+
+void
+StatGroup::collect(const std::string &prefix,
+                   std::map<std::string, const Entry *> &out) const
+{
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : entries_)
+        out.emplace(base + "." + e.name, &e);
+    for (const auto *child : children_)
+        child->collect(base, out);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::map<std::string, const Entry *> all;
+    collect(prefix, all);
+    for (const auto &[name, entry] : all) {
+        os << std::left << std::setw(48) << name << " "
+           << std::right << std::setw(16) << entry->value();
+        if (!entry->desc.empty())
+            os << "  # " << entry->desc;
+        os << "\n";
+    }
+}
+
+double
+StatGroup::lookup(const std::string &dotted) const
+{
+    std::map<std::string, const Entry *> all;
+    collect("", all);
+    auto it = all.find(dotted);
+    if (it == all.end())
+        return std::nan("");
+    return it->second->value();
+}
+
+} // namespace isagrid

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Statistics are registered with a StatGroup which can render them as a
+ * sorted name/value table. Scalar counters are plain uint64 with helper
+ * arithmetic; Formula produces derived values (e.g. hit rates) lazily at
+ * dump time.
+ */
+
+#ifndef ISAGRID_SIM_STATS_HH_
+#define ISAGRID_SIM_STATS_HH_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace isagrid {
+
+class StatGroup;
+
+/** A monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of statistics. Groups can nest; dump() renders the
+ * whole subtree with dotted names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under this group. Counter must outlive group. */
+    void
+    addCounter(const std::string &name, const Counter &counter,
+               const std::string &desc = "")
+    {
+        entries_.push_back({name, desc,
+                            [&counter] { return double(counter.value()); }});
+    }
+
+    /** Register a derived value computed at dump time. */
+    void
+    addFormula(const std::string &name, std::function<double()> fn,
+               const std::string &desc = "")
+    {
+        entries_.push_back({name, desc, std::move(fn)});
+    }
+
+    /** Attach a child group (not owned). */
+    void addChild(StatGroup &child) { children_.push_back(&child); }
+
+    const std::string &name() const { return name_; }
+
+    /** Render "prefix.name  value  # desc" lines for this subtree. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Fetch a dumped value by dotted name; NaN when absent. */
+    double lookup(const std::string &dotted) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> value;
+    };
+
+    void collect(const std::string &prefix,
+                 std::map<std::string, const Entry *> &out) const;
+
+    std::string name_;
+    std::vector<Entry> entries_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_STATS_HH_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef ISAGRID_SIM_TYPES_HH_
+#define ISAGRID_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace isagrid {
+
+/** A physical (guest) memory address. */
+using Addr = std::uint64_t;
+
+/** A count of CPU clock cycles. */
+using Cycle = std::uint64_t;
+
+/** An architectural 64-bit register value. */
+using RegVal = std::uint64_t;
+
+/** Identifier of an ISA domain (the paper allows up to 2^64 domains). */
+using DomainId = std::uint64_t;
+
+/** Index of an entry in the switching gate table. */
+using GateId = std::uint64_t;
+
+/**
+ * Dense index identifying an instruction *type* for the instruction
+ * bitmap (the opcode-to-bitmap-index hardware mapping of Section 4.1).
+ */
+using InstTypeId = std::uint32_t;
+
+/**
+ * Dense index identifying a control/status register in the register
+ * bitmap (the CSR-address-to-bitmap-index hardware mapping of
+ * Section 4.1).
+ */
+using CsrIndex = std::uint32_t;
+
+/** An invalid/absent CSR index. */
+inline constexpr CsrIndex invalidCsrIndex = ~CsrIndex{0};
+
+/** An invalid/absent instruction type. */
+inline constexpr InstTypeId invalidInstType = ~InstTypeId{0};
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_TYPES_HH_

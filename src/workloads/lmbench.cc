@@ -1,0 +1,199 @@
+#include "workloads/lmbench.hh"
+
+#include "kernel/asm_iface.hh"
+#include "kernel/layout.hh"
+#include "kernel/syscalls.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+const char *
+lmbenchOpName(LmbenchOp op)
+{
+    switch (op) {
+      case LmbenchOp::NullSyscall: return "null-syscall";
+      case LmbenchOp::Read: return "read";
+      case LmbenchOp::Write: return "write";
+      case LmbenchOp::OpenClose: return "open/close";
+      case LmbenchOp::Stat: return "stat";
+      case LmbenchOp::Pipe: return "pipe";
+      case LmbenchOp::SigInstall: return "sig-install";
+      case LmbenchOp::SigHandler: return "sig-handler";
+      case LmbenchOp::CtxSwitch: return "ctx-switch";
+      case LmbenchOp::MmapTouch: return "mmap";
+      case LmbenchOp::NumOps: break;
+    }
+    return "?";
+}
+
+Addr
+buildLmbenchSuite(Machine &machine, unsigned iters)
+{
+    std::unique_ptr<AsmIface> ap =
+        machine.isa().name() == "x86"
+            ? makeX86Asm(layout::userCodeBase)
+            : makeRiscvAsm(layout::userCodeBase);
+    AsmIface &a = *ap;
+
+    const unsigned arg0 = a.regArg(0), arg1 = a.regArg(1),
+                   arg2 = a.regArg(2);
+    const unsigned u0 = a.regUser(0);
+
+    auto sys = [&](Sys s) {
+        a.li(arg0, static_cast<std::uint64_t>(s));
+        a.syscallInst();
+    };
+
+    // The signal handler the SigHandler op bounces through.
+    auto past_handler = a.newLabel();
+    a.jmp(past_handler);
+    Addr sig_handler_addr = a.here();
+    sys(Sys::SigReturn); // never falls through
+    a.bind(past_handler);
+
+    a.li(a.regSp(), layout::userStackTop);
+
+    auto begin_op = [&](LmbenchOp op) {
+        a.li(arg2, 2 * static_cast<unsigned>(op));
+        a.simmark(arg2);
+        a.li(u0, iters);
+    };
+    auto end_op = [&](LmbenchOp op, AsmIface::Label loop) {
+        a.loopDec(u0, loop);
+        a.li(arg2, 2 * static_cast<unsigned>(op) + 1);
+        a.simmark(arg2);
+    };
+
+    // --- null syscall ---
+    {
+        begin_op(LmbenchOp::NullSyscall);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        sys(Sys::Getpid);
+        end_op(LmbenchOp::NullSyscall, loop);
+    }
+    // --- read (64 bytes) ---
+    {
+        begin_op(LmbenchOp::Read);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.li(arg1, layout::userDataBase);
+        a.li(arg2, 8);
+        sys(Sys::Read);
+        end_op(LmbenchOp::Read, loop);
+    }
+    // --- write (64 bytes) ---
+    {
+        begin_op(LmbenchOp::Write);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.li(arg1, layout::userDataBase);
+        a.li(arg2, 8);
+        sys(Sys::Write);
+        end_op(LmbenchOp::Write, loop);
+    }
+    // --- open + close ---
+    {
+        begin_op(LmbenchOp::OpenClose);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.li(arg1, 0x5eed);
+        sys(Sys::Open);
+        a.mov(arg1, arg0);
+        sys(Sys::Close);
+        end_op(LmbenchOp::OpenClose, loop);
+    }
+    // --- stat ---
+    {
+        begin_op(LmbenchOp::Stat);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        sys(Sys::Stat);
+        end_op(LmbenchOp::Stat, loop);
+    }
+    // --- pipe write + read ---
+    {
+        begin_op(LmbenchOp::Pipe);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.li(arg1, 0x77);
+        sys(Sys::PipeWrite);
+        sys(Sys::PipeRead);
+        end_op(LmbenchOp::Pipe, loop);
+    }
+    // --- signal install ---
+    {
+        begin_op(LmbenchOp::SigInstall);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.li(arg1, sig_handler_addr);
+        sys(Sys::SigInstall);
+        end_op(LmbenchOp::SigInstall, loop);
+    }
+    // --- signal delivery (install once, raise per iteration) ---
+    {
+        a.li(arg1, sig_handler_addr);
+        sys(Sys::SigInstall);
+        begin_op(LmbenchOp::SigHandler);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        sys(Sys::SigRaise);
+        end_op(LmbenchOp::SigHandler, loop);
+    }
+    // --- context switch (counter must live in arg2: the kernel swaps
+    // the regUser set and preserves arg2) ---
+    {
+        a.li(arg2, 2 * static_cast<unsigned>(LmbenchOp::CtxSwitch));
+        a.simmark(arg2);
+        a.li(arg2, iters);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        sys(Sys::CtxSwitch);
+        a.loopDec(arg2, loop);
+        a.li(arg2,
+             2 * static_cast<unsigned>(LmbenchOp::CtxSwitch) + 1);
+        a.simmark(arg2);
+        // Re-establish the stack pointer clobbered by the TCB swap.
+        a.li(a.regSp(), layout::userStackTop);
+    }
+    // --- mmap touch ---
+    {
+        begin_op(LmbenchOp::MmapTouch);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.mov(arg1, u0);
+        sys(Sys::MmapTouch);
+        end_op(LmbenchOp::MmapTouch, loop);
+    }
+
+    a.li(arg0, 0);
+    a.halt(arg0);
+    a.loadInto(machine.mem());
+    return layout::userCodeBase;
+}
+
+std::vector<LmbenchResult>
+extractLmbenchResults(const CoreBase &core, unsigned iters)
+{
+    std::vector<LmbenchResult> results;
+    const auto &marks = core.marks();
+    for (unsigned op = 0; op < numLmbenchOps; ++op) {
+        const SimMark *start = nullptr, *end = nullptr;
+        for (const auto &m : marks) {
+            if (m.value == 2 * op)
+                start = &m;
+            if (m.value == 2 * op + 1)
+                end = &m;
+        }
+        if (!start || !end) {
+            warn("lmbench op %u missing marks", op);
+            continue;
+        }
+        results.push_back(
+            {static_cast<LmbenchOp>(op),
+             double(end->cycle - start->cycle) / double(iters)});
+    }
+    return results;
+}
+
+} // namespace isagrid

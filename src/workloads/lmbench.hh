@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The lmbench-like microbenchmark suite (Figure 5).
+ *
+ * Each operation is a user-mode loop around one kernel entry path of
+ * the mini-kernel, bracketed by simmark instructions so the per-op
+ * cycle cost can be extracted exactly. The operations mirror the
+ * low-level OS operations LMbench measures: null syscall, read, write,
+ * open/close, stat, pipe, signal install, signal delivery, context
+ * switch, and a page-mapping change.
+ */
+
+#ifndef ISAGRID_WORKLOADS_LMBENCH_HH_
+#define ISAGRID_WORKLOADS_LMBENCH_HH_
+
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+
+namespace isagrid {
+
+/** One measured micro-operation. */
+enum class LmbenchOp
+{
+    NullSyscall = 0,
+    Read,
+    Write,
+    OpenClose,
+    Stat,
+    Pipe,
+    SigInstall,
+    SigHandler,
+    CtxSwitch,
+    MmapTouch,
+    NumOps,
+};
+
+inline constexpr unsigned numLmbenchOps =
+    static_cast<unsigned>(LmbenchOp::NumOps);
+
+/** Display name matching LMbench terminology. */
+const char *lmbenchOpName(LmbenchOp op);
+
+/** Per-op measurement extracted from the simmarks. */
+struct LmbenchResult
+{
+    LmbenchOp op;
+    double cycles_per_op;
+};
+
+/**
+ * Emit the user program for the whole suite at layout::userCodeBase.
+ * @param machine  target machine (kernel must already be built)
+ * @param iters    iterations per operation
+ * @return the user entry address to pass to KernelBuilder::build()
+ *         callers build user code FIRST, then the kernel with its
+ *         entry, or use the known fixed base — the suite always emits
+ *         at layout::userCodeBase.
+ */
+Addr buildLmbenchSuite(Machine &machine, unsigned iters);
+
+/** Decode the simmark stream of a finished run into per-op results. */
+std::vector<LmbenchResult> extractLmbenchResults(const CoreBase &core,
+                                                 unsigned iters);
+
+} // namespace isagrid
+
+#endif // ISAGRID_WORKLOADS_LMBENCH_HH_

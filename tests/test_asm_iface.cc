@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Cross-ISA facade tests: an AsmIface program is written once and must
+ * produce the same architectural results on the RV64 and x86 models.
+ * Parameterized over both ISAs (TEST_P), these pin down the facade's
+ * semantics — register conventions, branch helpers, CSR dispatch, and
+ * the gate instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "isa/x86/opcodes.hh"
+#include "kernel/asm_iface.hh"
+#include "kernel/layout.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct IfaceEnv
+{
+    explicit IfaceEnv(bool x86)
+        : machine(x86 ? Machine::gem5x86() : Machine::rocket())
+    {
+    }
+
+    std::unique_ptr<AsmIface>
+    assembler(Addr base = 0x1000)
+    {
+        return machine->isa().name() == "x86" ? makeX86Asm(base)
+                                              : makeRiscvAsm(base);
+    }
+
+    RunResult
+    run(AsmIface &a, Addr entry = 0x1000)
+    {
+        a.loadInto(machine->mem());
+        return machine->run(entry, 1'000'000);
+    }
+
+    std::unique_ptr<Machine> machine;
+};
+
+} // namespace
+
+class Iface : public ::testing::TestWithParam<bool>
+{
+  public:
+    static std::string
+    isaName(const ::testing::TestParamInfo<bool> &info)
+    {
+        return info.param ? "x86" : "riscv";
+    }
+};
+
+TEST_P(Iface, ArithmeticHelpers)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    unsigned r0 = a.regUser(0), r1 = a.regUser(1);
+    a.li(r0, 100);
+    a.li(r1, 7);
+    a.add(r0, r1);   // 107
+    a.sub(r0, r1);   // 100
+    a.xor_(r0, r1);  // 99
+    a.or_(r0, r1);   // 103
+    a.and_(r0, r1);  // 7
+    a.mul(r0, r1);   // 49... wait: 7*7
+    a.addi(r0, 3);   // 52
+    a.shli(r0, 2);   // 208
+    a.shri(r0, 1);   // 104
+    a.halt(r0);
+    RunResult r = env.run(a);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 104u);
+}
+
+TEST_P(Iface, LargeConstants)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    a.li(a.regUser(0), 0x1234'5678'9abc'def0ull);
+    a.li(a.regUser(1), 0x1234'5678'9abc'def0ull);
+    a.sub(a.regUser(0), a.regUser(1));
+    a.halt(a.regUser(0));
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 0u);
+}
+
+TEST_P(Iface, LoadStoreWidths)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    unsigned base = a.regUser(0), v = a.regUser(1), acc = a.regUser(2);
+    a.li(base, layout::userDataBase);
+    a.li(v, 0x1122334455667788ull);
+    a.store64(v, base, 0);
+    a.load64(acc, base, 0);
+    a.li(v, 0xabc);
+    a.store8(v, base, 16); // truncates to 0xbc
+    a.load8(v, base, 16);
+    a.add(acc, v);
+    a.halt(acc);
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 0x1122334455667788ull + 0xbc);
+}
+
+TEST_P(Iface, BranchHelpers)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    unsigned n = a.regUser(0), acc = a.regUser(1), t = a.regUser(2);
+    a.li(acc, 0);
+    a.li(n, 10);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(acc, n);
+    a.loopDec(n, loop); // acc = 10+9+...+1 = 55
+    // beqz taken
+    a.li(t, 0);
+    auto zero_ok = a.newLabel();
+    a.beqz(t, zero_ok);
+    a.li(acc, 0); // skipped
+    a.bind(zero_ok);
+    // bnez taken
+    a.li(t, 5);
+    auto nz_ok = a.newLabel();
+    a.bnez(t, nz_ok);
+    a.li(acc, 0); // skipped
+    a.bind(nz_ok);
+    // bne not taken (equal)
+    a.li(t, 55);
+    auto done = a.newLabel();
+    a.bne(acc, t, done); // equal: falls through
+    a.addi(acc, 1);      // 56
+    a.bind(done);
+    a.halt(acc);
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 56u);
+}
+
+TEST_P(Iface, CallRetAndJmpAbs)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    unsigned v = a.regUser(0);
+    a.li(a.regSp(), layout::userStackTop);
+    auto func = a.newLabel();
+    auto after = a.newLabel();
+    a.li(v, 1);
+    a.call(func);
+    a.addi(v, 100); // after return: 1*3+100 = 103
+    a.jmp(after);
+    a.bind(func);
+    a.mov(a.regUser(1), v);
+    a.add(v, a.regUser(1));
+    a.add(v, a.regUser(1)); // v *= 3
+    a.ret();
+    a.bind(after);
+    a.halt(v);
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 103u);
+}
+
+TEST_P(Iface, JmpAbsAndJmpReg)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    unsigned v = a.regUser(0);
+    auto island = a.newLabel();
+    a.li(v, 1);
+    a.jmp(island);
+    Addr secret = a.here();
+    a.addi(v, 41);
+    a.halt(v); // 42
+    a.bind(island);
+    a.jmpAbs(secret, a.regTmp(0));
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 42u);
+}
+
+TEST_P(Iface, CsrDispatchRoundTrips)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    // Write then read back the page-table base register (domain-0,
+    // supervisor: all checks pass).
+    unsigned v = a.regUser(0);
+    a.li(v, 0x42000);
+    a.csrWrite(a.ptbrCsr(), v);
+    a.csrRead(a.regUser(1), a.ptbrCsr());
+    a.halt(a.regUser(1));
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 0x42000u);
+}
+
+TEST_P(Iface, GridRegReadableViaCsrPath)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    a.csrRead(a.regUser(0), a.gridRegCsr(GridReg::Domain));
+    a.halt(a.regUser(0));
+    RunResult r = env.run(a);
+    EXPECT_EQ(r.halt_code, 0u); // domain-0 at boot
+}
+
+TEST_P(Iface, GatePairRoundTrip)
+{
+    IfaceEnv env(GetParam());
+    DomainId d = env.machine->domains().createBaselineDomain();
+    if (GetParam()) {
+        // The x86 facade reads grid registers through rdmsr, which is
+        // a sensitive instruction outside the baseline.
+        env.machine->domains().allowInstruction(d, x86::IT_RDMSR);
+    }
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    a.li(a.regGate(), 0);
+    Addr pc = a.here();
+    auto in_d = a.newLabel();
+    a.hccall(a.regGate());
+    a.bind(in_d);
+    a.csrRead(a.regUser(0), a.gridRegCsr(GridReg::Domain));
+    a.halt(a.regUser(0));
+    a.loadInto(env.machine->mem());
+    env.machine->domains().registerGate(pc, a.labelAddr(in_d), d);
+    env.machine->domains().publish();
+    RunResult r = env.machine->run(0x1000, 1'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, d);
+}
+
+TEST_P(Iface, SyscallCauseMatchesHardware)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    // Install a trap handler that halts with the cause register.
+    auto handler = a.newLabel();
+    auto start = a.newLabel();
+    a.jmp(start);
+    a.bind(handler);
+    a.csrRead(a.regUser(0), a.trapCauseCsr());
+    a.halt(a.regUser(0));
+    a.bind(start);
+    a.li(a.regTmp(0), a.labelAddr(handler));
+    a.csrWrite(a.trapVecCsr(), a.regTmp(0));
+    a.setTrapRetToUser();
+    a.li(a.regTmp(0), a.labelAddr(handler)); // reuse: jump target
+    // Drop to user mode right at a syscall instruction.
+    Addr user_code = a.here() + 200; // emitted below at a fixed gap
+    (void)user_code;
+    // Simpler: stay in supervisor and take the syscall trap directly.
+    a.syscallInst();
+    RunResult r = env.run(a);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    if (GetParam()) {
+        EXPECT_EQ(r.halt_code, a.syscallCause());
+    } else {
+        // ecall from supervisor mode has its own cause on RISC-V.
+        EXPECT_EQ(r.halt_code, 9u);
+    }
+}
+
+TEST_P(Iface, RegisterConventionIsDisjoint)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    std::set<unsigned> regs;
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_TRUE(regs.insert(a.regArg(i)).second) << "arg" << i;
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_TRUE(regs.insert(a.regTmp(i)).second) << "tmp" << i;
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(regs.insert(a.regUser(i)).second) << "user" << i;
+    EXPECT_TRUE(regs.insert(a.regSp()).second);
+    // The gate register may alias an argument register on x86 (RCX);
+    // it must never alias tmp/user/sp.
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_NE(a.regGate(), a.regTmp(i));
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_NE(a.regGate(), a.regUser(i));
+    EXPECT_NE(a.regGate(), a.regSp());
+}
+
+TEST_P(Iface, RawBytesEmitVerbatim)
+{
+    IfaceEnv env(GetParam());
+    auto ap = env.assembler();
+    AsmIface &a = *ap;
+    Addr before = a.here();
+    a.rawBytes({0xde, 0xad, 0xbe, 0xef});
+    EXPECT_EQ(a.here(), before + 4);
+    a.li(a.regUser(0), 1); // keep the program loadable
+    a.halt(a.regUser(0));
+    a.loadInto(env.machine->mem());
+    EXPECT_EQ(env.machine->mem().read8(before), 0xde);
+    EXPECT_EQ(env.machine->mem().read8(before + 3), 0xef);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, Iface, ::testing::Bool(),
+                         Iface::isaName);

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 1 reproduction: every ISA-abuse-based attack succeeds natively
+ * and is blocked by ISA-Grid with the right hardware exception.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hh"
+
+using namespace isagrid;
+
+class Attacks : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+TEST_P(Attacks, BlockedWithIsaGridSucceedsNatively)
+{
+    bool is_x86 = std::get<0>(GetParam());
+    int index = std::get<1>(GetParam());
+    auto scenarios = attackScenarios(is_x86);
+    if (index >= int(scenarios.size()))
+        GTEST_SKIP() << "no such scenario for this ISA";
+    const AttackScenario &s = scenarios[index];
+
+    AttackOutcome guarded = runAttack(s, is_x86, true);
+    EXPECT_TRUE(guarded.blocked)
+        << s.name << ": not blocked under ISA-Grid";
+    EXPECT_FALSE(guarded.reached_halt) << s.name;
+
+    if (!s.requires_isagrid) {
+        AttackOutcome native = runAttack(s, is_x86, false);
+        EXPECT_TRUE(native.reached_halt)
+            << s.name << ": prerequisite failed natively (fault "
+            << faultName(native.fault) << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, Attacks,
+    ::testing::Combine(::testing::Bool(), ::testing::Range(0, 15)),
+    [](const auto &info) {
+        bool is_x86 = std::get<0>(info.param);
+        int index = std::get<1>(info.param);
+        auto scenarios = attackScenarios(is_x86);
+        std::string name = is_x86 ? "x86_" : "riscv_";
+        if (index < int(scenarios.size())) {
+            for (char c : scenarios[index].name) {
+                name += std::isalnum(static_cast<unsigned char>(c))
+                            ? c : '_';
+            }
+        } else {
+            name += "skip" + std::to_string(index);
+        }
+        return name;
+    });
+
+TEST(AttackFaults, ExpectedFaultTypes)
+{
+    // Spot-check the exception classes of representative rows.
+    auto x86_scenarios = attackScenarios(true);
+    auto find = [&](const std::string &needle) -> const AttackScenario & {
+        for (const auto &s : x86_scenarios)
+            if (s.name.find(needle) != std::string::npos)
+                return s;
+        ADD_FAILURE() << needle << " not found";
+        return x86_scenarios.front();
+    };
+
+    // Voltage attack: register bitmap rejection.
+    EXPECT_EQ(runAttack(find("V0LTpwn"), true, true).fault,
+              FaultType::CsrPrivilege);
+    // CR0.CD: bit-mask equation rejection.
+    EXPECT_EQ(runAttack(find("Stealthy"), true, true).fault,
+              FaultType::CsrMaskViolation);
+    // Hidden out: instruction bitmap rejection.
+    EXPECT_EQ(runAttack(find("Unintended"), true, true).fault,
+              FaultType::InstPrivilege);
+    // Forged gate: gate property (i).
+    EXPECT_EQ(runAttack(find("Forged"), true, true).fault,
+              FaultType::GateFault);
+    // hcrets without a call: trusted-stack bounds.
+    EXPECT_EQ(runAttack(find("hcrets"), true, true).fault,
+              FaultType::TrustedStackFault);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Disassembler tests: rendering of every instruction class on both
+ * ISAs, used by the execution tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/riscv_isa.hh"
+#include "isa/x86/assembler.hh"
+#include "isa/x86/x86_isa.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::string
+disRiscv(const std::function<void(riscv::RiscvAsm &)> &emit)
+{
+    static riscv::RiscvIsa isa;
+    riscv::RiscvAsm a(0x1000);
+    emit(a);
+    auto bytes = a.finalize();
+    return disassemble(isa.decode(bytes.data(), bytes.size(), 0x1000));
+}
+
+std::string
+disX86(const std::function<void(x86::X86Asm &)> &emit)
+{
+    static x86::X86Isa isa;
+    x86::X86Asm a(0x1000);
+    emit(a);
+    auto bytes = a.finalize();
+    return disassemble(isa.decode(bytes.data(), bytes.size(), 0x1000));
+}
+
+} // namespace
+
+TEST(Disasm, AluOperands)
+{
+    EXPECT_EQ(disRiscv([](auto &a) { a.add(1, 2, 3); }), "add r1, r2, r3");
+    EXPECT_EQ(disRiscv([](auto &a) { a.addi(5, 6, -4); }),
+              "addi r5, r6, -4");
+    EXPECT_EQ(disX86([](auto &a) { a.add(x86::RAX, x86::RBX); }),
+              "add r0, r0, r3");
+}
+
+TEST(Disasm, MemoryOperands)
+{
+    EXPECT_EQ(disRiscv([](auto &a) { a.ld(7, 8, 16); }),
+              "ld r7, 16(r8)");
+    EXPECT_EQ(disRiscv([](auto &a) { a.sd(7, 8, -8); }),
+              "sd r7, -8(r8)");
+    EXPECT_EQ(disX86([](auto &a) { a.load64(x86::RDX, x86::RSI, 4); }),
+              "load64 r2, 4(r6)");
+}
+
+TEST(Disasm, BranchesShowRelativeTargets)
+{
+    std::string s = disRiscv([](auto &a) {
+        auto l = a.newLabel();
+        a.beq(1, 2, l);
+        a.nop();
+        a.bind(l);
+    });
+    EXPECT_EQ(s, "beq r1, r2, pc+8");
+}
+
+TEST(Disasm, CsrAccessesShowAddress)
+{
+    EXPECT_EQ(disRiscv([](auto &a) { a.csrw(riscv::CSR_SATP, 3); }),
+              "csrrw csr:0x180, r3");
+    EXPECT_EQ(disRiscv([](auto &a) { a.csrr(4, riscv::CSR_SEPC); }),
+              "csrrs r4, csr:0x141");
+    EXPECT_EQ(disX86([](auto &a) { a.movToCr(3, x86::RAX); }),
+              "movcrr csr:0x1003, r0");
+}
+
+TEST(Disasm, DynamicMsrShowsIndexRegister)
+{
+    EXPECT_EQ(disX86([](auto &a) { a.wrmsr(); }), "wrmsr csr:[r1]");
+    EXPECT_EQ(disX86([](auto &a) { a.rdmsr(); }), "rdmsr csr:[r1]");
+}
+
+TEST(Disasm, GatesShowIdRegister)
+{
+    EXPECT_EQ(disRiscv([](auto &a) { a.hccall(30); }), "hccall r30");
+    EXPECT_EQ(disRiscv([](auto &a) { a.hcrets(); }), "hcrets");
+    EXPECT_EQ(disX86([](auto &a) { a.hccalls(x86::RCX); }),
+              "hccalls r1");
+}
+
+TEST(Disasm, InvalidRenders)
+{
+    DecodedInst bad;
+    EXPECT_EQ(disassemble(bad), "<invalid>");
+}

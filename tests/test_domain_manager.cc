@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Domain-0 runtime tests: trusted-memory carve-up, registration
+ * limits, table contents in guest memory, and the publish contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/riscv/riscv_isa.hh"
+#include "isagrid/domain_manager.hh"
+#include "isagrid/pcu.hh"
+#include "mem/phys_mem.hh"
+
+using namespace isagrid;
+using namespace isagrid::riscv;
+
+namespace {
+
+struct DmEnv
+{
+    explicit DmEnv(DomainManagerConfig config = defaultConfig())
+        : mem(16 * 1024 * 1024), pcu(isa, mem, PcuConfig::config8E()),
+          dm(pcu, mem, config)
+    {
+    }
+
+    static DomainManagerConfig
+    defaultConfig()
+    {
+        DomainManagerConfig c;
+        c.tmem_base = 8 * 1024 * 1024;
+        c.tmem_size = 1024 * 1024;
+        return c;
+    }
+
+    RiscvIsa isa;
+    PhysMem mem;
+    PrivilegeCheckUnit pcu;
+    DomainManager dm;
+};
+
+} // namespace
+
+TEST(DomainManager, CarveUpStaysInsideTrustedMemory)
+{
+    DmEnv env;
+    Addr base = 8 * 1024 * 1024;
+    Addr limit = base + 1024 * 1024;
+    EXPECT_GE(env.dm.instBitmapBase(), base);
+    EXPECT_LT(env.dm.trustedStackLimit(), limit + 1);
+    // Regions are disjoint and ordered.
+    EXPECT_LT(env.dm.instBitmapBase(), env.dm.regBitmapBase());
+    EXPECT_LT(env.dm.regBitmapBase(), env.dm.maskArrayBase());
+    EXPECT_LT(env.dm.maskArrayBase(), env.dm.sgtBase());
+    EXPECT_LT(env.dm.sgtBase(), env.dm.trustedStackBase());
+}
+
+TEST(DomainManager, Table2RegistersPointAtTheStructures)
+{
+    DmEnv env;
+    EXPECT_EQ(env.pcu.gridReg(GridReg::InstCap),
+              env.dm.instBitmapBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::CsrCap),
+              env.dm.regBitmapBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::CsrBitMask),
+              env.dm.maskArrayBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::GateAddr), env.dm.sgtBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::Hcsb),
+              env.dm.trustedStackBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::Hcsp),
+              env.dm.trustedStackBase());
+    EXPECT_EQ(env.pcu.gridReg(GridReg::Hcsl),
+              env.dm.trustedStackLimit());
+}
+
+TEST(DomainManager, DomainNrTracksCreation)
+{
+    DmEnv env;
+    EXPECT_EQ(env.pcu.gridReg(GridReg::DomainNr), 1u); // domain-0
+    DomainId d1 = env.dm.createDomain();
+    DomainId d2 = env.dm.createBaselineDomain();
+    EXPECT_EQ(d1, 1u);
+    EXPECT_EQ(d2, 2u);
+    EXPECT_EQ(env.pcu.gridReg(GridReg::DomainNr), 3u);
+}
+
+TEST(DomainManager, GateNrTracksRegistration)
+{
+    DmEnv env;
+    DomainId d = env.dm.createDomain();
+    EXPECT_EQ(env.pcu.gridReg(GridReg::GateNr), 0u);
+    GateId g0 = env.dm.registerGate(0x100, 0x200, d);
+    GateId g1 = env.dm.registerGate(0x300, 0x400, d);
+    EXPECT_EQ(g0, 0u);
+    EXPECT_EQ(g1, 1u);
+    EXPECT_EQ(env.pcu.gridReg(GridReg::GateNr), 2u);
+}
+
+TEST(DomainManager, SgtEntriesLandInGuestMemory)
+{
+    DmEnv env;
+    DomainId d = env.dm.createDomain();
+    GateId g = env.dm.registerGate(0xabc0, 0xdef0, d);
+    SgtEntry e = sgtRead(env.mem, env.dm.sgtBase(), g);
+    EXPECT_EQ(e.gate_addr, 0xabc0u);
+    EXPECT_EQ(e.dest_addr, 0xdef0u);
+    EXPECT_EQ(e.dest_domain, d);
+}
+
+TEST(DomainManager, BitmapBitsLandInGuestMemory)
+{
+    DmEnv env;
+    DomainId d = env.dm.createDomain();
+    env.dm.allowInstruction(d, 5);
+    Addr addr = env.pcu.layout().instWordAddr(env.dm.instBitmapBase(),
+                                              d, 0);
+    EXPECT_EQ(env.mem.read64(addr), 1ull << 5);
+    env.dm.allowCsrRead(d, CSR_SEPC);
+    CsrIndex index = env.isa.csrBitmapIndex(CSR_SEPC);
+    Addr reg_addr = env.pcu.layout().regWordAddr(
+        env.dm.regBitmapBase(), d, HptLayout::regGroupOf(index));
+    EXPECT_EQ(env.mem.read64(reg_addr),
+              1ull << HptLayout::regReadBit(index));
+}
+
+TEST(DomainManager, BaselineExcludesSensitiveTypes)
+{
+    DmEnv env;
+    DomainId d = env.dm.createBaselineDomain();
+    env.dm.publish();
+    env.pcu.setGridReg(GridReg::Domain, d);
+    EXPECT_TRUE(env.pcu.checkInstruction(IT_ADD).allowed);
+    EXPECT_TRUE(env.pcu.checkInstruction(IT_HCCALL).allowed)
+        << "gate instructions are executable from every domain";
+    EXPECT_FALSE(env.pcu.checkInstruction(IT_SFENCE_VMA).allowed);
+    EXPECT_FALSE(env.pcu.checkInstruction(IT_WFI).allowed);
+}
+
+TEST(DomainManager, DomainSlotsExhaust)
+{
+    DomainManagerConfig c = DmEnv::defaultConfig();
+    c.max_domains = 3;
+    DmEnv env(c);
+    env.dm.createDomain();
+    env.dm.createDomain();
+    EXPECT_DEATH(env.dm.createDomain(), "");
+}
+
+TEST(DomainManager, GateSlotsExhaust)
+{
+    DomainManagerConfig c = DmEnv::defaultConfig();
+    c.max_gates = 2;
+    DmEnv env(c);
+    DomainId d = env.dm.createDomain();
+    env.dm.registerGate(0, 0, d);
+    env.dm.registerGate(0, 0, d);
+    EXPECT_DEATH(env.dm.registerGate(0, 0, d), "");
+}
+
+TEST(DomainManager, TooSmallTrustedMemoryIsFatal)
+{
+    DomainManagerConfig c = DmEnv::defaultConfig();
+    c.tmem_size = 4096;
+    c.max_domains = 4096; // cannot possibly fit
+    EXPECT_DEATH(DmEnv env(c), "");
+}
+
+TEST(DomainManager, Domain0PrivilegesAreHardwiredNotTabled)
+{
+    DmEnv env;
+    EXPECT_DEATH(env.dm.allowInstruction(0, IT_ADD), "");
+    EXPECT_DEATH(env.dm.allowCsrRead(0, CSR_SEPC), "");
+}
+
+TEST(DomainManager, UnregisteredDomainRejected)
+{
+    DmEnv env;
+    EXPECT_DEATH(env.dm.allowInstruction(7, IT_ADD), "");
+}
+
+TEST(DomainManager, UncontrolledCsrGrantRejected)
+{
+    DmEnv env;
+    DomainId d = env.dm.createDomain();
+    EXPECT_DEATH(env.dm.allowCsrRead(d, 0x9999), "");
+    EXPECT_DEATH(env.dm.setCsrMask(d, CSR_SATP, 1), ""); // not maskable
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unforgeable domain switching tests: gate properties (i)-(iv) of
+ * Section 4.2, extended gates with the trusted stack, and the
+ * domain-0 rules of Section 4.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/riscv/riscv_isa.hh"
+#include "isagrid/domain_manager.hh"
+#include "isagrid/pcu.hh"
+#include "mem/phys_mem.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct GateEnv
+{
+    GateEnv() : mem(16 * 1024 * 1024), pcu(isa, mem, PcuConfig::config8E()),
+                dm(pcu, mem, dmConfig())
+    {
+        d1 = dm.createBaselineDomain();
+        d2 = dm.createBaselineDomain();
+    }
+
+    static DomainManagerConfig
+    dmConfig()
+    {
+        DomainManagerConfig c;
+        c.tmem_base = 8 * 1024 * 1024;
+        c.tmem_size = 1024 * 1024;
+        return c;
+    }
+
+    riscv::RiscvIsa isa;
+    PhysMem mem;
+    PrivilegeCheckUnit pcu;
+    DomainManager dm;
+    DomainId d1, d2;
+};
+
+} // namespace
+
+TEST(Gates, LegalCallSwitchesDomainAndRedirects)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+
+    GateOutcome out = env.pcu.gateCall(g, 0x1000, false);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.dest_pc, 0x2000u);
+    EXPECT_EQ(out.dest_domain, env.d1);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d1);
+    EXPECT_EQ(env.pcu.previousDomain(), 0u);
+    EXPECT_EQ(env.pcu.switches(), 1u);
+}
+
+TEST(Gates, PropertyI_OnlyFiresAtRegisteredAddress)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+
+    GateOutcome out = env.pcu.gateCall(g, 0x1004, false);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.fault, FaultType::GateFault);
+    EXPECT_EQ(env.pcu.currentDomain(), 0u) << "no switch on fault";
+}
+
+TEST(Gates, PropertyII_III_DestinationComesFromSgtOnly)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    // The caller cannot influence destination pc or domain: they are
+    // whatever was registered, regardless of machine state.
+    env.pcu.setGridReg(GridReg::Domain, env.d2);
+    GateOutcome out = env.pcu.gateCall(g, 0x1000, false);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.dest_pc, 0x2000u);
+    EXPECT_EQ(out.dest_domain, env.d1);
+    EXPECT_EQ(env.pcu.previousDomain(), env.d2);
+}
+
+TEST(Gates, PropertyIV_UnregisteredGateIdFaults)
+{
+    GateEnv env;
+    env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    GateOutcome out = env.pcu.gateCall(57, 0x1000, false);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.fault, FaultType::GateFault);
+}
+
+TEST(Gates, GateNrBoundsChecksEvenWithStaleCache)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    env.pcu.gateCall(g, 0x1000, false); // warm the SGT cache
+    // Lower gate-nr (as a domain-0 reconfiguration would).
+    env.pcu.setGridReg(GridReg::GateNr, 0);
+    GateOutcome out = env.pcu.gateCall(g, 0x1000, false);
+    EXPECT_FALSE(out.ok) << "bounds check precedes the cache lookup";
+}
+
+TEST(Gates, ExtendedCallPushesAndReturnPops)
+{
+    GateEnv env;
+    GateId enter = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    GateId call = env.dm.registerGate(0x2100, 0x3000, env.d2);
+    env.dm.publish();
+
+    // Enter d1 through a plain gate, then d1 -> d2 extended call.
+    ASSERT_TRUE(env.pcu.gateCall(enter, 0x1000, false).ok);
+    RegVal sp0 = env.pcu.gridReg(GridReg::Hcsp);
+    GateOutcome out = env.pcu.gateCall(call, 0x2100, true, 0x2104);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d2);
+    EXPECT_EQ(env.pcu.gridReg(GridReg::Hcsp), sp0 + 16);
+    // The trusted stack holds (return pc, source domain).
+    EXPECT_EQ(env.mem.read64(sp0), 0x2104u);
+    EXPECT_EQ(env.mem.read64(sp0 + 8), env.d1);
+
+    GateOutcome ret = env.pcu.gateReturn();
+    ASSERT_TRUE(ret.ok);
+    EXPECT_EQ(ret.dest_pc, 0x2104u);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d1);
+    EXPECT_EQ(env.pcu.gridReg(GridReg::Hcsp), sp0);
+}
+
+TEST(Gates, NestedExtendedCallsUnwindInOrder)
+{
+    GateEnv env;
+    DomainId d3 = env.dm.createBaselineDomain();
+    GateId enter = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    GateId g12 = env.dm.registerGate(0x2100, 0x3000, env.d2);
+    GateId g23 = env.dm.registerGate(0x3100, 0x4000, d3);
+    env.dm.publish();
+
+    ASSERT_TRUE(env.pcu.gateCall(enter, 0x1000, false).ok);
+    ASSERT_TRUE(env.pcu.gateCall(g12, 0x2100, true, 0x2104).ok);
+    ASSERT_TRUE(env.pcu.gateCall(g23, 0x3100, true, 0x3104).ok);
+    EXPECT_EQ(env.pcu.currentDomain(), d3);
+
+    GateOutcome r1 = env.pcu.gateReturn();
+    EXPECT_EQ(r1.dest_pc, 0x3104u);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d2);
+    GateOutcome r2 = env.pcu.gateReturn();
+    EXPECT_EQ(r2.dest_pc, 0x2104u);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d1);
+}
+
+TEST(Gates, ReturnToDomain0IsForbidden)
+{
+    GateEnv env;
+    GateId call = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    // Extended call *from domain-0* pushes source 0; the return must
+    // then refuse (Section 4.4).
+    ASSERT_TRUE(env.pcu.gateCall(call, 0x1000, true, 0x1004).ok);
+    GateOutcome ret = env.pcu.gateReturn();
+    EXPECT_FALSE(ret.ok);
+    EXPECT_EQ(ret.fault, FaultType::GateFault);
+}
+
+TEST(Gates, StackUnderflowFaults)
+{
+    GateEnv env;
+    env.dm.publish();
+    GateOutcome ret = env.pcu.gateReturn();
+    EXPECT_FALSE(ret.ok);
+    EXPECT_EQ(ret.fault, FaultType::TrustedStackFault);
+}
+
+TEST(Gates, StackOverflowFaults)
+{
+    GateEnv env;
+    GateId enter = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    GateId g = env.dm.registerGate(0x2100, 0x3000, env.d2);
+    env.dm.publish();
+    ASSERT_TRUE(env.pcu.gateCall(enter, 0x1000, false).ok);
+    // Shrink the stack to 2 frames.
+    RegVal base = env.pcu.gridReg(GridReg::Hcsb);
+    env.pcu.setGridReg(GridReg::Hcsl, base + 32);
+    ASSERT_TRUE(env.pcu.gateCall(g, 0x2100, true, 0).ok);
+    ASSERT_TRUE(env.pcu.gateCall(g, 0x2100, true, 0).ok);
+    GateOutcome out = env.pcu.gateCall(g, 0x2100, true, 0);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.fault, FaultType::TrustedStackFault);
+}
+
+TEST(Gates, UpdateGateRepoints)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    env.pcu.gateCall(g, 0x1000, false); // warm cache
+    env.dm.updateGate(g, 0x5000, 0x6000, env.d2);
+    env.dm.publish(); // flush stale SGT cache
+    EXPECT_FALSE(env.pcu.gateCall(g, 0x1000, false).ok);
+    GateOutcome out = env.pcu.gateCall(g, 0x5000, false);
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.dest_pc, 0x6000u);
+    EXPECT_EQ(out.dest_domain, env.d2);
+}
+
+TEST(Gates, PdomainTracksEverySwitch)
+{
+    GateEnv env;
+    GateId a = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    GateId b = env.dm.registerGate(0x2000, 0x3000, env.d2);
+    env.dm.publish();
+    env.pcu.gateCall(a, 0x1000, false);
+    env.pcu.gateCall(b, 0x2000, false);
+    EXPECT_EQ(env.pcu.currentDomain(), env.d2);
+    EXPECT_EQ(env.pcu.previousDomain(), env.d1);
+}
+
+TEST(Gates, ResetReturnsToDomain0)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    env.pcu.gateCall(g, 0x1000, false);
+    ASSERT_EQ(env.pcu.currentDomain(), env.d1);
+    env.pcu.reset();
+    EXPECT_EQ(env.pcu.currentDomain(), 0u);
+}
+
+TEST(Gates, SgtCachePressureWithManyGates)
+{
+    GateEnv env;
+    // Register far more gates than the SGT cache holds; every gate
+    // must still resolve correctly under LRU churn.
+    constexpr unsigned numGates = 64;
+    std::vector<GateId> ids;
+    for (unsigned i = 0; i < numGates; ++i) {
+        ids.push_back(env.dm.registerGate(
+            0x10000 + i * 0x100, 0x20000 + i * 0x100,
+            (i % 2) ? env.d1 : env.d2));
+    }
+    env.dm.publish();
+    for (int round = 0; round < 3; ++round) {
+        for (unsigned i = 0; i < numGates; ++i) {
+            GateOutcome out =
+                env.pcu.gateCall(ids[i], 0x10000 + i * 0x100, false);
+            ASSERT_TRUE(out.ok) << "gate " << i;
+            ASSERT_EQ(out.dest_pc, 0x20000u + i * 0x100);
+        }
+    }
+    // 64 gates > 8 entries: the cache must have evicted and refilled.
+    EXPECT_GT(env.pcu.sgtCache().misses(), 64u);
+    EXPECT_EQ(env.pcu.switches(), 3u * numGates);
+}
+
+TEST(Gates, WrongAddressNeverCorruptsCache)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    // A failing call (wrong pc) caches the entry; the next legal call
+    // must still validate the *registered* address, not the cached
+    // failure.
+    EXPECT_FALSE(env.pcu.gateCall(g, 0xbad0, false).ok);
+    EXPECT_TRUE(env.pcu.gateCall(g, 0x1000, false).ok);
+    EXPECT_FALSE(env.pcu.gateCall(g, 0xbad0, false).ok);
+}

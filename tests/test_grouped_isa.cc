@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Instruction-grouping tests (Section 8 "Possible Simplification"):
+ * one privilege bit controls a whole group, the bitmap shrinks, and a
+ * full machine runs unchanged over the decorated ISA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/inorder/inorder_core.hh"
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/riscv_isa.hh"
+#include "isagrid/domain_manager.hh"
+#include "isagrid/grouped_isa.hh"
+
+using namespace isagrid;
+using namespace isagrid::riscv;
+
+namespace {
+
+/** All memory-access types as one group, all branches as another. */
+std::vector<std::vector<InstTypeId>>
+memAndBranchGroups()
+{
+    return {
+        {IT_LB, IT_LH, IT_LW, IT_LD, IT_LBU, IT_LHU, IT_LWU, IT_SB,
+         IT_SH, IT_SW, IT_SD},
+        {IT_BEQ, IT_BNE, IT_BLT, IT_BGE, IT_BLTU, IT_BGEU},
+    };
+}
+
+struct GroupEnv
+{
+    GroupEnv()
+        : grouped(inner, memAndBranchGroups()),
+          mem(16 * 1024 * 1024),
+          pcu(grouped, mem, PcuConfig::config8E()),
+          dm(pcu, mem, dmConfig()),
+          core(grouped, mem, pcu, nullptr, nullptr)
+    {
+    }
+
+    static DomainManagerConfig
+    dmConfig()
+    {
+        DomainManagerConfig c;
+        c.tmem_base = 8 * 1024 * 1024;
+        c.tmem_size = 1024 * 1024;
+        return c;
+    }
+
+    RiscvIsa inner;
+    GroupedIsa grouped;
+    PhysMem mem;
+    PrivilegeCheckUnit pcu;
+    DomainManager dm;
+    InOrderCore core;
+};
+
+} // namespace
+
+TEST(GroupedIsa, BitmapShrinksByGroupSizes)
+{
+    RiscvIsa inner;
+    GroupedIsa grouped(inner, memAndBranchGroups());
+    // 11 loads/stores -> 1 bit, 6 branches -> 1 bit.
+    EXPECT_EQ(grouped.numInstTypes(),
+              inner.numInstTypes() - 11 - 6 + 2);
+}
+
+TEST(GroupedIsa, GroupMembersShareOneTypeId)
+{
+    RiscvIsa inner;
+    GroupedIsa grouped(inner, memAndBranchGroups());
+    EXPECT_EQ(grouped.groupedType(IT_LB), grouped.groupedType(IT_SD));
+    EXPECT_EQ(grouped.groupedType(IT_BEQ),
+              grouped.groupedType(IT_BGEU));
+    EXPECT_NE(grouped.groupedType(IT_LB),
+              grouped.groupedType(IT_BEQ));
+    EXPECT_NE(grouped.groupedType(IT_ADD),
+              grouped.groupedType(IT_SUB));
+}
+
+TEST(GroupedIsa, DecodeRemapsTypes)
+{
+    RiscvIsa inner;
+    GroupedIsa grouped(inner, memAndBranchGroups());
+    RiscvAsm a(0);
+    a.ld(1, 2, 0);
+    auto bytes = a.finalize();
+    DecodedInst inst = grouped.decode(bytes.data(), bytes.size(), 0);
+    ASSERT_TRUE(inst.valid);
+    EXPECT_EQ(inst.type, grouped.groupedType(IT_LD));
+    EXPECT_STREQ(inst.mnemonic, "ld"); // semantics untouched
+}
+
+TEST(GroupedIsa, OneGrantEnablesTheWholeGroup)
+{
+    GroupEnv env;
+    DomainId d = env.dm.createDomain();
+    env.dm.allowInstruction(d, env.grouped.groupedType(IT_LB));
+    env.dm.publish();
+    env.pcu.setGridReg(GridReg::Domain, d);
+    // Every load/store flavour is now allowed...
+    for (InstTypeId t : {IT_LB, IT_LW, IT_LD, IT_SB, IT_SD}) {
+        EXPECT_TRUE(env.pcu
+                        .checkInstruction(env.grouped.groupedType(t))
+                        .allowed);
+    }
+    // ...but branches (the other group) are not.
+    EXPECT_FALSE(env.pcu
+                     .checkInstruction(env.grouped.groupedType(IT_BEQ))
+                     .allowed);
+}
+
+TEST(GroupedIsa, FullMachineRunsOverTheDecorator)
+{
+    GroupEnv env;
+    DomainId d = env.dm.createBaselineDomain();
+    RiscvAsm a(0x1000);
+    a.li(10, 0); // gate 0
+    Addr gate_pc = a.here();
+    auto entry = a.newLabel();
+    a.hccall(10);
+    a.bind(entry);
+    a.li(5, 0x100000);
+    a.li(6, 123);
+    a.sd(6, 5, 0);   // grouped store
+    a.ld(7, 5, 0);   // grouped load
+    a.halt(7);
+    a.finalize();
+    env.dm.registerGate(gate_pc, a.labelAddr(entry), d);
+    env.dm.publish();
+    a.loadInto(env.mem);
+
+    env.core.reset(0x1000);
+    RunResult r = env.core.run(1000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 123u);
+}
+
+TEST(GroupedIsa, RevokingTheGroupBlocksAllMembers)
+{
+    GroupEnv env;
+    DomainId d = env.dm.createBaselineDomain();
+    env.dm.revokeInstruction(d, env.grouped.groupedType(IT_LD));
+    env.dm.publish();
+
+    RiscvAsm a(0x1000);
+    a.li(10, 0);
+    Addr gate_pc = a.here();
+    auto entry = a.newLabel();
+    a.hccall(10);
+    a.bind(entry);
+    a.li(5, 0x100000);
+    a.lw(7, 5, 0); // a *different* member of the revoked group
+    a.halt(7);
+    a.finalize();
+    env.dm.registerGate(gate_pc, a.labelAddr(entry), d);
+    env.dm.publish();
+    a.loadInto(env.mem);
+
+    env.core.reset(0x1000);
+    RunResult r = env.core.run(1000);
+    EXPECT_EQ(r.reason, StopReason::UnhandledFault);
+    EXPECT_EQ(r.fault, FaultType::InstPrivilege);
+}
+
+TEST(GroupedIsa, OverlappingGroupsDie)
+{
+    RiscvIsa inner;
+    EXPECT_DEATH(GroupedIsa(inner, {{IT_LB, IT_LH}, {IT_LH, IT_LW}}),
+                 "");
+}
+
+TEST(GroupedIsa, CsrMappingsPassThrough)
+{
+    RiscvIsa inner;
+    GroupedIsa grouped(inner, memAndBranchGroups());
+    EXPECT_EQ(grouped.numControlledCsrs(), inner.numControlledCsrs());
+    EXPECT_EQ(grouped.csrBitmapIndex(CSR_SATP),
+              inner.csrBitmapIndex(CSR_SATP));
+    EXPECT_EQ(grouped.csrMaskIndex(CSR_SSTATUS),
+              inner.csrMaskIndex(CSR_SSTATUS));
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hybrid Privilege Table layout tests and property sweeps of the
+ * Section 4.1 bit-mask equation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isagrid/hpt.hh"
+#include "sim/random.hh"
+
+using namespace isagrid;
+
+TEST(HptLayout, GroupCountsRoundUp)
+{
+    HptLayout l(64, 13, 1);
+    EXPECT_EQ(l.numInstGroups(), 1u);
+    EXPECT_EQ(l.numRegGroups(), 1u);
+    EXPECT_EQ(l.numMaskEntries(), 1u);
+
+    HptLayout l2(65, 33, 3);
+    EXPECT_EQ(l2.numInstGroups(), 2u);
+    EXPECT_EQ(l2.numRegGroups(), 2u); // 33 CSRs * 2 bits = 66 bits
+    EXPECT_EQ(l2.numMaskEntries(), 3u);
+}
+
+TEST(HptLayout, StridesAreWordMultiples)
+{
+    HptLayout l(100, 40, 2);
+    EXPECT_EQ(l.instStride() % 8, 0u);
+    EXPECT_EQ(l.regStride() % 8, 0u);
+    EXPECT_EQ(l.maskStride(), 16u);
+}
+
+TEST(HptLayout, AddressesAreDomainDisjoint)
+{
+    HptLayout l(64, 13, 1);
+    Addr base = 0x1000;
+    // No two (domain, group) pairs may alias.
+    std::set<Addr> seen;
+    for (DomainId d = 0; d < 16; ++d) {
+        for (std::uint32_t g = 0; g < l.numInstGroups(); ++g)
+            EXPECT_TRUE(seen.insert(l.instWordAddr(base, d, g)).second);
+    }
+}
+
+TEST(HptLayout, RegBitPositionsInterleaveReadWrite)
+{
+    EXPECT_EQ(HptLayout::regReadBit(0), 0u);
+    EXPECT_EQ(HptLayout::regWriteBit(0), 1u);
+    EXPECT_EQ(HptLayout::regReadBit(1), 2u);
+    EXPECT_EQ(HptLayout::regWriteBit(31), 63u);
+    EXPECT_EQ(HptLayout::regGroupOf(31), 0u);
+    EXPECT_EQ(HptLayout::regGroupOf(32), 1u);
+}
+
+TEST(HptLayout, InstBitPositions)
+{
+    EXPECT_EQ(HptLayout::instGroupOf(63), 0u);
+    EXPECT_EQ(HptLayout::instGroupOf(64), 1u);
+    EXPECT_EQ(HptLayout::instBitOf(64), 0u);
+    EXPECT_EQ(HptLayout::instBitOf(70), 6u);
+}
+
+TEST(MaskEquation, PaperExamples)
+{
+    // (V_csr ^ V_write) & ~M == 0
+    // Identical write always passes, even with an empty mask.
+    EXPECT_TRUE(HptLayout::maskPermits(0xff, 0xff, 0));
+    // Flipping a masked bit passes.
+    EXPECT_TRUE(HptLayout::maskPermits(0b0000, 0b0100, 0b0100));
+    // Flipping an unmasked bit fails.
+    EXPECT_FALSE(HptLayout::maskPermits(0b0000, 0b0100, 0b0010));
+    // Full mask allows everything.
+    EXPECT_TRUE(HptLayout::maskPermits(0, ~0ull, ~0ull));
+}
+
+/** Property: permitted iff every changed bit is inside the mask. */
+TEST(MaskEquation, MatchesChangedBitsDefinition)
+{
+    SplitMix64 rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        RegVal v = rng.next(), w = rng.next(), m = rng.next();
+        bool naive = ((v ^ w) & ~m) == 0;
+        bool changed_outside_mask = false;
+        for (int b = 0; b < 64; ++b) {
+            bool changed = ((v >> b) & 1) != ((w >> b) & 1);
+            bool masked = (m >> b) & 1;
+            if (changed && !masked)
+                changed_outside_mask = true;
+        }
+        EXPECT_EQ(HptLayout::maskPermits(v, w, m), naive);
+        EXPECT_EQ(naive, !changed_outside_mask);
+    }
+}
+
+/** Property: masks compose monotonically — widening never revokes. */
+TEST(MaskEquation, WideningMaskIsMonotonic)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        RegVal v = rng.next(), w = rng.next();
+        RegVal m = rng.next(), extra = rng.next();
+        if (HptLayout::maskPermits(v, w, m)) {
+            EXPECT_TRUE(HptLayout::maskPermits(v, w, m | extra));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hardware-cost model tests: reproduction of the paper's Table 6
+ * anchors, structural monotonicity, and zero-BRAM/DSP deltas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwcost/hwcost.hh"
+
+using namespace isagrid;
+
+namespace {
+
+PcuStructure
+rocketStructure(const PcuConfig &config)
+{
+    return pcuStructure(config, 64, 13, 1, 12);
+}
+
+} // namespace
+
+TEST(HwCost, ReproducesPaperAnchorsWithinTolerance)
+{
+    struct Anchor
+    {
+        PcuConfig config;
+        double lut_pct, ff_pct;
+    } anchors[] = {
+        {PcuConfig::config16E(), 4.47, 7.20},
+        {PcuConfig::config8E(), 3.03, 4.34},
+        {PcuConfig::config8EN(), 2.21, 2.95},
+    };
+    for (const auto &a : anchors) {
+        HwCost delta = pcuCost(rocketStructure(a.config));
+        double lut_pct = overheadPercent(delta.lut_logic,
+                                         RocketBaseline::lut_logic);
+        double ff_pct = overheadPercent(delta.slice_regs,
+                                        RocketBaseline::slice_regs);
+        EXPECT_NEAR(lut_pct, a.lut_pct, 0.25);
+        EXPECT_NEAR(ff_pct, a.ff_pct, 0.25);
+    }
+}
+
+TEST(HwCost, OrderingMatchesTable6)
+{
+    HwCost c16 = pcuCost(rocketStructure(PcuConfig::config16E()));
+    HwCost c8 = pcuCost(rocketStructure(PcuConfig::config8E()));
+    HwCost c8n = pcuCost(rocketStructure(PcuConfig::config8EN()));
+    EXPECT_GT(c16.lut_logic, c8.lut_logic);
+    EXPECT_GT(c8.lut_logic, c8n.lut_logic);
+    EXPECT_GT(c16.slice_regs, c8.slice_regs);
+    EXPECT_GT(c8.slice_regs, c8n.slice_regs);
+}
+
+TEST(HwCost, NoBlockRamOrDspDelta)
+{
+    HwCost total = totalWithPcu(rocketStructure(PcuConfig::config8E()));
+    EXPECT_EQ(total.ramb36, RocketBaseline::ramb36);
+    EXPECT_EQ(total.ramb18, RocketBaseline::ramb18);
+    EXPECT_EQ(total.dsp, RocketBaseline::dsp);
+    EXPECT_EQ(total.lut_memory, RocketBaseline::lut_memory);
+}
+
+TEST(HwCost, StructureScalesLinearlyWithEntries)
+{
+    PcuConfig small, big;
+    small.hpt_cache_entries = 4;
+    small.sgt_cache_entries = 4;
+    big.hpt_cache_entries = 8;
+    big.sgt_cache_entries = 8;
+    PcuStructure s = rocketStructure(small);
+    PcuStructure b = rocketStructure(big);
+    EXPECT_EQ(b.storage_bits - s.storage_bits,
+              s.storage_bits - rocketStructure(PcuConfig{0, 0, true, 0})
+                                   .storage_bits);
+    EXPECT_EQ(b.cam_bits, 2 * s.cam_bits);
+}
+
+TEST(HwCost, NoSgtCacheRemovesItsBits)
+{
+    PcuConfig with = PcuConfig::config8E();
+    PcuConfig without = PcuConfig::config8EN();
+    PcuStructure sw = rocketStructure(with);
+    PcuStructure so = rocketStructure(without);
+    EXPECT_GT(sw.storage_bits, so.storage_bits);
+    EXPECT_GT(sw.mux_bits, so.mux_bits);
+    EXPECT_EQ(sw.reg_bits, so.reg_bits);
+}
+
+TEST(HwCost, BypassRegisterCountsTowardRegisterBits)
+{
+    PcuConfig on = PcuConfig::config8E();
+    PcuConfig off = on;
+    off.bypass_enabled = false;
+    EXPECT_GT(rocketStructure(on).reg_bits,
+              rocketStructure(off).reg_bits);
+}
+
+TEST(HwCost, CostNeverNegative)
+{
+    PcuConfig tiny;
+    tiny.hpt_cache_entries = 0;
+    tiny.sgt_cache_entries = 0;
+    tiny.bypass_enabled = false;
+    HwCost c = pcuCost(rocketStructure(tiny));
+    EXPECT_GE(c.lut_logic, 0.0);
+    EXPECT_GE(c.slice_regs, 0.0);
+}

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Integration tests: the mini-kernel boots, serves syscalls from user
+ * mode, and behaves identically in monolithic and decomposed modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/x86/opcodes.hh"
+#include "kernel/kernel_builder.hh"
+#include "workloads/apps.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct Build
+{
+    std::unique_ptr<Machine> machine;
+    KernelImage image;
+};
+
+Build
+makeKernel(bool x86, KernelMode mode, unsigned iters)
+{
+    Build b;
+    b.machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    Addr user_entry = buildLmbenchSuite(*b.machine, iters);
+    KernelConfig config;
+    config.mode = mode;
+    KernelBuilder builder(*b.machine, config);
+    b.image = builder.build(user_entry);
+    return b;
+}
+
+} // namespace
+
+class KernelModes
+    : public ::testing::TestWithParam<std::tuple<bool, KernelMode>>
+{
+};
+
+TEST_P(KernelModes, LmbenchSuiteRunsToCompletion)
+{
+    auto [is_x86, mode] = GetParam();
+    const unsigned iters = 20;
+    Build b = makeKernel(is_x86, mode, iters);
+    RunResult r = b.machine->run(b.image.boot_pc, 10'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault) << " pc=" << std::hex
+        << r.fault_pc;
+    EXPECT_EQ(r.halt_code, 0u);
+
+    auto results = extractLmbenchResults(b.machine->core(), iters);
+    ASSERT_EQ(results.size(), numLmbenchOps);
+    for (const auto &res : results) {
+        EXPECT_GT(res.cycles_per_op, 0.0)
+            << lmbenchOpName(res.op);
+        EXPECT_LT(res.cycles_per_op, 100000.0)
+            << lmbenchOpName(res.op);
+    }
+    // No privilege faults may fire during normal operation.
+    EXPECT_EQ(b.machine->core().faultsTaken(FaultType::InstPrivilege), 0u);
+    EXPECT_EQ(b.machine->core().faultsTaken(FaultType::CsrPrivilege), 0u);
+    EXPECT_EQ(b.machine->core().faultsTaken(FaultType::CsrMaskViolation),
+              0u);
+    EXPECT_EQ(b.machine->core().faultsTaken(FaultType::GateFault), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, KernelModes,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(KernelMode::Monolithic,
+                                         KernelMode::Decomposed)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) ? "x86" : "riscv";
+        name += std::get<1>(info.param) == KernelMode::Monolithic
+                    ? "Monolithic" : "Decomposed";
+        return name;
+    });
+
+TEST(KernelNested, X86NestedMonitorRuns)
+{
+    const unsigned iters = 10;
+    Build b = makeKernel(true, KernelMode::NestedMonitor, iters);
+    RunResult r = b.machine->run(b.image.boot_pc, 10'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault);
+    EXPECT_EQ(r.halt_code, 0u);
+    // The monitor toggled CR0.WP around mapping changes: WP must be
+    // set again after the run.
+    EXPECT_TRUE(b.machine->core().state().csrs.read(x86::CSR_CR0) &
+                x86::CR0_WP);
+}
+
+TEST(KernelNested, MonitorLogVariantRuns)
+{
+    auto machine = Machine::gem5x86();
+    Addr user_entry = buildLmbenchSuite(*machine, 10);
+    KernelConfig config;
+    config.mode = KernelMode::NestedMonitor;
+    config.monitor_log = true;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(user_entry);
+    RunResult r = machine->run(image.boot_pc, 10'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    // The log ring must have recorded mapping changes.
+    EXPECT_GT(machine->mem().read64(layout::monitorLogHead), 0u);
+}
+
+TEST(KernelDecomposed, DomainSwitchesHappen)
+{
+    const unsigned iters = 10;
+    Build b = makeKernel(false, KernelMode::Decomposed, iters);
+    RunResult r = b.machine->run(b.image.boot_pc, 10'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    // ctx-switch, mmap and the four services each cross domains twice
+    // per invocation, plus the boot gate.
+    EXPECT_GT(b.machine->pcu().switches(), 2 * iters);
+}
+
+TEST(KernelDecomposed, UserCannotTouchTrustedMemory)
+{
+    auto machine = Machine::rocket();
+    // A user program that tries to read the HPT directly.
+    auto a = makeRiscvAsm(layout::userCodeBase);
+    a->li(a->regUser(0), machine->config().domains.tmem_base);
+    a->load64(a->regUser(1), a->regUser(0), 0);
+    a->li(a->regArg(0), 0);
+    a->halt(a->regArg(0));
+    a->loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 1'000'000);
+    // The load faults; the kernel has no recovery address registered,
+    // so the trap handler halts with the 0xdead code.
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 0xdeadu);
+    EXPECT_EQ(machine->core().faultsTaken(
+                  FaultType::TrustedMemoryViolation), 1u);
+}
+
+class AppProfiles
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+TEST_P(AppProfiles, RunsAndReportsRoi)
+{
+    auto [is_x86, app_index] = GetParam();
+    auto profiles = AppProfile::all();
+    AppProfile profile = profiles[app_index];
+    profile.total_blocks = 800; // keep unit tests fast
+
+    auto machine = is_x86 ? Machine::gem5x86() : Machine::rocket();
+    Addr entry = buildApp(*machine, profile);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 50'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << profile.name << " fault=" << faultName(r.fault);
+    EXPECT_GT(appRoiCycles(machine->core()), 0u);
+    EXPECT_GT(appRoiInstructions(machine->core()), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppProfiles,
+    ::testing::Combine(::testing::Bool(), ::testing::Range(0, 4)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) ? "x86_" : "riscv_";
+        return name + AppProfile::all()[std::get<1>(info.param)].name;
+    });
+
+TEST(KernelTStacks, PerThreadStacksSwitchInDomain0)
+{
+    auto machine = Machine::rocket();
+    // User program: interleave gated services (which push/pop the
+    // trusted stack via hccalls/hcrets) with context switches.
+    auto ua = makeRiscvAsm(layout::userCodeBase);
+    auto sys = [&](Sys s) {
+        ua->li(ua->regArg(0), std::uint64_t(s));
+        ua->syscallInst();
+    };
+    sys(Sys::ServiceCpuid);
+    sys(Sys::CtxSwitch);
+    sys(Sys::ServiceMtrr);
+    sys(Sys::CtxSwitch);
+    sys(Sys::ServiceCpuid);
+    ua->li(ua->regArg(0), 0);
+    ua->halt(ua->regArg(0));
+    ua->loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    config.per_thread_tstack = true;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 10'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault) << " pc=" << std::hex
+        << r.fault_pc;
+
+    // Two switches: back on thread 0 with its window installed and an
+    // empty stack (all extended calls returned).
+    Addr base = machine->domains().trustedStackBase();
+    Addr ctx = machine->domains().trustedStackLimit() - 64;
+    std::uint64_t window = (ctx - base) / 2;
+    auto &pcu = machine->pcu();
+    EXPECT_EQ(pcu.gridReg(GridReg::Hcsb), base);
+    EXPECT_EQ(pcu.gridReg(GridReg::Hcsl), base + window);
+    EXPECT_EQ(pcu.gridReg(GridReg::Hcsp), base);
+    // Thread 1's saved pointer sits at the bottom of its own window.
+    EXPECT_EQ(machine->mem().read64(ctx + 8), base + window);
+    EXPECT_EQ(machine->core().faultsTaken(FaultType::TrustedStackFault),
+              0u);
+}
+
+TEST(KernelTStacks, RequiresDecomposedMode)
+{
+    auto machine = Machine::rocket();
+    KernelConfig config;
+    config.mode = KernelMode::Monolithic;
+    config.per_thread_tstack = true;
+    KernelBuilder builder(*machine, config);
+    EXPECT_DEATH(builder.build(layout::userCodeBase), "");
+}
+
+TEST(KernelTimer, PreemptiveSwitchesDriveTheCtxPath)
+{
+    AppProfile profile = AppProfile::mbedtls(); // barely syscalls
+    profile.total_blocks = 4000;
+    // CtxSwitch only via the timer: strip it from the syscall mix.
+    profile.syscall_mix = {Sys::Getpid, Sys::Write, Sys::Getpid,
+                           Sys::Write};
+
+    auto machine = Machine::rocket();
+    Addr entry = buildApp(*machine, profile);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    config.timer_interval = 20000;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 100'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault);
+
+    std::uint64_t ticks =
+        machine->core().faultsTaken(FaultType::TimerInterrupt);
+    EXPECT_GT(ticks, 10u) << "the timer must have fired";
+    // Each tick crosses into the MM domain and back for the page-table
+    // root switch.
+    EXPECT_GT(machine->pcu().switches(), 2 * ticks);
+    // Roughly one tick per interval over the user-mode run time.
+    EXPECT_LT(ticks, r.cycles / 20000 + 2);
+}
+
+TEST(KernelTimer, TimerPlusPerThreadStacks)
+{
+    AppProfile profile = AppProfile::sqlite(); // gated services too
+    profile.total_blocks = 4000;
+    auto machine = Machine::rocket();
+    Addr entry = buildApp(*machine, profile);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    config.timer_interval = 15000;
+    config.per_thread_tstack = true;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 100'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault);
+    EXPECT_GT(machine->core().faultsTaken(FaultType::TimerInterrupt),
+              5u);
+    EXPECT_EQ(machine->core().faultsTaken(FaultType::TrustedStackFault),
+              0u);
+}
+
+TEST(KernelTimer, MonolithicTimerWorksToo)
+{
+    AppProfile profile = AppProfile::gzip();
+    profile.total_blocks = 2000;
+    auto machine = Machine::gem5x86();
+    Addr entry = buildApp(*machine, profile);
+    KernelConfig config;
+    config.mode = KernelMode::Monolithic;
+    config.timer_interval = 10000;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 100'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault);
+    EXPECT_GT(machine->core().faultsTaken(FaultType::TimerInterrupt),
+              3u);
+}
+
+TEST(KernelKaslr, SlidKernelWorksBecauseGatesRegisterAfterLoad)
+{
+    // Section 5.2: gates/domains are registered after the (randomized)
+    // load address is known, so KASLR needs no special support.
+    for (Addr slide : {Addr{0x7000}, Addr{0x19000}, Addr{0x2c000}}) {
+        auto machine = Machine::rocket();
+        Addr entry = buildLmbenchSuite(*machine, 5);
+        KernelConfig config;
+        config.mode = KernelMode::Decomposed;
+        config.code_base = slide;
+        KernelBuilder builder(*machine, config);
+        KernelImage image = builder.build(entry);
+        EXPECT_GE(image.boot_pc, slide);
+        RunResult r = machine->run(image.boot_pc, 20'000'000);
+        EXPECT_EQ(r.reason, StopReason::Halted)
+            << "slide " << std::hex << slide << " fault "
+            << faultName(r.fault);
+        EXPECT_EQ(machine->core().faultsTaken(FaultType::GateFault),
+                  0u);
+    }
+}
+
+TEST(KernelRecovery, RegisteredRecoveryAddressResumesAfterFault)
+{
+    auto machine = Machine::rocket();
+    // User program: try a privileged instruction; the kernel's trap
+    // path resumes at the registered recovery point.
+    auto ua = makeRiscvAsm(layout::userCodeBase);
+    auto recovery = ua->newLabel();
+    ua->li(ua->regUser(0), 0);
+    ua->flushTlb(); // sfence.vma from user mode: illegal-instruction
+    ua->li(ua->regUser(0), 0xbad); // skipped via recovery
+    ua->bind(recovery);
+    ua->li(ua->regArg(0), 0);
+    ua->halt(ua->regArg(0));
+    ua->loadInto(machine->mem());
+    Addr recovery_addr = ua->labelAddr(recovery);
+
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    machine->mem().write64(layout::recoveryAddr, recovery_addr);
+
+    RunResult r = machine->run(image.boot_pc, 1'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 0u);
+    EXPECT_EQ(machine->core().state().reg(
+                  makeRiscvAsm(0)->regUser(0)), 0u)
+        << "the faulting path's continuation must have been skipped";
+    EXPECT_EQ(machine->mem().read64(layout::faultCount), 1u);
+    EXPECT_EQ(machine->mem().read64(layout::lastFaultCause), 2u);
+}
+
+TEST(KernelRun, MaxInstructionsStopsCleanly)
+{
+    auto machine = Machine::rocket();
+    auto ua = makeRiscvAsm(layout::userCodeBase);
+    auto loop = ua->newLabel();
+    ua->bind(loop);
+    ua->jmp(loop); // spin forever
+    ua->loadInto(machine->mem());
+    KernelConfig config;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 5000);
+    EXPECT_EQ(r.reason, StopReason::MaxInstructions);
+    EXPECT_EQ(r.instructions, 5000u);
+}
+
+TEST(KernelDecomposed, CannotExecuteCodeFromTrustedMemory)
+{
+    auto machine = Machine::rocket();
+    Addr tmem = machine->config().domains.tmem_base;
+    // User program jumps straight into the trusted region (SGT bytes).
+    auto ua = makeRiscvAsm(layout::userCodeBase);
+    ua->jmpAbs(tmem + 64, ua->regTmp(0));
+    ua->loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    RunResult r = machine->run(image.boot_pc, 1'000'000);
+    // The kernel's other-trap path halts with 0xdead (no recovery).
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 0xdeadu);
+    EXPECT_EQ(machine->core().faultsTaken(
+                  FaultType::TrustedMemoryViolation), 1u);
+}
+
+TEST(KernelDomainUsage, AttributesTimeToEveryDomain)
+{
+    AppProfile profile = AppProfile::sqlite();
+    profile.total_blocks = 2000;
+    auto machine = Machine::rocket();
+    Addr entry = buildApp(*machine, profile);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc, 100'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+
+    const auto &usage = machine->core().domainUsage();
+    // Domain-0 (boot), the basic kernel domain and the MM domain all
+    // executed; the basic domain (user + most kernel code) dominates.
+    ASSERT_TRUE(usage.count(0));
+    ASSERT_TRUE(usage.count(image.kernel_domain));
+    ASSERT_TRUE(usage.count(image.mm_domain));
+    std::uint64_t insts = 0;
+    Cycle cycles = 0;
+    for (const auto &[d, u] : usage) {
+        insts += u.instructions;
+        cycles += u.cycles;
+    }
+    EXPECT_EQ(insts, r.instructions);
+    EXPECT_EQ(cycles, r.cycles);
+    EXPECT_GT(usage.at(image.kernel_domain).cycles, r.cycles / 2);
+}

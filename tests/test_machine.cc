@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine assembly tests: factory configurations match the paper's
+ * prototypes (Table 3 / the Rocket setup), stats plumbing, and
+ * config plumbing into the PCU and trusted memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/machine.hh"
+#include "isa/riscv/assembler.hh"
+
+using namespace isagrid;
+
+TEST(Machine, RocketFactoryMatchesPrototype)
+{
+    auto m = Machine::rocket();
+    EXPECT_EQ(m->isa().name(), "rv64");
+    // Small blocking L1s in front of long-latency DRAM: a full miss
+    // costs >120 cycles (Table 4's load/store row).
+    EXPECT_EQ(m->icacheHierarchy().numLevels(), 1u);
+    EXPECT_GE(m->dcacheHierarchy().missLatency(), 120u);
+}
+
+TEST(Machine, Gem5X86FactoryMatchesTable3)
+{
+    auto m = Machine::gem5x86();
+    EXPECT_EQ(m->isa().name(), "x86");
+    auto &d = m->dcacheHierarchy();
+    ASSERT_EQ(d.numLevels(), 3u);
+    EXPECT_EQ(d.level(0).params().size_bytes, 32u * 1024);
+    EXPECT_EQ(d.level(0).params().assoc, 4u);
+    EXPECT_EQ(d.level(0).params().hit_latency, 2u);
+    EXPECT_EQ(d.level(1).params().size_bytes, 256u * 1024);
+    EXPECT_EQ(d.level(1).params().assoc, 16u);
+    EXPECT_EQ(d.level(1).params().hit_latency, 20u);
+    EXPECT_EQ(d.level(2).params().size_bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(d.level(2).params().hit_latency, 32u);
+    EXPECT_GE(d.missLatency(), 200u); // Table 4's >200 row
+}
+
+TEST(Machine, TrustedMemorySitsAtTopOfRam)
+{
+    auto m = Machine::rocket();
+    const auto &dm_cfg = m->config().domains;
+    EXPECT_EQ(dm_cfg.tmem_base + dm_cfg.tmem_size, m->mem().size());
+    EXPECT_TRUE(m->pcu().trustedMemory().enabled());
+    EXPECT_EQ(m->pcu().gridReg(GridReg::Tmemb), dm_cfg.tmem_base);
+}
+
+TEST(Machine, PcuConfigPropagates)
+{
+    MachineConfig config;
+    config.pcu = PcuConfig::config16E();
+    auto m = Machine::rocket(config);
+    EXPECT_EQ(m->pcu().instCache().numEntries(), 16u);
+    EXPECT_EQ(m->pcu().sgtCache().numEntries(), 16u);
+
+    config.pcu = PcuConfig::config8EN();
+    auto m2 = Machine::gem5x86(config);
+    EXPECT_EQ(m2->pcu().sgtCache().numEntries(), 0u);
+}
+
+TEST(Machine, DumpStatsContainsAllSubsystems)
+{
+    auto m = Machine::rocket();
+    riscv::RiscvAsm a(0x1000);
+    a.li(5, 0x100000);
+    a.ld(6, 5, 0);
+    a.halt(6);
+    a.loadInto(m->mem());
+    m->run(0x1000);
+
+    std::ostringstream os;
+    m->dumpStats(os);
+    std::string out = os.str();
+    for (const char *needle :
+         {"core.instructions", "core.loads", "pcu.inst_checks",
+          "pcu.switches", "pcu.inst_cache.hits", "pcu.sgt_cache.hits",
+          "icache.hierarchy.l1i.hits", "dcache.hierarchy.l1d.misses",
+          "dcache.hierarchy.mem_accesses"}) {
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Machine, RunResetsBetweenInvocations)
+{
+    auto m = Machine::rocket();
+    riscv::RiscvAsm a(0x1000);
+    a.li(10, 3);
+    a.halt(10);
+    a.loadInto(m->mem());
+    RunResult r1 = m->run(0x1000);
+    RunResult r2 = m->run(0x1000);
+    EXPECT_EQ(r1.halt_code, r2.halt_code);
+    // Architectural state resets; microarchitectural cache warmth
+    // persists, so the second run can only be cheaper.
+    EXPECT_LE(r2.cycles, r1.cycles);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+}
+
+TEST(Machine, MemorySizeIsConfigurable)
+{
+    MachineConfig config;
+    config.mem_bytes = 16ull * 1024 * 1024;
+    auto m = Machine::rocket(config);
+    EXPECT_EQ(m->mem().size(), 16ull * 1024 * 1024);
+    EXPECT_EQ(m->config().domains.tmem_base +
+                  m->config().domains.tmem_size,
+              m->mem().size());
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * PCU scale tests over a synthetic wide ISA: hundreds of instruction
+ * types (multi-word instruction bitmaps), a hundred CSRs (multi-group
+ * register bitmaps), many bit-maskable CSRs and dozens of domains —
+ * geometries neither real prototype reaches, exercising the HPT
+ * indexing math and cache behaviour at scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isagrid/domain_manager.hh"
+#include "isagrid/pcu.hh"
+#include "mem/phys_mem.hh"
+#include "sim/random.hh"
+
+using namespace isagrid;
+
+namespace {
+
+/** A synthetic ISA: N instruction types, M CSRs, K maskable. */
+class WideIsa : public IsaModel
+{
+  public:
+    WideIsa(std::uint32_t types, std::uint32_t csrs,
+            std::uint32_t maskable)
+        : types(types), csrs(csrs), maskable(maskable)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    unsigned numRegs() const override { return 32; }
+    unsigned maxInstBytes() const override { return 4; }
+    DecodedInst decode(const std::uint8_t *, std::size_t,
+                       Addr) const override
+    {
+        return {};
+    }
+    ExecResult execute(const DecodedInst &, ArchState &) const override
+    {
+        return {};
+    }
+    void initState(ArchState &) const override {}
+    std::uint32_t numInstTypes() const override { return types; }
+    std::uint32_t numControlledCsrs() const override { return csrs; }
+    CsrIndex
+    csrBitmapIndex(std::uint32_t addr) const override
+    {
+        return addr < csrs ? addr : invalidCsrIndex;
+    }
+    std::uint32_t numMaskableCsrs() const override { return maskable; }
+    CsrIndex
+    csrMaskIndex(std::uint32_t addr) const override
+    {
+        return addr < maskable ? addr : invalidCsrIndex;
+    }
+    bool isGridReg(std::uint32_t) const override { return false; }
+    GridReg gridRegId(std::uint32_t) const override
+    {
+        return GridReg::Domain;
+    }
+    std::uint32_t gridRegAddr(GridReg) const override { return 0; }
+    std::uint32_t ptbrCsrAddr() const override { return ~0u; }
+    bool csrPrivileged(std::uint32_t) const override { return true; }
+    bool instPrivileged(const DecodedInst &) const override
+    {
+        return false;
+    }
+    const char *instTypeName(InstTypeId) const override { return "w"; }
+    std::vector<InstTypeId> baselineInstTypes() const override
+    {
+        return {};
+    }
+    Addr takeTrap(ArchState &, FaultType, Addr, RegVal) const override
+    {
+        return 0;
+    }
+    Addr trapReturn(ArchState &) const override { return 0; }
+
+  private:
+    std::string name_ = "wide";
+    std::uint32_t types, csrs, maskable;
+};
+
+} // namespace
+
+class PcuScale
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PcuScale, SparseGrantsResolveExactly)
+{
+    auto [types, csrs, maskable] = GetParam();
+    WideIsa isa(types, csrs, maskable);
+    PhysMem mem(32 * 1024 * 1024);
+    PrivilegeCheckUnit pcu(isa, mem, PcuConfig::config8E());
+    DomainManagerConfig dmc;
+    dmc.tmem_base = 16 * 1024 * 1024;
+    dmc.tmem_size = 8 * 1024 * 1024;
+    dmc.max_domains = 48;
+    DomainManager dm(pcu, mem, dmc);
+
+    // Every domain d gets exactly the types/CSRs whose index is
+    // congruent to d modulo a small prime.
+    constexpr unsigned numDomains = 40;
+    for (DomainId d = 1; d < numDomains; ++d) {
+        dm.createDomain();
+        for (std::uint32_t t = d % 7; t < unsigned(types); t += 7)
+            dm.allowInstruction(d, t);
+        for (std::uint32_t c = d % 5; c < unsigned(csrs); c += 5)
+            dm.allowCsrRead(d, c);
+        for (std::uint32_t m = 0; m < unsigned(maskable); ++m)
+            dm.setCsrMask(d, m, RegVal(d) << m);
+    }
+    dm.publish();
+
+    SplitMix64 rng(types * 1000 + csrs);
+    for (int probe = 0; probe < 3000; ++probe) {
+        DomainId d = 1 + rng.below(numDomains - 1);
+        pcu.setGridReg(GridReg::Domain, d);
+        pcu.flushBuffers(PcuBuffer::InstCache);
+        std::uint32_t t = std::uint32_t(rng.below(types));
+        ASSERT_EQ(pcu.checkInstruction(t).allowed, t % 7 == d % 7)
+            << "domain " << d << " type " << t;
+        std::uint32_t c = std::uint32_t(rng.below(csrs));
+        ASSERT_EQ(pcu.checkCsrRead(c).allowed, c % 5 == d % 5);
+        if (maskable) {
+            std::uint32_t m = std::uint32_t(rng.below(maskable));
+            RegVal mask = RegVal(d) << m;
+            RegVal flip = rng.next();
+            bool expect = ((flip) & ~mask) == 0;
+            ASSERT_EQ(pcu.checkCsrWrite(m, 0, flip).allowed, expect)
+                << "domain " << d << " maskable " << m;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PcuScale,
+    ::testing::Values(std::make_tuple(64, 32, 1),
+                      std::make_tuple(200, 100, 5),
+                      std::make_tuple(500, 64, 16),
+                      std::make_tuple(1000, 300, 32),
+                      std::make_tuple(65, 33, 2)));
+
+TEST(PcuScale, HptStridesScaleWithGeometry)
+{
+    WideIsa small(64, 32, 1), big(1000, 300, 32);
+    PhysMem mem(32 * 1024 * 1024);
+    PrivilegeCheckUnit p1(small, mem, PcuConfig::config8E());
+    PrivilegeCheckUnit p2(big, mem, PcuConfig::config8E());
+    EXPECT_EQ(p1.layout().numInstGroups(), 1u);
+    EXPECT_EQ(p2.layout().numInstGroups(), 16u);
+    EXPECT_EQ(p1.layout().numRegGroups(), 1u);
+    EXPECT_EQ(p2.layout().numRegGroups(), 10u);
+    EXPECT_EQ(p2.layout().maskStride(), 32u * 8);
+}

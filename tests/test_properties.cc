@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Randomized property tests.
+ *
+ * 1. PCU-vs-reference: a random privilege matrix is installed through
+ *    the DomainManager and then probed with thousands of random
+ *    checks; the PCU (with its caches, bypass register and random
+ *    interleavings of flushes and domain switches) must agree with a
+ *    trivial host-side reference model on every single outcome.
+ * 2. Cross-ISA differential execution: random straight-line programs
+ *    written against the AsmIface facade must produce identical halt
+ *    codes on the RV64 and x86 machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "isa/riscv/riscv_isa.hh"
+#include "isagrid/domain_manager.hh"
+#include "kernel/asm_iface.hh"
+#include "kernel/layout.hh"
+#include "sim/random.hh"
+
+using namespace isagrid;
+using namespace isagrid::riscv;
+
+namespace {
+
+/** Trivial reference model of the Section 4.1 semantics. */
+struct Reference
+{
+    static constexpr unsigned numDomains = 6;
+
+    bool inst[numDomains][64] = {};
+    bool read[numDomains][16] = {};
+    bool write[numDomains][16] = {};
+    RegVal mask[numDomains] = {}; // sstatus only
+
+    bool
+    checkInst(DomainId d, InstTypeId t) const
+    {
+        return d == 0 || inst[d][t];
+    }
+
+    bool
+    checkRead(DomainId d, CsrIndex i) const
+    {
+        return d == 0 || read[d][i];
+    }
+
+    bool
+    checkWrite(DomainId d, std::uint32_t csr, CsrIndex i, RegVal old,
+               RegVal neu) const
+    {
+        if (d == 0 || write[d][i])
+            return true;
+        if (csr != CSR_SSTATUS)
+            return false;
+        return ((old ^ neu) & ~mask[d]) == 0;
+    }
+};
+
+} // namespace
+
+class PcuReference : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PcuReference, RandomMatrixAgreesUnderRandomProbing)
+{
+    SplitMix64 rng(GetParam());
+    RiscvIsa isa;
+    PhysMem mem(16 * 1024 * 1024);
+    PcuConfig config;
+    config.hpt_cache_entries = 1 + unsigned(rng.below(4));
+    config.sgt_cache_entries = unsigned(rng.below(3));
+    config.bypass_enabled = rng.chance(1, 2);
+    config.legal_cache_entries =
+        rng.chance(1, 2) ? unsigned(rng.below(16)) : 0;
+    PrivilegeCheckUnit pcu(isa, mem, config);
+    DomainManagerConfig dmc;
+    dmc.tmem_base = 8 * 1024 * 1024;
+    dmc.tmem_size = 1024 * 1024;
+    DomainManager dm(pcu, mem, dmc);
+
+    Reference ref;
+    const auto &csrs = RiscvIsa::controlledCsrs();
+    for (DomainId d = 1; d < Reference::numDomains; ++d) {
+        dm.createDomain();
+        for (InstTypeId t = 0; t < isa.numInstTypes(); ++t) {
+            if (rng.chance(1, 2)) {
+                dm.allowInstruction(d, t);
+                ref.inst[d][t] = true;
+            }
+        }
+        for (CsrIndex i = 0; i < csrs.size(); ++i) {
+            if (rng.chance(1, 3)) {
+                dm.allowCsrRead(d, csrs[i]);
+                ref.read[d][i] = true;
+            }
+            if (rng.chance(1, 4)) {
+                dm.allowCsrWrite(d, csrs[i]);
+                ref.write[d][i] = true;
+            }
+        }
+        ref.mask[d] = rng.next();
+        dm.setCsrMask(d, CSR_SSTATUS, ref.mask[d]);
+    }
+    dm.publish();
+
+    DomainId current = 0;
+    for (int probe = 0; probe < 4000; ++probe) {
+        switch (rng.below(6)) {
+          case 0: { // domain switch (host-side, like a gate would)
+            current = rng.below(Reference::numDomains);
+            pcu.setGridReg(GridReg::Domain, current);
+            pcu.flushBuffers(PcuBuffer::InstCache); // reset bypass
+            break;
+          }
+          case 1: { // random cache flush
+            pcu.flushBuffers(
+                static_cast<PcuBuffer>(rng.below(5)));
+            break;
+          }
+          case 2: { // instruction check (sometimes via legal cache)
+            InstTypeId t = InstTypeId(rng.below(isa.numInstTypes()));
+            // The legal cache caches by (domain, pc): the instruction
+            // at a pc never changes in real code, so the probe keys
+            // the pc off the type.
+            bool got = rng.chance(1, 2)
+                           ? pcu.checkInstruction(t).allowed
+                           : pcu.checkInstructionAt(t, 0x1000 + t * 4,
+                                                    true)
+                                 .allowed;
+            ASSERT_EQ(got, ref.checkInst(current, t))
+                << "domain " << current << " type " << t;
+            break;
+          }
+          case 3: { // CSR read check
+            CsrIndex i = CsrIndex(rng.below(csrs.size()));
+            bool got = pcu.checkCsrRead(csrs[i]).allowed;
+            ASSERT_EQ(got, ref.checkRead(current, i));
+            break;
+          }
+          case 4: { // CSR write check with random values
+            CsrIndex i = CsrIndex(rng.below(csrs.size()));
+            RegVal old = rng.next(), neu = rng.next();
+            if (rng.chance(1, 3))
+                neu = old; // exercise the no-change case
+            bool got = pcu.checkCsrWrite(csrs[i], old, neu).allowed;
+            ASSERT_EQ(got,
+                      ref.checkWrite(current, csrs[i], i, old, neu))
+                << "domain " << current << " csr " << std::hex
+                << csrs[i];
+            break;
+          }
+          case 5: { // prefetch must never change outcomes
+            pcu.prefetch(rng.chance(1, 2) ? 0
+                                          : csrs[rng.below(
+                                                csrs.size())]);
+            break;
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcuReference,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+// ---------------------------------------------------------------------
+// Cross-ISA differential execution
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Emit a random straight-line facade program; returns nothing —
+ *  the halt code is whatever accumulates in regUser(0). */
+void
+emitRandomProgram(AsmIface &a, std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    unsigned acc = a.regUser(0), aux = a.regUser(1),
+             ptr = a.regUser(2);
+    a.li(a.regSp(), layout::userStackTop);
+    a.li(acc, rng.next());
+    a.li(aux, rng.next() | 1);
+    a.li(ptr, layout::userDataBase);
+
+    for (int i = 0; i < 120; ++i) {
+        switch (rng.below(10)) {
+          case 0: a.add(acc, aux); break;
+          case 1: a.sub(acc, aux); break;
+          case 2: a.xor_(acc, aux); break;
+          case 3: a.or_(aux, acc); break;
+          case 4: a.and_(acc, aux); break;
+          case 5: a.mul(acc, aux); break;
+          case 6: a.addi(acc, int(rng.below(200)) - 100); break;
+          case 7: a.shli(acc, 1 + unsigned(rng.below(8))); break;
+          case 8:
+            a.store64(acc, ptr, std::int32_t(rng.below(64)) * 8);
+            break;
+          case 9:
+            a.load64(aux, ptr, std::int32_t(rng.below(64)) * 8);
+            a.or_(aux, acc); // keep aux nonzero-ish
+            break;
+        }
+    }
+    a.halt(acc);
+}
+
+} // namespace
+
+class CrossIsaDifferential
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CrossIsaDifferential, SameProgramSameResult)
+{
+    std::uint64_t seed = GetParam();
+
+    auto rv = Machine::rocket();
+    {
+        auto a = makeRiscvAsm(0x1000);
+        emitRandomProgram(*a, seed);
+        a->loadInto(rv->mem());
+    }
+    RunResult r1 = rv->run(0x1000, 1'000'000);
+    ASSERT_EQ(r1.reason, StopReason::Halted);
+
+    auto ix = Machine::gem5x86();
+    {
+        auto a = makeX86Asm(0x1000);
+        emitRandomProgram(*a, seed);
+        a->loadInto(ix->mem());
+    }
+    RunResult r2 = ix->run(0x1000, 1'000'000);
+    ASSERT_EQ(r2.reason, StopReason::Halted);
+
+    EXPECT_EQ(r1.halt_code, r2.halt_code) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossIsaDifferential,
+                         ::testing::Range<std::uint64_t>(100, 130));

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the simulation framework: logging, statistics and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        captured.clear();
+        old = setLogSink(captureSink);
+        setLogThreshold(LogLevel::Inform);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(old);
+        setLogThreshold(LogLevel::Warn);
+    }
+
+    LogSink old = nullptr;
+};
+
+} // namespace
+
+TEST_F(LoggingTest, WarnFormatsArguments)
+{
+    warn("value is %d and %s", 42, "text");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "value is 42 and text");
+}
+
+TEST_F(LoggingTest, InformRespectsThreshold)
+{
+    setLogThreshold(LogLevel::Warn);
+    inform("should be suppressed");
+    EXPECT_TRUE(captured.empty());
+    warn("should appear");
+    EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST_F(LoggingTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "");
+}
+
+TEST_F(LoggingTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(ISAGRID_ASSERT(1 == 2, "context %d", 5), "");
+}
+
+TEST_F(LoggingTest, AssertMacroPassesOnTrue)
+{
+    ISAGRID_ASSERT(1 == 1, "never printed%s", "");
+    EXPECT_TRUE(captured.empty());
+}
+
+TEST(Stats, CounterArithmetic)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DumpContainsDottedNames)
+{
+    StatGroup group("top");
+    Counter c;
+    c += 3;
+    group.addCounter("hits", c, "some hits");
+    StatGroup child("sub");
+    Counter c2;
+    c2 += 7;
+    child.addCounter("misses", c2);
+    group.addChild(child);
+
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("top.hits"), std::string::npos);
+    EXPECT_NE(out.find("top.sub.misses"), std::string::npos);
+    EXPECT_NE(out.find("some hits"), std::string::npos);
+}
+
+TEST(Stats, LookupFindsValues)
+{
+    StatGroup group("g");
+    Counter c;
+    c += 5;
+    group.addCounter("n", c);
+    group.addFormula("twice", [&] { return double(c.value()) * 2; });
+    EXPECT_DOUBLE_EQ(group.lookup("g.n"), 5.0);
+    EXPECT_DOUBLE_EQ(group.lookup("g.twice"), 10.0);
+    EXPECT_TRUE(std::isnan(group.lookup("g.absent")));
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup group("g");
+    Counter c;
+    group.addFormula("rate", [&] { return double(c.value()); });
+    EXPECT_DOUBLE_EQ(group.lookup("g.rate"), 0.0);
+    c += 11;
+    EXPECT_DOUBLE_EQ(group.lookup("g.rate"), 11.0);
+}
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    SplitMix64 rng(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    SplitMix64 rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    SplitMix64 rng(5);
+    double sum = 0;
+    for (int i = 0; i < 4000; ++i) {
+        double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 4000, 0.5, 0.03);
+}
+
+TEST(Random, ChanceApproximatesProbability)
+{
+    SplitMix64 rng(21);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(1, 4);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * End-to-end smoke tests: boot each machine, run guest code through the
+ * full decode/execute/PCU path, switch domains through gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "isa/riscv/assembler.hh"
+#include "isa/riscv/opcodes.hh"
+#include "isa/x86/assembler.hh"
+#include "isa/x86/opcodes.hh"
+
+using namespace isagrid;
+
+TEST(SmokeRiscv, AluProgramHalts)
+{
+    auto m = Machine::rocket();
+    riscv::RiscvAsm a(0x1000);
+    a.li(10, 41);
+    a.addi(10, 10, 1);
+    a.halt(10);
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 42u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(SmokeRiscv, LoopExecutes)
+{
+    auto m = Machine::rocket();
+    riscv::RiscvAsm a(0x1000);
+    a.li(5, 100);   // counter
+    a.li(6, 0);     // accumulator
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(6, 6, 5);
+    a.addi(5, 5, -1);
+    a.bne(5, 0, loop);
+    a.halt(6);
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 5050u); // sum 1..100
+}
+
+TEST(SmokeRiscv, GateSwitchesDomain)
+{
+    auto m = Machine::rocket();
+    auto &dm = m->domains();
+    DomainId d1 = dm.createBaselineDomain();
+
+    riscv::RiscvAsm a(0x1000);
+    // domain-0 boot: load gate id, hccall
+    auto target = a.newLabel();
+    a.li(10, 0); // gate id 0
+    Addr gate_pc = a.here();
+    a.hccall(10);
+    a.bind(target);
+    // now in d1: read domain register, halt with it
+    a.csrr(11, m->isa().gridRegAddr(GridReg::Domain));
+    a.halt(11);
+    a.finalize();
+    dm.registerGate(gate_pc, a.labelAddr(target), d1);
+    dm.publish();
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, d1);
+    EXPECT_EQ(m->pcu().currentDomain(), d1);
+    EXPECT_EQ(m->pcu().previousDomain(), 0u);
+}
+
+TEST(SmokeRiscv, PrivilegeDenied)
+{
+    auto m = Machine::rocket();
+    auto &dm = m->domains();
+    DomainId d1 = dm.createBaselineDomain();
+    // d1 may NOT write satp.
+
+    riscv::RiscvAsm a(0x1000);
+    auto target = a.newLabel();
+    a.li(10, 0);
+    Addr gate_pc = a.here();
+    a.hccall(10);
+    a.bind(target);
+    a.li(11, 0xdead);
+    a.csrw(riscv::CSR_SATP, 11); // should fault
+    a.halt(11);
+    a.finalize();
+    dm.registerGate(gate_pc, a.labelAddr(target), d1);
+    dm.publish();
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::UnhandledFault);
+    EXPECT_EQ(r.fault, FaultType::CsrPrivilege);
+    EXPECT_EQ(m->core().state().csrs.read(riscv::CSR_SATP), 0u);
+}
+
+TEST(SmokeX86, AluProgramHalts)
+{
+    auto m = Machine::gem5x86();
+    x86::X86Asm a(0x1000);
+    a.movImm(x86::RAX, 40);
+    a.movImm(x86::RBX, 2);
+    a.add(x86::RAX, x86::RBX);
+    a.halt(x86::RAX);
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 42u);
+}
+
+TEST(SmokeX86, CallRetStack)
+{
+    auto m = Machine::gem5x86();
+    x86::X86Asm a(0x1000);
+    a.movImm(x86::RSP, 0x20000);
+    auto func = a.newLabel();
+    auto done = a.newLabel();
+    a.call(func);
+    a.jmp(done);
+    a.bind(func);
+    a.movImm(x86::RAX, 7);
+    a.ret();
+    a.bind(done);
+    a.halt(x86::RAX);
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(r.halt_code, 7u);
+}
+
+TEST(SmokeX86, Cr0MaskViolationBlocked)
+{
+    auto m = Machine::gem5x86();
+    auto &dm = m->domains();
+    DomainId d1 = dm.createBaselineDomain();
+    dm.allowInstruction(d1, x86::IT_MOV_R_CR);
+    dm.allowInstruction(d1, x86::IT_MOV_CR_R);
+    dm.allowCsrRead(d1, x86::CSR_CR0);
+    // d1 may flip only CR0.TS (bit-mask), not CD.
+    dm.setCsrMask(d1, x86::CSR_CR0, x86::CR0_TS);
+
+    x86::X86Asm a(0x1000);
+    auto target = a.newLabel();
+    a.movImm(x86::RCX, 0); // gate id
+    Addr gate_pc = a.here();
+    a.hccall(x86::RCX);
+    a.bind(target);
+    // Legal: toggle TS.
+    a.movFromCr(x86::RAX, 0);
+    a.movImm(x86::RBX, x86::CR0_TS);
+    a.xor_(x86::RAX, x86::RBX);
+    a.movToCr(0, x86::RAX);
+    // Illegal: set CD (the Stealthy Page Table attack prerequisite).
+    a.movImm(x86::RBX, x86::CR0_CD);
+    a.xor_(x86::RAX, x86::RBX);
+    a.movToCr(0, x86::RAX);
+    a.halt(x86::RAX);
+    a.finalize();
+    dm.registerGate(gate_pc, a.labelAddr(target), d1);
+    dm.publish();
+    a.loadInto(m->mem());
+
+    RunResult r = m->run(0x1000);
+    EXPECT_EQ(r.reason, StopReason::UnhandledFault);
+    EXPECT_EQ(r.fault, FaultType::CsrMaskViolation);
+    // TS was toggled; CD never landed.
+    RegVal cr0 = m->core().state().csrs.read(x86::CSR_CR0);
+    EXPECT_TRUE(cr0 & x86::CR0_TS);
+    EXPECT_FALSE(cr0 & x86::CR0_CD);
+}

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Functional tests of every mini-kernel syscall, driven from user-mode
+ * guest programs on both ISAs and in both protection modes. The user
+ * program verifies kernel behaviour itself (copied bytes, fd slots,
+ * pipe FIFO order, signal control flow) and halts with a pass code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel_builder.hh"
+
+using namespace isagrid;
+
+namespace {
+
+constexpr std::uint64_t passCode = 0x600d;
+constexpr std::uint64_t failBase = 0xf000;
+
+struct SysEnv
+{
+    SysEnv(bool x86, KernelMode mode)
+        : machine(x86 ? Machine::gem5x86() : Machine::rocket())
+    {
+        config.mode = mode;
+    }
+
+    std::unique_ptr<AsmIface>
+    userAsm()
+    {
+        return machine->isa().name() == "x86"
+                   ? makeX86Asm(layout::userCodeBase)
+                   : makeRiscvAsm(layout::userCodeBase);
+    }
+
+    RunResult
+    buildAndRun(AsmIface &a)
+    {
+        a.loadInto(machine->mem());
+        KernelBuilder builder(*machine, config);
+        KernelImage image = builder.build(layout::userCodeBase);
+        return machine->run(image.boot_pc, 20'000'000);
+    }
+
+    std::unique_ptr<Machine> machine;
+    KernelConfig config;
+};
+
+/** halt(fail code k) unless ra == rb. */
+void
+expectEq(AsmIface &a, unsigned ra, unsigned rb, unsigned k)
+{
+    auto ok = a.newLabel();
+    auto bad = a.newLabel();
+    a.bne(ra, rb, bad);
+    a.jmp(ok);
+    a.bind(bad);
+    a.li(a.regArg(4), failBase + k);
+    a.halt(a.regArg(4));
+    a.bind(ok);
+}
+
+void
+finishPass(AsmIface &a)
+{
+    a.li(a.regArg(0), passCode);
+    a.halt(a.regArg(0));
+}
+
+} // namespace
+
+class Syscalls
+    : public ::testing::TestWithParam<std::tuple<bool, KernelMode>>
+{
+  public:
+    static std::string
+    caseName(const ::testing::TestParamInfo<std::tuple<bool, KernelMode>>
+                 &info)
+    {
+        std::string n = std::get<0>(info.param) ? "x86" : "riscv";
+        n += std::get<1>(info.param) == KernelMode::Monolithic
+                 ? "Native" : "Decomposed";
+        return n;
+    }
+
+  protected:
+    void
+    runCase(const std::function<void(AsmIface &)> &emit)
+    {
+        SysEnv env(std::get<0>(GetParam()), std::get<1>(GetParam()));
+        auto ap = env.userAsm();
+        ap->li(ap->regSp(), layout::userStackTop);
+        emit(*ap);
+        RunResult r = env.buildAndRun(*ap);
+        ASSERT_EQ(r.reason, StopReason::Halted)
+            << "fault=" << faultName(r.fault);
+        EXPECT_EQ(r.halt_code, passCode)
+            << "guest self-check " << std::hex << r.halt_code;
+    }
+};
+
+TEST_P(Syscalls, GetpidReturnsConstant)
+{
+    runCase([](AsmIface &a) {
+        a.li(a.regArg(0), std::uint64_t(Sys::Getpid));
+        a.syscallInst();
+        a.li(a.regTmp(0), 1234);
+        expectEq(a, a.regArg(0), a.regTmp(0), 1);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, ReadCopiesKernelBufferBytes)
+{
+    runCase([](AsmIface &a) {
+        // The loader fills the kernel IO buffer with marker qwords
+        // 0x4b4b4b4b'0000'0000 | address.
+        a.li(a.regArg(0), std::uint64_t(Sys::Read));
+        a.li(a.regArg(1), layout::userDataBase);
+        a.li(a.regArg(2), 4); // four qwords
+        a.syscallInst();
+        // Verify the third copied qword.
+        a.li(a.regUser(0), layout::userDataBase);
+        a.load64(a.regUser(1), a.regUser(0), 16);
+        a.li(a.regTmp(0),
+             0x4b4b4b4b00000000ull | (layout::kernelIoBuffer + 16));
+        expectEq(a, a.regUser(1), a.regTmp(0), 2);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, WriteThenReadRoundTrips)
+{
+    runCase([](AsmIface &a) {
+        // Place a pattern in user memory, write it into the kernel,
+        // scribble over the user copy, then read it back.
+        a.li(a.regUser(0), layout::userDataBase);
+        a.li(a.regUser(1), 0xfeedface);
+        a.store64(a.regUser(1), a.regUser(0), 0);
+        a.li(a.regArg(0), std::uint64_t(Sys::Write));
+        a.li(a.regArg(1), layout::userDataBase);
+        a.li(a.regArg(2), 1);
+        a.syscallInst();
+        a.li(a.regUser(1), 0);
+        a.store64(a.regUser(1), a.regUser(0), 0);
+        a.li(a.regArg(0), std::uint64_t(Sys::Read));
+        a.li(a.regArg(1), layout::userDataBase);
+        a.li(a.regArg(2), 1);
+        a.syscallInst();
+        a.load64(a.regUser(1), a.regUser(0), 0);
+        a.li(a.regTmp(0), 0xfeedface);
+        expectEq(a, a.regUser(1), a.regTmp(0), 3);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, OpenAllocatesSequentialSlots)
+{
+    runCase([](AsmIface &a) {
+        a.li(a.regArg(0), std::uint64_t(Sys::Open));
+        a.li(a.regArg(1), 0x111);
+        a.syscallInst();
+        a.li(a.regTmp(0), 0);
+        expectEq(a, a.regArg(0), a.regTmp(0), 4); // first slot
+        a.li(a.regArg(0), std::uint64_t(Sys::Open));
+        a.li(a.regArg(1), 0x222);
+        a.syscallInst();
+        a.li(a.regTmp(0), 1);
+        expectEq(a, a.regArg(0), a.regTmp(0), 5); // second slot
+        // Close slot 0 and reopen: slot 0 is reused.
+        a.li(a.regArg(0), std::uint64_t(Sys::Close));
+        a.li(a.regArg(1), 0);
+        a.syscallInst();
+        a.li(a.regArg(0), std::uint64_t(Sys::Open));
+        a.li(a.regArg(1), 0x333);
+        a.syscallInst();
+        a.li(a.regTmp(0), 0);
+        expectEq(a, a.regArg(0), a.regTmp(0), 6);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, PipeIsFifo)
+{
+    runCase([](AsmIface &a) {
+        for (std::uint64_t v : {0xaaull, 0xbbull}) {
+            a.li(a.regArg(0), std::uint64_t(Sys::PipeWrite));
+            a.li(a.regArg(1), v);
+            a.syscallInst();
+        }
+        a.li(a.regArg(0), std::uint64_t(Sys::PipeRead));
+        a.syscallInst();
+        a.li(a.regTmp(0), 0xaa);
+        expectEq(a, a.regArg(0), a.regTmp(0), 7);
+        a.li(a.regArg(0), std::uint64_t(Sys::PipeRead));
+        a.syscallInst();
+        a.li(a.regTmp(0), 0xbb);
+        expectEq(a, a.regArg(0), a.regTmp(0), 8);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, SignalDeliveryRunsHandlerThenResumes)
+{
+    runCase([](AsmIface &a) {
+        unsigned flag = a.regUser(3);
+        a.li(flag, 0);
+        auto past = a.newLabel();
+        a.jmp(past);
+        // --- user signal handler: set the flag, sigreturn ---
+        Addr handler = a.here();
+        a.li(flag, 1);
+        a.li(a.regArg(0), std::uint64_t(Sys::SigReturn));
+        a.syscallInst();
+        a.bind(past);
+        a.li(a.regArg(0), std::uint64_t(Sys::SigInstall));
+        a.li(a.regArg(1), handler);
+        a.syscallInst();
+        a.li(a.regArg(0), std::uint64_t(Sys::SigRaise));
+        a.syscallInst();
+        // Resumed here: the handler must have run exactly once.
+        a.li(a.regTmp(0), 1);
+        expectEq(a, flag, a.regTmp(0), 9);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, CtxSwitchRoundTripRestoresRegisters)
+{
+    runCase([](AsmIface &a) {
+        // Counter must live in arg2 (the kernel swaps regUser).
+        a.li(a.regUser(0), 0x1234);
+        a.li(a.regArg(0), std::uint64_t(Sys::CtxSwitch));
+        a.syscallInst();
+        a.li(a.regArg(0), std::uint64_t(Sys::CtxSwitch));
+        a.syscallInst();
+        // Two switches: back on TCB 0 with regUser restored.
+        a.li(a.regTmp(0), 0x1234);
+        expectEq(a, a.regUser(0), a.regTmp(0), 10);
+        finishPass(a);
+    });
+}
+
+TEST_P(Syscalls, MmapTouchWritesPtes)
+{
+    SysEnv env(std::get<0>(GetParam()), std::get<1>(GetParam()));
+    auto ap = env.userAsm();
+    AsmIface &a = *ap;
+    a.li(a.regSp(), layout::userStackTop);
+    a.li(a.regArg(0), std::uint64_t(Sys::MmapTouch));
+    a.li(a.regArg(1), 5);
+    a.syscallInst();
+    finishPass(a);
+    RunResult r = env.buildAndRun(a);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    ASSERT_EQ(r.halt_code, passCode);
+    // PTE slot 5 (and the next seven) hold the PTE bits.
+    EXPECT_EQ(env.machine->mem().read64(layout::pageTableArea + 5 * 8),
+              0x627u);
+    EXPECT_EQ(env.machine->mem().read64(layout::pageTableArea + 5 * 8 +
+                                        56),
+              0x627u);
+}
+
+TEST_P(Syscalls, ServicesReturnAndIsolate)
+{
+    SysEnv env(std::get<0>(GetParam()), std::get<1>(GetParam()));
+    auto ap = env.userAsm();
+    AsmIface &a = *ap;
+    a.li(a.regSp(), layout::userStackTop);
+    for (Sys s : {Sys::ServiceCpuid, Sys::ServiceMtrr, Sys::ServicePmc0,
+                  Sys::ServicePmc1}) {
+        a.li(a.regArg(0), std::uint64_t(s));
+        a.syscallInst();
+    }
+    finishPass(a);
+    RunResult r = env.buildAndRun(a);
+    ASSERT_EQ(r.reason, StopReason::Halted)
+        << "fault=" << faultName(r.fault);
+    EXPECT_EQ(r.halt_code, passCode);
+    if (std::get<1>(GetParam()) == KernelMode::Decomposed) {
+        // Each service crossed into its own domain and back.
+        EXPECT_GE(env.machine->pcu().switches(), 1 + 2 * 4u);
+    }
+}
+
+TEST_P(Syscalls, UnknownSyscallNumberReturnsError)
+{
+    runCase([](AsmIface &a) {
+        a.li(a.regArg(0), 29); // clamped to the table's invalid range
+        a.syscallInst();
+        a.li(a.regTmp(0), ~0ull);
+        expectEq(a, a.regArg(0), a.regTmp(0), 11);
+        finishPass(a);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Syscalls,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(KernelMode::Monolithic,
+                                         KernelMode::Decomposed)),
+    Syscalls::caseName);

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Workload generator tests: determinism, ROI extraction, profile
+ * character (instruction mixes really differ) and the lmbench suite's
+ * mark protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel_builder.hh"
+#include "workloads/apps.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+namespace {
+
+RunResult
+runProfile(Machine &machine, const AppProfile &profile,
+           KernelMode mode = KernelMode::Monolithic)
+{
+    Addr entry = buildApp(machine, profile);
+    KernelConfig config;
+    config.mode = mode;
+    KernelBuilder builder(machine, config);
+    KernelImage image = builder.build(entry);
+    return machine.run(image.boot_pc, 100'000'000);
+}
+
+} // namespace
+
+TEST(Workloads, AppRunsAreBitReproducible)
+{
+    AppProfile profile = AppProfile::gzip();
+    profile.total_blocks = 800;
+    auto m1 = Machine::rocket();
+    auto m2 = Machine::rocket();
+    RunResult r1 = runProfile(*m1, profile);
+    RunResult r2 = runProfile(*m2, profile);
+    ASSERT_EQ(r1.reason, StopReason::Halted);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(appRoiCycles(m1->core()), appRoiCycles(m2->core()));
+}
+
+TEST(Workloads, SeedChangesTheProgram)
+{
+    AppProfile a = AppProfile::gzip();
+    a.total_blocks = 800;
+    AppProfile b = a;
+    b.seed = 0xfeed;
+    auto m1 = Machine::rocket();
+    auto m2 = Machine::rocket();
+    RunResult r1 = runProfile(*m1, a);
+    RunResult r2 = runProfile(*m2, b);
+    EXPECT_NE(r1.cycles, r2.cycles);
+}
+
+TEST(Workloads, ProfilesHaveDistinctCharacter)
+{
+    // mbedtls is compute-bound: highest cycles-per-memory-access;
+    // gzip/tar are memory-streaming.
+    std::map<std::string, double> loads_per_inst;
+    for (AppProfile profile : AppProfile::all()) {
+        profile.total_blocks = 800;
+        auto m = Machine::rocket();
+        RunResult r = runProfile(*m, profile);
+        ASSERT_EQ(r.reason, StopReason::Halted) << profile.name;
+        double loads = m->core().stats().lookup("core.loads") +
+                       m->core().stats().lookup("core.stores");
+        loads_per_inst[profile.name] = loads / double(r.instructions);
+    }
+    EXPECT_LT(loads_per_inst["mbedtls"], loads_per_inst["gzip"]);
+    EXPECT_LT(loads_per_inst["mbedtls"], loads_per_inst["tar"]);
+}
+
+TEST(Workloads, SyscallDensityFollowsProfile)
+{
+    AppProfile chatty = AppProfile::sqlite();
+    AppProfile quiet = AppProfile::mbedtls();
+    chatty.total_blocks = quiet.total_blocks = 1600;
+    auto m1 = Machine::rocket();
+    auto m2 = Machine::rocket();
+    runProfile(*m1, chatty);
+    runProfile(*m2, quiet);
+    double traps1 = m1->core().stats().lookup("core.traps");
+    double traps2 = m2->core().stats().lookup("core.traps");
+    EXPECT_GT(traps1, 4 * traps2);
+}
+
+TEST(Workloads, RoiExcludesBootAndTeardown)
+{
+    AppProfile profile = AppProfile::gzip();
+    profile.total_blocks = 800;
+    auto m = Machine::rocket();
+    RunResult r = runProfile(*m, profile);
+    EXPECT_LT(appRoiCycles(m->core()), r.cycles);
+    EXPECT_LT(appRoiInstructions(m->core()), r.instructions);
+    EXPECT_GT(appRoiInstructions(m->core()),
+              r.instructions * 9 / 10);
+}
+
+TEST(Workloads, WorkingSetMustBePowerOfTwo)
+{
+    AppProfile profile = AppProfile::gzip();
+    profile.working_set = 100000;
+    auto m = Machine::rocket();
+    EXPECT_DEATH(buildApp(*m, profile), "");
+}
+
+TEST(Lmbench, AllOpsProduceMarks)
+{
+    const unsigned iters = 5;
+    auto m = Machine::rocket();
+    Addr entry = buildLmbenchSuite(*m, iters);
+    KernelConfig config;
+    KernelBuilder builder(*m, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = m->run(image.boot_pc, 50'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m->core().marks().size(), 2 * numLmbenchOps);
+    auto results = extractLmbenchResults(m->core(), iters);
+    ASSERT_EQ(results.size(), numLmbenchOps);
+}
+
+TEST(Lmbench, PerOpCostScalesWithIterations)
+{
+    auto run = [](unsigned iters) {
+        auto m = Machine::rocket();
+        Addr entry = buildLmbenchSuite(*m, iters);
+        KernelConfig config;
+        KernelBuilder builder(*m, config);
+        KernelImage image = builder.build(entry);
+        RunResult r = m->run(image.boot_pc, 100'000'000);
+        EXPECT_EQ(r.reason, StopReason::Halted);
+        return extractLmbenchResults(m->core(), iters);
+    };
+    auto few = run(50);
+    auto many = run(200);
+    // Per-op cost converges: the two estimates agree within 20%.
+    for (unsigned op = 0; op < numLmbenchOps; ++op) {
+        EXPECT_NEAR(few[op].cycles_per_op / many[op].cycles_per_op,
+                    1.0, 0.25)
+            << lmbenchOpName(LmbenchOp(op));
+    }
+}
+
+TEST(Lmbench, PipeRoundTripDeliversData)
+{
+    // The pipe op writes then reads; verify kernel state advanced.
+    const unsigned iters = 8;
+    auto m = Machine::rocket();
+    Addr entry = buildLmbenchSuite(*m, iters);
+    KernelConfig config;
+    KernelBuilder builder(*m, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = m->run(image.boot_pc, 50'000'000);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m->mem().read64(layout::pipeHead), iters);
+    EXPECT_EQ(m->mem().read64(layout::pipeTail), iters);
+}
+
+TEST(Lmbench, OpNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (unsigned op = 0; op < numLmbenchOps; ++op)
+        names.insert(lmbenchOpName(LmbenchOp(op)));
+    EXPECT_EQ(names.size(), numLmbenchOps);
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * isagrid-sim — command-line driver for the ISA-Grid simulator.
+ *
+ * Runs a workload on a mini-kernel configuration and reports cycles,
+ * instructions, privilege statistics and (optionally) a full
+ * execution trace:
+ *
+ *   isagrid-sim [options]
+ *     --arch=riscv|x86          target prototype       [riscv]
+ *     --mode=native|decomposed|nested                  [decomposed]
+ *     --workload=sqlite|mbedtls|gzip|tar|lmbench       [sqlite]
+ *     --blocks=N                app run length         [24000]
+ *     --iters=N                 lmbench iterations     [200]
+ *     --pcu=16e|8e|8en          privilege caches       [8e]
+ *     --timer=N                 timer interrupt period [0 = off]
+ *     --tstacks                 per-thread trusted stacks
+ *     --monitor-log             journal mapping changes (nested)
+ *     --trace=FILE              write an execution trace
+ *     --stats                   dump all statistics
+ *
+ * Examples:
+ *   isagrid-sim --arch=x86 --mode=nested --workload=tar --stats
+ *   isagrid-sim --workload=lmbench --mode=decomposed
+ *   isagrid-sim --workload=sqlite --timer=25000 --tstacks --trace=t.log
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "kernel/kernel_builder.hh"
+#include "workloads/apps.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct Options
+{
+    bool x86 = false;
+    KernelMode mode = KernelMode::Decomposed;
+    std::string workload = "sqlite";
+    unsigned blocks = 24000;
+    unsigned iters = 200;
+    PcuConfig pcu = PcuConfig::config8E();
+    Cycle timer = 0;
+    bool tstacks = false;
+    bool monitor_log = false;
+    std::string trace_file;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--arch=riscv|x86] "
+                 "[--mode=native|decomposed|nested]\n"
+                 "  [--workload=sqlite|mbedtls|gzip|tar|lmbench] "
+                 "[--blocks=N] [--iters=N]\n"
+                 "  [--pcu=16e|8e|8en] [--timer=N] [--tstacks] "
+                 "[--monitor-log]\n"
+                 "  [--trace=FILE] [--stats]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+eat(const char *arg, const char *key, std::string &value)
+{
+    std::size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+        value = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (eat(argv[i], "--arch", v)) {
+            if (v == "x86")
+                opt.x86 = true;
+            else if (v != "riscv")
+                usage(argv[0]);
+        } else if (eat(argv[i], "--mode", v)) {
+            if (v == "native")
+                opt.mode = KernelMode::Monolithic;
+            else if (v == "decomposed")
+                opt.mode = KernelMode::Decomposed;
+            else if (v == "nested")
+                opt.mode = KernelMode::NestedMonitor;
+            else
+                usage(argv[0]);
+        } else if (eat(argv[i], "--workload", v)) {
+            opt.workload = v;
+        } else if (eat(argv[i], "--blocks", v)) {
+            opt.blocks = unsigned(std::stoul(v));
+        } else if (eat(argv[i], "--iters", v)) {
+            opt.iters = unsigned(std::stoul(v));
+        } else if (eat(argv[i], "--pcu", v)) {
+            if (v == "16e")
+                opt.pcu = PcuConfig::config16E();
+            else if (v == "8e")
+                opt.pcu = PcuConfig::config8E();
+            else if (v == "8en")
+                opt.pcu = PcuConfig::config8EN();
+            else
+                usage(argv[0]);
+        } else if (eat(argv[i], "--timer", v)) {
+            opt.timer = std::stoull(v);
+        } else if (eat(argv[i], "--trace", v)) {
+            opt.trace_file = v;
+        } else if (std::strcmp(argv[i], "--tstacks") == 0) {
+            opt.tstacks = true;
+        } else if (std::strcmp(argv[i], "--monitor-log") == 0) {
+            opt.monitor_log = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            opt.stats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+AppProfile
+profileByName(const std::string &name)
+{
+    for (const AppProfile &p : AppProfile::all())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    MachineConfig mc;
+    mc.pcu = opt.pcu;
+    auto machine = opt.x86 ? Machine::gem5x86(mc) : Machine::rocket(mc);
+
+    Addr entry;
+    if (opt.workload == "lmbench") {
+        entry = buildLmbenchSuite(*machine, opt.iters);
+    } else {
+        AppProfile profile = profileByName(opt.workload);
+        profile.total_blocks = opt.blocks;
+        entry = buildApp(*machine, profile);
+    }
+
+    KernelConfig config;
+    config.mode = opt.mode;
+    config.monitor_log = opt.monitor_log;
+    config.timer_interval = opt.timer;
+    config.per_thread_tstack = opt.tstacks;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+
+    std::ofstream trace;
+    if (!opt.trace_file.empty()) {
+        trace.open(opt.trace_file);
+        if (!trace)
+            fatal("cannot open trace file %s", opt.trace_file.c_str());
+        machine->core().setTrace(&trace);
+    }
+
+    RunResult r = machine->run(image.boot_pc, 2'000'000'000ull);
+    machine->core().setTrace(nullptr);
+    if (r.reason != StopReason::Halted) {
+        std::printf("stopped: %s at %#llx\n", faultName(r.fault),
+                    (unsigned long long)r.fault_pc);
+        return 1;
+    }
+
+    std::printf("arch            : %s\n", opt.x86 ? "x86" : "riscv");
+    std::printf("mode            : %s\n",
+                opt.mode == KernelMode::Monolithic  ? "native"
+                : opt.mode == KernelMode::Decomposed ? "decomposed"
+                                                     : "nested");
+    std::printf("workload        : %s\n", opt.workload.c_str());
+    std::printf("instructions    : %llu\n",
+                (unsigned long long)r.instructions);
+    std::printf("cycles          : %llu\n",
+                (unsigned long long)r.cycles);
+    std::printf("IPC             : %.3f\n",
+                double(r.instructions) / double(r.cycles));
+    std::printf("domain switches : %llu\n",
+                (unsigned long long)machine->pcu().switches());
+    std::printf("privilege faults: %llu\n",
+                (unsigned long long)machine->pcu().faults());
+    std::printf("per-domain usage:\n");
+    for (const auto &[domain, usage] : machine->core().domainUsage()) {
+        std::printf("  d%-3llu %12llu insts %12llu cycles (%.2f%%)\n",
+                    (unsigned long long)domain,
+                    (unsigned long long)usage.instructions,
+                    (unsigned long long)usage.cycles,
+                    100.0 * double(usage.cycles) / double(r.cycles));
+    }
+
+    if (opt.workload == "lmbench") {
+        std::printf("\nper-operation cycles:\n");
+        for (const auto &res :
+             extractLmbenchResults(machine->core(), opt.iters)) {
+            std::printf("  %-12s %10.1f\n", lmbenchOpName(res.op),
+                        res.cycles_per_op);
+        }
+    } else {
+        std::printf("ROI cycles      : %llu\n",
+                    (unsigned long long)appRoiCycles(machine->core()));
+    }
+
+    if (opt.stats) {
+        std::printf("\n");
+        machine->dumpStats(std::cout);
+    }
+    return 0;
+}
