@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_case3_pks"
+  "../bench/bench_case3_pks.pdb"
+  "CMakeFiles/bench_case3_pks.dir/bench_case3_pks.cc.o"
+  "CMakeFiles/bench_case3_pks.dir/bench_case3_pks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case3_pks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_case3_pks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_lmbench"
+  "../bench/bench_fig5_lmbench.pdb"
+  "CMakeFiles/bench_fig5_lmbench.dir/bench_fig5_lmbench.cc.o"
+  "CMakeFiles/bench_fig5_lmbench.dir/bench_fig5_lmbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_apps_riscv.cc" "bench-build/CMakeFiles/bench_fig6_apps_riscv.dir/bench_fig6_apps_riscv.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig6_apps_riscv.dir/bench_fig6_apps_riscv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/isagrid_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/isagrid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/isagrid_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/isagrid_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/isagrid_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isagrid/CMakeFiles/isagrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/isagrid_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/isagrid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isagrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_apps_riscv"
+  "../bench/bench_fig6_apps_riscv.pdb"
+  "CMakeFiles/bench_fig6_apps_riscv.dir/bench_fig6_apps_riscv.cc.o"
+  "CMakeFiles/bench_fig6_apps_riscv.dir/bench_fig6_apps_riscv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_apps_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

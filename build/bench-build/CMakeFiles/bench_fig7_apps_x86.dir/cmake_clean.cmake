@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_apps_x86"
+  "../bench/bench_fig7_apps_x86.pdb"
+  "CMakeFiles/bench_fig7_apps_x86.dir/bench_fig7_apps_x86.cc.o"
+  "CMakeFiles/bench_fig7_apps_x86.dir/bench_fig7_apps_x86.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_apps_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_nested"
+  "../bench/bench_fig8_nested.pdb"
+  "CMakeFiles/bench_fig8_nested.dir/bench_fig8_nested.cc.o"
+  "CMakeFiles/bench_fig8_nested.dir/bench_fig8_nested.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hitrate"
+  "../bench/bench_hitrate.pdb"
+  "CMakeFiles/bench_hitrate.dir/bench_hitrate.cc.o"
+  "CMakeFiles/bench_hitrate.dir/bench_hitrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

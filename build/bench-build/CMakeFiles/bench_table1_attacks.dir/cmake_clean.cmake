@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_attacks"
+  "../bench/bench_table1_attacks.pdb"
+  "CMakeFiles/bench_table1_attacks.dir/bench_table1_attacks.cc.o"
+  "CMakeFiles/bench_table1_attacks.dir/bench_table1_attacks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

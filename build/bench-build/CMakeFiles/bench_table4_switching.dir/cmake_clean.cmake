@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_switching"
+  "../bench/bench_table4_switching.pdb"
+  "CMakeFiles/bench_table4_switching.dir/bench_table4_switching.cc.o"
+  "CMakeFiles/bench_table4_switching.dir/bench_table4_switching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_services"
+  "../bench/bench_table5_services.pdb"
+  "CMakeFiles/bench_table5_services.dir/bench_table5_services.cc.o"
+  "CMakeFiles/bench_table5_services.dir/bench_table5_services.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

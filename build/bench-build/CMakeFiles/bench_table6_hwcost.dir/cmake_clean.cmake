@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_hwcost"
+  "../bench/bench_table6_hwcost.pdb"
+  "CMakeFiles/bench_table6_hwcost.dir/bench_table6_hwcost.cc.o"
+  "CMakeFiles/bench_table6_hwcost.dir/bench_table6_hwcost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_decomposition.dir/kernel_decomposition.cpp.o"
+  "CMakeFiles/kernel_decomposition.dir/kernel_decomposition.cpp.o.d"
+  "kernel_decomposition"
+  "kernel_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

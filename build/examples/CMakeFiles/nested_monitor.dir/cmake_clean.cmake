@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_monitor.dir/nested_monitor.cpp.o"
+  "CMakeFiles/nested_monitor.dir/nested_monitor.cpp.o.d"
+  "nested_monitor"
+  "nested_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

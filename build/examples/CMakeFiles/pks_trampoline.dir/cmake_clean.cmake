@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pks_trampoline.dir/pks_trampoline.cpp.o"
+  "CMakeFiles/pks_trampoline.dir/pks_trampoline.cpp.o.d"
+  "pks_trampoline"
+  "pks_trampoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pks_trampoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pks_trampoline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_preemption.dir/timer_preemption.cpp.o"
+  "CMakeFiles/timer_preemption.dir/timer_preemption.cpp.o.d"
+  "timer_preemption"
+  "timer_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

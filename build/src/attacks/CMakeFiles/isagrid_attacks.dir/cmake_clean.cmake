@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_attacks.dir/attacks.cc.o"
+  "CMakeFiles/isagrid_attacks.dir/attacks.cc.o.d"
+  "libisagrid_attacks.a"
+  "libisagrid_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_cpu.dir/core.cc.o"
+  "CMakeFiles/isagrid_cpu.dir/core.cc.o.d"
+  "CMakeFiles/isagrid_cpu.dir/inorder/inorder_core.cc.o"
+  "CMakeFiles/isagrid_cpu.dir/inorder/inorder_core.cc.o.d"
+  "CMakeFiles/isagrid_cpu.dir/machine.cc.o"
+  "CMakeFiles/isagrid_cpu.dir/machine.cc.o.d"
+  "CMakeFiles/isagrid_cpu.dir/o3/o3_core.cc.o"
+  "CMakeFiles/isagrid_cpu.dir/o3/o3_core.cc.o.d"
+  "libisagrid_cpu.a"
+  "libisagrid_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_hwcost.dir/hwcost.cc.o"
+  "CMakeFiles/isagrid_hwcost.dir/hwcost.cc.o.d"
+  "libisagrid_hwcost.a"
+  "libisagrid_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

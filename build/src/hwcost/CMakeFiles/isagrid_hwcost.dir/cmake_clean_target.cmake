@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisagrid_hwcost.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/isagrid_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/isa/CMakeFiles/isagrid_isa.dir/inst.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/inst.cc.o.d"
+  "/root/repo/src/isa/riscv/assembler.cc" "src/isa/CMakeFiles/isagrid_isa.dir/riscv/assembler.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/riscv/assembler.cc.o.d"
+  "/root/repo/src/isa/riscv/riscv_isa.cc" "src/isa/CMakeFiles/isagrid_isa.dir/riscv/riscv_isa.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/riscv/riscv_isa.cc.o.d"
+  "/root/repo/src/isa/x86/assembler.cc" "src/isa/CMakeFiles/isagrid_isa.dir/x86/assembler.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/x86/assembler.cc.o.d"
+  "/root/repo/src/isa/x86/x86_isa.cc" "src/isa/CMakeFiles/isagrid_isa.dir/x86/x86_isa.cc.o" "gcc" "src/isa/CMakeFiles/isagrid_isa.dir/x86/x86_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/isagrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/isagrid_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_isa.dir/disasm.cc.o"
+  "CMakeFiles/isagrid_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/isagrid_isa.dir/inst.cc.o"
+  "CMakeFiles/isagrid_isa.dir/inst.cc.o.d"
+  "CMakeFiles/isagrid_isa.dir/riscv/assembler.cc.o"
+  "CMakeFiles/isagrid_isa.dir/riscv/assembler.cc.o.d"
+  "CMakeFiles/isagrid_isa.dir/riscv/riscv_isa.cc.o"
+  "CMakeFiles/isagrid_isa.dir/riscv/riscv_isa.cc.o.d"
+  "CMakeFiles/isagrid_isa.dir/x86/assembler.cc.o"
+  "CMakeFiles/isagrid_isa.dir/x86/assembler.cc.o.d"
+  "CMakeFiles/isagrid_isa.dir/x86/x86_isa.cc.o"
+  "CMakeFiles/isagrid_isa.dir/x86/x86_isa.cc.o.d"
+  "libisagrid_isa.a"
+  "libisagrid_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isagrid/domain_manager.cc" "src/isagrid/CMakeFiles/isagrid_core.dir/domain_manager.cc.o" "gcc" "src/isagrid/CMakeFiles/isagrid_core.dir/domain_manager.cc.o.d"
+  "/root/repo/src/isagrid/grouped_isa.cc" "src/isagrid/CMakeFiles/isagrid_core.dir/grouped_isa.cc.o" "gcc" "src/isagrid/CMakeFiles/isagrid_core.dir/grouped_isa.cc.o.d"
+  "/root/repo/src/isagrid/pcu.cc" "src/isagrid/CMakeFiles/isagrid_core.dir/pcu.cc.o" "gcc" "src/isagrid/CMakeFiles/isagrid_core.dir/pcu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/isagrid_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/isagrid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isagrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_core.dir/domain_manager.cc.o"
+  "CMakeFiles/isagrid_core.dir/domain_manager.cc.o.d"
+  "CMakeFiles/isagrid_core.dir/grouped_isa.cc.o"
+  "CMakeFiles/isagrid_core.dir/grouped_isa.cc.o.d"
+  "CMakeFiles/isagrid_core.dir/pcu.cc.o"
+  "CMakeFiles/isagrid_core.dir/pcu.cc.o.d"
+  "libisagrid_core.a"
+  "libisagrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

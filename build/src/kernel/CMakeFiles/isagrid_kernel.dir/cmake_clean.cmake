@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_kernel.dir/asm_iface.cc.o"
+  "CMakeFiles/isagrid_kernel.dir/asm_iface.cc.o.d"
+  "CMakeFiles/isagrid_kernel.dir/kernel_builder.cc.o"
+  "CMakeFiles/isagrid_kernel.dir/kernel_builder.cc.o.d"
+  "libisagrid_kernel.a"
+  "libisagrid_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

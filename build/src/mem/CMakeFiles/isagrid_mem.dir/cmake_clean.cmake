@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_mem.dir/cache.cc.o"
+  "CMakeFiles/isagrid_mem.dir/cache.cc.o.d"
+  "libisagrid_mem.a"
+  "libisagrid_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

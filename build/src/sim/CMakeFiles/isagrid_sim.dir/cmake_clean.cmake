@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_sim.dir/logging.cc.o"
+  "CMakeFiles/isagrid_sim.dir/logging.cc.o.d"
+  "CMakeFiles/isagrid_sim.dir/stats.cc.o"
+  "CMakeFiles/isagrid_sim.dir/stats.cc.o.d"
+  "libisagrid_sim.a"
+  "libisagrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid_workloads.dir/apps.cc.o"
+  "CMakeFiles/isagrid_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/isagrid_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/isagrid_workloads.dir/lmbench.cc.o.d"
+  "libisagrid_workloads.a"
+  "libisagrid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_iface.dir/test_asm_iface.cc.o"
+  "CMakeFiles/test_asm_iface.dir/test_asm_iface.cc.o.d"
+  "test_asm_iface"
+  "test_asm_iface.pdb"
+  "test_asm_iface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

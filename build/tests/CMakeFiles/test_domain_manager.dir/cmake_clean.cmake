@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain_manager.dir/test_domain_manager.cc.o"
+  "CMakeFiles/test_domain_manager.dir/test_domain_manager.cc.o.d"
+  "test_domain_manager"
+  "test_domain_manager.pdb"
+  "test_domain_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grouped_isa.dir/test_grouped_isa.cc.o"
+  "CMakeFiles/test_grouped_isa.dir/test_grouped_isa.cc.o.d"
+  "test_grouped_isa"
+  "test_grouped_isa.pdb"
+  "test_grouped_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grouped_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

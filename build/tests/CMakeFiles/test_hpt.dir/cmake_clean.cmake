@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpt.dir/test_hpt.cc.o"
+  "CMakeFiles/test_hpt.dir/test_hpt.cc.o.d"
+  "test_hpt"
+  "test_hpt.pdb"
+  "test_hpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

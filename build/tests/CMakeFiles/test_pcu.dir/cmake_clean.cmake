@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcu.dir/test_pcu.cc.o"
+  "CMakeFiles/test_pcu.dir/test_pcu.cc.o.d"
+  "test_pcu"
+  "test_pcu.pdb"
+  "test_pcu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcu_scale.dir/test_pcu_scale.cc.o"
+  "CMakeFiles/test_pcu_scale.dir/test_pcu_scale.cc.o.d"
+  "test_pcu_scale"
+  "test_pcu_scale.pdb"
+  "test_pcu_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcu_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

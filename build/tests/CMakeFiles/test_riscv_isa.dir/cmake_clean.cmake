@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv_isa.dir/test_riscv_isa.cc.o"
+  "CMakeFiles/test_riscv_isa.dir/test_riscv_isa.cc.o.d"
+  "test_riscv_isa"
+  "test_riscv_isa.pdb"
+  "test_riscv_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x86_isa.dir/test_x86_isa.cc.o"
+  "CMakeFiles/test_x86_isa.dir/test_x86_isa.cc.o.d"
+  "test_x86_isa"
+  "test_x86_isa.pdb"
+  "test_x86_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x86_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_x86_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_hpt[1]_include.cmake")
+include("/root/repo/build/tests/test_pcu[1]_include.cmake")
+include("/root/repo/build/tests/test_gates[1]_include.cmake")
+include("/root/repo/build/tests/test_cores[1]_include.cmake")
+include("/root/repo/build/tests/test_domain_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_hwcost[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_grouped_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_iface[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_syscalls[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_pcu_scale[1]_include.cmake")
+include("/root/repo/build/tests/test_disasm[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isagrid-sim.dir/isagrid_sim.cc.o"
+  "CMakeFiles/isagrid-sim.dir/isagrid_sim.cc.o.d"
+  "isagrid-sim"
+  "isagrid-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isagrid-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
