@@ -307,10 +307,12 @@ attackScenarios(bool x86)
     return list;
 }
 
-AttackOutcome
-runAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
+PreparedAttack
+prepareAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
 {
-    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    PreparedAttack prepared;
+    prepared.machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    Machine &machine = *prepared.machine;
 
     // A trivial user program so the kernel builder has an entry.
     {
@@ -318,30 +320,47 @@ runAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
                       : makeRiscvAsm(layout::userCodeBase);
         ua->li(ua->regArg(0), 0);
         ua->halt(ua->regArg(0));
-        ua->loadInto(machine->mem());
+        ua->loadInto(machine.mem());
     }
 
     KernelConfig config;
     config.mode = with_isagrid ? KernelMode::Decomposed
                                : KernelMode::Monolithic;
-    KernelBuilder builder(*machine, config);
-    KernelImage image = builder.build(layout::userCodeBase);
+    KernelBuilder builder(machine, config);
+    prepared.image = builder.build(layout::userCodeBase);
 
-    // Emit the payload.
+    // Emit the payload. It executes inside the compromised component's
+    // ISA domain (the kernel's basic domain when decomposed).
     auto pa = x86 ? makeX86Asm(attackBase) : makeRiscvAsm(attackBase);
-    Addr entry = scenario.emit(*pa);
-    pa->loadInto(machine->mem());
+    prepared.payload_entry = scenario.emit(*pa);
+    prepared.payload_base = attackBase;
+    prepared.payload_end = pa->here();
+    pa->loadInto(machine.mem());
+    prepared.payload_domain =
+        with_isagrid ? prepared.image.kernel_domain : 0;
+    prepared.image.code_regions.push_back(
+        {prepared.payload_base, prepared.payload_end,
+         prepared.payload_domain, "attack payload"});
+    return prepared;
+}
+
+AttackOutcome
+runAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
+{
+    PreparedAttack prepared = prepareAttack(scenario, x86, with_isagrid);
+    Machine &machine = *prepared.machine;
 
     // The attacker executes at supervisor level inside the compromised
     // component's ISA domain (the kernel's basic domain). Traps are
     // not handled (the trap vector is unset), so any hardware
     // exception ends the run and is the "blocked" signal.
-    machine->core().reset(entry);
+    machine.core().reset(prepared.payload_entry);
     if (with_isagrid) {
-        machine->pcu().setGridReg(GridReg::Domain, image.kernel_domain);
+        machine.pcu().setGridReg(GridReg::Domain,
+                                 prepared.payload_domain);
     }
 
-    RunResult r = machine->core().run(100'000);
+    RunResult r = machine.core().run(100'000);
     AttackOutcome outcome;
     outcome.reached_halt = r.reason == StopReason::Halted;
     outcome.blocked = r.reason == StopReason::UnhandledFault;

@@ -22,11 +22,13 @@
 #define ISAGRID_ATTACKS_ATTACKS_HH_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/machine.hh"
 #include "kernel/asm_iface.hh"
+#include "kernel/kernel_builder.hh"
 
 namespace isagrid {
 
@@ -59,11 +61,33 @@ struct AttackOutcome
 std::vector<AttackScenario> attackScenarios(bool x86);
 
 /**
- * Run one scenario.
+ * A machine with a built kernel and a loaded (but not yet executed)
+ * attack payload: the exact configuration runAttack() simulates,
+ * exposed so the static verifier can analyse it without running it.
+ * image.code_regions already includes the payload region, attributed
+ * to payload_domain.
+ */
+struct PreparedAttack
+{
+    std::unique_ptr<Machine> machine;
+    KernelImage image;
+    Addr payload_entry = 0;
+    Addr payload_base = 0;
+    Addr payload_end = 0;
+    /** Domain the payload executes in (the compromised component). */
+    DomainId payload_domain = 0;
+};
+
+/**
+ * Build the machine, kernel and payload for one scenario.
  * @param x86           target machine flavour
  * @param with_isagrid  true: decomposed-kernel basic domain;
  *                      false: native (domain-0, no restrictions)
  */
+PreparedAttack prepareAttack(const AttackScenario &scenario, bool x86,
+                             bool with_isagrid);
+
+/** Run one scenario (prepareAttack + simulate the payload). */
 AttackOutcome runAttack(const AttackScenario &scenario, bool x86,
                         bool with_isagrid);
 

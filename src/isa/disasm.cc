@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "isa/isa_model.hh"
+#include "mem/phys_mem.hh"
+
 namespace isagrid {
 
 namespace {
@@ -113,6 +116,21 @@ disassemble(const DecodedInst &inst)
         out += "csr:[" + reg(inst.rs1) + "]";
     }
     return out;
+}
+
+std::string
+disassembleAt(const IsaModel &isa, const PhysMem &mem, Addr pc)
+{
+    if (pc >= mem.size())
+        return "<invalid>";
+    std::uint8_t buf[16] = {};
+    std::size_t avail = std::size_t(mem.size() - pc);
+    if (avail > isa.maxInstBytes())
+        avail = isa.maxInstBytes();
+    if (avail > sizeof buf)
+        avail = sizeof buf;
+    mem.readBlock(pc, buf, avail);
+    return disassemble(isa.decode(buf, avail, pc));
 }
 
 } // namespace isagrid

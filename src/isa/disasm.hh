@@ -9,8 +9,12 @@
 #include <string>
 
 #include "isa/inst.hh"
+#include "sim/types.hh"
 
 namespace isagrid {
+
+class IsaModel;
+class PhysMem;
 
 /**
  * Render a decoded instruction as "mnemonic operands". Registers are
@@ -18,6 +22,12 @@ namespace isagrid {
  * unambiguous within a trace.
  */
 std::string disassemble(const DecodedInst &inst);
+
+/**
+ * Decode and render the instruction at @p pc in guest memory, or
+ * "<invalid>" when the bytes do not decode (or lie outside memory).
+ */
+std::string disassembleAt(const IsaModel &isa, const PhysMem &mem, Addr pc);
 
 } // namespace isagrid
 

@@ -220,6 +220,21 @@ class PrivilegeCheckUnit
     std::uint64_t faults() const { return faultCount.value(); }
     std::uint64_t bypassChecks() const { return bypassCheckCount.value(); }
 
+    /**
+     * Cache tag combining domain and structure index. The index gets a
+     * full 32-bit field (a CSR/word index above 2^16 must not alias the
+     * next domain), and the domain is bounded so large ids cannot
+     * collide with the unified-cache kind bits in 62-63.
+     */
+    static std::uint64_t
+    tagOf(DomainId domain, std::uint32_t index)
+    {
+        ISAGRID_ASSERT(domain < (1ull << 28),
+                       "domain id %llu exceeds the privilege-cache tag "
+                       "field", (unsigned long long)domain);
+        return (domain << 32) | index;
+    }
+
   private:
     static constexpr std::size_t idx(GridReg r)
     {
@@ -231,13 +246,6 @@ class PrivilegeCheckUnit
     {
         InstBitmap = 1, RegBitmap = 2, BitMask = 3,
     };
-
-    /** Cache tag combining domain and structure index. */
-    static std::uint64_t
-    tagOf(DomainId domain, std::uint32_t index)
-    {
-        return (domain << 16) | index;
-    }
 
     /** The cache serving @p kind (one of three, or the unified one). */
     PcuCache<std::uint64_t> &hptCacheFor(HptKind kind);

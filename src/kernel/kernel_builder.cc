@@ -182,6 +182,20 @@ KernelBuilder::build(Addr user_entry)
 
     const Addr table_addr = layout::kernelDataBase + 0x3000; // 32 x 8B
 
+    // Per-domain code map: close the open region at the emission point
+    // and open a new one owned by @p domain. The verifier needs to know
+    // which domain executes each byte of the image.
+    auto mark = [&](DomainId domain, const char *name) {
+        Addr here = a.here();
+        if (!image.code_regions.empty()) {
+            CodeRegion &open = image.code_regions.back();
+            open.limit = here;
+            if (open.limit <= open.base)
+                image.code_regions.pop_back();
+        }
+        image.code_regions.push_back({here, 0, domain, name});
+    };
+
     // ------------------------------------------------------------------
     // Trap entry and syscall dispatch.
     // ------------------------------------------------------------------
@@ -209,6 +223,7 @@ KernelBuilder::build(Addr user_entry)
         auto d0_entry = a.newLabel();
         a.hccall(a.regGate());
         a.bind(d0_entry);
+        mark(0, "tswitch domain-0 window");
         pendingGates.push_back({pc1, d0_entry, 0});
 
         // Domain-0: t2 = incoming TCB, t3 = outgoing TCB.
@@ -247,6 +262,7 @@ KernelBuilder::build(Addr user_entry)
         auto resume = a.newLabel();
         a.hccall(a.regGate());
         a.bind(resume);
+        mark(image.kernel_domain, "kernel text");
         pendingGates.push_back({pc2, resume, image.kernel_domain});
     };
 
@@ -291,6 +307,7 @@ KernelBuilder::build(Addr user_entry)
         }
     };
 
+    mark(image.kernel_domain, "kernel text");
     a.bind(trap_entry);
     if (config_.pti)
         emit_pti_switch(0); // kernel page table
@@ -637,6 +654,7 @@ KernelBuilder::build(Addr user_entry)
     // ------------------------------------------------------------------
     // Gated functions (run in the MM / monitor / service domains).
     // ------------------------------------------------------------------
+    mark(image.mm_domain, "mm_set_ptbr");
     a.bind(mm_set_ptbr);
     {
         if (config_.prefetch_on_entry) {
@@ -676,6 +694,7 @@ KernelBuilder::build(Addr user_entry)
         a.hcrets();
     }
 
+    mark(image.mm_domain, "mm_mmap");
     a.bind(mm_mmap);
     {
         if (x86 && config_.mode == KernelMode::NestedMonitor) {
@@ -712,6 +731,8 @@ KernelBuilder::build(Addr user_entry)
 
     // Service bodies (one per service domain).
     for (unsigned s = 0; s < 4; ++s) {
+        mark(decomposed() ? image.service_domains[plans[s].sys] : 0,
+             "service body");
         a.bind(service_bodies[s]);
         if (config_.prefetch_on_entry) {
             a.li(a5, 0);
@@ -725,6 +746,7 @@ KernelBuilder::build(Addr user_entry)
     }
 
     // Unknown syscall number.
+    mark(image.kernel_domain, "bad_syscall");
     a.bind(bad_syscall);
     a.li(arg0, ~0ull);
     a.jmp(syscall_exit);
@@ -732,6 +754,7 @@ KernelBuilder::build(Addr user_entry)
     // ------------------------------------------------------------------
     // Boot (domain-0, supervisor).
     // ------------------------------------------------------------------
+    mark(0, "boot");
     a.bind(boot);
     a.li(t0, a.labelAddr(trap_entry));
     a.csrWrite(a.trapVecCsr(), t0);
@@ -745,6 +768,7 @@ KernelBuilder::build(Addr user_entry)
         a.hccall(a.regGate());
         pendingGates.push_back({gate_pc, post_boot, image.kernel_domain});
         a.bind(post_boot);
+        mark(image.kernel_domain, "post-boot");
         a.li(t0, user_entry);
         a.csrWrite(a.trapEpcCsr(), t0);
         a.setTrapRetToUser();
@@ -759,6 +783,8 @@ KernelBuilder::build(Addr user_entry)
     // ------------------------------------------------------------------
     // Load, wire up the jump table, register the gates.
     // ------------------------------------------------------------------
+    if (!image.code_regions.empty())
+        image.code_regions.back().limit = a.here();
     a.loadInto(machine.mem());
     PhysMem &mem = machine.mem();
 
@@ -804,6 +830,20 @@ KernelBuilder::build(Addr user_entry)
 
     image.boot_pc = a.labelAddr(boot);
     image.trap_entry = a.labelAddr(trap_entry);
+
+    // Opt-in post-build check: the finished image and the published
+    // domain configuration must satisfy the Section 4.2/4.5 invariants
+    // statically, before any simulation cycle runs.
+    if (config_.verify) {
+        PolicySnapshot snap = PolicySnapshot::fromPcu(machine.pcu());
+        Verifier verifier(machine.isa(), machine.mem(), snap,
+                          image.code_regions);
+        VerifyReport report = verifier.run();
+        if (!report.clean()) {
+            fatal("kernel image failed static policy verification:\n%s",
+                  report.text().c_str());
+        }
+    }
     return image;
 }
 

@@ -32,6 +32,7 @@
 #include "kernel/asm_iface.hh"
 #include "kernel/layout.hh"
 #include "kernel/syscalls.hh"
+#include "verify/verify.hh"
 
 namespace isagrid {
 
@@ -78,6 +79,13 @@ struct KernelConfig
      * this builder does.
      */
     Addr code_base = layout::kernelCodeBase;
+    /**
+     * Run the static policy verifier (src/verify) over the finished
+     * image and domain configuration; a violation aborts the build.
+     * Off by default: the attack harness builds deliberately hostile
+     * configurations on top of the kernel image.
+     */
+    bool verify = false;
 };
 
 /** Addresses and ids the workloads need to target the built kernel. */
@@ -89,6 +97,8 @@ struct KernelImage
     DomainId mm_domain = 0;       //!< or the monitor domain
     std::map<Sys, DomainId> service_domains;
     std::uint32_t gates_registered = 0;
+    /** Per-domain code map of the emitted kernel (for the verifier). */
+    std::vector<CodeRegion> code_regions;
 };
 
 /** Emits the mini-kernel into a machine (see file comment). */

@@ -1,0 +1,1001 @@
+#include "verify/verify.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string_view>
+
+#include "isa/disasm.hh"
+#include "isagrid/hpt.hh"
+#include "isagrid/pcu.hh"
+#include "isagrid/sgt.hh"
+
+namespace isagrid {
+
+namespace {
+
+std::string
+hex(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%#llx", (unsigned long long)value);
+    return buf;
+}
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/**
+ * Forward constant propagation over one code region. The builders
+ * materialise gate ids, MSR numbers and indirect-jump targets with
+ * li / movabs sequences immediately before use, so tracking only the
+ * immediate-forming instructions resolves almost every value-dependent
+ * check statically. Anything else (loads, CSR reads, unmodelled ALU
+ * ops) kills the destination, and any control transfer kills the whole
+ * window — constants never survive a join point, keeping the analysis
+ * trivially sound.
+ */
+class ConstTracker
+{
+  public:
+    ConstTracker(unsigned num_regs, bool zero_hardwired)
+        : known(num_regs, false), vals(num_regs, 0),
+          zeroHardwired(zero_hardwired)
+    {
+        if (zero_hardwired)
+            known[0] = true;
+    }
+
+    std::optional<RegVal>
+    value(unsigned reg) const
+    {
+        if (reg < known.size() && known[reg])
+            return vals[reg];
+        return std::nullopt;
+    }
+
+    /** Update the window with the effects of @p inst at @p pc. */
+    void
+    step(const DecodedInst &inst, Addr pc)
+    {
+        std::string_view m = inst.mnemonic;
+        switch (inst.cls) {
+          case InstClass::IntAlu:
+            if (m == "lui" || m == "movabs") {
+                set(inst.rd, static_cast<RegVal>(inst.imm));
+            } else if (m == "auipc") {
+                set(inst.rd, pc + static_cast<RegVal>(inst.imm));
+            } else if (m == "mov") {
+                propagate(inst.rd, value(inst.rs1));
+            } else if (m == "addi" || m == "addi8" || m == "addi32") {
+                if (auto v = value(inst.rs1))
+                    set(inst.rd, *v + static_cast<RegVal>(inst.imm));
+                else
+                    kill(inst.rd);
+            } else if (m == "slli" || m == "shl") {
+                if (auto v = value(inst.rs1))
+                    set(inst.rd, *v << inst.imm);
+                else
+                    kill(inst.rd);
+            } else if (m == "srli" || m == "shr") {
+                if (auto v = value(inst.rs1))
+                    set(inst.rd, *v >> inst.imm);
+                else
+                    kill(inst.rd);
+            } else if (m == "add") {
+                auto a = value(inst.rs1), b = value(inst.rs2);
+                if (a && b)
+                    set(inst.rd, *a + *b);
+                else
+                    kill(inst.rd);
+            } else {
+                kill(inst.rd);
+            }
+            break;
+          case InstClass::Load:
+          case InstClass::CsrRead:
+            kill(inst.rd);
+            break;
+          case InstClass::SysOther:
+            if (m == "cpuid")
+                for (unsigned r = 0; r < 4; ++r)
+                    kill(r); // RAX..RDX
+            break;
+          case InstClass::Jump:
+          case InstClass::Branch:
+          case InstClass::Syscall:
+          case InstClass::TrapRet:
+          case InstClass::GateCall:
+          case InstClass::GateCallS:
+          case InstClass::GateRet:
+          case InstClass::Halt:
+            // Join point: another path may reach the next instruction.
+            clear();
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    clear()
+    {
+        std::fill(known.begin(), known.end(), false);
+        if (zeroHardwired)
+            known[0] = true;
+    }
+
+  private:
+    void
+    set(unsigned reg, RegVal value)
+    {
+        if (reg >= known.size() || (zeroHardwired && reg == 0))
+            return;
+        known[reg] = true;
+        vals[reg] = value;
+    }
+
+    void
+    propagate(unsigned reg, std::optional<RegVal> value)
+    {
+        if (value)
+            set(reg, *value);
+        else
+            kill(reg);
+    }
+
+    void
+    kill(unsigned reg)
+    {
+        if (reg < known.size() && !(zeroHardwired && reg == 0))
+            known[reg] = false;
+    }
+
+    std::vector<bool> known;
+    std::vector<RegVal> vals;
+    bool zeroHardwired;
+};
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Violation: return "violation";
+      case Severity::Warning: return "warning";
+      case Severity::Lint: return "lint";
+    }
+    return "?";
+}
+
+void
+VerifyReport::add(Severity severity, std::string check, DomainId domain,
+                  Addr addr, std::string message)
+{
+    ++counts[static_cast<std::size_t>(severity)];
+    if (findings_.size() < max_findings) {
+        findings_.push_back({severity, std::move(check), domain, addr,
+                             std::move(message)});
+    }
+}
+
+std::string
+VerifyReport::text() const
+{
+    std::string out;
+    for (const auto &f : findings_) {
+        out += severityName(f.severity);
+        out += ' ';
+        out += f.check;
+        out += " domain=" + std::to_string(f.domain);
+        out += " addr=" + hex(f.addr);
+        out += ": " + f.message + "\n";
+    }
+    std::size_t total = violations() + warnings() + lints();
+    out += std::to_string(violations()) + " violations, " +
+           std::to_string(warnings()) + " warnings, " +
+           std::to_string(lints()) + " lints";
+    if (total > findings_.size()) {
+        out += " (" + std::to_string(total - findings_.size()) +
+               " findings not recorded)";
+    }
+    out += "\n";
+    return out;
+}
+
+std::string
+VerifyReport::json() const
+{
+    std::string out = "{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    out += ",\"lints\":" + std::to_string(lints());
+    out += ",\"findings\":[";
+    bool first = true;
+    for (const auto &f : findings_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"severity\":\"";
+        out += severityName(f.severity);
+        out += "\",\"check\":\"";
+        jsonEscape(out, f.check);
+        out += "\",\"domain\":" + std::to_string(f.domain);
+        out += ",\"addr\":\"" + hex(f.addr) + "\"";
+        out += ",\"message\":\"";
+        jsonEscape(out, f.message);
+        out += "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+PolicySnapshot
+PolicySnapshot::fromPcu(const PrivilegeCheckUnit &pcu)
+{
+    PolicySnapshot snap;
+    for (std::uint8_t r = 0; r < numGridRegs; ++r)
+        snap.regs[r] = pcu.gridReg(static_cast<GridReg>(r));
+    return snap;
+}
+
+/** Per-region facts gathered by the linear scan. */
+struct Verifier::RegionScan
+{
+    const CodeRegion *region = nullptr;
+    std::set<Addr> boundaries;
+    /** Resolved direct/indirect control-transfer targets (source, dest). */
+    std::vector<std::pair<Addr, Addr>> jumpTargets;
+    std::set<InstTypeId> usedTypes;
+    std::set<CsrIndex> usedReads;
+    std::set<CsrIndex> usedWrites;
+};
+
+Verifier::Verifier(const IsaModel &isa, const PhysMem &mem,
+                   const PolicySnapshot &snapshot,
+                   std::vector<CodeRegion> regions,
+                   const VerifyOptions &options)
+    : isa(isa), mem(mem), snap(snapshot), regions(std::move(regions)),
+      options(options)
+{
+}
+
+const CodeRegion *
+Verifier::regionOf(Addr addr) const
+{
+    for (const auto &r : regions)
+        if (r.contains(addr))
+            return &r;
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Reads the HPT and SGT from guest memory through the snapshot's base
+ * registers, exactly as the PCU would on a privilege-cache miss.
+ * Out-of-memory table addresses read as zero (deny): the structural
+ * checks report the broken base register separately.
+ */
+class PolicyView
+{
+  public:
+    PolicyView(const IsaModel &isa, const PhysMem &mem,
+               const PolicySnapshot &snap)
+        : mem(mem), snap(snap),
+          hpt(isa.numInstTypes(), isa.numControlledCsrs(),
+              isa.numMaskableCsrs())
+    {
+    }
+
+    DomainId numDomains() const { return snap.reg(GridReg::DomainNr); }
+    GateId numGates() const { return snap.reg(GridReg::GateNr); }
+
+    bool
+    instAllowed(DomainId domain, InstTypeId type) const
+    {
+        if (domain == 0)
+            return true;
+        Addr addr = hpt.instWordAddr(snap.reg(GridReg::InstCap), domain,
+                                     HptLayout::instGroupOf(type));
+        return (word(addr) >> HptLayout::instBitOf(type)) & 1;
+    }
+
+    bool
+    csrReadAllowed(DomainId domain, CsrIndex index) const
+    {
+        if (domain == 0)
+            return true;
+        Addr addr = hpt.regWordAddr(snap.reg(GridReg::CsrCap), domain,
+                                    HptLayout::regGroupOf(index));
+        return (word(addr) >> HptLayout::regReadBit(index)) & 1;
+    }
+
+    bool
+    csrWriteAllowed(DomainId domain, CsrIndex index) const
+    {
+        if (domain == 0)
+            return true;
+        Addr addr = hpt.regWordAddr(snap.reg(GridReg::CsrCap), domain,
+                                    HptLayout::regGroupOf(index));
+        return (word(addr) >> HptLayout::regWriteBit(index)) & 1;
+    }
+
+    RegVal
+    mask(DomainId domain, CsrIndex mask_index) const
+    {
+        if (domain == 0)
+            return ~RegVal{0};
+        return word(hpt.maskAddr(snap.reg(GridReg::CsrBitMask), domain,
+                                 mask_index));
+    }
+
+    SgtEntry
+    gate(GateId id) const
+    {
+        Addr a = sgtEntryAddr(snap.reg(GridReg::GateAddr), id);
+        return {word(a), word(a + 8), word(a + 16)};
+    }
+
+    const HptLayout &layout() const { return hpt; }
+
+  private:
+    RegVal
+    word(Addr addr) const
+    {
+        if (addr + 8 > mem.size() || addr + 8 < addr)
+            return 0;
+        return mem.read64(addr);
+    }
+
+    const PhysMem &mem;
+    const PolicySnapshot &snap;
+    HptLayout hpt;
+};
+
+} // namespace
+
+void
+Verifier::checkStructure(VerifyReport &report) const
+{
+    PolicyView policy(isa, mem, snap);
+    const DomainId domains = policy.numDomains();
+    const GateId gates = policy.numGates();
+    const Addr tmemb = snap.reg(GridReg::Tmemb);
+    const Addr tmeml = snap.reg(GridReg::Tmeml);
+    const bool tmem_enabled = tmeml > tmemb;
+
+    // --- Section 4.5: trusted memory geometry ---
+    if (domains > 1 && !tmem_enabled) {
+        report.add(Severity::Violation, "tmem-disabled", 0, tmemb,
+                   "multiple domains configured but trusted memory is "
+                   "disabled (tmeml <= tmemb): nothing protects the "
+                   "HPT/SGT from software stores");
+    }
+    if (tmem_enabled) {
+        Addr size = tmeml - tmemb;
+        if ((size & (size - 1)) != 0) {
+            report.add(Severity::Violation, "tmem-geometry", 0, tmemb,
+                       "trusted memory size " + hex(size) +
+                           " is not a power of two");
+        } else if ((tmemb & (size - 1)) != 0) {
+            report.add(Severity::Violation, "tmem-geometry", 0, tmemb,
+                       "trusted memory base " + hex(tmemb) +
+                           " is not aligned to its size " + hex(size));
+        }
+    }
+
+    // --- Section 4.5: every table must live inside trusted memory ---
+    const HptLayout &hpt = policy.layout();
+    struct TableRange
+    {
+        const char *name;
+        Addr base;
+        std::uint64_t bytes;
+    };
+    const TableRange tables[] = {
+        {"instruction bitmaps", snap.reg(GridReg::InstCap),
+         hpt.instStride() * domains},
+        {"register bitmaps", snap.reg(GridReg::CsrCap),
+         hpt.regStride() * domains},
+        {"bit-mask arrays", snap.reg(GridReg::CsrBitMask),
+         hpt.maskStride() * domains},
+        {"switching gate table", snap.reg(GridReg::GateAddr),
+         SgtEntry::sizeBytes * gates},
+        {"trusted stack", snap.reg(GridReg::Hcsb),
+         snap.reg(GridReg::Hcsl) > snap.reg(GridReg::Hcsb)
+             ? snap.reg(GridReg::Hcsl) - snap.reg(GridReg::Hcsb)
+             : 0},
+    };
+    if (domains > 1 && tmem_enabled) {
+        for (const auto &t : tables) {
+            if (t.bytes == 0)
+                continue;
+            if (t.base < tmemb || t.base + t.bytes > tmeml) {
+                report.add(Severity::Violation, "table-outside-tmem", 0,
+                           t.base,
+                           std::string(t.name) + " [" + hex(t.base) +
+                               ", " + hex(t.base + t.bytes) +
+                               ") not contained in trusted memory [" +
+                               hex(tmemb) + ", " + hex(tmeml) + ")");
+            }
+        }
+    }
+
+    // --- Section 4.2 property (i): gate table sanity ---
+    for (GateId id = 0; id < gates; ++id) {
+        SgtEntry e = policy.gate(id);
+        std::string tag = "gate " + std::to_string(id);
+        if (e.dest_domain >= domains && domains > 0) {
+            report.add(Severity::Violation, "gate-dest-domain", 0,
+                       e.gate_addr,
+                       tag + " targets domain " +
+                           std::to_string(e.dest_domain) +
+                           " but only " + std::to_string(domains) +
+                           " domains are configured");
+        }
+        std::uint8_t buf[16] = {};
+        DecodedInst gi;
+        if (e.gate_addr + isa.maxInstBytes() <= mem.size()) {
+            mem.readBlock(e.gate_addr, buf, isa.maxInstBytes());
+            gi = isa.decode(buf, isa.maxInstBytes(), e.gate_addr);
+        }
+        if (!gi.valid || (gi.cls != InstClass::GateCall &&
+                          gi.cls != InstClass::GateCallS)) {
+            report.add(Severity::Violation, "gate-decode", 0, e.gate_addr,
+                       tag + " gate_addr " + hex(e.gate_addr) +
+                           " does not decode to hccall/hccalls (found: " +
+                           disassembleAt(isa, mem, e.gate_addr) + ")");
+        }
+        const CodeRegion *src = regionOf(e.gate_addr);
+        if (src == nullptr) {
+            report.add(Severity::Violation, "gate-addr-region", 0,
+                       e.gate_addr,
+                       tag + " gate_addr " + hex(e.gate_addr) +
+                           " lies outside every known code region");
+        }
+        if (tmem_enabled && e.dest_addr >= tmemb && e.dest_addr < tmeml) {
+            report.add(Severity::Violation, "gate-dest-tmem",
+                       e.dest_domain, e.dest_addr,
+                       tag + " dest_addr " + hex(e.dest_addr) +
+                           " points into trusted memory");
+        }
+        const CodeRegion *dst = regionOf(e.dest_addr);
+        if (dst == nullptr) {
+            report.add(Severity::Violation, "gate-dest-region",
+                       e.dest_domain, e.dest_addr,
+                       tag + " dest_addr " + hex(e.dest_addr) +
+                           " lies outside every known code region");
+        } else if (dst->domain != e.dest_domain) {
+            report.add(Severity::Violation, "gate-dest-domain", dst->domain,
+                       e.dest_addr,
+                       tag + " dest_addr " + hex(e.dest_addr) +
+                           " lies in code owned by domain " +
+                           std::to_string(dst->domain) +
+                           ", not destination domain " +
+                           std::to_string(e.dest_domain));
+        }
+    }
+
+    // --- Properties (iii)/(iv): the Table 2 registers must not be
+    // writable from any domain but domain-0. Both ISA models keep them
+    // out of the register bitmap entirely (the PCU enforces domain-0 on
+    // its own), so a valid bitmap index with the write bit set means a
+    // future ISA mapped them — and misconfigured the bitmaps.
+    for (DomainId d = 1; d < domains; ++d) {
+        for (std::uint8_t r = 0; r < numGridRegs; ++r) {
+            std::uint32_t addr =
+                isa.gridRegAddr(static_cast<GridReg>(r));
+            CsrIndex index = isa.csrBitmapIndex(addr);
+            if (index == invalidCsrIndex)
+                continue;
+            if (policy.csrWriteAllowed(d, index)) {
+                report.add(Severity::Violation, "grid-reg-writable", d,
+                           addr,
+                           std::string("domain holds write privilege "
+                                       "over ISA-Grid register ") +
+                               gridRegName(static_cast<GridReg>(r)));
+            }
+        }
+    }
+}
+
+void
+Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
+                     VerifyReport &report) const
+{
+    scan.region = &region;
+    if (region.limit <= region.base || region.limit > mem.size()) {
+        report.add(Severity::Violation, "region-bounds", region.domain,
+                   region.base,
+                   "code region '" + region.name + "' [" +
+                       hex(region.base) + ", " + hex(region.limit) +
+                       ") is empty or outside physical memory");
+        return;
+    }
+
+    PolicyView policy(isa, mem, snap);
+    const bool x86 = isa.name() == "x86";
+    const DomainId d = region.domain;
+
+    // Gate addresses registered in the SGT, for property (ii) checks.
+    std::map<Addr, GateId> gate_at;
+    std::set<DomainId> hccalls_dests;
+    for (GateId id = 0; id < policy.numGates(); ++id) {
+        SgtEntry e = policy.gate(id);
+        gate_at.emplace(e.gate_addr, id);
+        std::uint8_t buf[16] = {};
+        if (e.gate_addr + isa.maxInstBytes() <= mem.size()) {
+            mem.readBlock(e.gate_addr, buf, isa.maxInstBytes());
+            DecodedInst gi = isa.decode(buf, isa.maxInstBytes(),
+                                        e.gate_addr);
+            if (gi.valid && gi.cls == InstClass::GateCallS)
+                hccalls_dests.insert(e.dest_domain);
+        }
+    }
+
+    std::vector<std::uint8_t> bytes(region.limit - region.base);
+    mem.readBlock(region.base, bytes.data(), bytes.size());
+
+    ConstTracker consts(isa.numRegs(), !x86);
+    Addr pc = region.base;
+    while (pc < region.limit) {
+        std::size_t off = pc - region.base;
+        DecodedInst inst =
+            isa.decode(bytes.data() + off, bytes.size() - off, pc);
+        if (!inst.valid) {
+            report.add(Severity::Warning, "undecodable", d, pc,
+                       "code region '" + region.name +
+                           "' contains undecodable bytes");
+            consts.clear();
+            pc += x86 ? 1 : 4;
+            continue;
+        }
+        scan.boundaries.insert(pc);
+        if (inst.type != invalidInstType)
+            scan.usedTypes.insert(inst.type);
+
+        // --- instruction bitmap (Section 4.1) ---
+        if (d != 0 && inst.type != invalidInstType &&
+            !policy.instAllowed(d, inst.type)) {
+            report.add(Severity::Violation, "inst-privilege", d, pc,
+                       std::string(inst.mnemonic) + " (type " +
+                           std::to_string(inst.type) +
+                           ") is not granted in the domain's "
+                           "instruction bitmap");
+        }
+
+        // --- register bitmap and bit-mask arrays (Section 4.1) ---
+        std::uint32_t csr = inst.csr_addr;
+        if (csr == ~0u && inst.csr_dynamic) {
+            if (auto v = consts.value(inst.rs1))
+                csr = static_cast<std::uint32_t>(*v);
+        }
+        bool is_read = inst.cls == InstClass::CsrRead;
+        bool is_write = inst.cls == InstClass::CsrWrite;
+        if (d != 0 && (is_read || is_write)) {
+            if (csr == ~0u) {
+                report.add(Severity::Warning, "csr-unresolved", d, pc,
+                           std::string(inst.mnemonic) +
+                               " accesses a CSR whose address could "
+                               "not be resolved statically");
+            } else if (isa.isGridReg(csr)) {
+                GridReg gr = isa.gridRegId(csr);
+                if (is_write) {
+                    report.add(Severity::Violation, "grid-reg-write", d,
+                               pc,
+                               std::string(inst.mnemonic) +
+                                   " writes ISA-Grid register " +
+                                   gridRegName(gr) +
+                                   " outside domain-0");
+                } else if (gr != GridReg::Domain &&
+                           gr != GridReg::PDomain) {
+                    report.add(Severity::Violation, "grid-reg-read", d,
+                               pc,
+                               std::string(inst.mnemonic) +
+                                   " reads ISA-Grid register " +
+                                   gridRegName(gr) +
+                                   " outside domain-0");
+                }
+            } else {
+                CsrIndex index = isa.csrBitmapIndex(csr);
+                if (index != invalidCsrIndex) {
+                    if (is_read) {
+                        scan.usedReads.insert(index);
+                        if (!policy.csrReadAllowed(d, index)) {
+                            report.add(Severity::Violation, "csr-read",
+                                       d, pc,
+                                       std::string(inst.mnemonic) +
+                                           " reads CSR " + hex(csr) +
+                                           " without the read bit");
+                        }
+                    } else {
+                        scan.usedWrites.insert(index);
+                        if (!policy.csrWriteAllowed(d, index)) {
+                            CsrIndex mi = isa.csrMaskIndex(csr);
+                            if (mi == invalidCsrIndex ||
+                                policy.mask(d, mi) == 0) {
+                                report.add(
+                                    Severity::Violation, "csr-write", d,
+                                    pc,
+                                    std::string(inst.mnemonic) +
+                                        " writes CSR " + hex(csr) +
+                                        " without the write bit" +
+                                        (mi == invalidCsrIndex
+                                             ? ""
+                                             : " and with an all-zero "
+                                               "bit-mask"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- gates (Section 4.2 property ii) ---
+        if (inst.cls == InstClass::GateCall ||
+            inst.cls == InstClass::GateCallS) {
+            if (gate_at.find(pc) == gate_at.end()) {
+                report.add(Severity::Violation, "gate-unregistered", d,
+                           pc,
+                           std::string(inst.mnemonic) +
+                               " at an address registered in no SGT "
+                               "entry always faults — or is a forged "
+                               "gate");
+            }
+            if (auto id = consts.value(inst.rs1)) {
+                if (*id >= policy.numGates()) {
+                    report.add(Severity::Violation, "gate-id-range", d,
+                               pc,
+                               "gate id " + std::to_string(*id) +
+                                   " out of range (gatenr " +
+                                   std::to_string(policy.numGates()) +
+                                   ")");
+                } else if (policy.gate(*id).gate_addr != pc) {
+                    report.add(Severity::Violation, "gate-id-mismatch",
+                               d, pc,
+                               "gate id " + std::to_string(*id) +
+                                   " is registered for " +
+                                   hex(policy.gate(*id).gate_addr) +
+                                   ", not this address");
+                }
+            }
+        }
+        if (inst.cls == InstClass::GateRet && d != 0 &&
+            hccalls_dests.find(d) == hccalls_dests.end()) {
+            report.add(Severity::Violation, "gate-ret-orphan", d, pc,
+                       "hcrets in a domain no hccalls gate enters: the "
+                       "trusted stack can never hold a frame to return "
+                       "through");
+        }
+
+        // --- control-transfer targets ---
+        std::string_view m = inst.mnemonic;
+        if (inst.cls == InstClass::Branch) {
+            Addr target = x86 ? pc + inst.length +
+                                    static_cast<RegVal>(inst.imm)
+                              : pc + static_cast<RegVal>(inst.imm);
+            scan.jumpTargets.emplace_back(pc, target);
+        } else if (inst.cls == InstClass::Jump) {
+            if (m == "jal") {
+                scan.jumpTargets.emplace_back(
+                    pc, pc + static_cast<RegVal>(inst.imm));
+            } else if (m == "jmp8" || m == "jmp32" || m == "call") {
+                scan.jumpTargets.emplace_back(
+                    pc, pc + inst.length + static_cast<RegVal>(inst.imm));
+            } else if (m == "jalr") {
+                if (auto v = consts.value(inst.rs1)) {
+                    scan.jumpTargets.emplace_back(
+                        pc,
+                        (*v + static_cast<RegVal>(inst.imm)) & ~Addr{1});
+                }
+            } else if (m == "jmpr" || m == "callr") {
+                if (auto v = consts.value(inst.rs1))
+                    scan.jumpTargets.emplace_back(pc, *v);
+            }
+            // ret / pop-driven returns: targets live on the stack.
+        }
+
+        consts.step(inst, pc);
+        pc += inst.length;
+    }
+}
+
+void
+Verifier::scanMisaligned(const CodeRegion &region, const RegionScan &scan,
+                         VerifyReport &report) const
+{
+    if (region.limit <= region.base || region.limit > mem.size())
+        return;
+
+    PolicyView policy(isa, mem, snap);
+    const bool x86 = isa.name() == "x86";
+    const DomainId d = region.domain;
+    const Addr step = x86 ? 1 : 2;
+
+    std::set<Addr> gate_addrs;
+    for (GateId id = 0; id < policy.numGates(); ++id)
+        gate_addrs.insert(policy.gate(id).gate_addr);
+
+    std::vector<std::uint8_t> bytes(region.limit - region.base);
+    mem.readBlock(region.base, bytes.data(), bytes.size());
+
+    for (Addr pc = region.base; pc < region.limit; pc += step) {
+        if (scan.boundaries.count(pc))
+            continue;
+        std::size_t off = pc - region.base;
+        DecodedInst inst =
+            isa.decode(bytes.data() + off, bytes.size() - off, pc);
+        if (!inst.valid)
+            continue;
+
+        if (isGateClass(inst.cls)) {
+            if (gate_addrs.count(pc)) {
+                report.add(Severity::Violation, "hidden-gate", d, pc,
+                           "SGT-registered gate address decodes only as "
+                           "an unintended instruction inside " +
+                               region.name);
+            } else {
+                report.add(Severity::Warning, "hidden-gate", d, pc,
+                           std::string(inst.mnemonic) +
+                               " reachable at an unintended offset "
+                               "(ERIM-style occurrence)");
+            }
+            continue;
+        }
+        if (d == 0)
+            continue; // domain-0 is fully privileged anyway
+
+        bool sensitive = inst.cls == InstClass::CsrWrite ||
+                         isa.instPrivileged(inst);
+        if (!sensitive)
+            continue;
+        bool permitted = inst.type == invalidInstType ||
+                         policy.instAllowed(d, inst.type);
+        if (permitted && inst.cls == InstClass::CsrWrite &&
+            inst.csr_addr != ~0u) {
+            CsrIndex index = isa.csrBitmapIndex(inst.csr_addr);
+            if (index != invalidCsrIndex &&
+                !policy.csrWriteAllowed(d, index)) {
+                CsrIndex mi = isa.csrMaskIndex(inst.csr_addr);
+                permitted =
+                    mi != invalidCsrIndex && policy.mask(d, mi) != 0;
+            }
+        }
+        if (permitted) {
+            report.add(Severity::Warning, "hidden-sensitive", d, pc,
+                       std::string(inst.mnemonic) +
+                           " decodes at an unintended offset and the "
+                           "domain's bitmaps permit it");
+        } else if (options.lint) {
+            report.add(Severity::Lint, "hidden-denied", d, pc,
+                       std::string(inst.mnemonic) +
+                           " decodes at an unintended offset (the PCU "
+                           "would reject it)");
+        }
+    }
+}
+
+void
+Verifier::checkGateTargets(const std::vector<RegionScan> &scans,
+                           VerifyReport &report) const
+{
+    PolicyView policy(isa, mem, snap);
+
+    auto scanFor = [&](const CodeRegion *r) -> const RegionScan * {
+        for (const auto &s : scans)
+            if (s.region == r)
+                return &s;
+        return nullptr;
+    };
+
+    // Gate and destination addresses must be instruction boundaries.
+    for (GateId id = 0; id < policy.numGates(); ++id) {
+        SgtEntry e = policy.gate(id);
+        std::string tag = "gate " + std::to_string(id);
+        if (const CodeRegion *src = regionOf(e.gate_addr)) {
+            const RegionScan *s = scanFor(src);
+            if (s && !s->boundaries.count(e.gate_addr)) {
+                report.add(Severity::Violation, "gate-addr-boundary",
+                           src->domain, e.gate_addr,
+                           tag + " gate_addr " + hex(e.gate_addr) +
+                               " is not on an instruction boundary of '" +
+                               src->name + "'");
+            }
+        }
+        const CodeRegion *dst = regionOf(e.dest_addr);
+        if (dst && dst->domain == e.dest_domain) {
+            const RegionScan *s = scanFor(dst);
+            if (s && !s->boundaries.count(e.dest_addr)) {
+                report.add(Severity::Violation, "gate-dest-boundary",
+                           e.dest_domain, e.dest_addr,
+                           tag + " dest_addr " + hex(e.dest_addr) +
+                               " is not on an instruction boundary of '" +
+                               dst->name + "'");
+            }
+        }
+    }
+
+    // Every statically resolved jump/branch/call target must land on an
+    // instruction boundary of a known code region: anything else either
+    // executes data or starts an unintended-instruction stream.
+    for (const auto &scan : scans) {
+        if (!scan.region)
+            continue;
+        for (const auto &[src, target] : scan.jumpTargets) {
+            const CodeRegion *r = regionOf(target);
+            if (r == nullptr) {
+                report.add(Severity::Violation, "jump-outside",
+                           scan.region->domain, src,
+                           "control transfer to " + hex(target) +
+                               ", outside every known code region");
+                continue;
+            }
+            const RegionScan *s = scanFor(r);
+            if (s && !s->boundaries.count(target)) {
+                report.add(Severity::Violation, "jump-misaligned",
+                           scan.region->domain, src,
+                           "control transfer to " + hex(target) +
+                               ", which is not an instruction boundary "
+                               "of '" + r->name + "'");
+            }
+        }
+    }
+}
+
+void
+Verifier::checkTransitionGraph(VerifyReport &report) const
+{
+    PolicyView policy(isa, mem, snap);
+    const DomainId domains = policy.numDomains();
+    if (domains == 0)
+        return;
+
+    // Edges: one per SGT entry, from the domain owning the gate address
+    // to the destination domain.
+    std::map<DomainId, std::set<DomainId>> edges;
+    for (GateId id = 0; id < policy.numGates(); ++id) {
+        SgtEntry e = policy.gate(id);
+        const CodeRegion *src = regionOf(e.gate_addr);
+        if (src == nullptr || e.dest_domain >= domains)
+            continue; // already a structural violation
+        edges[src->domain].insert(e.dest_domain);
+        if (src->domain != 0 && e.dest_domain == 0) {
+            report.add(Severity::Warning, "gate-escalation", src->domain,
+                       e.gate_addr,
+                       "gate " + std::to_string(id) +
+                           " enters domain-0 from domain " +
+                           std::to_string(src->domain) +
+                           " — legitimate only for trusted-stack "
+                           "management paths");
+        }
+    }
+
+    // Reachability from domain-0 (where the processor resets).
+    std::set<DomainId> reachable{0};
+    std::vector<DomainId> work{0};
+    while (!work.empty()) {
+        DomainId d = work.back();
+        work.pop_back();
+        for (DomainId next : edges[d]) {
+            if (reachable.insert(next).second)
+                work.push_back(next);
+        }
+    }
+    std::set<DomainId> flagged;
+    for (const auto &r : regions) {
+        if (r.domain == 0 || r.domain >= domains ||
+            reachable.count(r.domain) || !flagged.insert(r.domain).second)
+            continue;
+        report.add(Severity::Warning, "domain-unreachable", r.domain,
+                   r.base,
+                   "domain owns code ('" + r.name +
+                       "') but no gate chain from domain-0 reaches it");
+    }
+}
+
+void
+Verifier::lintLeastPrivilege(const std::vector<RegionScan> &scans,
+                             VerifyReport &report) const
+{
+    PolicyView policy(isa, mem, snap);
+    const DomainId domains = policy.numDomains();
+
+    std::set<InstTypeId> baseline;
+    for (InstTypeId t : isa.baselineInstTypes())
+        baseline.insert(t);
+
+    std::map<DomainId, RegionScan> merged;
+    for (const auto &s : scans) {
+        if (!s.region)
+            continue;
+        RegionScan &m = merged[s.region->domain];
+        m.usedTypes.insert(s.usedTypes.begin(), s.usedTypes.end());
+        m.usedReads.insert(s.usedReads.begin(), s.usedReads.end());
+        m.usedWrites.insert(s.usedWrites.begin(), s.usedWrites.end());
+    }
+
+    auto append = [](std::string &list, const std::string &item) {
+        if (!list.empty())
+            list += ", ";
+        list += item;
+    };
+
+    for (const auto &[d, m] : merged) {
+        if (d == 0 || d >= domains)
+            continue;
+        std::string types;
+        for (InstTypeId t = 0; t < isa.numInstTypes(); ++t) {
+            if (baseline.count(t) || !policy.instAllowed(d, t) ||
+                m.usedTypes.count(t))
+                continue;
+            append(types, isa.instTypeName(t));
+        }
+        if (!types.empty()) {
+            report.add(Severity::Lint, "unused-inst-grant", d, 0,
+                       "granted but never executed: " + types);
+        }
+        std::string csrs;
+        for (CsrIndex i = 0; i < isa.numControlledCsrs(); ++i) {
+            bool r = policy.csrReadAllowed(d, i) && !m.usedReads.count(i);
+            bool w = policy.csrWriteAllowed(d, i) &&
+                     !m.usedWrites.count(i);
+            if (r || w) {
+                append(csrs, "index " + std::to_string(i) + " (" +
+                                 (r && w ? "rw" : r ? "r" : "w") + ")");
+            }
+        }
+        if (!csrs.empty()) {
+            report.add(Severity::Lint, "unused-csr-grant", d, 0,
+                       "CSR bits granted but never exercised: " + csrs);
+        }
+    }
+}
+
+VerifyReport
+Verifier::run()
+{
+    VerifyReport report;
+    report.max_findings = options.max_findings;
+
+    checkStructure(report);
+
+    std::vector<RegionScan> scans(regions.size());
+    for (std::size_t i = 0; i < regions.size(); ++i)
+        scanRegion(regions[i], scans[i], report);
+    if (options.scan_misaligned) {
+        for (std::size_t i = 0; i < regions.size(); ++i)
+            scanMisaligned(regions[i], scans[i], report);
+    }
+
+    checkGateTargets(scans, report);
+    checkTransitionGraph(report);
+    if (options.lint)
+        lintLeastPrivilege(scans, report);
+
+    return report;
+}
+
+} // namespace isagrid

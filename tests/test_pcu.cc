@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "isa/riscv/riscv_isa.hh"
 #include "isagrid/domain_manager.hh"
 #include "isagrid/pcu.hh"
@@ -208,6 +210,25 @@ TEST(PcuCaches, MissThenHitWithLatency)
     EXPECT_EQ(second.stall, 0u) << "hit incurs no extra cycles";
     EXPECT_EQ(env.pcu.regCache().misses(), 1u);
     EXPECT_EQ(env.pcu.regCache().hits(), 1u);
+}
+
+TEST(PcuCaches, TagsNeverAliasAcrossDomainIndexPairs)
+{
+    // Regression: the tag used to pack the index into 16 bits, so
+    // (domain, index) and (domain + 1, index - 65536) shared a tag and
+    // a privilege-cache hit could answer for the wrong domain.
+    EXPECT_NE(PrivilegeCheckUnit::tagOf(1, 0),
+              PrivilegeCheckUnit::tagOf(0, 65536));
+
+    const DomainId domains[] = {0, 1, 2, 255, (1ull << 28) - 1};
+    const std::uint32_t indices[] = {0, 1, 65535, 65536, 1u << 20,
+                                     ~std::uint32_t{0}};
+    std::set<std::uint64_t> tags;
+    for (DomainId d : domains)
+        for (std::uint32_t i : indices)
+            EXPECT_TRUE(
+                tags.insert(PrivilegeCheckUnit::tagOf(d, i)).second)
+                << "tag collision at domain " << d << " index " << i;
 }
 
 TEST(PcuCaches, TagsIncludeDomainSoSwitchNeedsNoFlush)

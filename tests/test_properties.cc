@@ -10,16 +10,21 @@
  * 2. Cross-ISA differential execution: random straight-line programs
  *    written against the AsmIface facade must produce identical halt
  *    codes on the RV64 and x86 machines.
+ * 3. Dynamic/static agreement: every attack scenario must be rejected
+ *    by the PCU at runtime AND flagged by the static verifier without
+ *    executing a single payload instruction.
  */
 
 #include <gtest/gtest.h>
 
+#include "attacks/attacks.hh"
 #include "cpu/machine.hh"
 #include "isa/riscv/riscv_isa.hh"
 #include "isagrid/domain_manager.hh"
 #include "kernel/asm_iface.hh"
 #include "kernel/layout.hh"
 #include "sim/random.hh"
+#include "verify/verify.hh"
 
 using namespace isagrid;
 using namespace isagrid::riscv;
@@ -243,3 +248,41 @@ TEST_P(CrossIsaDifferential, SameProgramSameResult)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossIsaDifferential,
                          ::testing::Range<std::uint64_t>(100, 130));
+
+// ---------------------------------------------------------------------
+// Dynamic/static agreement over the attack corpus
+// ---------------------------------------------------------------------
+
+class AttackAgreement : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(AttackAgreement, RejectedDynamicallyAndFlaggedStatically)
+{
+    bool x86 = GetParam();
+    for (const AttackScenario &s : attackScenarios(x86)) {
+        // Dynamic: the PCU blocks the payload with a hardware fault.
+        AttackOutcome outcome = runAttack(s, x86, true);
+        EXPECT_TRUE(outcome.blocked)
+            << s.name << ": not blocked at runtime";
+        EXPECT_FALSE(outcome.reached_halt) << s.name;
+
+        // Static: the verifier flags the same prepared image without
+        // running it.
+        PreparedAttack prepared = prepareAttack(s, x86, true);
+        PolicySnapshot snap =
+            PolicySnapshot::fromPcu(prepared.machine->pcu());
+        Verifier verifier(prepared.machine->isa(),
+                          prepared.machine->mem(), snap,
+                          prepared.image.code_regions);
+        VerifyReport report = verifier.run();
+        EXPECT_GE(report.violations(), 1u)
+            << s.name << ": not flagged statically:\n"
+            << report.text();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, AttackAgreement, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });

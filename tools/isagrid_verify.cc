@@ -1,0 +1,188 @@
+/**
+ * @file
+ * isagrid-verify — static privilege-policy verifier for guest images
+ * and domain configurations.
+ *
+ * Builds a mini-kernel configuration (or one of the attack scenarios)
+ * and runs the src/verify analyses over the resulting image and
+ * privilege tables without simulating a single instruction:
+ *
+ *   isagrid-verify [options]
+ *     --arch=riscv|x86          target prototype       [riscv]
+ *     --mode=native|decomposed|nested                  [decomposed]
+ *     --timer=N                 timer interrupt period [0 = off]
+ *     --tstacks                 per-thread trusted stacks
+ *     --attack=NAME             verify an attack-scenario image
+ *     --list-attacks            print scenario names and exit
+ *     --lint                    least-privilege lint findings
+ *     --no-misaligned           skip the misaligned-offset scan
+ *     --json                    machine-readable report
+ *
+ * Exit status: 0 when the policy has no violations, 1 when it has at
+ * least one, 2 on usage errors. Warnings and lints never fail the
+ * run; they are advisory.
+ *
+ * Examples:
+ *   isagrid-verify --arch=x86 --mode=nested --tstacks
+ *   isagrid-verify --attack="CR3 abuse" --json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attacks/attacks.hh"
+#include "kernel/kernel_builder.hh"
+#include "kernel/layout.hh"
+#include "verify/verify.hh"
+
+using namespace isagrid;
+
+namespace {
+
+struct Options
+{
+    bool x86 = false;
+    KernelMode mode = KernelMode::Decomposed;
+    Cycle timer = 0;
+    bool tstacks = false;
+    std::string attack;
+    bool list_attacks = false;
+    bool json = false;
+    VerifyOptions verify;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--arch=riscv|x86] "
+                 "[--mode=native|decomposed|nested]\n"
+                 "  [--timer=N] [--tstacks] [--attack=NAME] "
+                 "[--list-attacks]\n"
+                 "  [--lint] [--no-misaligned] [--json]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+eat(const char *arg, const char *key, std::string &value)
+{
+    std::size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+        value = arg + len + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (eat(argv[i], "--arch", v)) {
+            if (v == "x86")
+                opt.x86 = true;
+            else if (v != "riscv")
+                usage(argv[0]);
+        } else if (eat(argv[i], "--mode", v)) {
+            if (v == "native")
+                opt.mode = KernelMode::Monolithic;
+            else if (v == "decomposed")
+                opt.mode = KernelMode::Decomposed;
+            else if (v == "nested")
+                opt.mode = KernelMode::NestedMonitor;
+            else
+                usage(argv[0]);
+        } else if (eat(argv[i], "--timer", v)) {
+            opt.timer = std::stoull(v);
+        } else if (eat(argv[i], "--attack", v)) {
+            if (v.empty())
+                usage(argv[0]);
+            opt.attack = v;
+        } else if (std::strcmp(argv[i], "--list-attacks") == 0) {
+            opt.list_attacks = true;
+        } else if (std::strcmp(argv[i], "--tstacks") == 0) {
+            opt.tstacks = true;
+        } else if (std::strcmp(argv[i], "--lint") == 0) {
+            opt.verify.lint = true;
+        } else if (std::strcmp(argv[i], "--no-misaligned") == 0) {
+            opt.verify.scan_misaligned = false;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.json = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+/** Verify a kernel image built the normal way. */
+VerifyReport
+verifyKernel(const Options &opt)
+{
+    auto machine = opt.x86 ? Machine::gem5x86() : Machine::rocket();
+
+    // A trivial user program so the kernel builder has an entry.
+    auto ua = opt.x86 ? makeX86Asm(layout::userCodeBase)
+                      : makeRiscvAsm(layout::userCodeBase);
+    ua->li(ua->regArg(0), 0);
+    ua->halt(ua->regArg(0));
+    ua->loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = opt.mode;
+    config.timer_interval = opt.timer;
+    config.per_thread_tstack = opt.tstacks;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+
+    PolicySnapshot snap = PolicySnapshot::fromPcu(machine->pcu());
+    Verifier verifier(machine->isa(), machine->mem(), snap,
+                      image.code_regions, opt.verify);
+    return verifier.run();
+}
+
+/** Verify the image + payload of one named attack scenario. */
+VerifyReport
+verifyAttack(const Options &opt)
+{
+    for (const AttackScenario &s : attackScenarios(opt.x86)) {
+        if (s.name != opt.attack)
+            continue;
+        PreparedAttack prepared = prepareAttack(s, opt.x86, true);
+        PolicySnapshot snap =
+            PolicySnapshot::fromPcu(prepared.machine->pcu());
+        Verifier verifier(prepared.machine->isa(),
+                          prepared.machine->mem(), snap,
+                          prepared.image.code_regions, opt.verify);
+        return verifier.run();
+    }
+    fatal("unknown attack scenario '%s' for %s (try --list-attacks)",
+          opt.attack.c_str(), opt.x86 ? "x86" : "riscv");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    if (opt.list_attacks) {
+        for (const AttackScenario &s : attackScenarios(opt.x86))
+            std::printf("%s\n", s.name.c_str());
+        return 0;
+    }
+
+    VerifyReport report =
+        opt.attack.empty() ? verifyKernel(opt) : verifyAttack(opt);
+
+    if (opt.json)
+        std::printf("%s\n", report.json().c_str());
+    else
+        std::printf("%s", report.text().c_str());
+    return report.violations() > 0 ? 1 : 0;
+}
