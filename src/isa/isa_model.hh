@@ -120,6 +120,19 @@ class IsaModel
     /** Dense register-bitmap index; invalidCsrIndex if uncontrolled. */
     virtual CsrIndex csrBitmapIndex(std::uint32_t csr_addr) const = 0;
 
+    /**
+     * The controlled CSR addresses, in register-bitmap index order
+     * (the inverse of csrBitmapIndex). Static analyses use this to
+     * enumerate the policy; models that do not care may leave the
+     * default empty list.
+     */
+    virtual const std::vector<std::uint32_t> &
+    controlledCsrAddrs() const
+    {
+        static const std::vector<std::uint32_t> none;
+        return none;
+    }
+
     /** Number of CSRs that carry bit-level masks. */
     virtual std::uint32_t numMaskableCsrs() const = 0;
 

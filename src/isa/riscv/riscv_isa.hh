@@ -62,6 +62,12 @@ class RiscvIsa : public IsaModel
     /** The ordered list of register-bitmap-controlled CSR addresses. */
     static const std::vector<std::uint32_t> &controlledCsrs();
 
+    const std::vector<std::uint32_t> &
+    controlledCsrAddrs() const override
+    {
+        return controlledCsrs();
+    }
+
   private:
     std::string name_ = "rv64";
 };

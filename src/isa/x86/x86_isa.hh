@@ -62,6 +62,12 @@ class X86Isa : public IsaModel
     /** Ordered list of register-bitmap-controlled CSR/MSR addresses. */
     static const std::vector<std::uint32_t> &controlledCsrs();
 
+    const std::vector<std::uint32_t> &
+    controlledCsrAddrs() const override
+    {
+        return controlledCsrs();
+    }
+
   private:
     std::string name_ = "x86";
     std::unordered_map<std::uint32_t, CsrIndex> bitmapIndex;

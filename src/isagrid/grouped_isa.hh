@@ -83,6 +83,10 @@ class GroupedIsa : public IsaModel
     {
         return inner.csrBitmapIndex(addr);
     }
+    const std::vector<std::uint32_t> &controlledCsrAddrs() const override
+    {
+        return inner.controlledCsrAddrs();
+    }
     std::uint32_t numMaskableCsrs() const override
     {
         return inner.numMaskableCsrs();

@@ -289,6 +289,18 @@ PrivilegeCheckUnit::gateCall(GateId gate, Addr gate_pc, bool extended,
         ++faultCount;
         return out;
     }
+    // The dest_domain field is a raw 64-bit guest-memory word: when the
+    // table is corrupted (or misconfigured to lie outside trusted
+    // memory and overwritten), it can hold any value. Switching into an
+    // unconfigured domain would read that domain's HPT rows from
+    // unrelated memory — and a huge id would overflow the
+    // privilege-cache tag field. Out-of-range destinations fault.
+    DomainId domains = gridRegs[idx(GridReg::DomainNr)];
+    if (domains != 0 && entry.dest_domain >= domains) {
+        out.fault = FaultType::GateFault;
+        ++faultCount;
+        return out;
+    }
     if (extended) {
         // Push (return address, source domain) onto the trusted stack.
         RegVal sp = gridRegs[idx(GridReg::Hcsp)];
@@ -329,6 +341,14 @@ PrivilegeCheckUnit::gateReturn()
     // every privilege and an attacker-controlled return would otherwise
     // land there with a non-registered destination.
     if (return_domain == 0) {
+        out.fault = FaultType::GateFault;
+        ++faultCount;
+        return out;
+    }
+    // Same range validation as gateCall: a forged or corrupted frame
+    // must not switch into a domain that was never configured.
+    DomainId domains = gridRegs[idx(GridReg::DomainNr)];
+    if (domains != 0 && return_domain >= domains) {
         out.fault = FaultType::GateFault;
         ++faultCount;
         return out;

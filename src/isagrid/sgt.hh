@@ -38,7 +38,13 @@ sgtEntryAddr(Addr table_base, GateId gate)
     return table_base + gate * SgtEntry::sizeBytes;
 }
 
-/** Read entry @p gate from guest memory. */
+/**
+ * Read entry @p gate from guest memory. The dest_domain field is
+ * returned as the raw 64-bit memory word: a corrupted table can hold
+ * any value, so consumers must range-check it against the domain-nr
+ * register before switching (the PCU's gateCall/gateReturn fault on
+ * out-of-range destinations; isagrid-verify flags them statically).
+ */
 inline SgtEntry
 sgtRead(const PhysMem &mem, Addr table_base, GateId gate)
 {

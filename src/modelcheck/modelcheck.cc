@@ -1,0 +1,1202 @@
+#include "modelcheck/modelcheck.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+
+#include "isa/state.hh"
+#include "isagrid/hpt.hh"
+#include "isagrid/sgt.hh"
+
+namespace isagrid {
+
+namespace {
+
+const char *
+kindName(TraceStep::Kind kind)
+{
+    switch (kind) {
+      case TraceStep::Kind::GateCall: return "hccall";
+      case TraceStep::Kind::GateCallS: return "hccalls";
+      case TraceStep::Kind::GateRet: return "hcrets";
+      case TraceStep::Kind::CsrWrite: return "csr-write";
+      case TraceStep::Kind::Inst: return "inst";
+      case TraceStep::Kind::Store: return "store";
+    }
+    return "?";
+}
+
+/** One trusted-stack frame in the abstract state. */
+struct Frame
+{
+    Addr ret_pc = 0;
+    DomainId src = 0;
+    bool operator==(const Frame &) const = default;
+};
+
+/** Per-bit must/may abstraction of one bit-maskable CSR. */
+struct CsrAbs
+{
+    /** Bits still guaranteed to hold their boot value. */
+    RegVal known = ~RegVal{0};
+    /** Bits possibly flipped through bit-mask (not full-write) grants. */
+    RegVal dirty = 0;
+    bool operator==(const CsrAbs &) const = default;
+};
+
+/** One explicit state of the transition system. */
+struct State
+{
+    DomainId domain = 0;
+    std::vector<Frame> stack;
+    std::vector<CsrAbs> csrs;
+};
+
+std::string
+keyOf(const State &s)
+{
+    std::string key;
+    auto put64 = [&key](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            key.push_back(char(v >> (8 * i)));
+    };
+    put64(s.domain);
+    put64(s.stack.size());
+    for (const Frame &f : s.stack) {
+        put64(f.ret_pc);
+        put64(f.src);
+    }
+    for (const CsrAbs &c : s.csrs) {
+        put64(c.known);
+        put64(c.dirty);
+    }
+    return key;
+}
+
+/** A bit-maskable CSR and its Section 4.1 indices. */
+struct MaskableCsr
+{
+    std::uint32_t addr = 0;
+    CsrIndex bitmap_index = invalidCsrIndex;
+    CsrIndex mask_index = invalidCsrIndex;
+};
+
+/** One SGT entry pre-decoded at its registered address. */
+struct GateInfo
+{
+    SgtEntry entry;
+    bool usable = false;  //!< decodes to hccall/hccalls at gate_addr
+    bool extended = false;
+    InstTypeId type = invalidInstType;
+    std::uint8_t rs1 = 0;
+    std::uint8_t length = 0;
+};
+
+/** An hcrets encoding found in a domain's code. */
+struct RetSite
+{
+    Addr pc = 0;
+    InstTypeId type = invalidInstType;
+};
+
+} // namespace
+
+std::size_t
+McResult::violations() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.severity == Severity::Violation;
+    return n;
+}
+
+std::size_t
+McResult::warnings() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.severity == Severity::Warning;
+    return n;
+}
+
+std::string
+McResult::text() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += severityName(f.severity);
+        out += ' ';
+        out += f.check;
+        out += " domain=" + std::to_string(f.domain);
+        out += " addr=" + hexAddr(f.addr);
+        out += ": " + f.message + "\n";
+        for (const auto &s : f.trace) {
+            out += "    ";
+            out += kindName(s.kind);
+            if (s.in_image || s.pc != 0)
+                out += " pc=" + hexAddr(s.pc);
+            if (s.kind == TraceStep::Kind::GateCall ||
+                s.kind == TraceStep::Kind::GateCallS)
+                out += " gate=" + std::to_string(s.gate);
+            if (s.csr_addr != ~0u)
+                out += " csr=" + hexAddr(s.csr_addr);
+            if (s.kind == TraceStep::Kind::CsrWrite)
+                out += " flip=" + hexAddr(s.flip);
+            if (s.kind == TraceStep::Kind::Store && !s.in_image) {
+                out += " [" + hexAddr(s.store_addr) +
+                       "]=" + hexAddr(s.store_value);
+            }
+            if (s.domain_before != s.domain_after) {
+                out += " d" + std::to_string(s.domain_before) + "->d" +
+                       std::to_string(s.domain_after);
+            }
+            out += s.expect == FaultType::None
+                       ? std::string(" => ok")
+                       : std::string(" => ") + faultName(s.expect);
+            if (!s.note.empty())
+                out += "  (" + s.note + ")";
+            out += "\n";
+        }
+    }
+    out += std::to_string(violations()) + " violations, " +
+           std::to_string(warnings()) + " warnings; " +
+           std::to_string(stats.states) + " states, " +
+           std::to_string(stats.transitions) + " transitions, depth " +
+           std::to_string(stats.depth_reached);
+    if (stats.state_cap_hit)
+        out += " (state cap hit)";
+    out += "\n";
+    return out;
+}
+
+std::string
+McResult::json() const
+{
+    std::string out = "{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    out += ",\"stats\":{";
+    out += "\"states\":" + std::to_string(stats.states);
+    out += ",\"transitions\":" + std::to_string(stats.transitions);
+    out += ",\"peak_frontier\":" + std::to_string(stats.peak_frontier);
+    out += ",\"depth_reached\":" + std::to_string(stats.depth_reached);
+    out += ",\"state_cap_hit\":";
+    out += stats.state_cap_hit ? "true" : "false";
+    out += ",\"domains_scanned\":" + std::to_string(stats.domains_scanned);
+    out += "}";
+    out += ",\"findings\":[";
+    bool first = true;
+    for (const auto &f : findings) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"severity\":\"";
+        out += severityName(f.severity);
+        out += "\",\"check\":\"";
+        jsonEscape(out, f.check);
+        out += "\",\"domain\":" + std::to_string(f.domain);
+        out += ",\"addr\":\"" + hexAddr(f.addr) + "\"";
+        out += ",\"message\":\"";
+        jsonEscape(out, f.message);
+        out += "\",\"trace\":[";
+        bool first_step = true;
+        for (const auto &s : f.trace) {
+            if (!first_step)
+                out += ',';
+            first_step = false;
+            out += "{\"kind\":\"";
+            out += kindName(s.kind);
+            out += "\",\"pc\":\"" + hexAddr(s.pc) + "\"";
+            if (s.kind == TraceStep::Kind::GateCall ||
+                s.kind == TraceStep::Kind::GateCallS)
+                out += ",\"gate\":" + std::to_string(s.gate);
+            if (s.csr_addr != ~0u) {
+                out += ",\"csr\":\"" + hexAddr(s.csr_addr) + "\"";
+                out += ",\"flip\":\"" + hexAddr(s.flip) + "\"";
+            }
+            out += ",\"domain_before\":" + std::to_string(s.domain_before);
+            out += ",\"domain_after\":" + std::to_string(s.domain_after);
+            out += ",\"expect\":\"";
+            out += s.expect == FaultType::None ? "ok"
+                                               : faultName(s.expect);
+            out += "\"}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+/** All checker state and logic (kept out of the public header). */
+struct ModelChecker::Impl
+{
+    const IsaModel &isa;
+    const PhysMem &mem;
+    PolicySnapshot snap;
+    std::vector<CodeRegion> regions;
+    DomainId initialDomain;
+    McOptions options;
+
+    PolicyView policy;
+    ArchState probe; //!< reset CSR file: which addresses exist
+
+    std::vector<MaskableCsr> maskables;
+    std::vector<GateInfo> gates;
+    std::map<Addr, GateId> gateAt; //!< registered gate addresses
+    std::map<DomainId, std::vector<RetSite>> retSites;
+
+    // --- BFS bookkeeping ---
+    struct Node
+    {
+        State state;
+        std::uint32_t parent = ~0u;
+        TraceStep edge;
+        unsigned depth = 0;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::uint32_t> index;
+    std::set<DomainId> scannedDomains;
+    std::set<std::tuple<std::string, DomainId, Addr>> reported;
+    std::map<const CodeRegion *, std::set<Addr>> boundaryCache;
+
+    Impl(const IsaModel &isa, const PhysMem &mem,
+         const PolicySnapshot &snapshot, std::vector<CodeRegion> regions,
+         DomainId initial_domain, const McOptions &options)
+        : isa(isa), mem(mem), snap(snapshot),
+          regions(std::move(regions)), initialDomain(initial_domain),
+          options(options), policy(isa, mem, snap)
+    {
+        probe.zero_reg_hardwired = isa.name() != "x86";
+        isa.initState(probe);
+
+        for (std::uint32_t addr : isa.controlledCsrAddrs()) {
+            CsrIndex mi = isa.csrMaskIndex(addr);
+            if (mi == invalidCsrIndex)
+                continue;
+            maskables.push_back({addr, isa.csrBitmapIndex(addr), mi});
+        }
+
+        GateId n = policy.numGates();
+        if (n > 4096)
+            n = 4096; // a corrupt gatenr: structure checks flag it
+        for (GateId id = 0; id < n; ++id) {
+            GateInfo g;
+            g.entry = policy.gate(id);
+            std::uint8_t buf[16] = {};
+            if (g.entry.gate_addr + isa.maxInstBytes() <= mem.size()) {
+                mem.readBlock(g.entry.gate_addr, buf, isa.maxInstBytes());
+                DecodedInst inst = isa.decode(buf, isa.maxInstBytes(),
+                                              g.entry.gate_addr);
+                if (inst.valid && (inst.cls == InstClass::GateCall ||
+                                   inst.cls == InstClass::GateCallS)) {
+                    g.usable = true;
+                    g.extended = inst.cls == InstClass::GateCallS;
+                    g.type = inst.type;
+                    g.rs1 = inst.rs1;
+                    g.length = inst.length;
+                }
+            }
+            gates.push_back(g);
+            gateAt.emplace(g.entry.gate_addr, id);
+        }
+    }
+
+    DomainId numDomains() const { return policy.numDomains(); }
+
+    std::size_t
+    stackCapacity() const
+    {
+        RegVal base = snap.reg(GridReg::Hcsb);
+        RegVal limit = snap.reg(GridReg::Hcsl);
+        return limit > base ? (limit - base) / 16 : 0;
+    }
+
+    bool
+    stackInsideTmem() const
+    {
+        RegVal base = snap.reg(GridReg::Hcsb);
+        RegVal limit = snap.reg(GridReg::Hcsl);
+        RegVal tb = snap.reg(GridReg::Tmemb);
+        RegVal tl = snap.reg(GridReg::Tmeml);
+        if (limit <= base)
+            return true; // no stack storage to forge
+        return tl > tb && base >= tb && limit <= tl;
+    }
+
+    bool
+    inTmem(Addr addr, std::size_t size) const
+    {
+        RegVal tb = snap.reg(GridReg::Tmemb);
+        RegVal tl = snap.reg(GridReg::Tmeml);
+        return tl > tb && addr + size > tb && addr < tl;
+    }
+
+    const CodeRegion *
+    regionOf(Addr addr) const
+    {
+        for (const auto &r : regions)
+            if (r.contains(addr))
+                return &r;
+        return nullptr;
+    }
+
+    const std::set<Addr> &
+    boundariesOf(const CodeRegion &region)
+    {
+        auto it = boundaryCache.find(&region);
+        if (it != boundaryCache.end())
+            return it->second;
+        std::set<Addr> &b = boundaryCache[&region];
+        walkRegion(isa, mem, region,
+                   [&b](const ScanStep &step) { b.insert(step.pc); });
+        return b;
+    }
+
+    // --- findings ---
+
+    void
+    addFinding(McResult &res, Severity severity, std::string check,
+               DomainId domain, Addr addr, std::string message,
+               std::vector<TraceStep> trace)
+    {
+        if (!reported.emplace(check, domain, addr).second)
+            return;
+        if (res.findings.size() >= options.max_violations)
+            return;
+        res.findings.push_back({severity, std::move(check), domain, addr,
+                                std::move(message), std::move(trace)});
+    }
+
+    /** The counterexample prefix leading to @p node. */
+    std::vector<TraceStep>
+    pathTo(std::uint32_t node) const
+    {
+        std::vector<TraceStep> steps;
+        for (std::uint32_t i = node; nodes[i].parent != ~0u;
+             i = nodes[i].parent)
+            steps.push_back(nodes[i].edge);
+        return {steps.rbegin(), steps.rend()};
+    }
+
+    /** Register seeds from the constant window of a scanned site. */
+    static std::vector<std::pair<unsigned, RegVal>>
+    seedsFor(const DecodedInst &inst, const ConstTracker &consts)
+    {
+        std::vector<std::pair<unsigned, RegVal>> seed;
+        std::set<unsigned> regs{inst.rs1, inst.rs2};
+        for (unsigned r : regs) {
+            if (auto v = consts.value(r))
+                seed.emplace_back(r, *v);
+        }
+        return seed;
+    }
+
+    // --- state-space exploration ---
+
+    std::uint32_t
+    discover(const State &s, std::uint32_t parent, TraceStep edge,
+             unsigned depth, std::deque<std::uint32_t> &frontier,
+             McResult &res)
+    {
+        std::string key = keyOf(s);
+        auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        if (nodes.size() >= options.max_states) {
+            res.stats.state_cap_hit = true;
+            return ~0u;
+        }
+        std::uint32_t id = std::uint32_t(nodes.size());
+        nodes.push_back({s, parent, std::move(edge), depth});
+        index.emplace(std::move(key), id);
+        frontier.push_back(id);
+        if (depth > res.stats.depth_reached)
+            res.stats.depth_reached = depth;
+        onDiscover(id, res);
+        return id;
+    }
+
+    /** State-dependent property checks + first-reach domain scan. */
+    void
+    onDiscover(std::uint32_t id, McResult &res)
+    {
+        const State &s = nodes[id].state;
+        if (scannedDomains.insert(s.domain).second) {
+            ++res.stats.domains_scanned;
+            for (const auto &region : regions) {
+                if (region.domain == s.domain)
+                    scanRegion(region, id, res);
+            }
+        }
+
+        if (s.domain == 0)
+            return;
+
+        // Trusted-stack unforgeability: an hcrets site reachable with
+        // an empty stack (the PCU underflow-faults, blocking the
+        // ROP-style return).
+        auto sites = retSites.find(s.domain);
+        bool has_ret = sites != retSites.end() && !sites->second.empty();
+        if (has_ret && s.stack.empty()) {
+            for (const RetSite &site : sites->second) {
+                if (site.type != invalidInstType &&
+                    !policy.instAllowed(s.domain, site.type))
+                    continue;
+                std::vector<TraceStep> trace = pathTo(id);
+                TraceStep step;
+                step.kind = TraceStep::Kind::GateRet;
+                step.pc = site.pc;
+                step.in_image = true;
+                step.expect = FaultType::TrustedStackFault;
+                step.domain_before = s.domain;
+                step.domain_after = s.domain;
+                step.note = "hcrets with no frame to pop";
+                trace.push_back(std::move(step));
+                addFinding(res, Severity::Violation, "mc-ret-underflow",
+                           s.domain, site.pc,
+                           "hcrets reachable with an empty trusted "
+                           "stack: an attacker-driven return has no "
+                           "legitimate frame and must underflow-fault",
+                           std::move(trace));
+                break;
+            }
+        }
+
+        // Trusted-stack storage outside trusted memory: any domain in
+        // an extended call can rewrite its own return frame and land
+        // in an arbitrary (domain, pc).
+        if (has_ret && !s.stack.empty() && !stackInsideTmem()) {
+            const RetSite &site = sites->second.front();
+            DomainId forged = 0;
+            for (DomainId d = numDomains(); d-- > 1;) {
+                if (d != s.domain) {
+                    forged = d;
+                    break;
+                }
+            }
+            if (forged == 0 && numDomains() > 1)
+                forged = s.domain;
+            if (forged != 0) {
+                Addr frame = snap.reg(GridReg::Hcsb) +
+                             16 * (s.stack.size() - 1);
+                Addr target = site.pc;
+                for (const auto &r : regions) {
+                    if (r.domain == forged) {
+                        target = r.base;
+                        break;
+                    }
+                }
+                std::vector<TraceStep> trace = pathTo(id);
+                TraceStep st;
+                st.kind = TraceStep::Kind::Store;
+                st.store_addr = frame;
+                st.store_value = target;
+                st.domain_before = st.domain_after = s.domain;
+                st.note = "forge frame return_pc";
+                trace.push_back(st);
+                st.store_addr = frame + 8;
+                st.store_value = forged;
+                st.note = "forge frame source domain";
+                trace.push_back(st);
+                TraceStep ret;
+                ret.kind = TraceStep::Kind::GateRet;
+                ret.pc = site.pc;
+                ret.in_image = true;
+                ret.domain_before = s.domain;
+                ret.domain_after = forged;
+                ret.note = "pop the forged frame";
+                trace.push_back(ret);
+                addFinding(res, Severity::Violation, "mc-stack-forge",
+                           s.domain, frame,
+                           "trusted-stack storage lies outside trusted "
+                           "memory: domain " + std::to_string(s.domain) +
+                               " overwrites its return frame and "
+                               "hcrets into domain " +
+                               std::to_string(forged) +
+                               " at an arbitrary address",
+                           std::move(trace));
+            }
+        }
+    }
+
+    void
+    expand(std::uint32_t id, std::deque<std::uint32_t> &frontier,
+           McResult &res)
+    {
+        const unsigned depth = nodes[id].depth;
+        if (depth >= options.depth_bound)
+            return;
+        const DomainId d = nodes[id].state.domain;
+        const DomainId domains = numDomains();
+
+        // --- gate calls: executable from every domain (Section 4.2
+        // grants the gate instruction types to all domains; the SGT,
+        // not the caller, names the destination) ---
+        for (GateId gid = 0; gid < gates.size(); ++gid) {
+            const GateInfo &g = gates[gid];
+            if (!g.usable)
+                continue;
+            if (d != 0 && g.type != invalidInstType &&
+                !policy.instAllowed(d, g.type))
+                continue;
+            ++res.stats.transitions;
+            TraceStep step;
+            step.kind = g.extended ? TraceStep::Kind::GateCallS
+                                   : TraceStep::Kind::GateCall;
+            step.pc = g.entry.gate_addr;
+            step.in_image = true;
+            step.gate = gid;
+            step.seed.emplace_back(g.rs1, gid);
+            step.domain_before = d;
+
+            if (domains != 0 && g.entry.dest_domain >= domains) {
+                step.expect = FaultType::GateFault;
+                step.domain_after = d;
+                step.note = "dest_domain word out of range";
+                std::vector<TraceStep> trace = pathTo(id);
+                trace.push_back(std::move(step));
+                addFinding(
+                    res, Severity::Violation, "mc-gate-dest-domain", d,
+                    g.entry.gate_addr,
+                    "SGT entry " + std::to_string(gid) +
+                        " holds raw dest_domain " +
+                        std::to_string(g.entry.dest_domain) +
+                        " with only " + std::to_string(domains) +
+                        " domains configured: the PCU must gate-fault "
+                        "instead of switching into an unconfigured "
+                        "domain",
+                    std::move(trace));
+                continue;
+            }
+            DomainId dest = DomainId(g.entry.dest_domain);
+            step.domain_after = dest;
+
+            State succ = nodes[id].state;
+            succ.domain = dest;
+            if (g.extended) {
+                if (succ.stack.size() >= stackCapacity())
+                    continue; // overflow: PCU trusted-stack-faults
+                succ.stack.push_back(
+                    {g.entry.gate_addr + g.length, d});
+            }
+
+            if (dest == 0 && d != 0) {
+                Severity sev = options.domain0_entry_violation
+                                   ? Severity::Violation
+                                   : Severity::Warning;
+                std::vector<TraceStep> trace = pathTo(id);
+                trace.push_back(step);
+                addFinding(res, sev, "mc-domain0-entry", d,
+                           g.entry.gate_addr,
+                           "gate " + std::to_string(gid) +
+                               " hands domain-0 privileges to any "
+                               "domain that executes it — legitimate "
+                               "only for trusted-stack management "
+                               "paths",
+                           std::move(trace));
+            }
+            discover(succ, id, std::move(step), depth + 1, frontier,
+                     res);
+        }
+
+        // --- hcrets: pops the trusted stack when the domain owns an
+        // hcrets site and the popped frame is acceptable ---
+        auto sites = retSites.find(d);
+        if (sites != retSites.end() && !sites->second.empty() &&
+            !nodes[id].state.stack.empty()) {
+            const RetSite *site = nullptr;
+            for (const RetSite &c : sites->second) {
+                if (d == 0 || c.type == invalidInstType ||
+                    policy.instAllowed(d, c.type)) {
+                    site = &c;
+                    break;
+                }
+            }
+            const Frame top = nodes[id].state.stack.back();
+            if (site != nullptr && top.src != 0 &&
+                (domains == 0 || top.src < domains)) {
+                ++res.stats.transitions;
+                State succ = nodes[id].state;
+                succ.stack.pop_back();
+                succ.domain = top.src;
+                TraceStep step;
+                step.kind = TraceStep::Kind::GateRet;
+                step.pc = site->pc;
+                step.in_image = true;
+                step.domain_before = d;
+                step.domain_after = top.src;
+                discover(succ, id, std::move(step), depth + 1, frontier,
+                         res);
+            }
+        }
+
+        // --- bit-maskable CSR writes the policy permits ---
+        if (d != 0) {
+            for (std::size_t m = 0; m < maskables.size(); ++m) {
+                const MaskableCsr &mc = maskables[m];
+                if (mc.bitmap_index != invalidCsrIndex &&
+                    policy.csrWriteAllowed(d, mc.bitmap_index)) {
+                    // Authorized full write: the value is no longer
+                    // the boot value, but no mask composition is
+                    // involved.
+                    ++res.stats.transitions;
+                    State succ = nodes[id].state;
+                    succ.csrs[m].known = 0;
+                    TraceStep step;
+                    step.kind = TraceStep::Kind::CsrWrite;
+                    step.csr_addr = mc.addr;
+                    step.flip = 0;
+                    step.domain_before = step.domain_after = d;
+                    step.note = "full write privilege";
+                    discover(succ, id, std::move(step), depth + 1,
+                             frontier, res);
+                    continue;
+                }
+                RegVal mask = policy.mask(d, mc.mask_index);
+                if (mask == 0)
+                    continue;
+                ++res.stats.transitions;
+                State succ = nodes[id].state;
+                succ.csrs[m].known &= ~mask;
+                succ.csrs[m].dirty |= mask;
+                TraceStep step;
+                step.kind = TraceStep::Kind::CsrWrite;
+                step.csr_addr = mc.addr;
+                step.flip = mask;
+                step.masked = true;
+                step.domain_before = step.domain_after = d;
+                step.note = "bit-mask write, mask " + hexAddr(mask);
+                RegVal escaped = succ.csrs[m].dirty & ~mask;
+                std::uint32_t succ_id = discover(
+                    succ, id, step, depth + 1, frontier, res);
+                if (escaped != 0 && succ_id != ~0u) {
+                    // Write-composition escalation: the chain of
+                    // masked writes flips bits the final writer's own
+                    // mask does not cover — a combined change no
+                    // single domain was granted.
+                    addFinding(
+                        res, Severity::Violation, "mc-mask-composition",
+                        d, mc.addr,
+                        "masked writes compose across domains: CSR " +
+                            hexAddr(mc.addr) + " accumulates flips " +
+                            hexAddr(succ.csrs[m].dirty) +
+                            " of which " + hexAddr(escaped) +
+                            " exceed the final writer's mask " +
+                            hexAddr(mask),
+                        pathTo(succ_id));
+                }
+            }
+        }
+    }
+
+    // --- first-reach code scan (site findings) ---
+
+    /**
+     * Emit a finding for a site instruction: @p extra steps follow the
+     * reach-path (the last step carries the expected fault).
+     */
+    void
+    siteFinding(McResult &res, std::uint32_t node, Severity severity,
+                std::string check, DomainId domain, Addr addr,
+                std::string message, std::vector<TraceStep> extra)
+    {
+        std::vector<TraceStep> trace = pathTo(node);
+        for (auto &s : extra)
+            trace.push_back(std::move(s));
+        addFinding(res, severity, std::move(check), domain, addr,
+                   std::move(message), std::move(trace));
+    }
+
+    TraceStep
+    instStep(Addr pc, DomainId d, FaultType expect,
+             const DecodedInst &inst, const ConstTracker &consts,
+             std::string note = {})
+    {
+        TraceStep step;
+        step.kind = TraceStep::Kind::Inst;
+        step.pc = pc;
+        step.in_image = true;
+        step.expect = expect;
+        step.domain_before = step.domain_after = d;
+        step.seed = seedsFor(inst, consts);
+        step.note = std::move(note);
+        return step;
+    }
+
+    void
+    scanRegion(const CodeRegion &region, std::uint32_t node,
+               McResult &res)
+    {
+        const DomainId d = region.domain;
+        // Runtime code injection: byte stores to addresses outside
+        // every code region, replayed before jump-target analysis.
+        std::map<Addr, std::uint8_t> injected;
+        std::map<Addr, TraceStep> injectors; //!< store site per byte
+
+        auto visit = [&](const ScanStep &step) {
+            const DecodedInst &inst = *step.inst;
+            const ConstTracker &consts = *step.consts;
+            const Addr pc = step.pc;
+
+            if (inst.cls == InstClass::GateRet) {
+                retSites[d].push_back({pc, inst.type});
+                return; // modelled as transitions, not site findings
+            }
+            if (d == 0)
+                return; // domain-0 passes every PCU check
+
+            // First failing check, in stepOne() order: instruction
+            // bitmap, then gates, then CSR access, then memory.
+            if (inst.type != invalidInstType &&
+                !policy.instAllowed(d, inst.type)) {
+                siteFinding(
+                    res, node, Severity::Violation, "mc-inst-privilege",
+                    d, pc,
+                    std::string(inst.mnemonic) +
+                        " (type " + std::to_string(inst.type) +
+                        ") is denied by the domain's instruction "
+                        "bitmap",
+                    {instStep(pc, d, FaultType::InstPrivilege, inst,
+                              consts)});
+                return;
+            }
+
+            if (inst.cls == InstClass::GateCall ||
+                inst.cls == InstClass::GateCallS) {
+                scanGateSite(res, node, d, pc, inst, consts);
+                return;
+            }
+
+            if (inst.cls == InstClass::CsrRead ||
+                inst.cls == InstClass::CsrWrite) {
+                scanCsrSite(res, node, d, pc, inst, consts);
+                return;
+            }
+
+            if (inst.cls == InstClass::Store ||
+                inst.cls == InstClass::Load) {
+                scanMemSite(res, node, d, pc, inst, consts, injected,
+                            injectors);
+                return;
+            }
+
+            if (inst.cls == InstClass::Jump) {
+                if (auto target = jumpTarget(inst, consts, pc)) {
+                    scanJumpTarget(res, node, d, pc, inst, consts,
+                                   *target, injected, injectors);
+                }
+            }
+        };
+        walkRegion(isa, mem, region, visit);
+    }
+
+    void
+    scanGateSite(McResult &res, std::uint32_t node, DomainId d, Addr pc,
+                 const DecodedInst &inst, const ConstTracker &consts)
+    {
+        auto reg_id = consts.value(inst.rs1);
+        auto at = gateAt.find(pc);
+        if (at != gateAt.end()) {
+            if (!reg_id || *reg_id == at->second)
+                return; // a modelled, registered gate edge
+            TraceStep step = instStep(pc, d, FaultType::GateFault, inst,
+                                      consts);
+            siteFinding(res, node, Severity::Violation,
+                        "mc-gate-id-mismatch", d, pc,
+                        "gate id " + std::to_string(*reg_id) +
+                            " does not name the SGT entry registered "
+                            "for this address",
+                        {std::move(step)});
+            return;
+        }
+        // Unregistered gate address: property (i) faults it for every
+        // id — in range (gate_addr mismatch) or out of range.
+        TraceStep step = instStep(pc, d, FaultType::GateFault, inst,
+                                  consts);
+        if (!reg_id)
+            step.seed.emplace_back(inst.rs1, 0);
+        if (reg_id && *reg_id >= policy.numGates()) {
+            siteFinding(res, node, Severity::Violation,
+                        "mc-gate-id-range", d, pc,
+                        "gate id " + std::to_string(*reg_id) +
+                            " out of range (gatenr " +
+                            std::to_string(policy.numGates()) + ")",
+                        {std::move(step)});
+        } else {
+            siteFinding(res, node, Severity::Violation, "mc-gate-forged",
+                        d, pc,
+                        std::string(inst.mnemonic) +
+                            " at an address registered in no SGT "
+                            "entry: a forged gate the PCU must fault",
+                        {std::move(step)});
+        }
+    }
+
+    void
+    scanCsrSite(McResult &res, std::uint32_t node, DomainId d, Addr pc,
+                const DecodedInst &inst, const ConstTracker &consts)
+    {
+        std::uint32_t csr = inst.csr_addr;
+        if (csr == ~0u && inst.csr_dynamic) {
+            if (auto v = consts.value(inst.rs1))
+                csr = static_cast<std::uint32_t>(*v);
+        }
+        const bool is_write = inst.cls == InstClass::CsrWrite;
+        if (csr == ~0u) {
+            siteFinding(res, node, Severity::Warning,
+                        "mc-csr-unresolved", d, pc,
+                        std::string(inst.mnemonic) +
+                            " accesses a CSR whose address could not "
+                            "be resolved statically",
+                        {});
+            return;
+        }
+        if (isa.isGridReg(csr)) {
+            GridReg gr = isa.gridRegId(csr);
+            if (!is_write &&
+                (gr == GridReg::Domain || gr == GridReg::PDomain))
+                return; // readable from every domain
+            siteFinding(
+                res, node, Severity::Violation, "mc-grid-reg", d, pc,
+                std::string(inst.mnemonic) + (is_write ? " writes"
+                                                       : " reads") +
+                    std::string(" ISA-Grid register ") +
+                    gridRegName(gr) + " outside domain-0",
+                {instStep(pc, d, FaultType::CsrPrivilege, inst,
+                          consts)});
+            return;
+        }
+        if (!probe.csrs.exists(csr))
+            return; // undefined CSR: faults natively, not ISA-Grid
+        CsrIndex index = isa.csrBitmapIndex(csr);
+        if (index == invalidCsrIndex)
+            return; // uncontrolled CSR
+        if (!is_write) {
+            if (policy.csrReadAllowed(d, index))
+                return;
+            siteFinding(res, node, Severity::Violation, "mc-csr-read",
+                        d, pc,
+                        std::string(inst.mnemonic) + " reads CSR " +
+                            hexAddr(csr) + " without the read bit",
+                        {instStep(pc, d, FaultType::CsrPrivilege, inst,
+                                  consts)});
+            return;
+        }
+        if (policy.csrWriteAllowed(d, index))
+            return;
+        CsrIndex mi = isa.csrMaskIndex(csr);
+        if (mi == invalidCsrIndex) {
+            siteFinding(res, node, Severity::Violation, "mc-csr-write",
+                        d, pc,
+                        std::string(inst.mnemonic) + " writes CSR " +
+                            hexAddr(csr) + " without the write bit",
+                        {instStep(pc, d, FaultType::CsrPrivilege, inst,
+                                  consts)});
+            return;
+        }
+        RegVal mask = policy.mask(d, mi);
+        if (mask == 0) {
+            siteFinding(
+                res, node, Severity::Violation, "mc-csr-mask", d, pc,
+                std::string(inst.mnemonic) + " writes bit-maskable "
+                    "CSR " + hexAddr(csr) + " with an all-zero mask: "
+                    "any change to the value is rejected",
+                {instStep(pc, d, FaultType::CsrMaskViolation, inst,
+                          consts, "bit-mask equation rejects")});
+        }
+        // mask != 0: legality depends on the live CSR value — the
+        // masked-write transitions model the permitted outcomes.
+    }
+
+    void
+    scanMemSite(McResult &res, std::uint32_t node, DomainId d, Addr pc,
+                const DecodedInst &inst, const ConstTracker &consts,
+                std::map<Addr, std::uint8_t> &injected,
+                std::map<Addr, TraceStep> &injectors)
+    {
+        // Address = base register + displacement for both ISAs' plain
+        // load/store forms; push/pop use implied rsp addressing the
+        // constant window does not model.
+        std::string_view m = inst.mnemonic;
+        if (m == "push" || m == "pop")
+            return;
+        auto base = consts.value(inst.rs1);
+        if (!base)
+            return;
+        Addr addr = *base + static_cast<RegVal>(inst.imm);
+        const bool is_store = inst.cls == InstClass::Store;
+        // x86 stashes the access size in subop; RISC-V stashes funct3
+        // (log2 size in its low bits).
+        std::size_t size = isa.name() == "x86"
+                               ? inst.subop
+                               : std::size_t{1} << (inst.subop & 3);
+        if (size == 0 || size > 8)
+            size = 8;
+        if (inTmem(addr, size)) {
+            siteFinding(
+                res, node, Severity::Violation, "mc-tmem-access", d, pc,
+                std::string(inst.mnemonic) +
+                    (is_store ? " stores into" : " loads from") +
+                    " trusted memory at " + hexAddr(addr),
+                {instStep(pc, d, FaultType::TrustedMemoryViolation,
+                          inst, consts)});
+            return;
+        }
+        if (!is_store || regionOf(addr) != nullptr)
+            return;
+        // A store to fresh memory with a known value: runtime code
+        // injection material. Track the written bytes so jump-target
+        // analysis decodes what the attacker actually planted.
+        auto value = consts.value(inst.rs2);
+        if (!value)
+            return;
+        TraceStep step = instStep(pc, d, FaultType::None, inst, consts,
+                                  "plant injected bytes");
+        step.kind = TraceStep::Kind::Store;
+        for (std::size_t i = 0; i < size; ++i) {
+            injected[addr + i] = std::uint8_t(*value >> (8 * i));
+            injectors[addr + i] = step;
+        }
+    }
+
+    std::optional<Addr>
+    jumpTarget(const DecodedInst &inst, const ConstTracker &consts,
+               Addr pc) const
+    {
+        std::string_view m = inst.mnemonic;
+        if (m == "jal")
+            return pc + static_cast<RegVal>(inst.imm);
+        if (m == "jmp8" || m == "jmp32" || m == "call")
+            return pc + inst.length + static_cast<RegVal>(inst.imm);
+        if (m == "jalr") {
+            if (auto v = consts.value(inst.rs1))
+                return (*v + static_cast<RegVal>(inst.imm)) & ~Addr{1};
+            return std::nullopt;
+        }
+        if (m == "jmpr" || m == "callr") {
+            if (auto v = consts.value(inst.rs1))
+                return *v;
+            return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
+    void
+    scanJumpTarget(McResult &res, std::uint32_t node, DomainId d,
+                   Addr pc, const DecodedInst &inst,
+                   const ConstTracker &consts, Addr target,
+                   const std::map<Addr, std::uint8_t> &injected,
+                   const std::map<Addr, TraceStep> &injectors)
+    {
+        TraceStep jump = instStep(pc, d, FaultType::None, inst, consts,
+                                  "transfer to " + hexAddr(target));
+
+        const CodeRegion *r = regionOf(target);
+        if (r != nullptr) {
+            if (boundariesOf(*r).count(target))
+                return; // lands on a real instruction: modelled as code
+            hiddenInstFinding(res, node, d, pc, target, std::move(jump));
+            return;
+        }
+
+        // Outside every region: decode what is (or was planted) there.
+        if (target >= mem.size()) {
+            jump.note = "jump beyond physical memory";
+            TraceStep land;
+            land.kind = TraceStep::Kind::Inst;
+            land.pc = target;
+            land.in_image = true;
+            land.expect = FaultType::MemoryFault;
+            land.domain_before = land.domain_after = d;
+            siteFinding(res, node, Severity::Violation,
+                        "mc-jump-outside", d, pc,
+                        "control transfer to " + hexAddr(target) +
+                            ", beyond physical memory",
+                        {std::move(jump), std::move(land)});
+            return;
+        }
+        std::uint8_t buf[16] = {};
+        std::size_t avail =
+            std::min<std::size_t>(isa.maxInstBytes(),
+                                  mem.size() - target);
+        mem.readBlock(target, buf, avail);
+        std::vector<TraceStep> plant;
+        std::set<Addr> used;
+        for (std::size_t i = 0; i < avail; ++i) {
+            auto it = injected.find(target + i);
+            if (it == injected.end())
+                continue;
+            buf[i] = it->second;
+            const TraceStep &site = injectors.at(target + i);
+            if (used.insert(site.pc).second)
+                plant.push_back(site);
+        }
+        DecodedInst hidden = isa.decode(buf, avail, target);
+        std::vector<TraceStep> extra = std::move(plant);
+        if (!hidden.valid) {
+            extra.push_back(jump);
+            TraceStep land;
+            land.kind = TraceStep::Kind::Inst;
+            land.pc = target;
+            land.in_image = true;
+            land.expect = FaultType::IllegalInstruction;
+            land.domain_before = land.domain_after = d;
+            extra.push_back(std::move(land));
+            siteFinding(res, node, Severity::Violation,
+                        "mc-jump-outside", d, pc,
+                        "control transfer to " + hexAddr(target) +
+                            ", outside every known code region "
+                            "(undecodable bytes)",
+                        std::move(extra));
+            return;
+        }
+        if (hidden.cls == InstClass::GateCall ||
+            hidden.cls == InstClass::GateCallS) {
+            // Dynamically injected gate: its address matches no SGT
+            // entry, so property (i) faults it.
+            extra.push_back(jump);
+            TraceStep gate;
+            gate.kind = hidden.cls == InstClass::GateCallS
+                            ? TraceStep::Kind::GateCallS
+                            : TraceStep::Kind::GateCall;
+            gate.pc = target;
+            gate.in_image = true;
+            gate.expect = FaultType::GateFault;
+            gate.domain_before = gate.domain_after = d;
+            RegVal id = 0;
+            if (auto v = consts.value(hidden.rs1))
+                id = *v;
+            gate.gate = GateId(id);
+            gate.seed.emplace_back(hidden.rs1, id);
+            gate.note = "injected gate at an unregistered address";
+            extra.push_back(std::move(gate));
+            siteFinding(res, node, Severity::Violation,
+                        "mc-injected-gate", d, pc,
+                        "runtime-written " +
+                            std::string(hidden.mnemonic) + " at " +
+                            hexAddr(target) +
+                            " is registered in no SGT entry: the PCU "
+                            "must gate-fault the injected switch",
+                        std::move(extra));
+            return;
+        }
+        if (hidden.type != invalidInstType &&
+            !policy.instAllowed(d, hidden.type)) {
+            extra.push_back(jump);
+            TraceStep land;
+            land.kind = TraceStep::Kind::Inst;
+            land.pc = target;
+            land.in_image = true;
+            land.expect = FaultType::InstPrivilege;
+            land.domain_before = land.domain_after = d;
+            extra.push_back(std::move(land));
+            siteFinding(res, node, Severity::Violation,
+                        "mc-jump-outside", d, pc,
+                        "control transfer to denied " +
+                            std::string(hidden.mnemonic) + " at " +
+                            hexAddr(target) +
+                            ", outside every known code region",
+                        std::move(extra));
+        }
+    }
+
+    /** A transfer into a non-boundary offset of a known region. */
+    void
+    hiddenInstFinding(McResult &res, std::uint32_t node, DomainId d,
+                      Addr pc, Addr target, TraceStep jump)
+    {
+        std::uint8_t buf[16] = {};
+        std::size_t avail =
+            std::min<std::size_t>(isa.maxInstBytes(),
+                                  mem.size() - target);
+        mem.readBlock(target, buf, avail);
+        DecodedInst hidden = isa.decode(buf, avail, target);
+        TraceStep land;
+        land.kind = TraceStep::Kind::Inst;
+        land.pc = target;
+        land.in_image = true;
+        land.domain_before = land.domain_after = d;
+        if (!hidden.valid) {
+            land.expect = FaultType::IllegalInstruction;
+            siteFinding(res, node, Severity::Violation,
+                        "mc-hidden-inst", d, pc,
+                        "control transfer to " + hexAddr(target) +
+                            ", a non-boundary offset holding "
+                            "undecodable bytes",
+                        {std::move(jump), std::move(land)});
+            return;
+        }
+        if (hidden.type != invalidInstType &&
+            !policy.instAllowed(d, hidden.type)) {
+            land.expect = FaultType::InstPrivilege;
+            land.note = std::string("unintended ") + hidden.mnemonic;
+            siteFinding(res, node, Severity::Violation,
+                        "mc-hidden-inst", d, pc,
+                        "control transfer to unintended " +
+                            std::string(hidden.mnemonic) + " at " +
+                            hexAddr(target) +
+                            " (non-boundary offset): the instruction "
+                            "bitmap must reject it",
+                        {std::move(jump), std::move(land)});
+            return;
+        }
+        if (hidden.cls == InstClass::GateCall ||
+            hidden.cls == InstClass::GateCallS ||
+            hidden.cls == InstClass::GateRet) {
+            siteFinding(res, node, Severity::Warning, "mc-hidden-gate",
+                        d, pc,
+                        "control transfer to an unintended " +
+                            std::string(hidden.mnemonic) + " at " +
+                            hexAddr(target) +
+                            " (ERIM-style occurrence)",
+                        {});
+        }
+    }
+
+    McResult
+    runAll()
+    {
+        McResult res;
+        std::deque<std::uint32_t> frontier;
+
+        State init;
+        init.domain = initialDomain;
+        init.csrs.assign(maskables.size(), CsrAbs{});
+        discover(init, ~0u, TraceStep{}, 0, frontier, res);
+
+        while (!frontier.empty()) {
+            if (frontier.size() > res.stats.peak_frontier)
+                res.stats.peak_frontier = frontier.size();
+            std::uint32_t id = frontier.front();
+            frontier.pop_front();
+            expand(id, frontier, res);
+        }
+        res.stats.states = nodes.size();
+        return res;
+    }
+};
+
+ModelChecker::ModelChecker(const IsaModel &isa, const PhysMem &mem,
+                           const PolicySnapshot &snapshot,
+                           std::vector<CodeRegion> regions,
+                           DomainId initial_domain,
+                           const McOptions &options)
+    : impl(new Impl(isa, mem, snapshot, std::move(regions),
+                    initial_domain, options))
+{
+}
+
+ModelChecker::~ModelChecker() { delete impl; }
+
+McResult
+ModelChecker::run()
+{
+    return impl->runAll();
+}
+
+} // namespace isagrid

@@ -1,0 +1,163 @@
+#include "modelcheck/replay.hh"
+
+#include <map>
+
+#include "cpu/machine.hh"
+#include "kernel/asm_iface.hh"
+
+namespace isagrid {
+
+namespace {
+
+std::string
+describe(const TraceStep &step, std::size_t index)
+{
+    std::string out = "step " + std::to_string(index) + " (";
+    switch (step.kind) {
+      case TraceStep::Kind::GateCall: out += "hccall"; break;
+      case TraceStep::Kind::GateCallS: out += "hccalls"; break;
+      case TraceStep::Kind::GateRet: out += "hcrets"; break;
+      case TraceStep::Kind::CsrWrite: out += "csr-write"; break;
+      case TraceStep::Kind::Inst: out += "inst"; break;
+      case TraceStep::Kind::Store: out += "store"; break;
+    }
+    out += " at " + hexAddr(step.pc) + ")";
+    return out;
+}
+
+} // namespace
+
+ReplayResult
+replayTrace(Machine &machine, const std::vector<TraceStep> &trace,
+            const PolicySnapshot &snapshot, DomainId initial_domain,
+            Addr scratch)
+{
+    ReplayResult res;
+    CoreBase &core = machine.core();
+    PrivilegeCheckUnit &pcu = machine.pcu();
+    const bool x86 = machine.isa().name() == "x86";
+
+    // Architectural state back to boot values, grid registers back to
+    // the analysed configuration (a previous replay may have moved
+    // hcsp or the current domain).
+    core.reset(0);
+    for (std::uint8_t r = 0; r < numGridRegs; ++r)
+        pcu.setGridReg(static_cast<GridReg>(r), snapshot.regs[r]);
+    pcu.setGridReg(GridReg::Domain, initial_domain);
+
+    // Composed-value bookkeeping for the mask-composition property:
+    // every masked write XORs its mask into the live value, so the
+    // final value must be boot ^ (xor of flips).
+    std::map<std::uint32_t, RegVal> expected_csr;
+
+    auto fail = [&res](std::string detail) {
+        res.ok = false;
+        res.detail = std::move(detail);
+        return res;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceStep &step = trace[i];
+        ArchState &state = core.state();
+
+        if (pcu.currentDomain() != step.domain_before) {
+            return fail(describe(step, i) + ": current domain " +
+                        std::to_string(pcu.currentDomain()) +
+                        ", trace expects " +
+                        std::to_string(step.domain_before));
+        }
+
+        RunResult run;
+        if (step.in_image) {
+            // Execute the recorded image instruction in place.
+            for (const auto &[reg, value] : step.seed)
+                state.setReg(reg, value);
+            state.pc = step.pc;
+            run = core.run(1);
+            if (step.expect == FaultType::None) {
+                if (run.reason != StopReason::MaxInstructions) {
+                    return fail(describe(step, i) +
+                                ": expected clean execution, got " +
+                                std::string(faultName(run.fault)) +
+                                " at " + hexAddr(run.fault_pc));
+                }
+            } else {
+                if (run.reason != StopReason::UnhandledFault ||
+                    run.fault != step.expect) {
+                    return fail(
+                        describe(step, i) + ": expected " +
+                        faultName(step.expect) + ", got " +
+                        (run.reason == StopReason::UnhandledFault
+                             ? std::string(faultName(run.fault))
+                             : std::string("clean execution")));
+                }
+            }
+        } else {
+            // Synthesize the invented step as a stub at the scratch
+            // address, ending in a halt sentinel. Only fault-free
+            // steps are ever synthesized.
+            auto asm_ = x86 ? makeX86Asm(scratch)
+                            : makeRiscvAsm(scratch);
+            switch (step.kind) {
+              case TraceStep::Kind::CsrWrite: {
+                RegVal old_value = state.csrs.read(step.csr_addr);
+                if (!expected_csr.count(step.csr_addr))
+                    expected_csr[step.csr_addr] = old_value;
+                expected_csr[step.csr_addr] ^= step.flip;
+                asm_->li(asm_->regArg(3), old_value ^ step.flip);
+                asm_->csrWrite(step.csr_addr, asm_->regArg(3));
+                break;
+              }
+              case TraceStep::Kind::Store:
+                asm_->li(asm_->regTmp(0), step.store_addr);
+                asm_->li(asm_->regTmp(1), step.store_value);
+                asm_->store64(asm_->regTmp(1), asm_->regTmp(0), 0);
+                break;
+              default:
+                return fail(describe(step, i) +
+                            ": non-synthesizable step without an "
+                            "image pc");
+            }
+            asm_->li(asm_->regTmp(2), 0x5a);
+            asm_->halt(asm_->regTmp(2));
+            asm_->loadInto(machine.mem());
+            state.pc = scratch;
+            run = core.run(64);
+            if (run.reason != StopReason::Halted ||
+                run.halt_code != 0x5a) {
+                return fail(
+                    describe(step, i) + ": stub did not halt (" +
+                    (run.reason == StopReason::UnhandledFault
+                         ? std::string(faultName(run.fault)) + " at " +
+                               hexAddr(run.fault_pc)
+                         : std::string("no halt sentinel")) +
+                    ")");
+            }
+        }
+
+        if (step.expect == FaultType::None &&
+            pcu.currentDomain() != step.domain_after) {
+            return fail(describe(step, i) + ": landed in domain " +
+                        std::to_string(pcu.currentDomain()) +
+                        ", trace expects " +
+                        std::to_string(step.domain_after));
+        }
+        ++res.steps_run;
+    }
+
+    // Mask-composition assertion: the composed flips really are the
+    // live CSR values now.
+    for (const auto &[csr, value] : expected_csr) {
+        RegVal live = core.state().csrs.read(csr);
+        if (live != value) {
+            return fail("final value of CSR " + hexAddr(csr) + " is " +
+                        hexAddr(live) + ", composed flips predict " +
+                        hexAddr(value));
+        }
+    }
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace isagrid

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Counterexample replay: execute a model-checker trace on the Machine
+ * simulator and assert the PCU's actual per-step outcomes.
+ *
+ * The model checker predicts, for every step of a violation trace,
+ * exactly what the hardware must do — succeed, or raise one specific
+ * fault (the *first* fault of the core's check order). Replay makes
+ * that prediction falsifiable: it resets the simulated core, seeds the
+ * initial domain, then drives the trace step by step. In-image steps
+ * jump the core to the recorded pc (seeding the register values the
+ * abstraction assumed) and single-step; synthesized steps (CSR writes
+ * and trusted-stack stores the abstraction invented) are assembled
+ * into a small stub at a scratch address and executed to a halt
+ * sentinel. A divergence anywhere — a fault the checker did not
+ * predict, a missing fault it did, a final CSR value other than the
+ * composed one — fails the replay, flagging a checker/simulator
+ * disagreement.
+ */
+
+#ifndef ISAGRID_MODELCHECK_REPLAY_HH_
+#define ISAGRID_MODELCHECK_REPLAY_HH_
+
+#include <string>
+#include <vector>
+
+#include "modelcheck/modelcheck.hh"
+
+namespace isagrid {
+
+class Machine;
+
+/** Outcome of replaying one counterexample trace. */
+struct ReplayResult
+{
+    bool ok = false;
+    std::size_t steps_run = 0; //!< steps executed before stop/mismatch
+    std::string detail;        //!< mismatch description when !ok
+};
+
+/**
+ * Replay @p trace on @p machine starting from @p initial_domain.
+ *
+ * The machine must hold the loaded guest image; the core is reset
+ * (architectural state back to boot values) and the grid registers are
+ * restored from @p snapshot — the configuration the checker analysed —
+ * so that one replay's domain switches and trusted-stack pushes cannot
+ * leak into the next. Stubs for synthesized steps are assembled at
+ * @p scratch, which must not overlap the image, the tables or trusted
+ * memory.
+ */
+ReplayResult replayTrace(Machine &machine,
+                         const std::vector<TraceStep> &trace,
+                         const PolicySnapshot &snapshot,
+                         DomainId initial_domain,
+                         Addr scratch = 0x78000);
+
+} // namespace isagrid
+
+#endif // ISAGRID_MODELCHECK_REPLAY_HH_

@@ -20,162 +20,8 @@ namespace {
 std::string
 hex(std::uint64_t value)
 {
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%#llx", (unsigned long long)value);
-    return buf;
+    return hexAddr(value);
 }
-
-void
-jsonEscape(std::string &out, const std::string &s)
-{
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-}
-
-/**
- * Forward constant propagation over one code region. The builders
- * materialise gate ids, MSR numbers and indirect-jump targets with
- * li / movabs sequences immediately before use, so tracking only the
- * immediate-forming instructions resolves almost every value-dependent
- * check statically. Anything else (loads, CSR reads, unmodelled ALU
- * ops) kills the destination, and any control transfer kills the whole
- * window — constants never survive a join point, keeping the analysis
- * trivially sound.
- */
-class ConstTracker
-{
-  public:
-    ConstTracker(unsigned num_regs, bool zero_hardwired)
-        : known(num_regs, false), vals(num_regs, 0),
-          zeroHardwired(zero_hardwired)
-    {
-        if (zero_hardwired)
-            known[0] = true;
-    }
-
-    std::optional<RegVal>
-    value(unsigned reg) const
-    {
-        if (reg < known.size() && known[reg])
-            return vals[reg];
-        return std::nullopt;
-    }
-
-    /** Update the window with the effects of @p inst at @p pc. */
-    void
-    step(const DecodedInst &inst, Addr pc)
-    {
-        std::string_view m = inst.mnemonic;
-        switch (inst.cls) {
-          case InstClass::IntAlu:
-            if (m == "lui" || m == "movabs") {
-                set(inst.rd, static_cast<RegVal>(inst.imm));
-            } else if (m == "auipc") {
-                set(inst.rd, pc + static_cast<RegVal>(inst.imm));
-            } else if (m == "mov") {
-                propagate(inst.rd, value(inst.rs1));
-            } else if (m == "addi" || m == "addi8" || m == "addi32") {
-                if (auto v = value(inst.rs1))
-                    set(inst.rd, *v + static_cast<RegVal>(inst.imm));
-                else
-                    kill(inst.rd);
-            } else if (m == "slli" || m == "shl") {
-                if (auto v = value(inst.rs1))
-                    set(inst.rd, *v << inst.imm);
-                else
-                    kill(inst.rd);
-            } else if (m == "srli" || m == "shr") {
-                if (auto v = value(inst.rs1))
-                    set(inst.rd, *v >> inst.imm);
-                else
-                    kill(inst.rd);
-            } else if (m == "add") {
-                auto a = value(inst.rs1), b = value(inst.rs2);
-                if (a && b)
-                    set(inst.rd, *a + *b);
-                else
-                    kill(inst.rd);
-            } else {
-                kill(inst.rd);
-            }
-            break;
-          case InstClass::Load:
-          case InstClass::CsrRead:
-            kill(inst.rd);
-            break;
-          case InstClass::SysOther:
-            if (m == "cpuid")
-                for (unsigned r = 0; r < 4; ++r)
-                    kill(r); // RAX..RDX
-            break;
-          case InstClass::Jump:
-          case InstClass::Branch:
-          case InstClass::Syscall:
-          case InstClass::TrapRet:
-          case InstClass::GateCall:
-          case InstClass::GateCallS:
-          case InstClass::GateRet:
-          case InstClass::Halt:
-            // Join point: another path may reach the next instruction.
-            clear();
-            break;
-          default:
-            break;
-        }
-    }
-
-    void
-    clear()
-    {
-        std::fill(known.begin(), known.end(), false);
-        if (zeroHardwired)
-            known[0] = true;
-    }
-
-  private:
-    void
-    set(unsigned reg, RegVal value)
-    {
-        if (reg >= known.size() || (zeroHardwired && reg == 0))
-            return;
-        known[reg] = true;
-        vals[reg] = value;
-    }
-
-    void
-    propagate(unsigned reg, std::optional<RegVal> value)
-    {
-        if (value)
-            set(reg, *value);
-        else
-            kill(reg);
-    }
-
-    void
-    kill(unsigned reg)
-    {
-        if (reg < known.size() && !(zeroHardwired && reg == 0))
-            known[reg] = false;
-    }
-
-    std::vector<bool> known;
-    std::vector<RegVal> vals;
-    bool zeroHardwired;
-};
 
 } // namespace
 
@@ -252,15 +98,6 @@ VerifyReport::json() const
     return out;
 }
 
-PolicySnapshot
-PolicySnapshot::fromPcu(const PrivilegeCheckUnit &pcu)
-{
-    PolicySnapshot snap;
-    for (std::uint8_t r = 0; r < numGridRegs; ++r)
-        snap.regs[r] = pcu.gridReg(static_cast<GridReg>(r));
-    return snap;
-}
-
 /** Per-region facts gathered by the linear scan. */
 struct Verifier::RegionScan
 {
@@ -290,92 +127,6 @@ Verifier::regionOf(Addr addr) const
             return &r;
     return nullptr;
 }
-
-namespace {
-
-/**
- * Reads the HPT and SGT from guest memory through the snapshot's base
- * registers, exactly as the PCU would on a privilege-cache miss.
- * Out-of-memory table addresses read as zero (deny): the structural
- * checks report the broken base register separately.
- */
-class PolicyView
-{
-  public:
-    PolicyView(const IsaModel &isa, const PhysMem &mem,
-               const PolicySnapshot &snap)
-        : mem(mem), snap(snap),
-          hpt(isa.numInstTypes(), isa.numControlledCsrs(),
-              isa.numMaskableCsrs())
-    {
-    }
-
-    DomainId numDomains() const { return snap.reg(GridReg::DomainNr); }
-    GateId numGates() const { return snap.reg(GridReg::GateNr); }
-
-    bool
-    instAllowed(DomainId domain, InstTypeId type) const
-    {
-        if (domain == 0)
-            return true;
-        Addr addr = hpt.instWordAddr(snap.reg(GridReg::InstCap), domain,
-                                     HptLayout::instGroupOf(type));
-        return (word(addr) >> HptLayout::instBitOf(type)) & 1;
-    }
-
-    bool
-    csrReadAllowed(DomainId domain, CsrIndex index) const
-    {
-        if (domain == 0)
-            return true;
-        Addr addr = hpt.regWordAddr(snap.reg(GridReg::CsrCap), domain,
-                                    HptLayout::regGroupOf(index));
-        return (word(addr) >> HptLayout::regReadBit(index)) & 1;
-    }
-
-    bool
-    csrWriteAllowed(DomainId domain, CsrIndex index) const
-    {
-        if (domain == 0)
-            return true;
-        Addr addr = hpt.regWordAddr(snap.reg(GridReg::CsrCap), domain,
-                                    HptLayout::regGroupOf(index));
-        return (word(addr) >> HptLayout::regWriteBit(index)) & 1;
-    }
-
-    RegVal
-    mask(DomainId domain, CsrIndex mask_index) const
-    {
-        if (domain == 0)
-            return ~RegVal{0};
-        return word(hpt.maskAddr(snap.reg(GridReg::CsrBitMask), domain,
-                                 mask_index));
-    }
-
-    SgtEntry
-    gate(GateId id) const
-    {
-        Addr a = sgtEntryAddr(snap.reg(GridReg::GateAddr), id);
-        return {word(a), word(a + 8), word(a + 16)};
-    }
-
-    const HptLayout &layout() const { return hpt; }
-
-  private:
-    RegVal
-    word(Addr addr) const
-    {
-        if (addr + 8 > mem.size() || addr + 8 < addr)
-            return 0;
-        return mem.read64(addr);
-    }
-
-    const PhysMem &mem;
-    const PolicySnapshot &snap;
-    HptLayout hpt;
-};
-
-} // namespace
 
 void
 Verifier::checkStructure(VerifyReport &report) const
@@ -527,15 +278,6 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
                      VerifyReport &report) const
 {
     scan.region = &region;
-    if (region.limit <= region.base || region.limit > mem.size()) {
-        report.add(Severity::Violation, "region-bounds", region.domain,
-                   region.base,
-                   "code region '" + region.name + "' [" +
-                       hex(region.base) + ", " + hex(region.limit) +
-                       ") is empty or outside physical memory");
-        return;
-    }
-
     PolicyView policy(isa, mem, snap);
     const bool x86 = isa.name() == "x86";
     const DomainId d = region.domain;
@@ -556,23 +298,10 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
         }
     }
 
-    std::vector<std::uint8_t> bytes(region.limit - region.base);
-    mem.readBlock(region.base, bytes.data(), bytes.size());
-
-    ConstTracker consts(isa.numRegs(), !x86);
-    Addr pc = region.base;
-    while (pc < region.limit) {
-        std::size_t off = pc - region.base;
-        DecodedInst inst =
-            isa.decode(bytes.data() + off, bytes.size() - off, pc);
-        if (!inst.valid) {
-            report.add(Severity::Warning, "undecodable", d, pc,
-                       "code region '" + region.name +
-                           "' contains undecodable bytes");
-            consts.clear();
-            pc += x86 ? 1 : 4;
-            continue;
-        }
+    auto visit = [&](const ScanStep &step) {
+        const DecodedInst &inst = *step.inst;
+        const ConstTracker &consts = *step.consts;
+        const Addr pc = step.pc;
         scan.boundaries.insert(pc);
         if (inst.type != invalidInstType)
             scan.usedTypes.insert(inst.type);
@@ -717,9 +446,19 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
             }
             // ret / pop-driven returns: targets live on the stack.
         }
+    };
 
-        consts.step(inst, pc);
-        pc += inst.length;
+    bool in_bounds = walkRegion(isa, mem, region, visit, [&](Addr pc) {
+        report.add(Severity::Warning, "undecodable", d, pc,
+                   "code region '" + region.name +
+                       "' contains undecodable bytes");
+    });
+    if (!in_bounds) {
+        report.add(Severity::Violation, "region-bounds", region.domain,
+                   region.base,
+                   "code region '" + region.name + "' [" +
+                       hex(region.base) + ", " + hex(region.limit) +
+                       ") is empty or outside physical memory");
     }
 }
 

@@ -45,25 +45,9 @@
 #include "isa/isa_model.hh"
 #include "mem/phys_mem.hh"
 #include "sim/types.hh"
+#include "verify/image_scan.hh"
 
 namespace isagrid {
-
-class PrivilegeCheckUnit;
-
-/**
- * One contiguous range of guest code owned by a single domain. The
- * kernel builder records these while emitting; hand-built images list
- * their own.
- */
-struct CodeRegion
-{
-    Addr base = 0;   //!< first code byte
-    Addr limit = 0;  //!< one past the last code byte
-    DomainId domain = 0;
-    std::string name;
-
-    bool contains(Addr addr) const { return addr >= base && addr < limit; }
-};
 
 /** Severity of one verifier finding (see file comment). */
 enum class Severity : std::uint8_t
@@ -84,24 +68,6 @@ struct Finding
     DomainId domain = 0;
     Addr addr = 0;      //!< code or table address the finding anchors to
     std::string message;
-};
-
-/**
- * The domain configuration under verification: the Table 2 register
- * values. Everything else (HPT words, SGT entries) is read from guest
- * memory through these bases, exactly as the PCU would on a cache miss.
- */
-struct PolicySnapshot
-{
-    std::array<RegVal, numGridRegs> regs{};
-
-    RegVal reg(GridReg r) const
-    {
-        return regs[static_cast<std::size_t>(r)];
-    }
-
-    /** Capture the live register values of a configured PCU. */
-    static PolicySnapshot fromPcu(const PrivilegeCheckUnit &pcu);
 };
 
 /** Verifier knobs. */

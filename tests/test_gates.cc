@@ -10,6 +10,7 @@
 #include "isa/riscv/riscv_isa.hh"
 #include "isagrid/domain_manager.hh"
 #include "isagrid/pcu.hh"
+#include "isagrid/sgt.hh"
 #include "mem/phys_mem.hh"
 
 using namespace isagrid;
@@ -268,4 +269,40 @@ TEST(Gates, WrongAddressNeverCorruptsCache)
     EXPECT_FALSE(env.pcu.gateCall(g, 0xbad0, false).ok);
     EXPECT_TRUE(env.pcu.gateCall(g, 0x1000, false).ok);
     EXPECT_FALSE(env.pcu.gateCall(g, 0xbad0, false).ok);
+}
+
+// ---------------------------------------------------------------------
+// Raw dest_domain words (the 64-bit SGT field can hold anything)
+// ---------------------------------------------------------------------
+
+TEST(Gates, CorruptDestDomainWordFaultsInsteadOfSwitching)
+{
+    GateEnv env;
+    GateId g = env.dm.registerGate(0x1000, 0x2000, env.d1);
+    env.dm.publish();
+    // Corrupt the table in guest memory: the raw dest_domain word now
+    // holds a value far outside [0, domain-nr). The PCU must raise a
+    // clean gate fault, not switch into (or tag caches with) a domain
+    // that does not exist.
+    SgtEntry bad{0x1000, 0x2000, DomainId{1} << 40};
+    sgtWrite(env.mem, env.pcu.gridReg(GridReg::GateAddr), g, bad);
+    GateOutcome out = env.pcu.gateCall(g, 0x1000, false);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.fault, FaultType::GateFault);
+    EXPECT_EQ(env.pcu.currentDomain(), 0u) << "no switch on fault";
+}
+
+TEST(Gates, ForgedReturnDomainWordFaultsInsteadOfSwitching)
+{
+    GateEnv env;
+    env.dm.publish();
+    // Forge a trusted-stack frame whose source-domain word is out of
+    // range, as direct stack corruption would produce.
+    RegVal base = env.pcu.gridReg(GridReg::Hcsb);
+    env.mem.write64(base, 0x2004);
+    env.mem.write64(base + 8, RegVal{1} << 40);
+    env.pcu.setGridReg(GridReg::Hcsp, base + 16);
+    GateOutcome out = env.pcu.gateReturn();
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.fault, FaultType::GateFault);
 }

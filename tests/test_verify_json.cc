@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden-file lock on the isagrid-verify --json report schema.
+ *
+ * Downstream tooling (CI, the model-checker comparison scripts) parses
+ * this output; field renames or formatting drift must show up as a
+ * test diff, not as a silent breakage. The golden file is
+ * tests/data/verify_report.golden.json; regenerate it deliberately
+ * with ISAGRID_REGEN_GOLDEN=1 after an intentional schema change and
+ * commit the diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "verify/verify.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(TEST_DATA_DIR) + "/verify_report.golden.json";
+}
+
+/**
+ * A report exercising every severity, the zero address, a wide
+ * domain id, and message characters that need JSON escaping.
+ */
+VerifyReport
+sampleReport()
+{
+    VerifyReport report;
+    report.add(Severity::Violation, "gate-dest-domain", 3, 0x1040,
+               "SGT entry 2 names dest_domain 1099511627776 with only "
+               "4 domains configured");
+    report.add(Severity::Warning, "domain0-gate", 1, 0x2000,
+               "gate 7 escalates into domain-0 (\"trusted\" path)");
+    report.add(Severity::Lint, "unused-grant", 2, 0,
+               "instruction type 14 granted but never used\n"
+               "second line with a backslash \\ and a tab\t");
+    return report;
+}
+
+} // namespace
+
+TEST(VerifyJson, ReportMatchesGoldenFile)
+{
+    std::string actual = sampleReport().json();
+
+    if (std::getenv("ISAGRID_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run once with ISAGRID_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    while (!expected.empty() && expected.back() == '\n')
+        expected.pop_back();
+
+    EXPECT_EQ(actual, expected)
+        << "isagrid-verify --json schema drifted; if intentional, "
+           "regenerate with ISAGRID_REGEN_GOLDEN=1 and commit";
+}
+
+TEST(VerifyJson, CountsMatchFindings)
+{
+    VerifyReport report = sampleReport();
+    EXPECT_EQ(report.violations(), 1u);
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_EQ(report.lints(), 1u);
+    EXPECT_EQ(report.findings().size(), 3u);
+    EXPECT_FALSE(report.clean());
+
+    std::string json = report.json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // Escapes survive the rendering.
+    EXPECT_NE(json.find("\\\"trusted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
