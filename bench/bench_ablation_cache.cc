@@ -109,6 +109,9 @@ main()
                 "and saturates by 8 entries (hence the paper's 8E. "
                 "default); disabling the bypass multiplies CAM "
                 "compares (energy proxy) without helping performance; "
-                "prefetch trims cold misses after domain entry.\n");
+                "prefetch trims cold misses after domain entry but "
+                "its presence probes are themselves CAM searches, so "
+                "the prefetch row pays for them in the compare "
+                "count.\n");
     return 0;
 }

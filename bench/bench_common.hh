@@ -1,12 +1,14 @@
 /**
  * @file
- * Shared helpers for the benchmark binaries: table rendering and the
- * measured-loop harness used by the microbenchmarks.
+ * Shared helpers for the benchmark binaries: table rendering, the
+ * measured-loop harness used by the microbenchmarks, and the scenario
+ * registry consumed by the parallel bench runner (tools/isagrid_bench).
  */
 
 #ifndef ISAGRID_BENCH_BENCH_COMMON_HH_
 #define ISAGRID_BENCH_BENCH_COMMON_HH_
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -20,6 +22,44 @@
 
 namespace isagrid {
 namespace bench {
+
+// ---------------------------------------------------------------------
+// Scenario registry (parallel bench runner)
+// ---------------------------------------------------------------------
+
+/**
+ * Per-run knobs every registered scenario must honour. Scenarios are
+ * otherwise self-contained: each run() builds its own Machine(s), so
+ * any number of scenarios can execute on concurrent threads.
+ */
+struct ScenarioOptions
+{
+    /** Host-side decoded-instruction cache size (0 disables). */
+    std::uint32_t decode_cache_entries =
+        MachineConfig{}.decode_cache_entries;
+};
+
+/** What one scenario run simulated (totals across all its runs). */
+struct ScenarioResult
+{
+    std::uint64_t guest_cycles = 0;
+    std::uint64_t guest_instructions = 0;
+};
+
+/** One registered, independently runnable benchmark scenario. */
+struct Scenario
+{
+    std::string group; //!< BENCH_<group>.json bucket (fig5, table4, ...)
+    std::string name;  //!< unique within the group
+    std::function<ScenarioResult(const ScenarioOptions &)> run;
+};
+
+/** Every registered scenario (defined in bench_scenarios.cc). */
+std::vector<Scenario> allScenarios();
+
+// ---------------------------------------------------------------------
+// Table rendering / formatting
+// ---------------------------------------------------------------------
 
 /** Print a separator + heading. */
 inline void
@@ -107,9 +147,10 @@ fmtPercent(double v, int prec = 2)
 inline Cycle
 runAppOnKernel(bool x86, const AppProfile &profile, KernelConfig config,
                PcuConfig pcu, Machine **machine_out = nullptr,
-               std::unique_ptr<Machine> *keep = nullptr)
+               std::unique_ptr<Machine> *keep = nullptr,
+               const MachineConfig *base = nullptr)
 {
-    MachineConfig mc;
+    MachineConfig mc = base ? *base : MachineConfig{};
     mc.pcu = pcu;
     auto machine = x86 ? Machine::gem5x86(mc) : Machine::rocket(mc);
     Addr entry = buildApp(*machine, profile);

@@ -34,8 +34,10 @@ CoreBase::reset(Addr boot_pc)
     isa_.initState(archState);
     archState.pc = boot_pc;
     cycleCount = 0;
-    nextTimer = timerInterval;
+    nextTimer = timerInterval ? timerInterval : kTimerNever;
     simMarks.clear();
+    // The decode cache needs no flush: entries revalidate against the
+    // memory write generations on every hit.
 }
 
 Cycle
@@ -94,13 +96,25 @@ CoreBase::run(std::uint64_t max_insts)
     return result;
 }
 
+void
+CoreBase::traceInst(const DecodedInst &inst, Addr pc)
+{
+    char head[64];
+    std::snprintf(head, sizeof head, "%10llu d%llu %#10llx: ",
+                  (unsigned long long)cycleCount,
+                  (unsigned long long)pcu_.currentDomain(),
+                  (unsigned long long)pc);
+    *traceStream << head << disassemble(inst) << "\n";
+}
+
 bool
 CoreBase::stepOne(RunResult &result)
 {
     // Asynchronous timer delivery (between instructions, user mode
-    // only so kernel execution is never re-entered).
-    if (timerInterval != 0 && cycleCount >= nextTimer &&
-        archState.mode == PrivMode::User) {
+    // only so kernel execution is never re-entered). A disarmed timer
+    // parks nextTimer at kTimerNever, making this one cold compare.
+    if (cycleCount >= nextTimer &&
+        archState.mode == PrivMode::User) [[unlikely]] {
         nextTimer = cycleCount + timerInterval;
         ++trapCount;
         ++faultCounters[std::size_t(FaultType::TimerInterrupt)];
@@ -126,9 +140,13 @@ CoreBase::stepOne(RunResult &result)
         Cycle delta = timeInstruction(retire);
         cycleCount += delta;
         archState.cycle = cycleCount;
-        DomainUsage &usage = domainUsage_[pcu_.currentDomain()];
-        ++usage.instructions;
-        usage.cycles += delta;
+        DomainId domain = pcu_.currentDomain();
+        if (domain != curUsageDomain || !curUsage) [[unlikely]] {
+            curUsage = &domainUsage_[domain];
+            curUsageDomain = domain;
+        }
+        ++curUsage->instructions;
+        curUsage->cycles += delta;
         return keep_running;
     };
     auto fault_out = [&](FaultType fault, Addr fpc, RegVal info) {
@@ -142,17 +160,13 @@ CoreBase::stepOne(RunResult &result)
     };
 
     // --- fetch ---
-    std::uint8_t buf[16] = {};
-    std::size_t avail = std::min<std::size_t>(isa_.maxInstBytes(),
-                                              mem.size() - pc);
-    if (pc >= mem.size())
+    if (pc >= mem.size()) [[unlikely]]
         return fault_out(FaultType::MemoryFault, pc, pc);
     // Fetching from the trusted region would let an attacker execute
     // HPT/SGT bytes as code; it obeys the same domain-0-only rule as
     // loads and stores (Section 4.5).
-    if (!pcu_.memoryAccessAllowed(pc, 1))
+    if (!pcu_.memoryAccessAllowed(pc, 1)) [[unlikely]]
         return fault_out(FaultType::TrustedMemoryViolation, pc, pc);
-    mem.readBlock(pc, buf, avail);
     if (itlb)
         retire.icache_extra += itlb->access(pc);
     if (icache) {
@@ -165,55 +179,77 @@ CoreBase::stepOne(RunResult &result)
             icache->access(next_line, false);
     }
 
-    // --- decode ---
-    DecodedInst inst = isa_.decode(buf, avail, pc);
-    if (!inst.valid)
-        return fault_out(FaultType::IllegalInstruction, pc, pc);
-    retire.inst = &inst;
-    retire.cls = inst.cls;
-
-    if (traceStream) {
-        char head[64];
-        std::snprintf(head, sizeof head, "%10llu d%llu %#10llx: ",
-                      (unsigned long long)cycleCount,
-                      (unsigned long long)pcu_.currentDomain(),
-                      (unsigned long long)pc);
-        *traceStream << head << disassemble(inst) << "\n";
-    }
-
-    // --- classical privilege-level check (coexists with ISA-Grid,
-    // Section 4.1: either rejection raises an exception) ---
-    if (archState.mode == PrivMode::User && isa_.instPrivileged(inst))
-        return fault_out(FaultType::IllegalInstruction, pc, pc);
-
-    // --- ISA-Grid instruction privilege check ---
-    {
+    // --- decode (fast path: the decoded-instruction cache) ---
+    // On a hit the byte fetch and IsaModel::decode() are skipped
+    // entirely — pure host work; the timing accesses above already
+    // ran, so nothing modeled changes.
+    const DecodedInst *inst = nullptr;
+    bool privileged, check_cacheable;
+    DecodedInst decoded; // slow-path storage when the cache is off
+    const DecodeCache::Entry *hit =
+        decodeCache_ ? decodeCache_->lookup(pc) : nullptr;
+    if (hit) [[likely]] {
+        inst = &hit->inst;
+        privileged = hit->privileged;
+        check_cacheable = hit->check_cacheable;
+    } else {
+        std::uint8_t buf[16] = {};
+        std::size_t avail = std::min<std::size_t>(isa_.maxInstBytes(),
+                                                  mem.size() - pc);
+        mem.readBlock(pc, buf, avail);
+        decoded = isa_.decode(buf, avail, pc);
+        if (!decoded.valid)
+            return fault_out(FaultType::IllegalInstruction, pc, pc);
+        privileged = isa_.instPrivileged(decoded);
         // Value-dependent legality (CSR operands, gates, cache
         // management) must re-run the full check logic every time;
         // everything else may be served by the legal-instruction
         // cache when configured (Section 8).
-        bool cacheable = !inst.isCsrAccess() && !inst.csr_dynamic &&
-                         !isGateClass(inst.cls) &&
-                         inst.cls != InstClass::Prefetch &&
-                         inst.cls != InstClass::CacheFlush;
+        check_cacheable = !decoded.isCsrAccess() &&
+                          !decoded.csr_dynamic &&
+                          !isGateClass(decoded.cls) &&
+                          decoded.cls != InstClass::Prefetch &&
+                          decoded.cls != InstClass::CacheFlush;
+        if (decodeCache_) {
+            inst = &decodeCache_
+                        ->insert(pc, decoded, privileged,
+                                 check_cacheable)
+                        ->inst;
+        } else {
+            inst = &decoded;
+        }
+    }
+    retire.inst = inst;
+    retire.cls = inst->cls;
+
+    if (traceStream) [[unlikely]]
+        traceInst(*inst, pc);
+
+    // --- classical privilege-level check (coexists with ISA-Grid,
+    // Section 4.1: either rejection raises an exception) ---
+    if (archState.mode == PrivMode::User && privileged)
+        return fault_out(FaultType::IllegalInstruction, pc, pc);
+
+    // --- ISA-Grid instruction privilege check ---
+    {
         CheckOutcome chk =
-            pcu_.checkInstructionAt(inst.type, pc, cacheable);
+            pcu_.checkInstructionAt(inst->type, pc, check_cacheable);
         retire.pcu_stall += chk.stall;
         if (!chk.allowed)
-            return fault_out(chk.fault, pc, inst.type);
+            return fault_out(chk.fault, pc, inst->type);
     }
 
     // --- unforgeable domain switching (Section 4.2) ---
-    if (isGateClass(inst.cls)) {
+    if (isGateClass(inst->cls)) {
         ++gateCount;
         GateOutcome gate;
-        if (inst.cls == InstClass::GateRet) {
+        if (inst->cls == InstClass::GateRet) {
             gate = pcu_.gateReturn();
         } else {
-            GateId gid = archState.reg(inst.rs1);
+            GateId gid = archState.reg(inst->rs1);
             gate = pcu_.gateCall(gid, pc,
-                                 inst.cls == InstClass::GateCallS,
-                                 pc + inst.length);
+                                 inst->cls == InstClass::GateCallS,
+                                 pc + inst->length);
         }
         retire.pcu_stall += gate.stall;
         if (!gate.ok)
@@ -225,24 +261,24 @@ CoreBase::stepOne(RunResult &result)
     }
 
     // --- privilege cache management ---
-    if (inst.cls == InstClass::Prefetch) {
-        retire.pcu_stall += pcu_.prefetch(archState.reg(inst.rs1));
-        archState.pc = pc + inst.length;
+    if (inst->cls == InstClass::Prefetch) {
+        retire.pcu_stall += pcu_.prefetch(archState.reg(inst->rs1));
+        archState.pc = pc + inst->length;
         return finish(true);
     }
-    if (inst.cls == InstClass::CacheFlush) {
+    if (inst->cls == InstClass::CacheFlush) {
         pcu_.flushBuffers(
-            static_cast<PcuBuffer>(archState.reg(inst.rs1)));
-        archState.pc = pc + inst.length;
+            static_cast<PcuBuffer>(archState.reg(inst->rs1)));
+        archState.pc = pc + inst->length;
         return finish(true);
     }
 
     // --- execute ---
-    ExecResult res = isa_.execute(inst, archState);
+    ExecResult res = isa_.execute(*inst, archState);
     if (res.fault == FaultType::SyscallTrap) {
         // The resume point (pc past the trapping instruction) is saved,
         // matching syscall/ecall return conventions.
-        return fault_out(FaultType::SyscallTrap, pc + inst.length, 0);
+        return fault_out(FaultType::SyscallTrap, pc + inst->length, 0);
     }
     if (res.fault != FaultType::None)
         return fault_out(res.fault, pc, 0);
@@ -251,19 +287,19 @@ CoreBase::stepOne(RunResult &result)
     retire.serializing = res.serializing;
 
     // --- trap return ---
-    if (inst.cls == InstClass::TrapRet) {
+    if (inst->cls == InstClass::TrapRet) {
         archState.pc = isa_.trapReturn(archState);
         retire.taken_branch = true;
         return finish(true);
     }
 
     // --- explicit CSR access (register bitmap + bit-mask checks) ---
-    if (inst.isCsrAccess() || res.csr_write || inst.csr_dynamic) {
+    if (inst->isCsrAccess() || res.csr_write || inst->csr_dynamic) {
         ++csrAccessCount;
         std::uint32_t csr_addr =
-            inst.csr_dynamic
-                ? static_cast<std::uint32_t>(archState.reg(inst.rs1))
-                : inst.csr_addr;
+            inst->csr_dynamic
+                ? static_cast<std::uint32_t>(archState.reg(inst->rs1))
+                : inst->csr_addr;
         if (isa_.isGridReg(csr_addr)) {
             GridReg reg = isa_.gridRegId(csr_addr);
             RegVal old = pcu_.gridReg(reg);
@@ -277,7 +313,7 @@ CoreBase::stepOne(RunResult &result)
             }
             if (res.csr_write) {
                 RegVal newv =
-                    isa_.csrNewValue(inst, old, res.csr_write_value);
+                    isa_.csrNewValue(*inst, old, res.csr_write_value);
                 CheckOutcome chk = pcu_.writeGridReg(reg, newv);
                 if (!chk.allowed)
                     return fault_out(chk.fault, pc, csr_addr);
@@ -302,7 +338,7 @@ CoreBase::stepOne(RunResult &result)
             }
             if (res.csr_write) {
                 RegVal newv =
-                    isa_.csrNewValue(inst, old, res.csr_write_value);
+                    isa_.csrNewValue(*inst, old, res.csr_write_value);
                 CheckOutcome chk =
                     pcu_.checkCsrWrite(csr_addr, old, newv);
                 retire.pcu_stall += chk.stall;
@@ -407,8 +443,8 @@ CoreBase::stepOne(RunResult &result)
     if (retire.taken_branch)
         ++branchCount;
 
-    if (inst.cls == InstClass::SimMark) {
-        simMarks.push_back({archState.reg(inst.rs1), cycleCount,
+    if (inst->cls == InstClass::SimMark) {
+        simMarks.push_back({archState.reg(inst->rs1), cycleCount,
                             instCount.value()});
     }
 

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "cpu/decode_cache.hh"
 #include "isa/isa_model.hh"
 #include "isagrid/pcu.hh"
 #include "mem/cache.hh"
@@ -121,8 +123,28 @@ class CoreBase
     setTimer(Cycle interval)
     {
         timerInterval = interval;
-        nextTimer = cycleCount + interval;
+        // Disarmed timers park nextTimer at the unreachable sentinel,
+        // so the hot step loop needs a single compare, not two.
+        nextTimer = interval ? cycleCount + interval : kTimerNever;
     }
+
+    /**
+     * Size (or disable, with 0) the host-side decoded-instruction
+     * cache. Purely a host-speed knob: architectural results, cycle
+     * counts and all modeled stats are identical either way (see
+     * cpu/decode_cache.hh for the invalidation contract).
+     */
+    void
+    setDecodeCache(std::uint32_t entries)
+    {
+        if (entries == 0)
+            decodeCache_.reset();
+        else
+            decodeCache_ = std::make_unique<DecodeCache>(mem, entries);
+    }
+
+    /** The decode cache, or nullptr when disabled (tests/tools). */
+    const DecodeCache *decodeCache() const { return decodeCache_.get(); }
 
     Cycle cycles() const { return cycleCount; }
     std::uint64_t instructions() const { return instCount.value(); }
@@ -175,6 +197,9 @@ class CoreBase
     Tlb *dtlb = nullptr;
 
   private:
+    /** Sentinel: no timer tick will ever reach this cycle count. */
+    static constexpr Cycle kTimerNever = ~Cycle{0};
+
     /** One architectural step; returns false when the run must stop. */
     bool stepOne(RunResult &result);
 
@@ -182,13 +207,16 @@ class CoreBase
     bool deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
                       RetireInfo &retire);
 
+    /** Cold path: format one trace line (kept off the hot step loop). */
+    void traceInst(const DecodedInst &inst, Addr pc);
+
     /** L1 hit latency of a hierarchy (0 if null). */
     static Cycle l1Hit(CacheHierarchy *h);
 
     ArchState archState;
     Cycle cycleCount = 0;
     Cycle timerInterval = 0;
-    Cycle nextTimer = 0;
+    Cycle nextTimer = kTimerNever;
 
     Counter instCount;
     Counter loadCount;
@@ -199,7 +227,15 @@ class CoreBase
     Counter trapCount;
     std::array<Counter, 16> faultCounters;
     std::map<DomainId, DomainUsage> domainUsage_;
+    /**
+     * Memoized domainUsage_ slot of the current domain (node pointers
+     * are stable in std::map), so retirement skips the map walk until
+     * the domain actually changes.
+     */
+    DomainUsage *curUsage = nullptr;
+    DomainId curUsageDomain = ~DomainId{0};
     std::vector<SimMark> simMarks;
+    std::unique_ptr<DecodeCache> decodeCache_;
     StatGroup statGroup;
     std::ostream *traceStream = nullptr;
 };

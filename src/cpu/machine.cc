@@ -51,6 +51,7 @@ Machine::rocket(MachineConfig config)
                                              *m->pcu_, m->icache.get(),
                                              m->dcache.get());
     m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
+    m->core_->setDecodeCache(config.decode_cache_entries);
     return m;
 }
 
@@ -88,6 +89,7 @@ Machine::gem5x86(MachineConfig config)
                                         *m->pcu_, m->icache.get(),
                                         m->dcache.get());
     m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
+    m->core_->setDecodeCache(config.decode_cache_entries);
     return m;
 }
 

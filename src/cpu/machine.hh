@@ -32,6 +32,13 @@ struct MachineConfig
     std::size_t mem_bytes = 64ull * 1024 * 1024;
     PcuConfig pcu = PcuConfig::config8E();
     DomainManagerConfig domains; //!< tmem placement filled by factories
+    /**
+     * Entries of the host-side decoded-instruction cache (the
+     * simulator fast path, cpu/decode_cache.hh); 0 disables it. A
+     * pure host-speed knob: results and all modeled stats are
+     * bit-identical either way.
+     */
+    std::uint32_t decode_cache_entries = 16384;
 };
 
 /** A fully assembled simulated machine (see file comment). */

@@ -66,10 +66,15 @@ class PcuCache
         return false;
     }
 
-    /** Probe without stats or LRU update (prefetch presence check). */
+    /**
+     * Probe without hit/miss stats or LRU update (prefetch presence
+     * check). Still a real CAM search in hardware, so it counts toward
+     * the `lookups` energy proxy.
+     */
     bool
-    contains(std::uint64_t tag) const
+    contains(std::uint64_t tag)
     {
+        ++lookupCount;
         for (const auto &e : entries)
             if (e.valid && e.tag == tag)
                 return true;
@@ -82,19 +87,20 @@ class PcuCache
     {
         if (entries.empty())
             return;
-        Entry *victim = &entries[0];
+        // One full pass: an existing entry with this tag must win over
+        // any victim candidate, or the CAM ends up holding the same tag
+        // twice (and lookups could then return a stale payload).
+        Entry *victim = nullptr;
         for (auto &e : entries) {
             if (e.valid && e.tag == tag) { // update in place
                 e.payload = payload;
                 e.lru = ++lruClock;
                 return;
             }
-            if (!e.valid) {
+            if (!victim || !e.valid ||
+                (victim->valid && e.lru < victim->lru)) {
                 victim = &e;
-                break;
             }
-            if (e.lru < victim->lru)
-                victim = &e;
         }
         victim->valid = true;
         victim->tag = tag;
@@ -109,6 +115,23 @@ class PcuCache
         ++flushCount;
         for (auto &e : entries)
             e.valid = false;
+    }
+
+    /**
+     * Invalidate the entry holding @p tag, if present. A selective
+     * CAM invalidation (the single-entry analogue of pflh); leaves an
+     * invalid slot in the middle of the array, which fill() must
+     * handle without duplicating a matching entry further on.
+     */
+    void
+    flushTag(std::uint64_t tag)
+    {
+        for (auto &e : entries) {
+            if (e.valid && e.tag == tag) {
+                e.valid = false;
+                return;
+            }
+        }
     }
 
     std::uint64_t hits() const { return hitCount.value(); }

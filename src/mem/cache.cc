@@ -30,6 +30,11 @@ Cache::Cache(const CacheParams &params)
     if (!isPowerOfTwo(numSets))
         fatal("cache %s: set count must be a power of two",
               params_.name.c_str());
+    while ((std::uint64_t{1} << lineShift) < params_.line_bytes)
+        ++lineShift;
+    tagShift = lineShift;
+    while ((std::uint64_t{1} << (tagShift - lineShift)) < numSets)
+        ++tagShift;
     lines.resize(num_lines);
 
     statGroup.addCounter("hits", hitCount, "demand hits");
@@ -40,18 +45,6 @@ Cache::Cache(const CacheParams &params)
         double total = double(hitCount.value() + missCount.value());
         return total == 0 ? 0.0 : double(hitCount.value()) / total;
     }, "hits / accesses");
-}
-
-std::uint64_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr / params_.line_bytes) & (numSets - 1);
-}
-
-std::uint64_t
-Cache::tagOf(Addr addr) const
-{
-    return (addr / params_.line_bytes) / numSets;
 }
 
 bool
@@ -65,38 +58,6 @@ Cache::contains(Addr addr) const
             return true;
     }
     return false;
-}
-
-Cycle
-Cache::access(Addr addr, bool is_write, bool &hit)
-{
-    std::uint64_t set = setIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    Line *victim = nullptr;
-    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        Line &line = lines[set * params_.assoc + way];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++lruClock;
-            line.dirty = line.dirty || is_write;
-            ++hitCount;
-            hit = true;
-            return params_.hit_latency;
-        }
-        if (!victim || !line.valid ||
-            (victim->valid && line.lru < victim->lru)) {
-            victim = &line;
-        }
-    }
-
-    ++missCount;
-    hit = false;
-    if (victim->valid && victim->dirty)
-        ++writebackCount;
-    victim->valid = true;
-    victim->dirty = is_write;
-    victim->tag = tag;
-    victim->lru = ++lruClock;
-    return params_.hit_latency;
 }
 
 void
@@ -137,20 +98,6 @@ CacheHierarchy::CacheHierarchy(const std::vector<CacheParams> &level_params,
     }
     statGroup.addCounter("mem_accesses", memAccesses,
                          "accesses reaching main memory");
-}
-
-Cycle
-CacheHierarchy::access(Addr addr, bool is_write)
-{
-    Cycle latency = 0;
-    for (auto &level : levels) {
-        bool hit = false;
-        latency += level->access(addr, is_write, hit);
-        if (hit)
-            return latency;
-    }
-    ++memAccesses;
-    return latency + memLatency;
 }
 
 bool

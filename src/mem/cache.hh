@@ -76,11 +76,21 @@ class Cache
         std::uint64_t lru = 0; // larger == more recently used
     };
 
-    std::uint64_t setIndex(Addr addr) const;
-    std::uint64_t tagOf(Addr addr) const;
+    // Line size and set count are powers of two (enforced by the
+    // constructor), so indexing is shift/mask work, not division —
+    // this runs 2-3 times per simulated instruction.
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift) & (numSets - 1);
+    }
+
+    std::uint64_t tagOf(Addr addr) const { return addr >> tagShift; }
 
     CacheParams params_;
     std::uint32_t numSets;
+    unsigned lineShift = 0; //!< log2(line_bytes)
+    unsigned tagShift = 0;  //!< log2(line_bytes * numSets)
     std::vector<Line> lines; // numSets * assoc
     std::uint64_t lruClock = 0;
 
@@ -89,6 +99,38 @@ class Cache
     Counter writebackCount;
     StatGroup statGroup;
 };
+
+inline Cycle
+Cache::access(Addr addr, bool is_write, bool &hit)
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *victim = nullptr;
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = lines[set * params_.assoc + way];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lruClock;
+            line.dirty = line.dirty || is_write;
+            ++hitCount;
+            hit = true;
+            return params_.hit_latency;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lru < victim->lru)) {
+            victim = &line;
+        }
+    }
+
+    ++missCount;
+    hit = false;
+    if (victim->valid && victim->dirty)
+        ++writebackCount;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = ++lruClock;
+    return params_.hit_latency;
+}
 
 /**
  * A stack of cache levels in front of main memory.
@@ -107,7 +149,19 @@ class CacheHierarchy
                    Cycle memory_latency);
 
     /** Timed access; returns total latency in cycles. */
-    Cycle access(Addr addr, bool is_write);
+    Cycle
+    access(Addr addr, bool is_write)
+    {
+        Cycle latency = 0;
+        for (auto &level : levels) {
+            bool hit = false;
+            latency += level->access(addr, is_write, hit);
+            if (hit)
+                return latency;
+        }
+        ++memAccesses;
+        return latency + memLatency;
+    }
 
     /** Untimed probe of the first level. */
     bool l1Contains(Addr addr) const;

@@ -47,6 +47,11 @@ class Tlb
         if ((numSets & (numSets - 1)) != 0)
             fatal("tlb %s: set count must be a power of two",
                   params_.name.c_str());
+        if ((params_.page_bytes & (params_.page_bytes - 1)) != 0)
+            fatal("tlb %s: page size must be a power of two",
+                  params_.name.c_str());
+        while ((std::uint64_t{1} << pageShift) < params_.page_bytes)
+            ++pageShift;
         slots.resize(params_.entries);
         statGroup.addCounter("hits", hitCount, "translations hit");
         statGroup.addCounter("misses", missCount, "page walks");
@@ -63,7 +68,7 @@ class Tlb
     Cycle
     access(Addr addr)
     {
-        std::uint64_t vpn = addr / params_.page_bytes;
+        std::uint64_t vpn = addr >> pageShift;
         std::uint64_t set = vpn & (numSets - 1);
         Slot *victim = nullptr;
         for (std::uint32_t way = 0; way < params_.assoc; ++way) {
@@ -98,7 +103,7 @@ class Tlb
     void
     flushPage(Addr addr)
     {
-        std::uint64_t vpn = addr / params_.page_bytes;
+        std::uint64_t vpn = addr >> pageShift;
         std::uint64_t set = vpn & (numSets - 1);
         for (std::uint32_t way = 0; way < params_.assoc; ++way) {
             Slot &slot = slots[set * params_.assoc + way];
@@ -122,6 +127,7 @@ class Tlb
 
     TlbParams params_;
     std::uint32_t numSets = 1;
+    unsigned pageShift = 0; //!< log2(page_bytes)
     std::vector<Slot> slots;
     std::uint64_t lruClock = 0;
 

@@ -599,3 +599,70 @@ TEST(UnifiedHpt, RegFlushAlsoInvalidatesBypassSnapshot)
     env.pcu.flushBuffers(PcuBuffer::RegCache);
     EXPECT_FALSE(env.pcu.checkInstruction(IT_ADD).allowed);
 }
+
+// ---------------------------------------------------------------------
+// PcuCache unit regressions (the raw CAM template, isagrid/pcu_cache.hh)
+// ---------------------------------------------------------------------
+
+TEST(PcuCacheUnit, FillUpdatesMatchingEntryPastInvalidSlot)
+{
+    // Regression: fill()'s victim scan used to stop at the first
+    // invalid slot, so a matching entry *after* that slot was
+    // duplicated instead of updated. The duplicate silently ate a
+    // slot, evicting an unrelated entry once the cache filled up.
+    PcuCache<std::uint64_t> cache("unit_fill", 4);
+    std::uint64_t v = 0;
+
+    cache.fill(0xA, 1);
+    cache.fill(0xB, 2);
+    cache.fill(0xC, 3);
+    ASSERT_TRUE(cache.lookup(0xB, v)); // keep B hotter than C
+    cache.flushTag(0xA); // invalid slot now sits *before* B and C
+
+    cache.fill(0xB, 20); // must update B in place, not duplicate it
+    cache.fill(0xD, 4);
+    cache.fill(0xE, 5); // two free slots exist iff B was not duplicated
+
+    EXPECT_TRUE(cache.lookup(0xC, v))
+        << "C was evicted: a duplicate of B consumed its slot";
+    EXPECT_TRUE(cache.lookup(0xB, v));
+    EXPECT_EQ(v, 20u) << "stale duplicate payload won the match scan";
+    EXPECT_TRUE(cache.lookup(0xD, v));
+    EXPECT_TRUE(cache.lookup(0xE, v));
+}
+
+TEST(PcuCacheUnit, ContainsCountsTowardLookupEnergyProxy)
+{
+    // A presence probe is a real CAM search in hardware: it must show
+    // up in the `lookups` energy proxy even though it leaves hit/miss
+    // stats and LRU state alone.
+    PcuCache<std::uint64_t> cache("unit_contains", 4);
+    cache.fill(0xA, 1);
+
+    std::uint64_t lookups = cache.lookups();
+    std::uint64_t hits = cache.hits();
+    std::uint64_t misses = cache.misses();
+
+    EXPECT_TRUE(cache.contains(0xA));
+    EXPECT_FALSE(cache.contains(0xB));
+
+    EXPECT_EQ(cache.lookups(), lookups + 2);
+    EXPECT_EQ(cache.hits(), hits) << "contains must not count a hit";
+    EXPECT_EQ(cache.misses(), misses) << "contains must not count a miss";
+}
+
+TEST(PcuCacheUnit, PrefetchProbesAreVisibleInLookupStats)
+{
+    // End-to-end: prefetch() probes the register-bitmap cache with
+    // contains() before each fill; those probes are CAM searches and
+    // must raise the energy proxy.
+    PcuEnv env;
+    DomainId d = env.dm.createBaselineDomain();
+    env.dm.publish();
+    env.enter(d);
+
+    std::uint64_t before = env.pcu.regCache().lookups();
+    env.pcu.prefetch(0);
+    EXPECT_GT(env.pcu.regCache().lookups(), before)
+        << "prefetch presence checks must count as CAM lookups";
+}

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Parallel benchmark runner over the scenario registry
+ * (bench/bench_common.hh). Every scenario is self-contained (builds
+ * its own machines), so a `--jobs N` thread pool runs them
+ * concurrently; each scenario is timed with warmup + repeated runs
+ * and the median host wall time is reported. Results are written as
+ * one `BENCH_<group>.json` per scenario group, making the perf
+ * trajectory of the simulator machine-readable.
+ *
+ * The simulator is deterministic: guest cycles and instructions are
+ * identical across repeats, only host wall time varies. With
+ * `--compare-decode-cache` each scenario is additionally timed with
+ * the decoded-instruction cache disabled and the speedup recorded.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+struct Options
+{
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    unsigned repeat = 3;
+    unsigned warmup = 1;
+    std::string filter;
+    std::string out_dir = ".";
+    bool compare_decode_cache = false;
+    bool list_only = false;
+    double min_mips = 0.0;
+};
+
+struct Timing
+{
+    ScenarioResult result;
+    double median_seconds = 0.0;
+};
+
+struct Measured
+{
+    const Scenario *scenario = nullptr;
+    Timing on;            //!< decode cache at its default size
+    Timing off;           //!< decode cache disabled (compare mode)
+    bool compared = false;
+};
+
+double
+median(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    std::size_t n = samples.size();
+    return n % 2 ? samples[n / 2]
+                 : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/** Warmup + repeat timed runs of one scenario configuration. */
+Timing
+timeScenario(const Scenario &s, const ScenarioOptions &opts,
+             unsigned warmup, unsigned repeat)
+{
+    for (unsigned i = 0; i < warmup; ++i)
+        s.run(opts);
+    Timing t;
+    std::vector<double> walls;
+    for (unsigned i = 0; i < repeat; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        t.result = s.run(opts);
+        auto t1 = std::chrono::steady_clock::now();
+        walls.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    t.median_seconds = median(std::move(walls));
+    return t;
+}
+
+double
+mips(const Timing &t)
+{
+    return t.median_seconds > 0.0
+               ? t.result.guest_instructions / t.median_seconds / 1e6
+               : 0.0;
+}
+
+void
+writeGroupJson(const std::string &path, const std::string &group,
+               const Options &opts,
+               const std::vector<const Measured *> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write %s", path.c_str());
+    char buf[256];
+    os << "{\n";
+    os << "  \"group\": \"" << group << "\",\n";
+    os << "  \"generated_by\": \"isagrid_bench\",\n";
+    os << "  \"jobs\": " << opts.jobs << ",\n";
+    os << "  \"warmup\": " << opts.warmup << ",\n";
+    os << "  \"repeat\": " << opts.repeat << ",\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Measured &m = *rows[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << m.scenario->name << "\",\n";
+        os << "      \"guest_cycles\": " << m.on.result.guest_cycles
+           << ",\n";
+        os << "      \"guest_instructions\": "
+           << m.on.result.guest_instructions << ",\n";
+        std::snprintf(buf, sizeof buf, "%.6f", m.on.median_seconds);
+        os << "      \"host_wall_seconds\": " << buf << ",\n";
+        std::snprintf(buf, sizeof buf, "%.0f", mips(m.on) * 1e6);
+        os << "      \"insts_per_second\": " << buf;
+        if (m.compared) {
+            os << ",\n      \"decode_cache_compare\": {\n";
+            std::snprintf(buf, sizeof buf, "%.6f",
+                          m.off.median_seconds);
+            os << "        \"off_wall_seconds\": " << buf << ",\n";
+            double speedup = m.on.median_seconds > 0.0
+                                 ? m.off.median_seconds /
+                                       m.on.median_seconds
+                                 : 0.0;
+            std::snprintf(buf, sizeof buf, "%.3f", speedup);
+            os << "        \"speedup\": " << buf << "\n";
+            os << "      }";
+        }
+        os << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: isagrid_bench [options]\n"
+        "  --jobs N              worker threads (default: cores)\n"
+        "  --repeat R            timed runs per scenario (default 3)\n"
+        "  --warmup W            untimed runs per scenario (default 1)\n"
+        "  --filter SUBSTR       run scenarios whose group or name\n"
+        "                        contains SUBSTR\n"
+        "  --out DIR             directory for BENCH_<group>.json\n"
+        "  --compare-decode-cache  also time with the decode cache\n"
+        "                        off and record the speedup\n"
+        "  --min-mips X          fail if any scenario simulates\n"
+        "                        slower than X MIPS (smoke check)\n"
+        "  --list                list scenarios and exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            opts.jobs = std::max(1, std::atoi(value()));
+        } else if (arg == "--repeat") {
+            opts.repeat = std::max(1, std::atoi(value()));
+        } else if (arg == "--warmup") {
+            opts.warmup = std::atoi(value());
+        } else if (arg == "--filter") {
+            opts.filter = value();
+        } else if (arg == "--out") {
+            opts.out_dir = value();
+        } else if (arg == "--compare-decode-cache") {
+            opts.compare_decode_cache = true;
+        } else if (arg == "--min-mips") {
+            opts.min_mips = std::atof(value());
+        } else if (arg == "--list") {
+            opts.list_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option %s", arg.c_str());
+        }
+    }
+
+    std::vector<Scenario> scenarios = allScenarios();
+    if (!opts.filter.empty()) {
+        std::erase_if(scenarios, [&](const Scenario &s) {
+            return s.group.find(opts.filter) == std::string::npos &&
+                   s.name.find(opts.filter) == std::string::npos;
+        });
+    }
+    if (opts.list_only) {
+        for (const auto &s : scenarios)
+            std::printf("%s/%s\n", s.group.c_str(), s.name.c_str());
+        return 0;
+    }
+    if (scenarios.empty())
+        fatal("no scenarios match filter '%s'", opts.filter.c_str());
+
+    std::vector<Measured> measured(scenarios.size());
+    std::atomic<std::size_t> next{0};
+    std::mutex print_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t idx = next.fetch_add(1);
+            if (idx >= scenarios.size())
+                return;
+            const Scenario &s = scenarios[idx];
+            Measured &m = measured[idx];
+            m.scenario = &s;
+            m.on = timeScenario(s, ScenarioOptions{}, opts.warmup,
+                                opts.repeat);
+            if (opts.compare_decode_cache) {
+                ScenarioOptions off;
+                off.decode_cache_entries = 0;
+                m.off = timeScenario(s, off, opts.warmup, opts.repeat);
+                m.compared = true;
+            }
+            std::lock_guard<std::mutex> lock(print_mutex);
+            std::printf("  %-28s %12llu cycles  %8.3f s  %7.1f MIPS\n",
+                        (s.group + "/" + s.name).c_str(),
+                        (unsigned long long)m.on.result.guest_cycles,
+                        m.on.median_seconds, mips(m.on));
+        }
+    };
+
+    std::printf("running %zu scenarios on %u threads "
+                "(warmup %u, repeat %u)\n",
+                scenarios.size(), opts.jobs, opts.warmup, opts.repeat);
+    auto wall0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (unsigned j = 0; j < opts.jobs; ++j)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    double total = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall0)
+                       .count();
+    std::printf("done in %.3f s\n", total);
+
+    // Group results and emit one JSON file per group.
+    std::vector<std::string> groups;
+    for (const auto &m : measured) {
+        if (std::find(groups.begin(), groups.end(),
+                      m.scenario->group) == groups.end())
+            groups.push_back(m.scenario->group);
+    }
+    for (const auto &g : groups) {
+        std::vector<const Measured *> rows;
+        for (const auto &m : measured)
+            if (m.scenario->group == g)
+                rows.push_back(&m);
+        std::string path = opts.out_dir + "/BENCH_" + g + ".json";
+        writeGroupJson(path, g, opts, rows);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+    if (opts.min_mips > 0.0) {
+        bool ok = true;
+        for (const auto &m : measured) {
+            if (mips(m.on) < opts.min_mips) {
+                std::fprintf(stderr,
+                             "FAIL: %s/%s at %.1f MIPS "
+                             "(threshold %.1f)\n",
+                             m.scenario->group.c_str(),
+                             m.scenario->name.c_str(), mips(m.on),
+                             opts.min_mips);
+                ok = false;
+            }
+        }
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}
