@@ -65,6 +65,8 @@ CoreBase::deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
                      << " at " << std::hex << faulting_pc << std::dec
                      << "\n";
     }
+    ISAGRID_TRACE_EVENT(eventTrace, TraceKind::Trap,
+                        std::uint64_t(fault), faulting_pc, 0);
     Addr handler = isa_.takeTrap(archState, fault, faulting_pc, info);
     retire.trap = true;
     retire.serializing = true;
@@ -97,14 +99,21 @@ CoreBase::run(std::uint64_t max_insts)
 }
 
 void
-CoreBase::traceInst(const DecodedInst &inst, Addr pc)
+CoreBase::traceInst(const DecodedInst &inst, Addr pc,
+                    const CheckOutcome *check)
 {
+    char outcome = check ? (check->allowed ? '+' : '!') : '-';
     char head[64];
-    std::snprintf(head, sizeof head, "%10llu d%llu %#10llx: ",
+    std::snprintf(head, sizeof head, "%10llu d%-3llu %c %#10llx: ",
                   (unsigned long long)cycleCount,
-                  (unsigned long long)pcu_.currentDomain(),
+                  (unsigned long long)pcu_.currentDomain(), outcome,
                   (unsigned long long)pc);
-    *traceStream << head << disassemble(inst) << "\n";
+    *traceStream << head << disassemble(inst);
+    if (check && check->stall) {
+        *traceStream << "  ; pcu-stall "
+                     << (unsigned long long)check->stall;
+    }
+    *traceStream << "\n";
 }
 
 bool
@@ -118,6 +127,8 @@ CoreBase::stepOne(RunResult &result)
         nextTimer = cycleCount + timerInterval;
         ++trapCount;
         ++faultCounters[std::size_t(FaultType::TimerInterrupt)];
+        ISAGRID_TRACE_EVENT(eventTrace, TraceKind::TimerIrq,
+                            archState.pc, 0, 0);
         Addr handler = isa_.takeTrap(archState, FaultType::TimerInterrupt,
                                      archState.pc, 0);
         if (handler == 0) {
@@ -222,18 +233,20 @@ CoreBase::stepOne(RunResult &result)
     retire.inst = inst;
     retire.cls = inst->cls;
 
-    if (traceStream) [[unlikely]]
-        traceInst(*inst, pc);
-
     // --- classical privilege-level check (coexists with ISA-Grid,
     // Section 4.1: either rejection raises an exception) ---
-    if (archState.mode == PrivMode::User && privileged)
+    if (archState.mode == PrivMode::User && privileged) {
+        if (traceStream) [[unlikely]]
+            traceInst(*inst, pc, nullptr);
         return fault_out(FaultType::IllegalInstruction, pc, pc);
+    }
 
     // --- ISA-Grid instruction privilege check ---
     {
         CheckOutcome chk =
             pcu_.checkInstructionAt(inst->type, pc, check_cacheable);
+        if (traceStream) [[unlikely]]
+            traceInst(*inst, pc, &chk);
         retire.pcu_stall += chk.stall;
         if (!chk.allowed)
             return fault_out(chk.fault, pc, inst->type);
@@ -289,6 +302,8 @@ CoreBase::stepOne(RunResult &result)
     // --- trap return ---
     if (inst->cls == InstClass::TrapRet) {
         archState.pc = isa_.trapReturn(archState);
+        ISAGRID_TRACE_EVENT(eventTrace, TraceKind::TrapRet,
+                            archState.pc, 0, 0);
         retire.taken_branch = true;
         return finish(true);
     }
@@ -317,6 +332,8 @@ CoreBase::stepOne(RunResult &result)
                 CheckOutcome chk = pcu_.writeGridReg(reg, newv);
                 if (!chk.allowed)
                     return fault_out(chk.fault, pc, csr_addr);
+                ISAGRID_TRACE_EVENT(eventTrace, TraceKind::CsrCommit,
+                                    csr_addr, newv, 0);
             }
             if (res.csr_old_reg_valid)
                 archState.setReg(res.csr_old_reg, old);
@@ -345,6 +362,8 @@ CoreBase::stepOne(RunResult &result)
                 if (!chk.allowed)
                     return fault_out(chk.fault, pc, csr_addr);
                 archState.csrs.write(csr_addr, newv);
+                ISAGRID_TRACE_EVENT(eventTrace, TraceKind::CsrCommit,
+                                    csr_addr, newv, 0);
                 // An address-space switch invalidates the TLBs.
                 if (csr_addr == isa_.ptbrCsrAddr()) {
                     if (itlb)
@@ -446,6 +465,9 @@ CoreBase::stepOne(RunResult &result)
     if (inst->cls == InstClass::SimMark) {
         simMarks.push_back({archState.reg(inst->rs1), cycleCount,
                             instCount.value()});
+        ISAGRID_TRACE_EVENT(eventTrace, TraceKind::SimMark,
+                            archState.reg(inst->rs1), instCount.value(),
+                            0);
     }
 
     if (res.halt) {

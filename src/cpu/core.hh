@@ -167,9 +167,28 @@ class CoreBase
     /**
      * Stream an execution trace (one line per retired instruction,
      * plus fault-delivery lines) to @p os; nullptr disables. The
-     * stream must outlive the core or be cleared first.
+     * stream must outlive the core or be cleared first. Each line
+     * carries cycle, current domain, the ISA-Grid instruction-check
+     * outcome ('+' allowed, '!' denied, '-' rejected before the check
+     * ran), pc and disassembly.
      */
     void setTrace(std::ostream *os) { traceStream = os; }
+
+    /**
+     * Attach an event-trace buffer (sim/trace.hh): the buffer's cycle
+     * field is sampled from this core's cycle counter, and the core
+     * emits trap entry/return, timer-interrupt, CSR-commit and simmark
+     * events. Pair with PrivilegeCheckUnit::attachTrace for the
+     * check/gate/cache event stream (Machine::enableTracing does
+     * both). Pass nullptr to detach.
+     */
+    void
+    attachTrace(TraceBuffer *trace)
+    {
+        eventTrace = trace;
+        if (trace)
+            trace->setCycleSource(&cycleCount);
+    }
 
     /** Attach instruction/data TLB timing models (may be null). */
     void
@@ -207,8 +226,13 @@ class CoreBase
     bool deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
                       RetireInfo &retire);
 
-    /** Cold path: format one trace line (kept off the hot step loop). */
-    void traceInst(const DecodedInst &inst, Addr pc);
+    /**
+     * Cold path: format one trace line (kept off the hot step loop).
+     * @p check is the ISA-Grid instruction-check outcome, or null when
+     * the instruction was rejected before that check ran.
+     */
+    void traceInst(const DecodedInst &inst, Addr pc,
+                   const CheckOutcome *check);
 
     /** L1 hit latency of a hierarchy (0 if null). */
     static Cycle l1Hit(CacheHierarchy *h);
@@ -238,6 +262,7 @@ class CoreBase
     std::unique_ptr<DecodeCache> decodeCache_;
     StatGroup statGroup;
     std::ostream *traceStream = nullptr;
+    TraceBuffer *eventTrace = nullptr;
 };
 
 } // namespace isagrid

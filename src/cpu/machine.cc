@@ -111,4 +111,30 @@ Machine::dumpStats(std::ostream &os)
     dtlb->stats().dump(os);
 }
 
+void
+Machine::dumpStatsJson(std::ostream &os)
+{
+    // One flat object over every unit, keyed exactly like the dump()
+    // text rendering so names stay greppable across both formats.
+    std::map<std::string, double> values;
+    core_->stats().values("", values);
+    pcu_->stats().values("", values);
+    icache->stats().values("icache", values);
+    dcache->stats().values("dcache", values);
+    itlb->stats().values("", values);
+    dtlb->stats().values("", values);
+    StatGroup::writeJson(os, values);
+}
+
+TraceBuffer &
+Machine::enableTracing(std::size_t capacity)
+{
+    if (!trace_) {
+        trace_ = std::make_unique<TraceBuffer>(capacity);
+        pcu_->attachTrace(trace_.get());
+        core_->attachTrace(trace_.get());
+    }
+    return *trace_;
+}
+
 } // namespace isagrid

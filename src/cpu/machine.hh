@@ -68,6 +68,20 @@ class Machine
     /** Dump all statistics. */
     void dumpStats(std::ostream &os);
 
+    /** All statistics of every unit as one sorted JSON object. */
+    void dumpStatsJson(std::ostream &os);
+
+    /**
+     * Create (once) and wire the machine-owned event-trace buffer into
+     * the PCU and the core. The caller attaches a sink and sets the
+     * filter on the returned buffer; until then events accumulate in
+     * the ring and overflow is dropped. Idempotent.
+     */
+    TraceBuffer &enableTracing(std::size_t capacity = 1 << 16);
+
+    /** The machine-owned trace buffer, or nullptr before enableTracing. */
+    TraceBuffer *trace() { return trace_.get(); }
+
   private:
     Machine() = default;
 
@@ -81,6 +95,7 @@ class Machine
     std::unique_ptr<PrivilegeCheckUnit> pcu_;
     std::unique_ptr<DomainManager> domainMgr;
     std::unique_ptr<CoreBase> core_;
+    std::unique_ptr<TraceBuffer> trace_;
 };
 
 } // namespace isagrid

@@ -42,11 +42,28 @@ PrivilegeCheckUnit::PrivilegeCheckUnit(const IsaModel &isa, PhysMem &mem,
                          "checks served by the bypass register");
     statGroup.addCounter("prefetch_fills", prefetchFills,
                          "cache fills triggered by pfch");
+    statGroup.addHistogram("switch_latency", switchLatency,
+                           "stall cycles per successful gate traversal");
     statGroup.addChild(instBitmapCache.stats());
     statGroup.addChild(regBitmapCache.stats());
     statGroup.addChild(bitMaskCache.stats());
     statGroup.addChild(sgtCache_.stats());
     statGroup.addChild(legalCache_.stats());
+}
+
+void
+PrivilegeCheckUnit::attachTrace(TraceBuffer *trace)
+{
+    trace_ = trace;
+    if (trace)
+        trace->setDomainSource(&gridRegs[idx(GridReg::Domain)]);
+    bool unified = config_.unified_hpt_cache;
+    instBitmapCache.setTrace(trace, unified ? kTraceCacheUnified
+                                            : kTraceCacheInst);
+    regBitmapCache.setTrace(trace, kTraceCacheReg);
+    bitMaskCache.setTrace(trace, kTraceCacheMask);
+    sgtCache_.setTrace(trace, kTraceCacheSgt);
+    legalCache_.setTrace(trace, kTraceCacheLegal);
 }
 
 void
@@ -121,6 +138,7 @@ PrivilegeCheckUnit::checkInstruction(InstTypeId type)
     // Domain-0 holds every privilege by default (Section 4.4).
     if (currentDomain() == 0) {
         out.allowed = true;
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::InstCheck, type, 0, 1);
         return out;
     }
     ISAGRID_ASSERT(type < hpt.instTypes(), "inst type %u", type);
@@ -146,6 +164,8 @@ PrivilegeCheckUnit::checkInstruction(InstTypeId type)
         out.fault = FaultType::InstPrivilege;
         ++faultCount;
     }
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::InstCheck, type, out.stall,
+                        out.allowed ? 1 : 0);
     return out;
 }
 
@@ -163,6 +183,9 @@ PrivilegeCheckUnit::checkInstructionAt(InstTypeId type, Addr pc,
         // A cached legal instruction: skip the whole check logic.
         CheckOutcome out;
         out.allowed = true;
+        // flags bit 2: served from the legal-instruction cache.
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::InstCheck, type, 0,
+                            1 | 2);
         return out;
     }
     CheckOutcome out = checkInstruction(type);
@@ -173,6 +196,15 @@ PrivilegeCheckUnit::checkInstructionAt(InstTypeId type, Addr pc,
 
 CheckOutcome
 PrivilegeCheckUnit::checkCsrRead(std::uint32_t csr_addr)
+{
+    CheckOutcome out = checkCsrReadImpl(csr_addr);
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::CsrReadCheck, csr_addr,
+                        out.stall, out.allowed ? 1 : 0);
+    return out;
+}
+
+CheckOutcome
+PrivilegeCheckUnit::checkCsrReadImpl(std::uint32_t csr_addr)
 {
     ++csrReadChecks;
     CheckOutcome out;
@@ -206,6 +238,16 @@ PrivilegeCheckUnit::checkCsrRead(std::uint32_t csr_addr)
 CheckOutcome
 PrivilegeCheckUnit::checkCsrWrite(std::uint32_t csr_addr, RegVal old_value,
                                   RegVal new_value)
+{
+    CheckOutcome out = checkCsrWriteImpl(csr_addr, old_value, new_value);
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::CsrWriteCheck, csr_addr,
+                        out.stall, out.allowed ? 1 : 0);
+    return out;
+}
+
+CheckOutcome
+PrivilegeCheckUnit::checkCsrWriteImpl(std::uint32_t csr_addr,
+                                      RegVal old_value, RegVal new_value)
 {
     ++csrWriteChecks;
     CheckOutcome out;
@@ -257,15 +299,34 @@ PrivilegeCheckUnit::checkCsrWrite(std::uint32_t csr_addr, RegVal old_value,
 void
 PrivilegeCheckUnit::switchDomain(DomainId dest)
 {
-    gridRegs[idx(GridReg::PDomain)] = currentDomain();
+    DomainId source = currentDomain();
+    gridRegs[idx(GridReg::PDomain)] = source;
     gridRegs[idx(GridReg::Domain)] = dest;
     bypassValid = false;
     ++switchCount;
+    // Emitted after the registers move so the event's sampled domain
+    // field already carries the destination (the validateTrace domain-
+    // continuity invariant).
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::DomainSwitch, dest, source,
+                        0);
 }
 
 GateOutcome
 PrivilegeCheckUnit::gateCall(GateId gate, Addr gate_pc, bool extended,
                              Addr return_pc)
+{
+    GateOutcome out = gateCallImpl(gate, gate_pc, extended, return_pc);
+    if (out.ok)
+        switchLatency.sample(out.stall);
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::GateCall, gate, out.stall,
+                        std::uint16_t((out.ok ? 1 : 0) |
+                                      (extended ? 2 : 0)));
+    return out;
+}
+
+GateOutcome
+PrivilegeCheckUnit::gateCallImpl(GateId gate, Addr gate_pc, bool extended,
+                                 Addr return_pc)
 {
     GateOutcome out;
     if (gate >= gridRegs[idx(GridReg::GateNr)]) {
@@ -315,6 +376,8 @@ PrivilegeCheckUnit::gateCall(GateId gate, Addr gate_pc, bool extended,
         out.stall += fillLatency(sp);
         gridRegs[idx(GridReg::Hcsp)] = sp + 16;
         ++extendedCallCount;
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::StackPush, sp + 16,
+                            return_pc, 0);
     }
     switchDomain(entry.dest_domain);
     out.ok = true;
@@ -325,6 +388,17 @@ PrivilegeCheckUnit::gateCall(GateId gate, Addr gate_pc, bool extended,
 
 GateOutcome
 PrivilegeCheckUnit::gateReturn()
+{
+    GateOutcome out = gateReturnImpl();
+    if (out.ok)
+        switchLatency.sample(out.stall);
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::GateRet, out.dest_pc,
+                        out.stall, out.ok ? 1 : 0);
+    return out;
+}
+
+GateOutcome
+PrivilegeCheckUnit::gateReturnImpl()
 {
     GateOutcome out;
     RegVal sp = gridRegs[idx(GridReg::Hcsp)];
@@ -354,6 +428,7 @@ PrivilegeCheckUnit::gateReturn()
         return out;
     }
     gridRegs[idx(GridReg::Hcsp)] = sp;
+    ISAGRID_TRACE_EVENT(trace_, TraceKind::StackPop, sp, return_pc, 0);
     switchDomain(return_domain);
     out.ok = true;
     out.dest_pc = return_pc;

@@ -39,6 +39,7 @@
 #include "mem/phys_mem.hh"
 #include "mem/trusted_memory.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace isagrid {
 
@@ -210,6 +211,16 @@ class PrivilegeCheckUnit
     const IsaModel &isa() const { return isa_; }
     StatGroup &stats() { return statGroup; }
 
+    /**
+     * Attach an event-trace buffer: check outcomes, gate traversals,
+     * trusted-stack traffic and domain switches are emitted into it,
+     * the privilege caches emit their hit/miss/fill/flush stream, and
+     * the buffer's domain field is sampled from this PCU's `domain`
+     * register. Pass nullptr to detach.
+     */
+    void attachTrace(TraceBuffer *trace);
+    TraceBuffer *trace() const { return trace_; }
+
     PcuCache<std::uint64_t> &instCache() { return instBitmapCache; }
     PcuCache<std::uint64_t> &regCache() { return regBitmapCache; }
     PcuCache<std::uint64_t> &maskCache() { return bitMaskCache; }
@@ -271,6 +282,14 @@ class PrivilegeCheckUnit
 
     void switchDomain(DomainId dest);
 
+    /** Gate bodies; the public entry points add tracing + stats. */
+    GateOutcome gateCallImpl(GateId gate, Addr gate_pc, bool extended,
+                             Addr return_pc);
+    GateOutcome gateReturnImpl();
+    CheckOutcome checkCsrReadImpl(std::uint32_t csr_addr);
+    CheckOutcome checkCsrWriteImpl(std::uint32_t csr_addr,
+                                   RegVal old_value, RegVal new_value);
+
     const IsaModel &isa_;
     PhysMem &mem;
     PcuConfig config_;
@@ -299,7 +318,10 @@ class PrivilegeCheckUnit
     Counter faultCount;
     Counter bypassCheckCount;
     Counter prefetchFills;
+    /** Stall-cycle distribution of successful gate traversals. */
+    Histogram switchLatency{12};
     StatGroup statGroup;
+    TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace isagrid

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace isagrid {
@@ -49,6 +50,17 @@ class PcuCache
         return static_cast<std::uint32_t>(entries.size());
     }
 
+    /**
+     * Attach a trace buffer: lookup/fill/flushAll then emit cache
+     * events stamped with @p id (one of the kTraceCache* constants).
+     */
+    void
+    setTrace(TraceBuffer *trace, std::uint16_t id)
+    {
+        trace_ = trace;
+        traceId = id;
+    }
+
     /** Probe; on hit copies payload into @p out. Counts a CAM lookup. */
     bool
     lookup(std::uint64_t tag, Payload &out)
@@ -59,10 +71,14 @@ class PcuCache
                 e.lru = ++lruClock;
                 out = e.payload;
                 ++hitCount;
+                ISAGRID_TRACE_EVENT(trace_, TraceKind::CacheHit, tag, 0,
+                                    traceId);
                 return true;
             }
         }
         ++missCount;
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::CacheMiss, tag, 0,
+                            traceId);
         return false;
     }
 
@@ -106,6 +122,8 @@ class PcuCache
         victim->tag = tag;
         victim->payload = payload;
         victim->lru = ++lruClock;
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::CacheFill, tag, 0,
+                            traceId);
     }
 
     /** Invalidate everything (pflh). */
@@ -115,6 +133,8 @@ class PcuCache
         ++flushCount;
         for (auto &e : entries)
             e.valid = false;
+        ISAGRID_TRACE_EVENT(trace_, TraceKind::CacheFlush, 0, 0,
+                            traceId);
     }
 
     /**
@@ -164,6 +184,8 @@ class PcuCache
     StatGroup statGroup;
     std::vector<Entry> entries;
     std::uint64_t lruClock = 0;
+    TraceBuffer *trace_ = nullptr;
+    std::uint16_t traceId = 0;
 };
 
 } // namespace isagrid

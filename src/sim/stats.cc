@@ -1,9 +1,83 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <limits>
 
 namespace isagrid {
+
+double
+Histogram::mean() const
+{
+    return count_ ? double(sum_) / double(count_) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = double(count_);
+    double variance = (sumSquares_ - double(sum_) * double(sum_) / n) /
+                      (n - 1);
+    return variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+std::uint64_t
+Histogram::bucketLow(unsigned i) const
+{
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucketHigh(unsigned i) const
+{
+    if (i == 0)
+        return 0;
+    if (i + 1 == buckets_.size())
+        return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = min_ = max_ = sum_ = 0;
+    sumSquares_ = 0.0;
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram &hist,
+                        const std::string &desc)
+{
+    const Histogram *h = &hist;
+    addFormula(name + ".count", [h] { return double(h->count()); },
+               desc.empty() ? desc : desc + " (samples)");
+    addFormula(name + ".min", [h] { return double(h->min()); });
+    addFormula(name + ".max", [h] { return double(h->max()); });
+    addFormula(name + ".mean", [h] { return h->mean(); });
+    addFormula(name + ".stddev", [h] { return h->stddev(); });
+    for (unsigned i = 0; i < h->numBuckets(); ++i) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%s.bucket%02u",
+                      name.c_str(), i);
+        char range[64];
+        if (i + 1 == h->numBuckets()) {
+            std::snprintf(range, sizeof(range), "[%" PRIu64 ", inf)",
+                          h->bucketLow(i));
+        } else {
+            std::snprintf(range, sizeof(range),
+                          "[%" PRIu64 ", %" PRIu64 "]", h->bucketLow(i),
+                          h->bucketHigh(i));
+        }
+        addFormula(label, [h, i] { return double(h->bucketCount(i)); },
+                   range);
+    }
+}
 
 void
 StatGroup::collect(const std::string &prefix,
@@ -39,6 +113,52 @@ StatGroup::lookup(const std::string &dotted) const
     if (it == all.end())
         return std::nan("");
     return it->second->value();
+}
+
+void
+StatGroup::values(const std::string &prefix,
+                  std::map<std::string, double> &out) const
+{
+    std::map<std::string, const Entry *> all;
+    collect(prefix, all);
+    for (const auto &[name, entry] : all)
+        out[name] = entry->value();
+}
+
+void
+StatGroup::writeJson(std::ostream &os,
+                     const std::map<std::string, double> &values)
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &[name, value] : values) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << name << "\": ";
+        if (std::isnan(value) || std::isinf(value)) {
+            os << "null";
+        } else if (value == std::floor(value) &&
+                   std::fabs(value) < 9.007199254740992e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(value));
+            os << buf;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", value);
+            os << buf;
+        }
+    }
+    os << "\n}\n";
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, const std::string &prefix) const
+{
+    std::map<std::string, double> all;
+    values(prefix, all);
+    writeJson(os, all);
 }
 
 } // namespace isagrid

@@ -39,6 +39,66 @@ class Counter
 };
 
 /**
+ * A distribution statistic with power-of-two buckets.
+ *
+ * sample(v) records v into bucket 0 for v == 0 and bucket i for
+ * v in [2^(i-1), 2^i - 1]; values past the last bucket clamp into it.
+ * Tracks count/min/max/sum/sum-of-squares so mean and stddev render
+ * exactly regardless of bucketing. Registered via
+ * StatGroup::addHistogram, which exposes name.count/min/max/mean/
+ * stddev plus one name.bucketNN entry per bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned num_buckets = 16)
+        : buckets_(num_buckets ? num_buckets : 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t value)
+    {
+        unsigned bucket = 0;
+        while (bucket + 1 < buckets_.size() &&
+               value >= (std::uint64_t{1} << bucket))
+            ++bucket;
+        ++buckets_[bucket];
+        ++count_;
+        sum_ += value;
+        sumSquares_ += double(value) * double(value);
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const;
+    double stddev() const;
+
+    unsigned numBuckets() const { return unsigned(buckets_.size()); }
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    /** Inclusive [lo, hi] value range of bucket @p i (hi clamps). */
+    std::uint64_t bucketLow(unsigned i) const;
+    std::uint64_t bucketHigh(unsigned i) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t sum_ = 0;
+    double sumSquares_ = 0.0;
+};
+
+/**
  * A named collection of statistics. Groups can nest; dump() renders the
  * whole subtree with dotted names.
  */
@@ -64,6 +124,15 @@ class StatGroup
         entries_.push_back({name, desc, std::move(fn)});
     }
 
+    /**
+     * Register a histogram under this group. Expands into
+     * name.count/min/max/mean/stddev plus zero-padded name.bucketNN
+     * entries so the distribution renders in dump() and resolves via
+     * lookup(). Histogram must outlive the group.
+     */
+    void addHistogram(const std::string &name, const Histogram &hist,
+                      const std::string &desc = "");
+
     /** Attach a child group (not owned). */
     void addChild(StatGroup &child) { children_.push_back(&child); }
 
@@ -74,6 +143,24 @@ class StatGroup
 
     /** Fetch a dumped value by dotted name; NaN when absent. */
     double lookup(const std::string &dotted) const;
+
+    /**
+     * Collect every dumped value of this subtree into @p out, keyed by
+     * dotted name (prefixed like dump()'s rendering).
+     */
+    void values(const std::string &prefix,
+                std::map<std::string, double> &out) const;
+
+    /** Render this subtree as one sorted JSON object. */
+    void dumpJson(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Render a name->value map as a sorted JSON object. NaN and
+     * infinities become null; integral values print without an
+     * exponent so golden files stay readable.
+     */
+    static void writeJson(std::ostream &os,
+                          const std::map<std::string, double> &values);
 
   private:
     struct Entry

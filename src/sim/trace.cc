@@ -1,0 +1,630 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace isagrid {
+
+namespace {
+
+const char *const kKindNames[numTraceKinds] = {
+    "inst-check",     // InstCheck
+    "csr-read-check", // CsrReadCheck
+    "csr-write-check",// CsrWriteCheck
+    "mask-check",     // MaskCheck
+    "cache-hit",      // CacheHit
+    "cache-miss",     // CacheMiss
+    "cache-fill",     // CacheFill
+    "cache-flush",    // CacheFlush
+    "gate-call",      // GateCall
+    "gate-ret",       // GateRet
+    "domain-switch",  // DomainSwitch
+    "stack-push",     // StackPush
+    "stack-pop",      // StackPop
+    "trap",           // Trap
+    "trap-ret",       // TrapRet
+    "timer-irq",      // TimerIrq
+    "csr-commit",     // CsrCommit
+    "sim-mark",       // SimMark
+    "domain-name",    // DomainName
+};
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char *
+traceKindName(TraceKind kind)
+{
+    auto index = static_cast<unsigned>(kind);
+    return index < numTraceKinds ? kKindNames[index] : "unknown";
+}
+
+const char *
+traceCacheName(std::uint16_t id)
+{
+    switch (id) {
+      case kTraceCacheInst: return "inst";
+      case kTraceCacheReg: return "reg";
+      case kTraceCacheMask: return "mask";
+      case kTraceCacheSgt: return "sgt";
+      case kTraceCacheLegal: return "legal";
+      case kTraceCacheUnified: return "unified";
+      default: return "unknown";
+    }
+}
+
+bool
+parseTraceFilter(const std::string &spec, std::uint64_t &mask,
+                 std::string &error)
+{
+    constexpr std::uint64_t kCheckGroup =
+        traceKindBit(TraceKind::InstCheck) |
+        traceKindBit(TraceKind::CsrReadCheck) |
+        traceKindBit(TraceKind::CsrWriteCheck) |
+        traceKindBit(TraceKind::MaskCheck);
+    constexpr std::uint64_t kCacheGroup =
+        traceKindBit(TraceKind::CacheHit) |
+        traceKindBit(TraceKind::CacheMiss) |
+        traceKindBit(TraceKind::CacheFill) |
+        traceKindBit(TraceKind::CacheFlush);
+    constexpr std::uint64_t kGateGroup =
+        traceKindBit(TraceKind::GateCall) |
+        traceKindBit(TraceKind::GateRet) |
+        traceKindBit(TraceKind::DomainSwitch) |
+        traceKindBit(TraceKind::StackPush) |
+        traceKindBit(TraceKind::StackPop);
+    constexpr std::uint64_t kTrapGroup =
+        traceKindBit(TraceKind::Trap) |
+        traceKindBit(TraceKind::TrapRet) |
+        traceKindBit(TraceKind::TimerIrq);
+    constexpr std::uint64_t kCsrGroup =
+        traceKindBit(TraceKind::CsrReadCheck) |
+        traceKindBit(TraceKind::CsrWriteCheck) |
+        traceKindBit(TraceKind::MaskCheck) |
+        traceKindBit(TraceKind::CsrCommit);
+    constexpr std::uint64_t kMarkGroup =
+        traceKindBit(TraceKind::SimMark) |
+        traceKindBit(TraceKind::DomainName);
+
+    mask = 0;
+    std::stringstream tokens(spec);
+    std::string token;
+    bool any = false;
+    while (std::getline(tokens, token, ',')) {
+        // Trim surrounding whitespace.
+        auto first = token.find_first_not_of(" \t");
+        auto last = token.find_last_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        token = token.substr(first, last - first + 1);
+        any = true;
+
+        if (token == "all") {
+            mask |= kTraceFilterAll;
+        } else if (token == "default" || token == "switching") {
+            mask |= kTraceFilterDefault;
+        } else if (token == "check") {
+            mask |= kCheckGroup;
+        } else if (token == "cache") {
+            mask |= kCacheGroup;
+        } else if (token == "gate") {
+            mask |= kGateGroup;
+        } else if (token == "trap") {
+            mask |= kTrapGroup;
+        } else if (token == "csr") {
+            mask |= kCsrGroup;
+        } else if (token == "mark") {
+            mask |= kMarkGroup;
+        } else {
+            bool found = false;
+            for (unsigned k = 0; k < numTraceKinds; ++k) {
+                if (token == kKindNames[k]) {
+                    mask |= std::uint64_t{1} << k;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                error = "unknown trace kind or group '" + token + "'";
+                return false;
+            }
+        }
+    }
+    if (!any) {
+        error = "empty trace filter";
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring(roundUpPow2(std::max<std::size_t>(capacity, 16))),
+      indexMask(ring.size() - 1)
+{
+}
+
+void
+TraceBuffer::emit(TraceKind kind, std::uint64_t a, std::uint64_t b,
+                  std::uint16_t flags)
+{
+    std::uint64_t headSeq = head.load(std::memory_order_relaxed);
+    if (headSeq - tail.load(std::memory_order_acquire) >= ring.size()) {
+        // Ring is full: drain in-line if a sink is attached, else the
+        // oldest data wins and this event is dropped.
+        if (sink_) {
+            flush();
+        } else {
+            ++droppedCount;
+            return;
+        }
+    }
+
+    TraceEvent &slot = ring[headSeq & indexMask];
+    slot.cycle = cycleSource ? *cycleSource : 0;
+    slot.a = a;
+    slot.b = b;
+    slot.domain = domainSource
+        ? static_cast<std::uint32_t>(*domainSource) : 0;
+    slot.kind = static_cast<std::uint8_t>(kind);
+    slot.core = coreId;
+    slot.flags = flags;
+    head.store(headSeq + 1, std::memory_order_release);
+    ++emittedCount;
+}
+
+void
+TraceBuffer::flush()
+{
+    std::uint64_t tailSeq = tail.load(std::memory_order_relaxed);
+    const std::uint64_t headSeq = head.load(std::memory_order_acquire);
+    if (!sink_) {
+        // No consumer: flushing just discards nothing; leave events
+        // pending so snapshot() can still observe them.
+        return;
+    }
+    while (tailSeq != headSeq) {
+        // Consume up to the ring edge per call so the sink always
+        // sees a contiguous span.
+        std::size_t start = tailSeq & indexMask;
+        std::size_t run = std::min<std::uint64_t>(headSeq - tailSeq,
+                                                  ring.size() - start);
+        sink_->consume(&ring[start], run);
+        tailSeq += run;
+    }
+    tail.store(tailSeq, std::memory_order_release);
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    const std::uint64_t headSeq = head.load(std::memory_order_acquire);
+    std::uint64_t tailSeq = tail.load(std::memory_order_acquire);
+    std::vector<TraceEvent> out;
+    out.reserve(headSeq - tailSeq);
+    for (; tailSeq != headSeq; ++tailSeq)
+        out.push_back(ring[tailSeq & indexMask]);
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    tail.store(head.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+std::size_t
+TraceBuffer::size() const
+{
+    return head.load(std::memory_order_acquire) -
+           tail.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------
+
+BinaryTraceSink::BinaryTraceSink(std::ostream &os) : os_(os) {}
+
+void
+BinaryTraceSink::consume(const TraceEvent *events, std::size_t count)
+{
+    if (!headerWritten) {
+        TraceFileHeader header;
+        os_.write(reinterpret_cast<const char *>(&header),
+                  sizeof(header));
+        headerWritten = true;
+    }
+    os_.write(reinterpret_cast<const char *>(events),
+              static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+    written += count;
+}
+
+bool
+readTrace(std::istream &is, TraceFile &out, std::string &error)
+{
+    out.events.clear();
+    if (!is.read(reinterpret_cast<char *>(&out.header),
+                 sizeof(out.header))) {
+        error = "truncated trace: missing header";
+        return false;
+    }
+    static const char kMagic[8] = {'I', 'S', 'A', 'T', 'R', 'A', 'C',
+                                   'E'};
+    if (std::memcmp(out.header.magic, kMagic, sizeof(kMagic)) != 0) {
+        error = "bad magic: not an .isatrace file";
+        return false;
+    }
+    if (out.header.version != kTraceFormatVersion) {
+        error = "unsupported trace version " +
+                std::to_string(out.header.version) + " (expected " +
+                std::to_string(kTraceFormatVersion) + ")";
+        return false;
+    }
+    if (out.header.event_size != sizeof(TraceEvent)) {
+        error = "unexpected event size " +
+                std::to_string(out.header.event_size);
+        return false;
+    }
+    TraceEvent event;
+    while (is.read(reinterpret_cast<char *>(&event), sizeof(event)))
+        out.events.push_back(event);
+    if (is.gcount() != 0) {
+        error = "truncated trace: trailing partial event";
+        return false;
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, TraceFile &out,
+              std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    return readTrace(is, out, error);
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+addProblem(TraceValidation &v, unsigned &budget, const std::string &msg)
+{
+    v.ok = false;
+    if (budget > 0) {
+        v.problems.push_back(msg);
+        --budget;
+    } else if (!v.problems.empty() &&
+               v.problems.back() != "... further problems elided") {
+        v.problems.push_back("... further problems elided");
+    }
+}
+
+} // namespace
+
+TraceValidation
+validateTrace(const std::vector<TraceEvent> &events)
+{
+    TraceValidation v;
+    v.events = events.size();
+
+    struct CoreState
+    {
+        bool seen = false;
+        Cycle last_cycle = 0;
+        std::int64_t stack_depth = 0;
+        bool domain_known = false;
+        std::uint32_t domain = 0;
+    };
+    std::map<std::uint8_t, CoreState> cores;
+    unsigned budget = 16;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        char where[64];
+        std::snprintf(where, sizeof(where), "event %zu (core %u)", i,
+                      unsigned{e.core});
+
+        if (e.kind >= numTraceKinds) {
+            addProblem(v, budget, std::string(where) +
+                       ": unknown kind " + std::to_string(e.kind));
+            continue;
+        }
+        auto kind = static_cast<TraceKind>(e.kind);
+        CoreState &cs = cores[e.core];
+
+        if (cs.seen && e.cycle < cs.last_cycle) {
+            addProblem(v, budget, std::string(where) +
+                       ": cycle went backwards (" +
+                       std::to_string(e.cycle) + " < " +
+                       std::to_string(cs.last_cycle) + ")");
+        }
+        cs.seen = true;
+        cs.last_cycle = e.cycle;
+
+        // Domain continuity: once a switch declares the new domain,
+        // every later event on the core must carry it until the next
+        // switch. The switch event itself is emitted after the domain
+        // register updates, so it already carries the destination.
+        // Before the first switch the domain is unconstrained
+        // (harnesses may preset it).
+        if (kind == TraceKind::DomainSwitch) {
+            if (e.domain != static_cast<std::uint32_t>(e.a)) {
+                addProblem(v, budget, std::string(where) +
+                           ": switch event domain " +
+                           std::to_string(e.domain) +
+                           " does not carry its destination " +
+                           std::to_string(e.a));
+            }
+        } else if (cs.domain_known && kind != TraceKind::DomainName &&
+                   e.domain != cs.domain) {
+            addProblem(v, budget, std::string(where) +
+                       ": domain " + std::to_string(e.domain) +
+                       " does not match last switch destination " +
+                       std::to_string(cs.domain));
+        }
+
+        switch (kind) {
+          case TraceKind::DomainSwitch:
+            cs.domain_known = true;
+            cs.domain = static_cast<std::uint32_t>(e.a);
+            break;
+          case TraceKind::StackPush:
+            ++cs.stack_depth;
+            break;
+          case TraceKind::StackPop:
+            --cs.stack_depth;
+            if (cs.stack_depth < 0) {
+                addProblem(v, budget, std::string(where) +
+                           ": trusted-stack pop without matching push");
+                cs.stack_depth = 0;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Perfetto export
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+struct EventWriter
+{
+    std::ostream &os;
+    bool first = true;
+
+    void
+    begin()
+    {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    {";
+    }
+};
+
+} // namespace
+
+void
+exportPerfetto(const TraceFile &trace, std::ostream &os,
+               const char *(*fault_name)(std::uint64_t))
+{
+    // Domain names announced via DomainName metadata events.
+    std::map<std::uint32_t, std::string> names;
+    // Per-core domain-residency segment being accumulated.
+    struct Segment
+    {
+        bool open = false;
+        Cycle start = 0;
+        std::uint32_t domain = 0;
+        Cycle last_cycle = 0;
+    };
+    std::map<std::uint8_t, Segment> segments;
+
+    for (const TraceEvent &e : trace.events) {
+        if (e.kind == static_cast<std::uint8_t>(TraceKind::DomainName))
+            names[static_cast<std::uint32_t>(e.a)] =
+                unpackTraceName(e.b);
+    }
+
+    auto domainLabel = [&](std::uint32_t domain) {
+        auto it = names.find(domain);
+        if (it != names.end())
+            return it->second;
+        return "domain" + std::to_string(domain);
+    };
+
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n"
+       << "  \"traceEvents\": [\n";
+    EventWriter w{os};
+
+    // Thread metadata: one Perfetto "thread" per simulated core.
+    std::map<std::uint8_t, bool> coresSeen;
+    for (const TraceEvent &e : trace.events)
+        coresSeen[e.core] = true;
+    for (const auto &[core, seen] : coresSeen) {
+        (void)seen;
+        w.begin();
+        os << "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"tid\": " << unsigned{core}
+           << ", \"args\": {\"name\": \"core" << unsigned{core}
+           << "\"}}";
+    }
+
+    auto closeSegment = [&](std::uint8_t core, Segment &seg,
+                            Cycle end) {
+        if (!seg.open)
+            return;
+        Cycle dur = end > seg.start ? end - seg.start : 1;
+        w.begin();
+        os << "\"name\": \"";
+        jsonEscape(os, domainLabel(seg.domain));
+        os << "\", \"cat\": \"domain\", \"ph\": \"X\", \"ts\": "
+           << seg.start << ", \"dur\": " << dur
+           << ", \"pid\": 1, \"tid\": " << unsigned{core}
+           << ", \"args\": {\"domain\": " << seg.domain << "}}";
+        seg.open = false;
+    };
+
+    std::uint64_t switches = 0;
+    std::uint64_t faults = 0;
+
+    for (const TraceEvent &e : trace.events) {
+        if (e.kind >= numTraceKinds)
+            continue;
+        auto kind = static_cast<TraceKind>(e.kind);
+        Segment &seg = segments[e.core];
+
+        // Open the residency segment lazily on the first event so the
+        // pre-first-switch domain still gets a slice.
+        if (!seg.open && kind != TraceKind::DomainName) {
+            seg.open = true;
+            seg.start = e.cycle;
+            seg.domain = e.domain;
+        }
+        seg.last_cycle = e.cycle;
+
+        switch (kind) {
+          case TraceKind::DomainSwitch: {
+            closeSegment(e.core, seg, e.cycle);
+            seg.open = true;
+            seg.start = e.cycle;
+            seg.domain = static_cast<std::uint32_t>(e.a);
+            ++switches;
+            w.begin();
+            os << "\"name\": \"switches\", \"ph\": \"C\", \"pid\": 1, "
+               << "\"tid\": " << unsigned{e.core} << ", \"ts\": "
+               << e.cycle << ", \"args\": {\"switches\": " << switches
+               << "}}";
+            break;
+          }
+          case TraceKind::Trap: {
+            ++faults;
+            std::string label;
+            if (fault_name && fault_name(e.a))
+                label = fault_name(e.a);
+            else
+                label = "fault-" + std::to_string(e.a);
+            w.begin();
+            os << "\"name\": \"";
+            jsonEscape(os, label);
+            os << "\", \"cat\": \"fault\", \"ph\": \"i\", \"s\": \"t\""
+               << ", \"ts\": " << e.cycle << ", \"pid\": 1, \"tid\": "
+               << unsigned{e.core} << ", \"args\": {\"pc\": " << e.b
+               << "}}";
+            w.begin();
+            os << "\"name\": \"faults\", \"ph\": \"C\", \"pid\": 1, "
+               << "\"tid\": " << unsigned{e.core} << ", \"ts\": "
+               << e.cycle << ", \"args\": {\"faults\": " << faults
+               << "}}";
+            break;
+          }
+          case TraceKind::TimerIrq: {
+            w.begin();
+            os << "\"name\": \"timer-irq\", \"cat\": \"irq\", "
+               << "\"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.cycle
+               << ", \"pid\": 1, \"tid\": " << unsigned{e.core}
+               << ", \"args\": {\"pc\": " << e.a << "}}";
+            break;
+          }
+          case TraceKind::GateCall:
+          case TraceKind::GateRet: {
+            std::uint64_t dur = std::max<std::uint64_t>(e.b, 1);
+            w.begin();
+            os << "\"name\": \""
+               << (kind == TraceKind::GateCall ? "gate-call"
+                                               : "gate-ret")
+               << "\", \"cat\": \"gate\", \"ph\": \"X\", \"ts\": "
+               << e.cycle << ", \"dur\": " << dur
+               << ", \"pid\": 1, \"tid\": " << unsigned{e.core}
+               << ", \"args\": {\"target\": " << e.a << ", \"ok\": "
+               << ((e.flags & 1) ? "true" : "false") << "}}";
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (auto &[core, seg] : segments)
+        closeSegment(core, seg, seg.last_cycle + 1);
+
+    os << "\n  ]\n}\n";
+}
+
+std::uint64_t
+packTraceName(const std::string &name)
+{
+    std::uint64_t packed = 0;
+    for (std::size_t i = 0; i < 8 && i < name.size(); ++i)
+        packed |= std::uint64_t{
+            static_cast<unsigned char>(name[i])} << (8 * i);
+    return packed;
+}
+
+std::string
+unpackTraceName(std::uint64_t packed)
+{
+    std::string out;
+    for (unsigned i = 0; i < 8; ++i) {
+        char c = static_cast<char>((packed >> (8 * i)) & 0xff);
+        if (c == '\0')
+            break;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace isagrid

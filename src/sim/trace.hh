@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Structured event tracing for the simulator.
+ *
+ * The evaluation of a compartmentalized system lives or dies on
+ * attributing cost to individual PCU activities — which domain ran
+ * when, which gate was crossed, which CSR check stalled, where the
+ * privilege faults cluster. End-of-run counters (sim/stats.hh) answer
+ * "how many"; this subsystem answers "which one, when".
+ *
+ * The pieces:
+ *
+ *  - TraceEvent: one fixed-size (32-byte) binary record: cycle, core,
+ *    domain, event kind and two 64-bit payload words whose meaning is
+ *    per-kind (documented at TraceKind).
+ *  - TraceBuffer: a lock-free single-producer/single-consumer ring of
+ *    TraceEvents. The simulating thread emits; a sink drains — either
+ *    incrementally when the ring fills, or explicitly via flush().
+ *    Emission is gated by a per-kind filter bitmask; with no buffer
+ *    attached the hot-path cost is a single pointer compare (see the
+ *    ISAGRID_TRACE_EVENT macro), which bench_trace_overhead holds to
+ *    <2% of simulation speed.
+ *  - Sinks: BinaryTraceSink streams the ring to a compact `.isatrace`
+ *    file; VectorTraceSink collects into memory (tests);
+ *    NullTraceSink discards (overhead measurement).
+ *  - Offline consumers: readTrace() loads a `.isatrace` file back,
+ *    validateTrace() checks structural invariants (monotonic cycles,
+ *    balanced trusted-stack traffic, domain continuity), and
+ *    exportPerfetto() renders Chrome trace-event JSON loadable in
+ *    Perfetto / chrome://tracing.
+ *
+ * Cycle and domain are sampled at emit time through raw pointers into
+ * the core (cycle counter) and the PCU (the `domain` grid register),
+ * so emitters pass only their payload and no hot-path state must be
+ * mirrored into the buffer.
+ */
+
+#ifndef ISAGRID_SIM_TRACE_HH_
+#define ISAGRID_SIM_TRACE_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/**
+ * Event kinds. The comment gives the meaning of the two payload words
+ * `a` / `b` and the `flags` field. Must stay below 64 so a kind maps
+ * to one bit of the filter mask.
+ */
+enum class TraceKind : std::uint8_t
+{
+    InstCheck = 0, //!< a=inst type, b=stall; flags&1: allowed
+    CsrReadCheck,  //!< a=csr addr, b=stall; flags&1: allowed
+    CsrWriteCheck, //!< a=csr addr, b=stall; flags&1: allowed
+    MaskCheck,     //!< a=csr addr, b=mask; flags&1: allowed
+    CacheHit,      //!< a=tag; flags: privilege-cache id (kTraceCache*)
+    CacheMiss,     //!< a=tag; flags: privilege-cache id
+    CacheFill,     //!< a=tag; flags: privilege-cache id
+    CacheFlush,    //!< a=0; flags: privilege-cache id
+    GateCall,      //!< a=gate id, b=stall; flags&1: ok, flags&2: hccalls
+    GateRet,       //!< a=dest pc, b=stall; flags&1: ok
+    DomainSwitch,  //!< a=dest domain, b=source domain
+    StackPush,     //!< a=trusted sp, b=pushed return pc
+    StackPop,      //!< a=trusted sp, b=popped return pc
+    Trap,          //!< a=FaultType, b=faulting pc
+    TrapRet,       //!< a=resume pc
+    TimerIrq,      //!< a=interrupted pc
+    CsrCommit,     //!< a=csr addr, b=committed value
+    SimMark,       //!< a=mark value, b=retired instructions
+    DomainName,    //!< metadata: a=domain id, b=packed 8-char name
+    NumKinds,
+};
+
+inline constexpr unsigned numTraceKinds =
+    static_cast<unsigned>(TraceKind::NumKinds);
+
+/** Kind name as spelled by --trace-filter (e.g. "domain-switch"). */
+const char *traceKindName(TraceKind kind);
+
+/** Privilege-cache identifiers carried in cache-event flags. */
+enum : std::uint16_t
+{
+    kTraceCacheInst = 1,
+    kTraceCacheReg = 2,
+    kTraceCacheMask = 3,
+    kTraceCacheSgt = 4,
+    kTraceCacheLegal = 5,
+    kTraceCacheUnified = 6,
+};
+
+/** Name of a privilege-cache id ("inst", "sgt", ...). */
+const char *traceCacheName(std::uint16_t id);
+
+/** One trace record. Fixed 32-byte layout; written verbatim to disk. */
+struct TraceEvent
+{
+    Cycle cycle = 0;          //!< core cycle count at emission
+    std::uint64_t a = 0;      //!< primary payload (per-kind)
+    std::uint64_t b = 0;      //!< secondary payload (per-kind)
+    std::uint32_t domain = 0; //!< current domain at emission
+    std::uint8_t kind = 0;    //!< TraceKind
+    std::uint8_t core = 0;    //!< emitting core / machine instance
+    std::uint16_t flags = 0;  //!< per-kind flags
+};
+
+static_assert(sizeof(TraceEvent) == 32, "binary format is 32B records");
+
+/** Filter mask helpers. */
+inline constexpr std::uint64_t
+traceKindBit(TraceKind kind)
+{
+    return std::uint64_t{1} << static_cast<unsigned>(kind);
+}
+
+/** Every kind enabled. */
+inline constexpr std::uint64_t kTraceFilterAll =
+    (std::uint64_t{1} << numTraceKinds) - 1;
+
+/**
+ * The default filter: everything that scales with domain-crossing
+ * activity (gates, switches, trusted stack, traps, CSR commits,
+ * flushes, marks, metadata) but not the per-instruction check and
+ * per-probe cache kinds, whose volume is proportional to the retired
+ * instruction count.
+ */
+inline constexpr std::uint64_t kTraceFilterDefault =
+    traceKindBit(TraceKind::MaskCheck) |
+    traceKindBit(TraceKind::CacheFlush) |
+    traceKindBit(TraceKind::GateCall) |
+    traceKindBit(TraceKind::GateRet) |
+    traceKindBit(TraceKind::DomainSwitch) |
+    traceKindBit(TraceKind::StackPush) |
+    traceKindBit(TraceKind::StackPop) |
+    traceKindBit(TraceKind::Trap) |
+    traceKindBit(TraceKind::TrapRet) |
+    traceKindBit(TraceKind::TimerIrq) |
+    traceKindBit(TraceKind::CsrCommit) |
+    traceKindBit(TraceKind::SimMark) |
+    traceKindBit(TraceKind::DomainName);
+
+/**
+ * Parse a --trace-filter specification: a comma-separated list of
+ * kind names (traceKindName spellings) and group aliases — "all",
+ * "default"/"switching", "check", "cache", "gate", "trap", "csr",
+ * "mark". Returns false (and sets @p error) on an unknown token.
+ */
+bool parseTraceFilter(const std::string &spec, std::uint64_t &mask,
+                      std::string &error);
+
+/** Receives drained spans of the ring, in emission order. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void consume(const TraceEvent *events, std::size_t count) = 0;
+};
+
+/**
+ * The lock-free SPSC event ring (see file comment). One producer (the
+ * simulating thread) emits; consume happens either inline when the
+ * ring fills (same thread) or from flush(), which one concurrent
+ * reader may also call safely.
+ */
+class TraceBuffer
+{
+  public:
+    /** @param capacity  ring entries; rounded up to a power of two. */
+    explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /** Sink drained into on overflow and flush(); may be null. */
+    void attachSink(TraceSink *sink) { sink_ = sink; }
+    TraceSink *sink() const { return sink_; }
+
+    /** Per-kind enable bitmask (bit = traceKindBit(kind)). */
+    void setFilter(std::uint64_t mask) { filter_ = mask; }
+    std::uint64_t filterMask() const { return filter_; }
+
+    /** Cycle counter sampled into every event (the owning core's). */
+    void setCycleSource(const Cycle *source) { cycleSource = source; }
+
+    /** Domain register sampled into every event (the PCU's). */
+    void setDomainSource(const RegVal *source) { domainSource = source; }
+
+    /** Core/machine id stamped into events (multi-machine traces). */
+    void setCoreId(std::uint8_t id) { coreId = id; }
+    std::uint8_t coreIdValue() const { return coreId; }
+
+    /** Is @p kind enabled? The macro checks this before emit(). */
+    bool
+    wants(TraceKind kind) const
+    {
+        return (filter_ >> static_cast<unsigned>(kind)) & 1;
+    }
+
+    /**
+     * Append one event. When the ring is full it is drained to the
+     * sink first; with no sink the event is dropped (and counted).
+     */
+    void emit(TraceKind kind, std::uint64_t a, std::uint64_t b = 0,
+              std::uint16_t flags = 0);
+
+    /** Drain all pending events to the sink (no-op without one). */
+    void flush();
+
+    /** Copy the pending (undrained) events out, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Discard pending events without draining them. */
+    void clear();
+
+    std::size_t capacity() const { return ring.size(); }
+    std::size_t size() const;
+    std::uint64_t emitted() const { return emittedCount; }
+    std::uint64_t droppedEvents() const { return droppedCount; }
+
+  private:
+    std::vector<TraceEvent> ring;
+    std::size_t indexMask;
+    std::atomic<std::uint64_t> head{0}; //!< next write sequence
+    std::atomic<std::uint64_t> tail{0}; //!< next read sequence
+    TraceSink *sink_ = nullptr;
+    std::uint64_t filter_ = kTraceFilterAll;
+    const Cycle *cycleSource = nullptr;
+    const RegVal *domainSource = nullptr;
+    std::uint8_t coreId = 0;
+    std::uint64_t emittedCount = 0;
+    std::uint64_t droppedCount = 0;
+};
+
+/**
+ * The emit guard used on hot paths: with no buffer attached this is
+ * one pointer compare; with a buffer but the kind filtered out, one
+ * shift-and-mask. Only then is the emit call paid.
+ */
+#define ISAGRID_TRACE_EVENT(buf, kind, a, b, flags)                        \
+    do {                                                                   \
+        ::isagrid::TraceBuffer *tbMacro = (buf);                           \
+        if (tbMacro && tbMacro->wants(kind)) [[unlikely]]                  \
+            tbMacro->emit((kind), (a), (b), (flags));                      \
+    } while (0)
+
+// ---------------------------------------------------------------------
+// Binary `.isatrace` format
+// ---------------------------------------------------------------------
+
+/** Version stamped into TraceFileHeader; bump on layout changes. */
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** 32-byte file header preceding the raw little-endian event array. */
+struct TraceFileHeader
+{
+    char magic[8] = {'I', 'S', 'A', 'T', 'R', 'A', 'C', 'E'};
+    std::uint32_t version = kTraceFormatVersion;
+    std::uint32_t event_size = sizeof(TraceEvent);
+    std::uint64_t reserved0 = 0;
+    std::uint64_t reserved1 = 0;
+};
+
+static_assert(sizeof(TraceFileHeader) == 32, "32B header");
+
+/** Streams the header (on first consume) and raw events to a stream. */
+class BinaryTraceSink : public TraceSink
+{
+  public:
+    explicit BinaryTraceSink(std::ostream &os);
+    void consume(const TraceEvent *events, std::size_t count) override;
+    std::uint64_t eventsWritten() const { return written; }
+
+  private:
+    std::ostream &os_;
+    bool headerWritten = false;
+    std::uint64_t written = 0;
+};
+
+/** Collects events into a vector (tests, offline analysis). */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void
+    consume(const TraceEvent *events, std::size_t count) override
+    {
+        events_.insert(events_.end(), events, events + count);
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Discards everything (tracing-overhead measurement). Stateless. */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void consume(const TraceEvent *, std::size_t) override {}
+};
+
+/** A parsed `.isatrace` file. */
+struct TraceFile
+{
+    TraceFileHeader header;
+    std::vector<TraceEvent> events;
+};
+
+/** Parse a trace from a stream. Returns false and sets @p error. */
+bool readTrace(std::istream &is, TraceFile &out, std::string &error);
+
+/** Parse a trace file from disk. Returns false and sets @p error. */
+bool readTraceFile(const std::string &path, TraceFile &out,
+                   std::string &error);
+
+// ---------------------------------------------------------------------
+// Offline analysis
+// ---------------------------------------------------------------------
+
+/** Result of validateTrace(). */
+struct TraceValidation
+{
+    bool ok = true;
+    std::uint64_t events = 0;
+    /** Human-readable violations (capped at a handful per category). */
+    std::vector<std::string> problems;
+};
+
+/**
+ * Structural validation of an event stream: known kinds, per-core
+ * monotonically non-decreasing cycles, trusted-stack pops never
+ * exceeding pushes, and domain continuity (after a DomainSwitch every
+ * event carries the switched-to domain until the next switch).
+ */
+TraceValidation validateTrace(const std::vector<TraceEvent> &events);
+
+/**
+ * Render Chrome trace-event JSON (loadable in Perfetto and
+ * chrome://tracing). Domain residency becomes one slice track per
+ * core (1 simulated cycle = 1 display microsecond), traps become
+ * instant events, gate latency becomes short slices, and cumulative
+ * switch/fault counts become counter tracks. @p fault_name maps a
+ * FaultType payload to a label (pass isagrid::faultName via an
+ * adapter); null falls back to "fault-N".
+ */
+void exportPerfetto(const TraceFile &trace, std::ostream &os,
+                    const char *(*fault_name)(std::uint64_t) = nullptr);
+
+/** Pack the first 8 bytes of @p name for a DomainName event payload. */
+std::uint64_t packTraceName(const std::string &name);
+
+/** Unpack a DomainName event payload back into a string. */
+std::string unpackTraceName(std::uint64_t packed);
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_TRACE_HH_

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Logging-facility tests: sink capture and restore, threshold
+ * filtering (a warn() below the threshold emits nothing), and message
+ * formatting through the printf-style front ends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+using namespace isagrid;
+
+namespace {
+
+// setLogSink takes a plain function pointer, so captures go through
+// file-scope state; the fixture resets it around every test.
+std::vector<std::pair<LogLevel, std::string>> captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        captured.clear();
+        previous = setLogSink(captureSink);
+        setLogThreshold(LogLevel::Inform);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(previous);
+        setLogThreshold(LogLevel::Warn);
+    }
+
+    LogSink previous = nullptr;
+};
+
+} // namespace
+
+TEST_F(LoggingTest, SinkCapturesFormattedMessages)
+{
+    warn("cache %s has %d entries", "sgt", 8);
+    inform("booting domain %u", 3u);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "cache sgt has 8 entries");
+    EXPECT_EQ(captured[1].first, LogLevel::Inform);
+    EXPECT_EQ(captured[1].second, "booting domain 3");
+}
+
+TEST_F(LoggingTest, ThresholdSuppressesLowerLevels)
+{
+    setLogThreshold(LogLevel::Warn);
+    inform("below threshold: emits nothing");
+    EXPECT_TRUE(captured.empty());
+
+    warn("at threshold: emits");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+
+    setLogThreshold(LogLevel::Fatal);
+    warn("below the raised threshold: emits nothing");
+    inform("also nothing");
+    EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST_F(LoggingTest, SetLogSinkReturnsThePreviousSink)
+{
+    // SetUp installed captureSink; a second swap must hand it back.
+    LogSink old = setLogSink(nullptr);
+    EXPECT_EQ(old, &captureSink);
+
+    // After swapping in null (the default stderr sink), the capture
+    // buffer no longer receives messages.
+    warn("goes to the default sink");
+    EXPECT_TRUE(captured.empty());
+
+    setLogSink(captureSink);
+    warn("captured again");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].second, "captured again");
+}

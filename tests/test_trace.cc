@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Event-tracing subsystem tests: ring-buffer semantics (overflow
+ * drain vs. drop), filter parsing, the binary `.isatrace` round trip,
+ * structural validation, the Perfetto export, and an end-to-end
+ * machine run producing a trace that validates clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/machine.hh"
+#include "kernel/kernel_builder.hh"
+#include "sim/trace.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+namespace {
+
+/** An event with explicit bookkeeping fields (validation tests). */
+TraceEvent
+event(TraceKind kind, Cycle cycle, std::uint8_t core,
+      std::uint32_t domain, std::uint64_t a = 0, std::uint64_t b = 0)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.core = core;
+    e.domain = domain;
+    e.kind = std::uint8_t(kind);
+    e.a = a;
+    e.b = b;
+    return e;
+}
+
+} // namespace
+
+TEST(TraceBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(TraceBuffer(100).capacity(), 128u);
+    EXPECT_EQ(TraceBuffer(128).capacity(), 128u);
+    EXPECT_EQ(TraceBuffer(1).capacity(), 16u);
+}
+
+TEST(TraceBuffer, OverflowWithoutSinkDropsNewEvents)
+{
+    TraceBuffer buf(16);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        buf.emit(TraceKind::SimMark, i);
+
+    EXPECT_EQ(buf.size(), 16u);
+    EXPECT_EQ(buf.emitted(), 16u);
+    EXPECT_EQ(buf.droppedEvents(), 4u);
+    // The oldest events win; the overflowing ones were dropped.
+    std::vector<TraceEvent> pending = buf.snapshot();
+    ASSERT_EQ(pending.size(), 16u);
+    EXPECT_EQ(pending.front().a, 0u);
+    EXPECT_EQ(pending.back().a, 15u);
+}
+
+TEST(TraceBuffer, OverflowWithSinkDrainsInline)
+{
+    TraceBuffer buf(16);
+    VectorTraceSink sink;
+    buf.attachSink(&sink);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        buf.emit(TraceKind::SimMark, i);
+    buf.flush();
+
+    EXPECT_EQ(buf.droppedEvents(), 0u);
+    EXPECT_EQ(buf.emitted(), 100u);
+    ASSERT_EQ(sink.events().size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(sink.events()[i].a, i);
+}
+
+TEST(TraceBuffer, SamplesCycleDomainAndCoreSources)
+{
+    TraceBuffer buf;
+    Cycle cycle = 1234;
+    RegVal domain = 3;
+    buf.setCycleSource(&cycle);
+    buf.setDomainSource(&domain);
+    buf.setCoreId(7);
+    buf.emit(TraceKind::Trap, 5, 6);
+    cycle = 2000;
+    domain = 0;
+    buf.emit(TraceKind::TrapRet, 8);
+
+    std::vector<TraceEvent> events = buf.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].cycle, 1234u);
+    EXPECT_EQ(events[0].domain, 3u);
+    EXPECT_EQ(events[0].core, 7u);
+    EXPECT_EQ(events[0].a, 5u);
+    EXPECT_EQ(events[0].b, 6u);
+    EXPECT_EQ(events[1].cycle, 2000u);
+    EXPECT_EQ(events[1].domain, 0u);
+}
+
+TEST(TraceBuffer, FilterGatesTheEmitMacro)
+{
+    TraceBuffer buf;
+    buf.setFilter(traceKindBit(TraceKind::GateCall));
+    TraceBuffer *trace = &buf;
+
+    ISAGRID_TRACE_EVENT(trace, TraceKind::GateCall, 1, 0, 0);
+    ISAGRID_TRACE_EVENT(trace, TraceKind::Trap, 2, 0, 0); // filtered
+    trace = nullptr;
+    ISAGRID_TRACE_EVENT(trace, TraceKind::GateCall, 3, 0, 0); // no buf
+
+    std::vector<TraceEvent> events = buf.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, std::uint8_t(TraceKind::GateCall));
+    EXPECT_TRUE(buf.wants(TraceKind::GateCall));
+    EXPECT_FALSE(buf.wants(TraceKind::Trap));
+}
+
+TEST(TraceFilter, ParsesKindsAndGroups)
+{
+    std::uint64_t mask = 0;
+    std::string error;
+
+    ASSERT_TRUE(parseTraceFilter("gate-call,trap-ret", mask, error));
+    EXPECT_EQ(mask, traceKindBit(TraceKind::GateCall) |
+                        traceKindBit(TraceKind::TrapRet));
+
+    // "trap" is a group alias, not just the kind.
+    ASSERT_TRUE(parseTraceFilter("trap", mask, error));
+    EXPECT_EQ(mask, traceKindBit(TraceKind::Trap) |
+                        traceKindBit(TraceKind::TrapRet) |
+                        traceKindBit(TraceKind::TimerIrq));
+
+    ASSERT_TRUE(parseTraceFilter("all", mask, error));
+    EXPECT_EQ(mask, kTraceFilterAll);
+
+    ASSERT_TRUE(parseTraceFilter("default", mask, error));
+    EXPECT_EQ(mask, kTraceFilterDefault);
+
+    ASSERT_TRUE(parseTraceFilter(" gate , csr ", mask, error));
+    EXPECT_TRUE(mask & traceKindBit(TraceKind::DomainSwitch));
+    EXPECT_TRUE(mask & traceKindBit(TraceKind::CsrCommit));
+    EXPECT_FALSE(mask & traceKindBit(TraceKind::CacheHit));
+
+    EXPECT_FALSE(parseTraceFilter("gate,bogus", mask, error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    EXPECT_FALSE(parseTraceFilter("", mask, error));
+}
+
+TEST(TraceNames, PackUnpackRoundTrip)
+{
+    EXPECT_EQ(unpackTraceName(packTraceName("kernel")), "kernel");
+    EXPECT_EQ(unpackTraceName(packTraceName("")), "");
+    // Longer names truncate to the 8 packed bytes.
+    EXPECT_EQ(unpackTraceName(packTraceName("monitor-long")),
+              "monitor-");
+    EXPECT_EQ(unpackTraceName(0), "");
+}
+
+TEST(TraceBinary, RoundTripsThroughTheIsatraceFormat)
+{
+    TraceBuffer buf(16);
+    std::stringstream file;
+    BinaryTraceSink sink(file);
+    buf.attachSink(&sink);
+    Cycle cycle = 0;
+    buf.setCycleSource(&cycle);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        cycle += 10;
+        buf.emit(TraceKind::SimMark, i, i * 2, 5);
+    }
+    buf.flush();
+    EXPECT_EQ(sink.eventsWritten(), 50u);
+
+    TraceFile parsed;
+    std::string error;
+    ASSERT_TRUE(readTrace(file, parsed, error)) << error;
+    EXPECT_EQ(parsed.header.version, kTraceFormatVersion);
+    EXPECT_EQ(parsed.header.event_size, sizeof(TraceEvent));
+    ASSERT_EQ(parsed.events.size(), 50u);
+    EXPECT_EQ(parsed.events[49].a, 49u);
+    EXPECT_EQ(parsed.events[49].b, 98u);
+    EXPECT_EQ(parsed.events[49].cycle, 500u);
+    EXPECT_EQ(parsed.events[49].flags, 5u);
+}
+
+TEST(TraceBinary, RejectsGarbage)
+{
+    TraceFile parsed;
+    std::string error;
+
+    std::stringstream not_a_trace("definitely not a trace file");
+    EXPECT_FALSE(readTrace(not_a_trace, parsed, error));
+    EXPECT_FALSE(error.empty());
+
+    std::stringstream empty;
+    EXPECT_FALSE(readTrace(empty, parsed, error));
+}
+
+TEST(TraceValidate, AcceptsAWellFormedStream)
+{
+    std::vector<TraceEvent> events = {
+        event(TraceKind::StackPush, 10, 0, 0),
+        event(TraceKind::DomainSwitch, 10, 0, 2, /*dest=*/2, 0),
+        event(TraceKind::Trap, 20, 0, 2),
+        event(TraceKind::StackPop, 30, 0, 2),
+        // A second core with its own clock does not interleave.
+        event(TraceKind::Trap, 5, 1, 0),
+    };
+    TraceValidation v = validateTrace(events);
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+    EXPECT_EQ(v.events, events.size());
+}
+
+TEST(TraceValidate, CatchesStructuralViolations)
+{
+    // Cycle goes backwards on one core.
+    TraceValidation v = validateTrace({
+        event(TraceKind::Trap, 100, 0, 0),
+        event(TraceKind::Trap, 50, 0, 0),
+    });
+    EXPECT_FALSE(v.ok);
+    ASSERT_EQ(v.problems.size(), 1u);
+    EXPECT_NE(v.problems[0].find("backwards"), std::string::npos);
+
+    // Pop with no matching push.
+    v = validateTrace({event(TraceKind::StackPop, 1, 0, 0)});
+    EXPECT_FALSE(v.ok);
+
+    // Domain changes without a DomainSwitch event.
+    v = validateTrace({
+        event(TraceKind::DomainSwitch, 1, 0, 2, /*dest=*/2),
+        event(TraceKind::Trap, 2, 0, 3),
+    });
+    EXPECT_FALSE(v.ok);
+
+    // A switch event that does not carry its own destination.
+    v = validateTrace({
+        event(TraceKind::DomainSwitch, 1, 0, 1, /*dest=*/2),
+    });
+    EXPECT_FALSE(v.ok);
+
+    // Unknown kind byte.
+    TraceEvent junk = event(TraceKind::Trap, 1, 0, 0);
+    junk.kind = 200;
+    v = validateTrace({junk});
+    EXPECT_FALSE(v.ok);
+}
+
+TEST(TracePerfetto, EmitsValidChromeTraceJson)
+{
+    TraceFile trace;
+    trace.events = {
+        event(TraceKind::DomainName, 0, 0, 0, 1, packTraceName("kernel")),
+        event(TraceKind::DomainSwitch, 10, 0, 1, /*dest=*/1, 0),
+        event(TraceKind::Trap, 20, 0, 1, /*fault=*/3, /*pc=*/0x1000),
+        event(TraceKind::DomainSwitch, 30, 0, 0, /*dest=*/0, 1),
+    };
+    std::stringstream os;
+    exportPerfetto(trace, os, nullptr);
+    std::string json = os.str();
+    while (!json.empty() && json.back() == '\n')
+        json.pop_back();
+
+    // Structural spot checks; the full parse is covered in CI by
+    // loading the export of a real run.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos); // slice
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos); // instant
+    EXPECT_NE(json.find("\"kernel\""), std::string::npos);
+    EXPECT_NE(json.find("fault-3"), std::string::npos);
+}
+
+TEST(TraceMachine, EndToEndRunProducesAValidatableTrace)
+{
+    auto machine = Machine::rocket();
+    TraceBuffer &trace = machine->enableTracing();
+    VectorTraceSink sink;
+    trace.attachSink(&sink);
+    trace.setFilter(kTraceFilterDefault);
+
+    Addr entry = buildLmbenchSuite(*machine, 3);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    trace.flush();
+
+    ASSERT_FALSE(sink.events().size() == 0);
+    EXPECT_EQ(trace.droppedEvents(), 0u);
+
+    TraceValidation v = validateTrace(sink.events());
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+
+    // The decomposed kernel must show switching activity, and the
+    // machine's domain-switch count must agree with the trace.
+    std::uint64_t switches = 0;
+    for (const TraceEvent &e : sink.events())
+        if (e.kind == std::uint8_t(TraceKind::DomainSwitch))
+            ++switches;
+    EXPECT_GT(switches, 0u);
+    EXPECT_EQ(double(switches),
+              machine->pcu().stats().lookup("pcu.switches"));
+}

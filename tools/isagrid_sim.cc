@@ -9,29 +9,43 @@
  *   isagrid-sim [options]
  *     --arch=riscv|x86          target prototype       [riscv]
  *     --mode=native|decomposed|nested                  [decomposed]
- *     --workload=sqlite|mbedtls|gzip|tar|lmbench       [sqlite]
+ *     --workload=sqlite|mbedtls|gzip|tar|lmbench|attacks   [sqlite]
  *     --blocks=N                app run length         [24000]
  *     --iters=N                 lmbench iterations     [200]
  *     --pcu=16e|8e|8en          privilege caches       [8e]
  *     --timer=N                 timer interrupt period [0 = off]
  *     --tstacks                 per-thread trusted stacks
  *     --monitor-log             journal mapping changes (nested)
- *     --trace=FILE              write an execution trace
+ *     --trace=FILE              write a text execution trace
+ *     --trace-events=FILE       write a binary .isatrace event trace
+ *     --trace-filter=KINDS      event kinds to record  [default]
  *     --stats                   dump all statistics
+ *     --stats-json=FILE         dump all statistics as JSON
+ *
+ * --trace-filter takes a comma-separated list of event-kind names
+ * (domain-switch, gate-call, cache-miss, ...) or group aliases (all,
+ * default/switching, check, cache, gate, trap, csr, mark); see
+ * sim/trace.hh. The --workload=attacks corpus runs every Table 1
+ * attack payload natively and under ISA-Grid, stamping each run with
+ * its own trace core id.
  *
  * Examples:
  *   isagrid-sim --arch=x86 --mode=nested --workload=tar --stats
- *   isagrid-sim --workload=lmbench --mode=decomposed
- *   isagrid-sim --workload=sqlite --timer=25000 --tstacks --trace=t.log
+ *   isagrid-sim --workload=lmbench --trace-events=lm.isatrace
+ *   isagrid-sim --workload=attacks --trace-events=atk.isatrace \
+ *       --trace-filter=all --stats-json=atk.json
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "attacks/attacks.hh"
 #include "kernel/kernel_builder.hh"
+#include "sim/trace.hh"
 #include "workloads/apps.hh"
 #include "workloads/lmbench.hh"
 
@@ -51,7 +65,10 @@ struct Options
     bool tstacks = false;
     bool monitor_log = false;
     std::string trace_file;
+    std::string trace_events_file;
+    std::uint64_t trace_filter = kTraceFilterDefault;
     bool stats = false;
+    std::string stats_json_file;
 };
 
 [[noreturn]] void
@@ -60,11 +77,13 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--arch=riscv|x86] "
                  "[--mode=native|decomposed|nested]\n"
-                 "  [--workload=sqlite|mbedtls|gzip|tar|lmbench] "
+                 "  [--workload=sqlite|mbedtls|gzip|tar|lmbench|attacks] "
                  "[--blocks=N] [--iters=N]\n"
                  "  [--pcu=16e|8e|8en] [--timer=N] [--tstacks] "
                  "[--monitor-log]\n"
-                 "  [--trace=FILE] [--stats]\n",
+                 "  [--trace=FILE] [--trace-events=FILE] "
+                 "[--trace-filter=KINDS]\n"
+                 "  [--stats] [--stats-json=FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -119,6 +138,14 @@ parse(int argc, char **argv)
             opt.timer = std::stoull(v);
         } else if (eat(argv[i], "--trace", v)) {
             opt.trace_file = v;
+        } else if (eat(argv[i], "--trace-events", v)) {
+            opt.trace_events_file = v;
+        } else if (eat(argv[i], "--trace-filter", v)) {
+            std::string error;
+            if (!parseTraceFilter(v, opt.trace_filter, error))
+                fatal("--trace-filter: %s", error.c_str());
+        } else if (eat(argv[i], "--stats-json", v)) {
+            opt.stats_json_file = v;
         } else if (std::strcmp(argv[i], "--tstacks") == 0) {
             opt.tstacks = true;
         } else if (std::strcmp(argv[i], "--monitor-log") == 0) {
@@ -141,12 +168,142 @@ profileByName(const std::string &name)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+/** A short (<= 8 char, packTraceName-safe) tag for a service domain. */
+const char *
+serviceTag(Sys sys)
+{
+    switch (sys) {
+      case Sys::Read: case Sys::Write: case Sys::Open:
+      case Sys::Close: case Sys::Stat:
+        return "fs";
+      case Sys::PipeWrite: case Sys::PipeRead:
+        return "pipe";
+      case Sys::SigInstall: case Sys::SigRaise: case Sys::SigReturn:
+        return "signal";
+      case Sys::CtxSwitch:
+        return "sched";
+      case Sys::MmapTouch:
+        return "mm";
+      case Sys::ServiceCpuid: return "cpuid";
+      case Sys::ServiceMtrr: return "mtrr";
+      case Sys::ServicePmc0: return "pmc0";
+      case Sys::ServicePmc1: return "pmc1";
+      default:
+        return "svc";
+    }
+}
+
+/** Announce the kernel image's domain names as trace metadata. */
+void
+emitDomainNames(TraceBuffer &trace, const KernelImage &image)
+{
+    trace.emit(TraceKind::DomainName, 0, packTraceName("dom0"));
+    trace.emit(TraceKind::DomainName, image.kernel_domain,
+               packTraceName("kernel"));
+    if (image.mm_domain != image.kernel_domain) {
+        trace.emit(TraceKind::DomainName, image.mm_domain,
+                   packTraceName("monitor"));
+    }
+    for (const auto &[sys, domain] : image.service_domains) {
+        if (domain == image.kernel_domain || domain == image.mm_domain)
+            continue;
+        trace.emit(TraceKind::DomainName, domain,
+                   packTraceName(serviceTag(sys)));
+    }
+}
+
+/** Wire the machine-owned trace into @p sink under the option filter. */
+void
+wireTrace(Machine &machine, const Options &opt, BinaryTraceSink &sink,
+          std::uint8_t core_id)
+{
+    TraceBuffer &trace = machine.enableTracing();
+    trace.attachSink(&sink);
+    trace.setFilter(opt.trace_filter);
+    trace.setCoreId(core_id);
+}
+
+/**
+ * The attack-corpus workload: every Table 1 scenario, natively and
+ * under ISA-Grid. Each run gets its own machine and trace core id;
+ * all runs stream into one .isatrace file.
+ */
+int
+runAttackCorpus(const Options &opt, std::ofstream *events_os)
+{
+    std::optional<BinaryTraceSink> sink;
+    if (events_os)
+        sink.emplace(*events_os);
+    std::uint8_t next_core = 0;
+    unsigned blocked = 0, succeeded = 0, runs = 0;
+    std::uint64_t total_events = 0;
+    std::unique_ptr<Machine> last_machine;
+
+    std::printf("attack corpus (%s):\n", opt.x86 ? "x86" : "riscv");
+    for (const AttackScenario &scenario : attackScenarios(opt.x86)) {
+        for (bool with_isagrid : {true, false}) {
+            if (scenario.requires_isagrid && !with_isagrid)
+                continue;
+            PreparedAttack prepared =
+                prepareAttack(scenario, opt.x86, with_isagrid);
+            Machine &m = *prepared.machine;
+            if (sink) {
+                wireTrace(m, opt, *sink, next_core++);
+                emitDomainNames(*m.trace(), prepared.image);
+            }
+            m.core().reset(prepared.payload_entry);
+            if (with_isagrid) {
+                m.pcu().setGridReg(GridReg::Domain,
+                                   prepared.payload_domain);
+            }
+            RunResult r = m.core().run(100'000);
+            bool halted = r.reason == StopReason::Halted;
+            ++runs;
+            (halted ? succeeded : blocked)++;
+            std::printf("  %-28s %-10s %s\n", scenario.name.c_str(),
+                        with_isagrid ? "isagrid" : "native",
+                        halted ? "completed"
+                               : faultName(r.fault));
+            if (sink) {
+                m.trace()->flush();
+                total_events += m.trace()->emitted();
+            }
+            last_machine = std::move(prepared.machine);
+        }
+    }
+    std::printf("%u runs: %u completed, %u blocked\n", runs, succeeded,
+                blocked);
+    if (sink)
+        std::printf("trace events    : %llu\n",
+                    (unsigned long long)total_events);
+    if (!opt.stats_json_file.empty() && last_machine) {
+        std::ofstream os(opt.stats_json_file);
+        if (!os)
+            fatal("cannot open %s", opt.stats_json_file.c_str());
+        last_machine->dumpStatsJson(os);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
+
+    std::ofstream events;
+    std::ofstream *events_os = nullptr;
+    if (!opt.trace_events_file.empty()) {
+        events.open(opt.trace_events_file, std::ios::binary);
+        if (!events)
+            fatal("cannot open trace file %s",
+                  opt.trace_events_file.c_str());
+        events_os = &events;
+    }
+
+    if (opt.workload == "attacks")
+        return runAttackCorpus(opt, events_os);
 
     MachineConfig mc;
     mc.pcu = opt.pcu;
@@ -177,8 +334,16 @@ main(int argc, char **argv)
         machine->core().setTrace(&trace);
     }
 
+    BinaryTraceSink sink(events);
+    if (events_os) {
+        wireTrace(*machine, opt, sink, 0);
+        emitDomainNames(*machine->trace(), image);
+    }
+
     RunResult r = machine->run(image.boot_pc, 2'000'000'000ull);
     machine->core().setTrace(nullptr);
+    if (events_os)
+        machine->trace()->flush();
     if (r.reason != StopReason::Halted) {
         std::printf("stopped: %s at %#llx\n", faultName(r.fault),
                     (unsigned long long)r.fault_pc);
@@ -201,6 +366,12 @@ main(int argc, char **argv)
                 (unsigned long long)machine->pcu().switches());
     std::printf("privilege faults: %llu\n",
                 (unsigned long long)machine->pcu().faults());
+    if (events_os) {
+        std::printf("trace events    : %llu (%llu dropped)\n",
+                    (unsigned long long)machine->trace()->emitted(),
+                    (unsigned long long)
+                        machine->trace()->droppedEvents());
+    }
     std::printf("per-domain usage:\n");
     for (const auto &[domain, usage] : machine->core().domainUsage()) {
         std::printf("  d%-3llu %12llu insts %12llu cycles (%.2f%%)\n",
@@ -225,6 +396,12 @@ main(int argc, char **argv)
     if (opt.stats) {
         std::printf("\n");
         machine->dumpStats(std::cout);
+    }
+    if (!opt.stats_json_file.empty()) {
+        std::ofstream os(opt.stats_json_file);
+        if (!os)
+            fatal("cannot open %s", opt.stats_json_file.c_str());
+        machine->dumpStatsJson(os);
     }
     return 0;
 }
