@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Throughput benchmark of the least-privilege inference pipeline
+ * (src/verify/cfg.hh + dataflow.hh + minimize.hh): CFG construction,
+ * interprocedural fixpoint and policy synthesis per kernel mode on
+ * both prototypes, with and without deliberate over-provisioning.
+ *
+ * This is a tooling-latency check, not a paper figure: the analysis
+ * runs at kernel-build and CI time, so it must stay interactive
+ * (milliseconds) even for the nested-monitor images.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "kernel/layout.hh"
+#include "verify/dataflow.hh"
+#include "verify/minimize.hh"
+
+using namespace isagrid;
+using namespace isagrid::bench;
+
+namespace {
+
+struct Case
+{
+    const char *name;
+    bool x86;
+    KernelMode mode;
+    bool overprovision;
+};
+
+struct Measured
+{
+    std::size_t blocks = 0;
+    std::size_t gate_sites = 0;
+    std::size_t overgrants = 0;
+    std::size_t kept = 0;
+    double secs = 0;
+};
+
+Measured
+analyse(const Case &c)
+{
+    auto machine = c.x86 ? Machine::gem5x86() : Machine::rocket();
+    auto ua = c.x86 ? makeX86Asm(layout::userCodeBase)
+                    : makeRiscvAsm(layout::userCodeBase);
+    ua->li(ua->regArg(0), 0);
+    ua->halt(ua->regArg(0));
+    ua->loadInto(machine->mem());
+
+    KernelConfig config;
+    config.mode = c.mode;
+    config.overprovision = c.overprovision;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+
+    PolicySnapshot snap = PolicySnapshot::fromPcu(machine->pcu());
+    auto t0 = std::chrono::steady_clock::now();
+    PrivilegeInference inference(machine->isa(), machine->mem(), snap,
+                                 image.code_regions);
+    inference.addEntry(image.kernel_domain, image.trap_entry);
+    MinimizeResult result =
+        minimizePolicy(machine->isa(), machine->mem(), snap,
+                       inference);
+    auto t1 = std::chrono::steady_clock::now();
+
+    Measured m;
+    m.blocks = inference.cfg().blocks().size();
+    m.gate_sites = inference.cfg().gateSites().size();
+    m.overgrants = result.overgrants;
+    m.kept = result.kept_grants;
+    m.secs = std::chrono::duration<double>(t1 - t0).count();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("isagrid-minpriv inference + minimization latency");
+
+    const Case cases[] = {
+        {"riscv/native", false, KernelMode::Monolithic, false},
+        {"riscv/decomposed", false, KernelMode::Decomposed, false},
+        {"riscv/decomposed+drift", false, KernelMode::Decomposed, true},
+        {"riscv/nested", false, KernelMode::NestedMonitor, false},
+        {"x86/native", true, KernelMode::Monolithic, false},
+        {"x86/decomposed", true, KernelMode::Decomposed, false},
+        {"x86/decomposed+drift", true, KernelMode::Decomposed, true},
+        {"x86/nested", true, KernelMode::NestedMonitor, false},
+    };
+
+    Table table({"config", "blocks", "gate sites", "overgrants",
+                 "kept", "ms", "blocks/sec"});
+    for (const Case &c : cases) {
+        Measured m = analyse(c);
+        char ms[32], rate[32];
+        std::snprintf(ms, sizeof(ms), "%.2f", m.secs * 1e3);
+        std::snprintf(rate, sizeof(rate), "%.0f",
+                      m.secs > 0 ? m.blocks / m.secs : 0.0);
+        table.row({c.name, std::to_string(m.blocks),
+                   std::to_string(m.gate_sites),
+                   std::to_string(m.overgrants),
+                   std::to_string(m.kept), ms, rate});
+    }
+    table.print();
+    return 0;
+}

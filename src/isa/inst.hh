@@ -52,6 +52,23 @@ isGateClass(InstClass c)
            c == InstClass::GateRet;
 }
 
+/**
+ * Control-flow shape of one instruction, as the static analyses see it
+ * (IsaModel::controlFlow). Finer than InstClass: the Jump class covers
+ * direct jumps, register-indirect jumps, calls and returns, which build
+ * very different control-flow-graph edges.
+ */
+enum class CtrlFlow : std::uint8_t
+{
+    None,         //!< falls through (or is not a control transfer)
+    Branch,       //!< conditional, pc-relative; may fall through
+    Jump,         //!< unconditional direct jump
+    IndirectJump, //!< unconditional jump through a register
+    Call,         //!< direct call; the fall-through is the return point
+    IndirectCall, //!< call through a register
+    Return,       //!< function return (target lives on the stack)
+};
+
 /** A fully decoded instruction ready for execution. */
 struct DecodedInst
 {

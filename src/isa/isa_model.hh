@@ -14,6 +14,7 @@
 #define ISAGRID_ISA_ISA_MODEL_HH_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,64 @@ class IsaModel
 
     /** Mnemonic of an instruction-type index (tracing / tables). */
     virtual const char *instTypeName(InstTypeId type) const = 0;
+
+    // --- static-analysis support (src/verify) ---
+
+    /**
+     * Control-flow shape of @p inst (see CtrlFlow). The default only
+     * distinguishes the conditional Branch class and conservatively
+     * calls every unconditional Jump-class instruction an indirect
+     * jump; the real ISA models override with the exact shape.
+     */
+    virtual CtrlFlow
+    controlFlow(const DecodedInst &inst) const
+    {
+        if (inst.cls == InstClass::Branch)
+            return CtrlFlow::Branch;
+        if (inst.cls == InstClass::Jump)
+            return CtrlFlow::IndirectJump;
+        return CtrlFlow::None;
+    }
+
+    /**
+     * Statically-known target of a control transfer at @p pc:
+     * pc-relative arithmetic for direct branches/jumps/calls, and the
+     * folded register value @p rs1_value (when the caller resolved one)
+     * for indirect forms. nullopt when the target is unknowable here
+     * (unresolved indirect, or a stack-driven return).
+     */
+    virtual std::optional<Addr>
+    controlTarget(const DecodedInst &inst, Addr pc,
+                  std::optional<RegVal> rs1_value) const
+    {
+        (void)inst; (void)pc; (void)rs1_value;
+        return std::nullopt;
+    }
+
+    /**
+     * Does this explicit CSR access read the old CSR value into a
+     * register (and therefore require read privilege at the PCU)? Must
+     * match execute()'s csr_old_reg_valid. Default: only the pure-read
+     * class.
+     */
+    virtual bool
+    csrReadsOldValue(const DecodedInst &inst) const
+    {
+        return inst.cls == InstClass::CsrRead;
+    }
+
+    /**
+     * Which register supplies a CSR-write instruction's source operand
+     * (the value csrNewValue() folds with the old one). Returns -1 when
+     * the operand is an immediate, stored to @p imm_out. Must match
+     * execute()'s csr_write_value.
+     */
+    virtual int
+    csrWriteSourceReg(const DecodedInst &inst, RegVal &imm_out) const
+    {
+        imm_out = 0;
+        return inst.rs1;
+    }
 
     /**
      * The general-computing instruction types a de-privileged domain

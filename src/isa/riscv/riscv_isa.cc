@@ -180,6 +180,68 @@ RiscvIsa::baselineInstTypes() const
     return types;
 }
 
+CtrlFlow
+RiscvIsa::controlFlow(const DecodedInst &inst) const
+{
+    // Dispatch on the un-remapped type id so a GroupedIsa decorator can
+    // forward decorated instructions unchanged.
+    InstTypeId t =
+        inst.raw_type != invalidInstType ? inst.raw_type : inst.type;
+    switch (inst.cls) {
+      case InstClass::Branch:
+        return CtrlFlow::Branch;
+      case InstClass::Jump:
+        if (t == IT_JAL)
+            return inst.rd == 1 ? CtrlFlow::Call : CtrlFlow::Jump;
+        // jalr: the standard link/return register idioms.
+        if (inst.rd == 1)
+            return CtrlFlow::IndirectCall;
+        if (inst.rd == 0 && inst.rs1 == 1 && inst.imm == 0)
+            return CtrlFlow::Return;
+        return CtrlFlow::IndirectJump;
+      default:
+        return CtrlFlow::None;
+    }
+}
+
+std::optional<Addr>
+RiscvIsa::controlTarget(const DecodedInst &inst, Addr pc,
+                        std::optional<RegVal> rs1_value) const
+{
+    InstTypeId t =
+        inst.raw_type != invalidInstType ? inst.raw_type : inst.type;
+    if (inst.cls == InstClass::Branch)
+        return pc + static_cast<RegVal>(inst.imm);
+    if (inst.cls != InstClass::Jump)
+        return std::nullopt;
+    if (t == IT_JAL)
+        return pc + static_cast<RegVal>(inst.imm);
+    if (rs1_value) // jalr: target = (rs1 + imm) & ~1
+        return (*rs1_value + static_cast<RegVal>(inst.imm)) & ~Addr{1};
+    return std::nullopt;
+}
+
+bool
+RiscvIsa::csrReadsOldValue(const DecodedInst &inst) const
+{
+    if (inst.cls != InstClass::CsrRead && inst.cls != InstClass::CsrWrite)
+        return false;
+    // Matches execute(): csrrw/csrrs/csrrc read the old value exactly
+    // when rd is not x0; the pure-read forms always do.
+    return inst.rd != 0 || inst.cls == InstClass::CsrRead;
+}
+
+int
+RiscvIsa::csrWriteSourceReg(const DecodedInst &inst, RegVal &imm_out) const
+{
+    if ((inst.subop & 4) != 0) { // csrr*i: the rs1 field is the uimm
+        imm_out = inst.rs1;
+        return -1;
+    }
+    imm_out = 0;
+    return inst.rs1;
+}
+
 DecodedInst
 RiscvIsa::decode(const std::uint8_t *bytes, std::size_t avail,
                  Addr pc) const

@@ -55,6 +55,14 @@ class RiscvIsa : public IsaModel
     const char *instTypeName(InstTypeId type) const override;
     std::vector<InstTypeId> baselineInstTypes() const override;
 
+    CtrlFlow controlFlow(const DecodedInst &inst) const override;
+    std::optional<Addr>
+    controlTarget(const DecodedInst &inst, Addr pc,
+                  std::optional<RegVal> rs1_value) const override;
+    bool csrReadsOldValue(const DecodedInst &inst) const override;
+    int csrWriteSourceReg(const DecodedInst &inst,
+                          RegVal &imm_out) const override;
+
     Addr takeTrap(ArchState &state, FaultType fault, Addr faulting_pc,
                   RegVal info) const override;
     Addr trapReturn(ArchState &state) const override;

@@ -202,6 +202,57 @@ X86Isa::baselineInstTypes() const
     return types;
 }
 
+CtrlFlow
+X86Isa::controlFlow(const DecodedInst &inst) const
+{
+    // Dispatch on the un-remapped type id so a GroupedIsa decorator can
+    // forward decorated instructions unchanged.
+    InstTypeId t =
+        inst.raw_type != invalidInstType ? inst.raw_type : inst.type;
+    if (inst.cls == InstClass::Branch)
+        return CtrlFlow::Branch;
+    if (inst.cls != InstClass::Jump)
+        return CtrlFlow::None;
+    switch (t) {
+      case IT_JMP8: case IT_JMP32: return CtrlFlow::Jump;
+      case IT_JMP_R: return CtrlFlow::IndirectJump;
+      case IT_CALL: return CtrlFlow::Call;
+      case IT_CALL_R: return CtrlFlow::IndirectCall;
+      case IT_RET: return CtrlFlow::Return;
+      default: return CtrlFlow::IndirectJump;
+    }
+}
+
+std::optional<Addr>
+X86Isa::controlTarget(const DecodedInst &inst, Addr pc,
+                      std::optional<RegVal> rs1_value) const
+{
+    InstTypeId t =
+        inst.raw_type != invalidInstType ? inst.raw_type : inst.type;
+    if (inst.cls == InstClass::Branch)
+        return pc + inst.length + static_cast<RegVal>(inst.imm);
+    if (inst.cls != InstClass::Jump)
+        return std::nullopt;
+    switch (t) {
+      case IT_JMP8: case IT_JMP32: case IT_CALL:
+        return pc + inst.length + static_cast<RegVal>(inst.imm);
+      case IT_JMP_R: case IT_CALL_R:
+        return rs1_value ? std::optional<Addr>(*rs1_value)
+                         : std::nullopt;
+      default: // ret: the target lives on the stack
+        return std::nullopt;
+    }
+}
+
+int
+X86Isa::csrWriteSourceReg(const DecodedInst &inst, RegVal &imm_out) const
+{
+    imm_out = 0;
+    InstTypeId t =
+        inst.raw_type != invalidInstType ? inst.raw_type : inst.type;
+    return t == IT_WRMSR ? inst.rs2 : inst.rs1;
+}
+
 void
 X86Isa::initState(ArchState &state) const
 {

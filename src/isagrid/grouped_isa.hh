@@ -121,6 +121,27 @@ class GroupedIsa : public IsaModel
     }
     const char *instTypeName(InstTypeId type) const override;
     std::vector<InstTypeId> baselineInstTypes() const override;
+    CtrlFlow controlFlow(const DecodedInst &inst) const override
+    {
+        // raw_type already carries the inner id; the inner models
+        // dispatch on it directly.
+        return inner.controlFlow(inst);
+    }
+    std::optional<Addr>
+    controlTarget(const DecodedInst &inst, Addr pc,
+                  std::optional<RegVal> rs1_value) const override
+    {
+        return inner.controlTarget(inst, pc, rs1_value);
+    }
+    bool csrReadsOldValue(const DecodedInst &inst) const override
+    {
+        return inner.csrReadsOldValue(inst);
+    }
+    int csrWriteSourceReg(const DecodedInst &inst,
+                          RegVal &imm_out) const override
+    {
+        return inner.csrWriteSourceReg(inst, imm_out);
+    }
     Addr takeTrap(ArchState &state, FaultType fault, Addr pc,
                   RegVal info) const override
     {

@@ -3,6 +3,8 @@
 #include "isa/riscv/opcodes.hh"
 #include "isa/x86/opcodes.hh"
 #include "sim/logging.hh"
+#include "verify/dataflow.hh"
+#include "verify/minimize.hh"
 
 namespace isagrid {
 
@@ -143,6 +145,25 @@ KernelBuilder::build(Addr user_entry)
             make_service(Sys::ServiceMtrr, CSR_CYCLE, 0);
             make_service(Sys::ServicePmc0, CSR_INSTRET, 0);
             make_service(Sys::ServicePmc1, CSR_INSTRET, 0);
+        }
+
+        // Deliberate policy drift: grants no kernel code path uses,
+        // for exercising the least-privilege inference.
+        if (config_.overprovision) {
+            if (x86) {
+                dm.allowInstruction(image.kernel_domain, x86::IT_WBINVD);
+                dm.allowCsrRead(image.kernel_domain, x86::MSR_VOLTAGE);
+                dm.allowCsrWrite(image.kernel_domain, x86::MSR_VOLTAGE);
+                dm.setCsrMask(image.kernel_domain, x86::CSR_CR4,
+                              ~RegVal{0});
+            } else {
+                using namespace riscv;
+                dm.allowInstruction(image.kernel_domain, IT_WFI);
+                dm.allowCsrRead(image.kernel_domain, CSR_SCOUNTEREN);
+                dm.allowCsrWrite(image.kernel_domain, CSR_SCOUNTEREN);
+                dm.setCsrMask(image.kernel_domain, CSR_SSTATUS,
+                              ~RegVal{0});
+            }
         }
     }
 
@@ -830,6 +851,24 @@ KernelBuilder::build(Addr user_entry)
 
     image.boot_pc = a.labelAddr(boot);
     image.trap_entry = a.labelAddr(trap_entry);
+
+    // Opt-in least-privilege rewrite: infer what the finished image
+    // can reach from its gates (plus the trap handler), synthesize the
+    // minimal policy and install it over the published HPT.
+    if (config_.minimize_policy && decomposed()) {
+        PolicySnapshot snap = PolicySnapshot::fromPcu(machine.pcu());
+        PrivilegeInference inference(machine.isa(), machine.mem(), snap,
+                                     image.code_regions);
+        inference.addEntry(image.kernel_domain, image.trap_entry);
+        MinimizeResult minimized = minimizePolicy(
+            machine.isa(), machine.mem(), snap, inference);
+        if (!minimized.subset) {
+            fatal("minimized policy is not a subset of the configured "
+                  "policy:\n%s", minimized.text().c_str());
+        }
+        applyMinimizedPolicy(machine.isa(), machine.mem(), snap,
+                             minimized, &machine.pcu());
+    }
 
     // Opt-in post-build check: the finished image and the published
     // domain configuration must satisfy the Section 4.2/4.5 invariants

@@ -86,6 +86,23 @@ struct KernelConfig
      * configurations on top of the kernel image.
      */
     bool verify = false;
+    /**
+     * Deliberately over-provision the decomposed kernel's grants
+     * beyond what its code uses (an extra instruction type, an unused
+     * MSR/CSR, a full-width SSTATUS/CR4 mask). Models the common
+     * real-world drift between a hand-written policy and the code; the
+     * least-privilege inference (isagrid-minpriv) must find and remove
+     * every one of these.
+     */
+    bool overprovision = false;
+    /**
+     * After publishing the domain configuration, run the
+     * least-privilege inference over the finished image and rewrite
+     * the HPT down to the minimized policy (verify/minimize.hh). The
+     * kernel must behave identically under it — the differential
+     * guarantee the minpriv tests enforce.
+     */
+    bool minimize_policy = false;
 };
 
 /** Addresses and ids the workloads need to target the built kernel. */

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-region control-flow graph over a loaded guest image.
+ *
+ * The least-privilege inference (src/verify/dataflow.hh) needs to know
+ * which instructions a domain can actually reach from its entry gates,
+ * which requires real control-flow edges rather than the verifier's
+ * linear scan. This builder decodes every configured code region,
+ * splits it into basic blocks at branches, jumps, calls, gates and
+ * their targets, and wires typed edges between blocks:
+ *
+ *  - Fallthrough / Branch / Jump edges inside straight-line code;
+ *  - Call edges to the callee plus a Return edge to the call's
+ *    fall-through (context-insensitive call/return modelling — actual
+ *    `ret` instructions get no successors);
+ *  - Gate edges crossing domains, resolved through the SGT: an
+ *    hccall/hccalls whose gate-id register holds a statically known
+ *    value (image_scan.hh ConstTracker) gets an edge to the registered
+ *    destination, annotated with the destination domain;
+ *  - indirect jumps and calls whose target register resolves to a
+ *    constant get ordinary Jump/Call edges; unresolved ones are listed
+ *    so the dataflow can widen soundly (treat every block of the
+ *    executing domain as reachable).
+ *
+ * Edges are interprocedural but target block *starts* only: every
+ * transfer target discovered in pass one becomes a block leader in
+ * pass two, so a mid-block landing cannot occur by construction.
+ */
+
+#ifndef ISAGRID_VERIFY_CFG_HH_
+#define ISAGRID_VERIFY_CFG_HH_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "isagrid/sgt.hh"
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+#include "verify/image_scan.hh"
+
+namespace isagrid {
+
+/** Kind of one CFG edge (see file comment). */
+enum class EdgeKind : std::uint8_t
+{
+    Fallthrough, //!< next instruction (incl. not-taken branch)
+    Branch,      //!< taken conditional branch
+    Jump,        //!< unconditional (possibly resolved-indirect) jump
+    Call,        //!< call to the callee's entry block
+    Return,      //!< call-site fall-through standing in for the return
+    Gate,        //!< hccall/hccalls through a registered SGT entry
+};
+
+const char *edgeKindName(EdgeKind kind);
+
+/** One typed successor edge. */
+struct CfgEdge
+{
+    EdgeKind kind = EdgeKind::Fallthrough;
+    std::uint32_t to = 0;     //!< successor block id
+    GateId gate = 0;          //!< SGT index (Gate edges only)
+    DomainId dest_domain = 0; //!< SGT destination (Gate edges only)
+};
+
+/** One decoded instruction inside a basic block. */
+struct CfgInst
+{
+    Addr pc = 0;
+    DecodedInst inst;
+};
+
+/** One basic block: straight-line code with a single entry point. */
+struct BasicBlock
+{
+    std::uint32_t id = 0;
+    Addr start = 0;             //!< first instruction address
+    Addr end = 0;               //!< one past the last instruction byte
+    std::uint32_t region = 0;   //!< index into Cfg::codeRegions()
+    DomainId domain = 0;        //!< the owning region's domain
+    std::vector<CfgInst> insts;
+    std::vector<CfgEdge> succs;
+};
+
+/**
+ * One hccall/hccalls site. Unresolved gate ids force the dataflow to
+ * assume any registered gate could be invoked from here.
+ */
+struct GateSite
+{
+    Addr pc = 0;
+    std::uint32_t block = 0;
+    bool is_hccalls = false;
+    bool resolved = false; //!< gate-id register was a known constant
+    GateId gate = 0;       //!< valid when resolved
+};
+
+/** One indirect jump/call whose target register never resolved. */
+struct IndirectSite
+{
+    Addr pc = 0;
+    std::uint32_t block = 0;
+    bool is_call = false;
+};
+
+/** The whole-image control-flow graph (see file comment). */
+class Cfg
+{
+  public:
+    /**
+     * Decode @p regions out of @p mem and build the graph. Gate edges
+     * are resolved through the SGT addressed by @p snapshot. Regions
+     * outside physical memory are kept in codeRegions() but contribute
+     * no blocks. @p extra_leaders forces block starts at addresses
+     * entered by means other than an edge (trap vectors, seeds).
+     */
+    static Cfg build(const IsaModel &isa, const PhysMem &mem,
+                     const PolicySnapshot &snapshot,
+                     std::vector<CodeRegion> regions,
+                     const std::vector<Addr> &extra_leaders = {});
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const std::vector<CodeRegion> &codeRegions() const { return regions_; }
+    const std::vector<GateSite> &gateSites() const { return gateSites_; }
+    const std::vector<IndirectSite> &unresolvedIndirects() const
+    {
+        return unresolved_;
+    }
+
+    /** The SGT as copied at build time. */
+    const std::vector<SgtEntry> &gates() const { return gates_; }
+
+    /** Block whose first instruction is at @p addr, or nullptr. */
+    const BasicBlock *blockStarting(Addr addr) const;
+
+    /** Block whose [start, end) range covers @p addr, or nullptr. */
+    const BasicBlock *blockContaining(Addr addr) const;
+
+    /**
+     * Per-block reachability following every edge kind from the blocks
+     * starting at @p entries (addresses not starting a block are
+     * ignored). Unresolved indirect sites widen to every block of the
+     * same domain, mirroring the dataflow's soundness rule.
+     */
+    std::vector<bool> reachableFrom(const std::vector<Addr> &entries) const;
+
+  private:
+    std::vector<CodeRegion> regions_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<GateSite> gateSites_;
+    std::vector<IndirectSite> unresolved_;
+    std::vector<SgtEntry> gates_;
+    std::unordered_map<Addr, std::uint32_t> startIndex_;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_VERIFY_CFG_HH_

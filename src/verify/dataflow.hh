@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Interprocedural least-privilege inference (isagrid-minpriv).
+ *
+ * Starting from every registered gate destination (the only way
+ * control enters a non-zero domain) plus any explicitly added entry
+ * points (the trap handler, the boot pc), a worklist fixpoint over the
+ * control-flow graph (cfg.hh) computes, per domain:
+ *
+ *  - the set of instruction types any reachable instruction presents
+ *    to the PCU's instruction-bitmap check,
+ *  - the CSR read and write sets the register-bitmap check will see
+ *    (a read is only charged when the old value actually lands in a
+ *    register, mirroring the core's csr_old_reg_valid rule),
+ *  - for bit-maskable CSRs, the union of bits any reachable write can
+ *    change, derived by probing IsaModel::csrNewValue against
+ *    all-zeros and all-ones old values — exact for the RISC-V
+ *    csrrw/csrrs/csrrc family — and by tracking read-modify-write
+ *    chains (csr read -> or/and -> csr write) symbolically so the x86
+ *    mov-from-CR / or / mov-to-CR idiom yields the or'd bits rather
+ *    than a full mask.
+ *
+ * Everything unresolvable widens soundly: an indirect jump whose
+ * target register is not a known constant makes every block of the
+ * executing domain reachable; a wrmsr/rdmsr whose index register is
+ * unknown keeps all configured register grants for that direction; an
+ * unknown written value widens the changed-bit set to the full mask.
+ * The minimizer (minimize.hh) therefore never revokes a privilege the
+ * code could actually exercise.
+ */
+
+#ifndef ISAGRID_VERIFY_DATAFLOW_HH_
+#define ISAGRID_VERIFY_DATAFLOW_HH_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+#include "verify/cfg.hh"
+#include "verify/image_scan.hh"
+
+namespace isagrid {
+
+/**
+ * Abstract register value for the privilege dataflow: either a known
+ * constant, or "the value of CSR @c csr with bits possibly set within
+ * @c set and possibly cleared within @c clear", or unknown.
+ */
+struct SymValue
+{
+    enum Kind : std::uint8_t { Unknown, Const, CsrRmw };
+    Kind kind = Unknown;
+    RegVal v = 0;            //!< Const payload
+    std::uint32_t csr = ~0u; //!< CsrRmw source CSR address
+    RegVal set = 0;          //!< CsrRmw: bits possibly forced to 1
+    RegVal clear = 0;        //!< CsrRmw: bits possibly forced to 0
+
+    static SymValue makeConst(RegVal value)
+    {
+        SymValue s;
+        s.kind = Const;
+        s.v = value;
+        return s;
+    }
+
+    static SymValue makeCsr(std::uint32_t csr_addr)
+    {
+        SymValue s;
+        s.kind = CsrRmw;
+        s.csr = csr_addr;
+        return s;
+    }
+
+    bool operator==(const SymValue &) const = default;
+};
+
+/** Everything one domain's reachable code needs from the PCU. */
+struct DomainNeed
+{
+    /** PCU-visible instruction type -> one witness pc. */
+    std::map<InstTypeId, Addr> inst_types;
+    /** Register-bitmap index -> one witness pc, per direction. */
+    std::map<CsrIndex, Addr> csr_reads;
+    std::map<CsrIndex, Addr> csr_writes;
+    /** Mask-array index -> union of bits any reachable write changes. */
+    std::map<CsrIndex, RegVal> written_bits;
+    /** A dynamic-index CSR access never resolved (rdmsr/wrmsr). */
+    bool unresolved_dynamic_read = false;
+    bool unresolved_dynamic_write = false;
+    /** An unresolved indirect jump widened this domain's reachability. */
+    bool widened = false;
+    /** Human-readable widening/soundness notes. */
+    std::set<std::string> notes;
+};
+
+/** The least-privilege inference engine (see file comment). */
+class PrivilegeInference
+{
+  public:
+    /**
+     * Seeds one entry per SGT gate destination in its destination
+     * domain. The CFG itself is built by run(), so entry addresses
+     * added later still become block leaders.
+     */
+    PrivilegeInference(const IsaModel &isa, const PhysMem &mem,
+                       const PolicySnapshot &snapshot,
+                       std::vector<CodeRegion> regions);
+
+    /**
+     * Adds an extra entry point (e.g. the trap handler in the kernel
+     * domain, or the boot pc in domain 0). Call before run().
+     */
+    void addEntry(DomainId domain, Addr addr);
+
+    /** Runs the fixpoint. Idempotent. */
+    void run();
+
+    /** The control-flow graph; empty until run(). */
+    const Cfg &cfg() const { return cfg_; }
+    const std::map<DomainId, DomainNeed> &needs() const { return needs_; }
+    const std::vector<std::pair<DomainId, Addr>> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    using State = std::vector<SymValue>;
+    using Key = std::pair<DomainId, std::uint32_t>;
+
+    void enqueue(DomainId domain, std::uint32_t block, const State &state);
+    State transfer(DomainId domain, const BasicBlock &bb, State state);
+    void stepNeeds(DomainId domain, Addr pc, const DecodedInst &inst,
+                   const State &state);
+    void symStep(const DecodedInst &inst, Addr pc, State &state) const;
+
+    const IsaModel &isa;
+    const PhysMem &mem;
+    PolicySnapshot snap;
+    std::vector<CodeRegion> regions_;
+    Cfg cfg_;
+    std::vector<std::pair<DomainId, Addr>> entries_;
+    std::map<DomainId, DomainNeed> needs_;
+    std::map<Key, State> inStates_;
+    std::vector<Key> work_;
+    bool ran_ = false;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_VERIFY_DATAFLOW_HH_

@@ -93,12 +93,28 @@ ConstTracker::step(const DecodedInst &inst, Addr pc)
                 set(inst.rd, *v >> inst.imm);
             else
                 kill(inst.rd);
-        } else if (m == "add") {
+        } else if (m == "add" || m == "sub" || m == "or" ||
+                   m == "and" || m == "xor") {
+            // Register copies spelled as ALU identities (or rd,rs,x0;
+            // or rd,rd,rs with a zeroed rd) and the xor/sub zeroing
+            // idioms fold here, so a gate id or MSR number reaching an
+            // indirect use through such a copy still resolves.
             auto a = value(inst.rs1), b = value(inst.rs2);
-            if (a && b)
-                set(inst.rd, *a + *b);
-            else
+            if ((m == "xor" || m == "sub") && inst.rs1 == inst.rs2) {
+                set(inst.rd, 0); // rs ^ rs == rs - rs == 0, known or not
+            } else if (a && b) {
+                RegVal r = 0;
+                if (m == "add") r = *a + *b;
+                else if (m == "sub") r = *a - *b;
+                else if (m == "or") r = *a | *b;
+                else if (m == "and") r = *a & *b;
+                else r = *a ^ *b;
+                set(inst.rd, r);
+            } else {
                 kill(inst.rd);
+            }
+        } else if (m == "cmp") {
+            // Writes only flags; rd aliases the untouched source.
         } else {
             kill(inst.rd);
         }

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Policy minimization from inferred least-privilege needs
+ * (isagrid-minpriv).
+ *
+ * Takes the per-domain needs computed by PrivilegeInference
+ * (dataflow.hh) and the *configured* policy (the HPT as domain-0
+ * software wrote it) and synthesizes the minimal policy that still
+ * lets every reachable instruction pass the PCU:
+ *
+ *  - instruction bits: the ISA baseline plus every reachable type;
+ *  - register read bits: only CSRs whose old value some reachable
+ *    instruction consumes;
+ *  - register write bits vs bit-masks: a bit-maskable CSR whose
+ *    reachable writes change a bounded bit set is granted a mask of
+ *    exactly those bits and *no* write bit — the write bit is kept
+ *    only when some write may change bits outside any grantable mask;
+ *  - every dropped or narrowed grant becomes a Finding (severity
+ *    Lint, check "overgrant-*") with the evidence and the suggested
+ *    minimized bits.
+ *
+ * The result is a *semantic* subset of the configured policy: every
+ * access the minimized policy permits, the configured policy also
+ * permitted (a full write bit subsumes any mask). Where the analysis
+ * cannot prove the configured grants suffice (an over-approximated
+ * path appears to need more than was configured), the configured
+ * grant is kept unchanged and a "minpriv-unprovable" Warning is
+ * emitted — minimization never *adds* privilege and never provably
+ * removes one the code exercises.
+ */
+
+#ifndef ISAGRID_VERIFY_MINIMIZE_HH_
+#define ISAGRID_VERIFY_MINIMIZE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+#include "verify/dataflow.hh"
+#include "verify/verify.hh"
+
+namespace isagrid {
+
+class PrivilegeCheckUnit;
+
+/** One domain's minimized grants, indexed by PCU-visible ids. */
+struct DomainPolicy
+{
+    std::vector<bool> inst;      //!< by InstTypeId
+    std::vector<bool> csr_read;  //!< by register-bitmap CsrIndex
+    std::vector<bool> csr_write; //!< by register-bitmap CsrIndex
+    std::vector<RegVal> masks;   //!< by mask-array CsrIndex
+};
+
+/** Output of minimizePolicy (see file comment). */
+struct MinimizeResult
+{
+    /** Per-domain minimized policy; index 0 is unused (unchecked). */
+    std::vector<DomainPolicy> domains;
+    /** overgrant-* Lints and minpriv-unprovable Warnings. */
+    std::vector<Finding> findings;
+    std::size_t overgrants = 0;   //!< grants removed or narrowed
+    std::size_t kept_grants = 0;  //!< grants the code actually needs
+    /** Minimized is a semantic subset of configured (must hold). */
+    bool subset = true;
+
+    std::string text() const;
+    std::string json() const;
+};
+
+/**
+ * Synthesize the minimal policy for the inferred @p inference needs
+ * against the configured policy read through @p snapshot. Runs the
+ * (idempotent) fixpoint if the caller has not already.
+ */
+MinimizeResult minimizePolicy(const IsaModel &isa, const PhysMem &mem,
+                              const PolicySnapshot &snapshot,
+                              PrivilegeInference &inference);
+
+/**
+ * Write the minimized HPT words (instruction bitmaps, register
+ * double-bitmaps, mask arrays) for every non-zero domain into guest
+ * memory through the snapshot's base registers, then flush the PCU's
+ * privilege caches when @p pcu is given. Domain 0 is never touched.
+ */
+void applyMinimizedPolicy(const IsaModel &isa, PhysMem &mem,
+                          const PolicySnapshot &snapshot,
+                          const MinimizeResult &result,
+                          PrivilegeCheckUnit *pcu = nullptr);
+
+} // namespace isagrid
+
+#endif // ISAGRID_VERIFY_MINIMIZE_HH_

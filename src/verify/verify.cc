@@ -6,7 +6,6 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <string_view>
 
 #include "isa/disasm.hh"
 #include "isagrid/hpt.hh"
@@ -78,6 +77,17 @@ VerifyReport::json() const
     out += "\"violations\":" + std::to_string(violations());
     out += ",\"warnings\":" + std::to_string(warnings());
     out += ",\"lints\":" + std::to_string(lints());
+    // Structured per-severity summary: counts every finding (recorded
+    // or not) plus how many made it under max_findings, so machine
+    // consumers need not reconcile the two themselves.
+    out += ",\"summary\":{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    out += ",\"lints\":" + std::to_string(lints());
+    out += ",\"total\":" +
+           std::to_string(violations() + warnings() + lints());
+    out += ",\"recorded\":" + std::to_string(findings_.size());
+    out += "}";
     out += ",\"findings\":[";
     bool first = true;
     for (const auto &f : findings_) {
@@ -279,7 +289,6 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
 {
     scan.region = &region;
     PolicyView policy(isa, mem, snap);
-    const bool x86 = isa.name() == "x86";
     const DomainId d = region.domain;
 
     // Gate addresses registered in the SGT, for property (ii) checks.
@@ -421,30 +430,12 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
         }
 
         // --- control-transfer targets ---
-        std::string_view m = inst.mnemonic;
-        if (inst.cls == InstClass::Branch) {
-            Addr target = x86 ? pc + inst.length +
-                                    static_cast<RegVal>(inst.imm)
-                              : pc + static_cast<RegVal>(inst.imm);
-            scan.jumpTargets.emplace_back(pc, target);
-        } else if (inst.cls == InstClass::Jump) {
-            if (m == "jal") {
-                scan.jumpTargets.emplace_back(
-                    pc, pc + static_cast<RegVal>(inst.imm));
-            } else if (m == "jmp8" || m == "jmp32" || m == "call") {
-                scan.jumpTargets.emplace_back(
-                    pc, pc + inst.length + static_cast<RegVal>(inst.imm));
-            } else if (m == "jalr") {
-                if (auto v = consts.value(inst.rs1)) {
-                    scan.jumpTargets.emplace_back(
-                        pc,
-                        (*v + static_cast<RegVal>(inst.imm)) & ~Addr{1});
-                }
-            } else if (m == "jmpr" || m == "callr") {
-                if (auto v = consts.value(inst.rs1))
-                    scan.jumpTargets.emplace_back(pc, *v);
-            }
-            // ret / pop-driven returns: targets live on the stack.
+        CtrlFlow cf = isa.controlFlow(inst);
+        if (cf != CtrlFlow::None && cf != CtrlFlow::Return) {
+            // Returns are excluded: their targets live on the stack.
+            if (auto target = isa.controlTarget(inst, pc,
+                                                consts.value(inst.rs1)))
+                scan.jumpTargets.emplace_back(pc, *target);
         }
     };
 

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests of the control-flow-graph builder (src/verify/cfg.hh) on
+ * hand-assembled images, on both prototypes:
+ *  - block splitting at conditional branches and their targets;
+ *  - fallthrough, call and return edges;
+ *  - gate edges crossing domains, resolved through the SGT;
+ *  - resolved vs unresolved indirect jumps (the resolved case goes
+ *    through the ConstTracker's copy-chain folding);
+ *  - unreachable blocks and the widening rule for unresolved
+ *    indirects in reachableFrom();
+ *  - extra_leaders forcing a block start at a mid-region entry point
+ *    (the trap-vector seeding case).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "kernel/asm_iface.hh"
+#include "verify/cfg.hh"
+
+using namespace isagrid;
+
+namespace {
+
+constexpr Addr codeBase = 0x1000;
+constexpr Addr calleeBase = 0x3000;
+
+/** A machine plus an assembler emitting into one recorded region. */
+struct CfgFixture
+{
+    explicit CfgFixture(bool x86)
+        : machine(x86 ? Machine::gem5x86() : Machine::rocket()),
+          a(x86 ? makeX86Asm(codeBase) : makeRiscvAsm(codeBase))
+    {
+    }
+
+    /** Close the region begun at @p base, owned by @p domain. */
+    void endRegion(Addr base, DomainId domain, const char *name)
+    {
+        regions.push_back({base, a->here(), domain, name});
+    }
+
+    Cfg build(const std::vector<Addr> &extra_leaders = {})
+    {
+        a->loadInto(machine->mem());
+        PolicySnapshot snap = PolicySnapshot::fromPcu(machine->pcu());
+        return Cfg::build(machine->isa(), machine->mem(), snap,
+                          regions, extra_leaders);
+    }
+
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<AsmIface> a;
+    std::vector<CodeRegion> regions;
+};
+
+const CfgEdge *
+findEdge(const BasicBlock &bb, EdgeKind kind)
+{
+    for (const CfgEdge &e : bb.succs)
+        if (e.kind == kind)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+class CfgBuild : public ::testing::TestWithParam<bool>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Isas, CfgBuild, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });
+
+TEST_P(CfgBuild, ConditionalBranchSplitsBlocks)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+    auto taken = a.newLabel();
+    a.li(a.regTmp(0), 1);
+    a.beqz(a.regTmp(0), taken);
+    Addr fallthrough = a.here();
+    a.addi(a.regTmp(0), 1);
+    a.halt(a.regTmp(0));
+    a.bind(taken);
+    Addr taken_addr = a.here();
+    a.li(a.regTmp(1), 2);
+    a.halt(a.regTmp(1));
+    f.endRegion(codeBase, 0, "branchy");
+
+    Cfg cfg = f.build();
+    const BasicBlock *entry = cfg.blockStarting(codeBase);
+    ASSERT_NE(entry, nullptr);
+
+    // The branch terminates the entry block; both arms start blocks.
+    const BasicBlock *ft = cfg.blockStarting(fallthrough);
+    const BasicBlock *tk = cfg.blockStarting(taken_addr);
+    ASSERT_NE(ft, nullptr);
+    ASSERT_NE(tk, nullptr);
+    ASSERT_EQ(entry->succs.size(), 2u);
+    const CfgEdge *branch = findEdge(*entry, EdgeKind::Branch);
+    const CfgEdge *fall = findEdge(*entry, EdgeKind::Fallthrough);
+    ASSERT_NE(branch, nullptr);
+    ASSERT_NE(fall, nullptr);
+    EXPECT_EQ(branch->to, tk->id);
+    EXPECT_EQ(fall->to, ft->id);
+
+    // Halt blocks have no successors.
+    EXPECT_TRUE(ft->succs.empty());
+    EXPECT_TRUE(tk->succs.empty());
+}
+
+TEST_P(CfgBuild, CallGetsCallAndReturnEdges)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+    a.callAbs(calleeBase, a.regTmp(0));
+    Addr after_call = a.here();
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    f.endRegion(codeBase, 0, "caller");
+
+    // Reposition: a second fixture region holds the callee.
+    auto ca = GetParam() ? makeX86Asm(calleeBase)
+                         : makeRiscvAsm(calleeBase);
+    ca->li(ca->regTmp(1), 7);
+    ca->ret();
+    ca->loadInto(f.machine->mem());
+    f.regions.push_back({calleeBase, ca->here(), 0, "callee"});
+
+    Cfg cfg = f.build();
+    const BasicBlock *entry = cfg.blockStarting(codeBase);
+    const BasicBlock *callee = cfg.blockStarting(calleeBase);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_NE(callee, nullptr);
+
+    const CfgEdge *call = findEdge(*entry, EdgeKind::Call);
+    const CfgEdge *ret = findEdge(*entry, EdgeKind::Return);
+    ASSERT_NE(call, nullptr) << "callAbs target did not resolve";
+    ASSERT_NE(ret, nullptr);
+    EXPECT_EQ(call->to, callee->id);
+    EXPECT_EQ(cfg.blocks()[ret->to].start, after_call);
+
+    // The actual `ret` gets no successors (context-insensitive).
+    EXPECT_TRUE(callee->succs.empty());
+    EXPECT_TRUE(cfg.unresolvedIndirects().empty());
+}
+
+TEST_P(CfgBuild, GateEdgeCrossesDomains)
+{
+    CfgFixture f(GetParam());
+    DomainManager &dm = f.machine->domains();
+    DomainId d1 = dm.createBaselineDomain();
+    DomainId d2 = dm.createBaselineDomain();
+
+    AsmIface &a = *f.a;
+    a.li(a.regGate(), 0); // gate id 0
+    Addr gate_pc = a.here();
+    a.hccall(a.regGate());
+    f.endRegion(codeBase, d1, "caller");
+
+    auto sa = GetParam() ? makeX86Asm(calleeBase)
+                         : makeRiscvAsm(calleeBase);
+    sa->li(sa->regArg(0), 0);
+    sa->halt(sa->regArg(0));
+    sa->loadInto(f.machine->mem());
+    f.regions.push_back({calleeBase, sa->here(), d2, "service"});
+
+    dm.registerGate(gate_pc, calleeBase, d2);
+    dm.publish();
+
+    Cfg cfg = f.build();
+    ASSERT_EQ(cfg.gates().size(), 1u);
+    ASSERT_EQ(cfg.gateSites().size(), 1u);
+    const GateSite &site = cfg.gateSites().front();
+    EXPECT_EQ(site.pc, gate_pc);
+    EXPECT_TRUE(site.resolved);
+    EXPECT_EQ(site.gate, 0u);
+
+    const BasicBlock &caller = cfg.blocks()[site.block];
+    const CfgEdge *gate = findEdge(caller, EdgeKind::Gate);
+    ASSERT_NE(gate, nullptr);
+    EXPECT_EQ(gate->dest_domain, d2);
+    EXPECT_EQ(cfg.blocks()[gate->to].start, calleeBase);
+    EXPECT_EQ(cfg.blocks()[gate->to].domain, d2);
+}
+
+TEST_P(CfgBuild, IndirectJumpThroughCopyChainResolves)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+
+    // The target block sits first so its address is known when the
+    // jump materializes it.
+    auto over = a.newLabel();
+    a.jmp(over);
+    Addr target = a.here();
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    a.bind(over);
+    // Materialize the target through a zeroing idiom and an or-copy:
+    // only the ConstTracker's ALU folding resolves this chain.
+    a.xor_(a.regTmp(1), a.regTmp(1));
+    a.li(a.regTmp(0), target);
+    a.or_(a.regTmp(1), a.regTmp(0));
+    a.jmpReg(a.regTmp(1));
+    f.endRegion(codeBase, 0, "indirect");
+
+    Cfg cfg = f.build();
+    EXPECT_TRUE(cfg.unresolvedIndirects().empty())
+        << "copy chain did not fold to a constant target";
+    const BasicBlock *jumper = cfg.blockContaining(f.a->here() - 1);
+    ASSERT_NE(jumper, nullptr);
+    const CfgEdge *jump = findEdge(*jumper, EdgeKind::Jump);
+    ASSERT_NE(jump, nullptr);
+    EXPECT_EQ(cfg.blocks()[jump->to].start, target);
+}
+
+TEST_P(CfgBuild, UnresolvedIndirectIsListedAndWidens)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+    // The target comes out of memory: statically unresolvable.
+    a.li(a.regTmp(0), 0x2000);
+    a.load64(a.regTmp(1), a.regTmp(0), 0);
+    Addr jump_pc = a.here();
+    a.jmpReg(a.regTmp(1));
+    Addr island = a.here();
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    f.endRegion(codeBase, 0, "blind");
+
+    Cfg cfg = f.build();
+    ASSERT_EQ(cfg.unresolvedIndirects().size(), 1u);
+    EXPECT_EQ(cfg.unresolvedIndirects().front().pc, jump_pc);
+    EXPECT_FALSE(cfg.unresolvedIndirects().front().is_call);
+
+    // No direct edge reaches the island, but the widening rule makes
+    // every same-domain block reachable from the entry.
+    const BasicBlock *isl = cfg.blockStarting(island);
+    ASSERT_NE(isl, nullptr);
+    std::vector<bool> seen = cfg.reachableFrom({codeBase});
+    EXPECT_TRUE(seen[isl->id]);
+}
+
+TEST_P(CfgBuild, UnreachableBlockStaysUnreachable)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+    auto end = a.newLabel();
+    a.jmp(end);
+    Addr dead = a.here();
+    a.li(a.regTmp(0), 9);
+    a.halt(a.regTmp(0));
+    a.bind(end);
+    Addr live = a.here();
+    a.li(a.regArg(0), 0);
+    a.halt(a.regArg(0));
+    f.endRegion(codeBase, 0, "skippy");
+
+    Cfg cfg = f.build();
+    const BasicBlock *dd = cfg.blockStarting(dead);
+    const BasicBlock *lv = cfg.blockStarting(live);
+    ASSERT_NE(dd, nullptr);
+    ASSERT_NE(lv, nullptr);
+    std::vector<bool> seen = cfg.reachableFrom({codeBase});
+    EXPECT_FALSE(seen[dd->id]) << "dead code wrongly reachable";
+    EXPECT_TRUE(seen[lv->id]);
+}
+
+TEST_P(CfgBuild, ExtraLeadersForceMidRegionBlockStarts)
+{
+    CfgFixture f(GetParam());
+    AsmIface &a = *f.a;
+    a.li(a.regTmp(0), 1);
+    Addr vector_entry = a.here(); // e.g. a trap vector target
+    a.li(a.regTmp(1), 2);
+    a.halt(a.regTmp(1));
+    f.endRegion(codeBase, 0, "linear");
+
+    // Without the hint the entry is swallowed mid-block...
+    Cfg plain = f.build();
+    EXPECT_EQ(plain.blockStarting(vector_entry), nullptr);
+    EXPECT_TRUE(plain.reachableFrom({vector_entry}).empty() ||
+                !plain.reachableFrom({vector_entry})[0]);
+
+    // ...and with it the seed becomes a reachable block of its own.
+    Cfg hinted = f.build({vector_entry});
+    const BasicBlock *bb = hinted.blockStarting(vector_entry);
+    ASSERT_NE(bb, nullptr);
+    EXPECT_TRUE(hinted.reachableFrom({vector_entry})[bb->id]);
+}

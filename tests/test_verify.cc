@@ -313,3 +313,47 @@ TEST(VerifyReportTest, SeverityNames)
     EXPECT_STREQ(severityName(Severity::Warning), "warning");
     EXPECT_STREQ(severityName(Severity::Lint), "lint");
 }
+
+// ---------------------------------------------------------------------
+// ConstTracker: ALU copy-chain folding
+// ---------------------------------------------------------------------
+
+class ConstTrackerFolding : public ::testing::TestWithParam<bool>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Isas, ConstTrackerFolding, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });
+
+TEST_P(ConstTrackerFolding, AluCopyChainResolvesGateId)
+{
+    bool x86 = GetParam();
+    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    auto a = x86 ? makeX86Asm(0x1000) : makeRiscvAsm(0x1000);
+
+    // The gate id 5 is only known by folding the whole chain: a
+    // zeroing xor, an or-copy and a subtraction. Each of these used
+    // to kill the destination register, leaving the hccall's gate id
+    // unresolved for every downstream static analysis.
+    a->li(a->regArg(1), 7);
+    a->xor_(a->regGate(), a->regGate());
+    a->or_(a->regGate(), a->regArg(1));
+    a->li(a->regArg(2), 2);
+    a->sub(a->regGate(), a->regArg(2));
+    Addr gate_pc = a->here();
+    a->hccall(a->regGate());
+    a->loadInto(machine->mem());
+
+    CodeRegion region{0x1000, a->here(), 1, "folded"};
+    std::optional<RegVal> at_gate;
+    walkRegion(machine->isa(), machine->mem(), region,
+               [&](const ScanStep &step) {
+                   if (step.pc == gate_pc)
+                       at_gate = step.consts->value(step.inst->rs1);
+               });
+    ASSERT_TRUE(at_gate.has_value())
+        << "gate id register did not resolve through the copy chain";
+    EXPECT_EQ(*at_gate, 5u);
+}

@@ -91,3 +91,12 @@ TEST(VerifyJson, CountsMatchFindings)
     EXPECT_NE(json.find("\\n"), std::string::npos);
     EXPECT_NE(json.find("\\\\"), std::string::npos);
 }
+
+TEST(VerifyJson, SummaryObjectCountsEverySeverity)
+{
+    std::string json = sampleReport().json();
+    EXPECT_NE(json.find("\"summary\":{\"violations\":1,\"warnings\":1,"
+                        "\"lints\":1,\"total\":3,\"recorded\":3}"),
+              std::string::npos)
+        << json;
+}

@@ -16,11 +16,14 @@
  *     --list-attacks            print scenario names and exit
  *     --lint                    least-privilege lint findings
  *     --no-misaligned           skip the misaligned-offset scan
+ *     --fail-on=SEVERITY        exit non-zero at/above violation,
+ *                               warning or lint          [violation]
  *     --json                    machine-readable report
  *
- * Exit status: 0 when the policy has no violations, 1 when it has at
- * least one, 2 on usage errors. Warnings and lints never fail the
- * run; they are advisory.
+ * Exit status: 0 when no finding reaches the --fail-on threshold, 1
+ * when at least one does, 2 on usage errors. By default only
+ * violations fail the run; warnings and lints are advisory unless the
+ * threshold is lowered.
  *
  * Examples:
  *   isagrid-verify --arch=x86 --mode=nested --tstacks
@@ -49,6 +52,7 @@ struct Options
     std::string attack;
     bool list_attacks = false;
     bool json = false;
+    Severity fail_on = Severity::Violation;
     VerifyOptions verify;
 };
 
@@ -60,7 +64,8 @@ usage(const char *argv0)
                  "[--mode=native|decomposed|nested]\n"
                  "  [--timer=N] [--tstacks] [--attack=NAME] "
                  "[--list-attacks]\n"
-                 "  [--lint] [--no-misaligned] [--json]\n",
+                 "  [--lint] [--no-misaligned] "
+                 "[--fail-on=violation|warning|lint] [--json]\n",
                  argv0);
     std::exit(2);
 }
@@ -110,6 +115,18 @@ parse(int argc, char **argv)
             opt.verify.lint = true;
         } else if (std::strcmp(argv[i], "--no-misaligned") == 0) {
             opt.verify.scan_misaligned = false;
+        } else if (eat(argv[i], "--fail-on", v)) {
+            if (v == "violation")
+                opt.fail_on = Severity::Violation;
+            else if (v == "warning")
+                opt.fail_on = Severity::Warning;
+            else if (v == "lint")
+                opt.fail_on = Severity::Lint;
+            else
+                usage(argv[0]);
+            // Failing on lints only makes sense if they are computed.
+            if (opt.fail_on == Severity::Lint)
+                opt.verify.lint = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opt.json = true;
         } else {
@@ -184,5 +201,12 @@ main(int argc, char **argv)
         std::printf("%s\n", report.json().c_str());
     else
         std::printf("%s", report.text().c_str());
-    return report.violations() > 0 ? 1 : 0;
+
+    std::size_t failing = report.violations();
+    if (opt.fail_on == Severity::Warning ||
+        opt.fail_on == Severity::Lint)
+        failing += report.warnings();
+    if (opt.fail_on == Severity::Lint)
+        failing += report.lints();
+    return failing > 0 ? 1 : 0;
 }
