@@ -184,6 +184,45 @@ attackScenarios(bool x86)
             };
             list.push_back(s);
         }
+        {
+            // Contract-violation family: the masked-write fault
+            // channel. The kernel domain keeps its CR4 bit-mask but
+            // loses the read grant; the bit-mask equation consults the
+            // live CR4 value, so the accept/fault outcome of a probe
+            // write leaks the hidden bits. isagrid-verify and
+            // isagrid-mc flag only the follow-up CR3 abuse — the probe
+            // itself is caught by isagrid-contract's noninterference
+            // checkers alone.
+            AttackScenario s;
+            s.name = "Mask-probe side channel";
+            s.prerequisite = "CR4 bit-mask without read grant";
+            s.consequence =
+                "infer hidden control-register state via mask faults";
+            s.x86_only = true;
+            s.configure = [](Machine &m, const KernelImage &image) {
+                m.domains().revokeCsrRead(image.kernel_domain,
+                                          x86::CSR_CR4);
+                m.domains().publish();
+            };
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                // CR4 boots as PAE|PGE|OSFXSR; flipping only SMAP
+                // stays inside the kernel's CR4_SMAP mask, so the
+                // probe is legal against the boot value — and faults
+                // against any other hidden value.
+                a.li(a.regTmp(0),
+                     (x86::CR4_PAE | x86::CR4_PGE | x86::CR4_OSFXSR) ^
+                         x86::CR4_SMAP);
+                a.csrWrite(x86::CSR_CR4, a.regTmp(0));
+                // Abuse the inferred state: the follow-up the PCU
+                // does block.
+                a.li(a.regTmp(1), 0x13370000);
+                a.csrWrite(x86::CSR_CR3, a.regTmp(1));
+                win(a);
+                return entry;
+            };
+            list.push_back(s);
+        }
     } else {
         // --- RISC-V analogues of the ARM / generic rows ---
         list.push_back(csrReadAttack(
@@ -216,6 +255,35 @@ attackScenarios(bool x86)
                 Addr entry = a.here();
                 a.li(a.regArg(0), 0);
                 a.jmpAbs(island + 2, a.regTmp(0));
+                return entry;
+            };
+            list.push_back(s);
+        }
+        {
+            // Contract-violation family (RISC-V flavour): sstatus
+            // keeps its SPP|SPIE|SIE|SUM bit-mask but loses the read
+            // grant. The probe write of SIE is legal against the boot
+            // value 0, so the mask-equation outcome reads the hidden
+            // sstatus — a channel only isagrid-contract's checkers
+            // flag (the blocked satp follow-up is what the other
+            // tools see).
+            AttackScenario s;
+            s.name = "Mask-probe side channel";
+            s.prerequisite = "sstatus bit-mask without read grant";
+            s.consequence =
+                "infer hidden supervisor state via mask faults";
+            s.configure = [](Machine &m, const KernelImage &image) {
+                m.domains().revokeCsrRead(image.kernel_domain,
+                                          riscv::CSR_SSTATUS);
+                m.domains().publish();
+            };
+            s.emit = [](AsmIface &a) {
+                Addr entry = a.here();
+                a.li(a.regTmp(0), riscv::SSTATUS_SIE);
+                a.csrWrite(riscv::CSR_SSTATUS, a.regTmp(0));
+                a.li(a.regTmp(1), 0x13370000);
+                a.csrWrite(riscv::CSR_SATP, a.regTmp(1));
+                win(a);
                 return entry;
             };
             list.push_back(s);
@@ -328,6 +396,8 @@ prepareAttack(const AttackScenario &scenario, bool x86, bool with_isagrid)
                                : KernelMode::Monolithic;
     KernelBuilder builder(machine, config);
     prepared.image = builder.build(layout::userCodeBase);
+    if (with_isagrid && scenario.configure)
+        scenario.configure(machine, prepared.image);
 
     // Emit the payload. It executes inside the compromised component's
     // ISA domain (the kernel's basic domain when decomposed).

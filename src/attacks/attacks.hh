@@ -47,6 +47,13 @@ struct AttackScenario
     bool requires_isagrid = false;
     /** Emit the payload; returns the entry PC. Ends with halt(0). */
     std::function<Addr(AsmIface &)> emit;
+    /**
+     * Optional post-build tweak of the decomposed kernel's privilege
+     * tables (the contract-violation family sharpens grants before the
+     * payload runs). Applied only when ISA-Grid is enabled; must call
+     * DomainManager::publish() after rewriting the tables.
+     */
+    std::function<void(Machine &, const KernelImage &)> configure;
 };
 
 /** Result of one payload run. */

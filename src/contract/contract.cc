@@ -1,0 +1,423 @@
+#include "contract/contract.hh"
+
+#include "contract/relcheck.hh"
+#include "contract/selfcomp.hh"
+#include "isa/state.hh"
+#include "isagrid/privilege_set.hh"
+#include "kernel/asm_iface.hh"
+
+namespace isagrid {
+
+namespace {
+
+/** Scratch address the discharge probes assemble at (as replay.cc). */
+constexpr Addr probeBase = 0x78000;
+
+const char *
+kindName(TraceStep::Kind kind)
+{
+    switch (kind) {
+      case TraceStep::Kind::GateCall: return "hccall";
+      case TraceStep::Kind::GateCallS: return "hccalls";
+      case TraceStep::Kind::GateRet: return "hcrets";
+      case TraceStep::Kind::CsrWrite: return "csr-write";
+      case TraceStep::Kind::Inst: return "inst";
+      case TraceStep::Kind::Store: return "store";
+    }
+    return "?";
+}
+
+/**
+ * Discharge experiment for rel-mask-observe. Two cases, both starting
+ * from states low-equivalent for the accused domain:
+ *
+ *  - The CSR is itself high for the domain (no read grant — the
+ *    contract-attack configuration): a direct capability probe. Flip
+ *    the CSR in the second machine, position both in the accused
+ *    domain, and execute the *same* absolute-value masked write in
+ *    each. The probe writes old ^ (lowest mask bit), legal against the
+ *    unperturbed old value — so only the hidden bits can make the
+ *    bit-mask equation disagree. An accept/fault split confirms the
+ *    fault channel; identical outcomes discharge it.
+ *  - The CSR is readable by the domain: its copies can only differ
+ *    through an intermediate image flow out of genuinely high state
+ *    (flipping the CSR itself would break low-equivalence and prove
+ *    nothing). Ground the claim in the image: flip the domain's high
+ *    CSR set and run the real image in lockstep. Confirmed iff the
+ *    run outcomes ever split before the runs end or desynchronize —
+ *    the fault channel realizing, not just reachable in the
+ *    abstraction.
+ */
+ContractVerdict
+dischargeMaskObserve(const ContractScenario &scenario,
+                     const ContractFinding &finding,
+                     const ContractOptions &options, ContractStats &stats)
+{
+    auto a = scenario.build();
+    auto b = scenario.build();
+    ++stats.discharges;
+
+    CsrFile &csrs_a = a->core().state().csrs;
+    CsrFile &csrs_b = b->core().state().csrs;
+    if (!csrs_a.exists(finding.csr_addr))
+        return ContractVerdict::Discharged;
+    PrivilegeSet priv(a->isa(), a->mem(), a->pcu());
+
+    if (priv.csrReadable(finding.domain, finding.csr_addr)) {
+        // Carried-flow case: image-grounded lockstep.
+        scenario.position(*a);
+        scenario.position(*b);
+        for (std::uint32_t src : priv.highCsrs(finding.domain)) {
+            if (csrs_b.exists(src))
+                csrs_b.write(src, ~csrs_b.read(src));
+        }
+        for (std::uint64_t step = 0; step < options.max_insts; ++step) {
+            RunResult ra = a->core().run(1);
+            RunResult rb = b->core().run(1);
+            ++stats.steps_compared;
+            if (ra.reason != rb.reason || ra.fault != rb.fault)
+                return ContractVerdict::Confirmed;
+            if (ra.reason != StopReason::MaxInstructions ||
+                rb.reason != StopReason::MaxInstructions)
+                break; // both runs ended the same way
+            if (a->core().state().pc != b->core().state().pc)
+                break; // desynchronized: no mask-equation split
+        }
+        return ContractVerdict::Discharged;
+    }
+
+    // Self-high case: direct capability probe. Position first —
+    // reset() reinitialises the whole architectural state, so the
+    // perturbation must land after it.
+    RegVal mask = priv.csrMask(finding.domain, finding.csr_addr);
+    RegVal bit = mask & (~mask + 1);
+    a->core().reset(probeBase);
+    b->core().reset(probeBase);
+    RegVal old_a = csrs_a.read(finding.csr_addr);
+    RegVal value = old_a ^ bit;
+    for (Machine *m : {a.get(), b.get()}) {
+        auto as = m->isa().name() == "x86" ? makeX86Asm(probeBase)
+                                           : makeRiscvAsm(probeBase);
+        as->li(as->regTmp(0), value);
+        as->csrWrite(finding.csr_addr, as->regTmp(0));
+        as->li(as->regArg(0), 0x5a);
+        as->halt(as->regArg(0));
+        as->loadInto(m->mem());
+        m->pcu().setGridReg(GridReg::Domain, finding.domain);
+    }
+    csrs_b.write(finding.csr_addr, ~old_a);
+    RunResult ra = a->core().run(32);
+    RunResult rb = b->core().run(32);
+    bool split = ra.reason != rb.reason || ra.fault != rb.fault ||
+                 ra.halt_code != rb.halt_code;
+    return split ? ContractVerdict::Confirmed
+                 : ContractVerdict::Discharged;
+}
+
+/**
+ * Discharge experiment for rel-high-flow: run the *actual image* twice
+ * in lockstep with only the finding's source CSRs perturbed, watching
+ * the carrier CSR. The static register abstraction assumes any value a
+ * domain read may reach any CSR it writes; this grounds the claim in
+ * the image's real data flow. Confirmed iff the carrier's two copies
+ * ever differ before the runs end or desynchronize.
+ */
+ContractVerdict
+dischargeHighFlow(const ContractScenario &scenario,
+                  const ContractFinding &finding,
+                  const ContractOptions &options, ContractStats &stats)
+{
+    auto a = scenario.build();
+    auto b = scenario.build();
+    scenario.position(*a);
+    scenario.position(*b);
+    ++stats.discharges;
+
+    CsrFile &csrs_b = b->core().state().csrs;
+    for (std::uint32_t src : finding.src_csrs) {
+        if (csrs_b.exists(src))
+            csrs_b.write(src, ~csrs_b.read(src));
+    }
+    if (!a->core().state().csrs.exists(finding.csr_addr))
+        return ContractVerdict::Discharged;
+
+    for (std::uint64_t step = 0; step < options.max_insts; ++step) {
+        RunResult ra = a->core().run(1);
+        RunResult rb = b->core().run(1);
+        ++stats.steps_compared;
+        if (a->core().state().csrs.read(finding.csr_addr) !=
+            b->core().state().csrs.read(finding.csr_addr))
+            return ContractVerdict::Confirmed;
+        if (ra.reason != StopReason::MaxInstructions ||
+            rb.reason != StopReason::MaxInstructions)
+            break; // either run ended
+        if (a->core().state().pc != b->core().state().pc)
+            break; // desynchronized: the carrier never differed
+    }
+    return ContractVerdict::Discharged;
+}
+
+void
+renderTrace(std::string &out, const std::vector<TraceStep> &trace)
+{
+    for (const auto &s : trace) {
+        out += "    ";
+        out += kindName(s.kind);
+        if (s.in_image || s.pc != 0)
+            out += " pc=" + hexAddr(s.pc);
+        if (s.kind == TraceStep::Kind::GateCall ||
+            s.kind == TraceStep::Kind::GateCallS)
+            out += " gate=" + std::to_string(s.gate);
+        if (s.csr_addr != ~0u)
+            out += " csr=" + hexAddr(s.csr_addr);
+        if (s.domain_before != s.domain_after) {
+            out += " d" + std::to_string(s.domain_before) + "->d" +
+                   std::to_string(s.domain_after);
+        }
+        if (s.expect != FaultType::None)
+            out += std::string(" => ") + faultName(s.expect);
+        if (!s.note.empty())
+            out += "  (" + s.note + ")";
+        out += "\n";
+    }
+}
+
+} // namespace
+
+const char *
+contractVerdictName(ContractVerdict verdict)
+{
+    switch (verdict) {
+      case ContractVerdict::Confirmed: return "confirmed";
+      case ContractVerdict::Discharged: return "discharged";
+      case ContractVerdict::Plausible: return "plausible";
+    }
+    return "?";
+}
+
+std::size_t
+ContractReport::violations() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.severity == Severity::Violation;
+    return n;
+}
+
+std::size_t
+ContractReport::warnings() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.severity == Severity::Warning;
+    return n;
+}
+
+std::size_t
+ContractReport::confirmed() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.verdict == ContractVerdict::Confirmed;
+    return n;
+}
+
+std::size_t
+ContractReport::discharged() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.verdict == ContractVerdict::Discharged;
+    return n;
+}
+
+std::size_t
+ContractReport::plausible() const
+{
+    std::size_t n = 0;
+    for (const auto &f : findings)
+        n += f.verdict == ContractVerdict::Plausible;
+    return n;
+}
+
+std::string
+ContractReport::text() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += severityName(f.severity);
+        out += ' ';
+        out += f.check;
+        out += " domain=" + std::to_string(f.domain);
+        if (f.csr_addr != 0)
+            out += " csr=" + hexAddr(f.csr_addr);
+        out += " [";
+        out += contractVerdictName(f.verdict);
+        out += "]: " + f.message + "\n";
+        if (f.check == "dyn-divergence") {
+            out += "    step " + std::to_string(f.step) + " pc " +
+                   hexAddr(f.pc) + ": " + f.divergence + "\n";
+        }
+        renderTrace(out, f.trace);
+    }
+    out += std::to_string(violations()) + " violations, " +
+           std::to_string(warnings()) + " warnings; " +
+           std::to_string(confirmed()) + " confirmed, " +
+           std::to_string(discharged()) + " discharged, " +
+           std::to_string(plausible()) + " plausible; " +
+           std::to_string(stats.windows) + " windows, " +
+           std::to_string(stats.steps_compared) + " steps compared, " +
+           std::to_string(stats.forks) + " forks, " +
+           std::to_string(stats.rel_states) + " relational states, " +
+           std::to_string(stats.discharges) + " discharges\n";
+    return out;
+}
+
+std::string
+ContractReport::json() const
+{
+    std::string out = "{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    // Per-severity and per-verdict summary, mirroring the
+    // isagrid-verify report contract.
+    out += ",\"summary\":{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    out += ",\"confirmed\":" + std::to_string(confirmed());
+    out += ",\"discharged\":" + std::to_string(discharged());
+    out += ",\"plausible\":" + std::to_string(plausible());
+    out += ",\"total\":" + std::to_string(findings.size());
+    out += ",\"recorded\":" + std::to_string(findings.size());
+    out += "}";
+    out += ",\"stats\":{";
+    out += "\"windows\":" + std::to_string(stats.windows);
+    out += ",\"steps_compared\":" + std::to_string(stats.steps_compared);
+    out += ",\"forks\":" + std::to_string(stats.forks);
+    out += ",\"rel_states\":" + std::to_string(stats.rel_states);
+    out += ",\"rel_transitions\":" +
+           std::to_string(stats.rel_transitions);
+    out += ",\"discharges\":" + std::to_string(stats.discharges);
+    out += "}";
+    out += ",\"findings\":[";
+    bool first = true;
+    for (const auto &f : findings) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"severity\":\"";
+        out += severityName(f.severity);
+        out += "\",\"check\":\"";
+        jsonEscape(out, f.check);
+        out += "\",\"domain\":" + std::to_string(f.domain);
+        out += ",\"csr\":\"" + hexAddr(f.csr_addr) + "\"";
+        out += ",\"verdict\":\"";
+        out += contractVerdictName(f.verdict);
+        out += "\",\"message\":\"";
+        jsonEscape(out, f.message);
+        out += "\"";
+        if (f.check == "dyn-divergence") {
+            out += ",\"step\":" + std::to_string(f.step);
+            out += ",\"pc\":\"" + hexAddr(f.pc) + "\"";
+            out += ",\"divergence\":\"";
+            jsonEscape(out, f.divergence);
+            out += "\"";
+        }
+        if (!f.src_csrs.empty()) {
+            out += ",\"src_csrs\":[";
+            bool fs = true;
+            for (std::uint32_t src : f.src_csrs) {
+                if (!fs)
+                    out += ',';
+                fs = false;
+                out += "\"" + hexAddr(src) + "\"";
+            }
+            out += "]";
+        }
+        out += ",\"trace\":[";
+        bool first_step = true;
+        for (const auto &s : f.trace) {
+            if (!first_step)
+                out += ',';
+            first_step = false;
+            out += "{\"kind\":\"";
+            out += kindName(s.kind);
+            out += "\",\"pc\":\"" + hexAddr(s.pc) + "\"";
+            if (s.csr_addr != ~0u)
+                out += ",\"csr\":\"" + hexAddr(s.csr_addr) + "\"";
+            out += ",\"domain_before\":" +
+                   std::to_string(s.domain_before);
+            out += ",\"domain_after\":" +
+                   std::to_string(s.domain_after);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+ContractScenario::position(Machine &machine) const
+{
+    machine.core().reset(start_pc);
+    if (start_domain != ~DomainId{0})
+        machine.pcu().setGridReg(GridReg::Domain, start_domain);
+}
+
+ContractReport
+checkContract(const ContractScenario &scenario,
+              const ContractOptions &options)
+{
+    ContractReport report;
+
+    if (options.run_static) {
+        auto probe = scenario.build();
+        PolicySnapshot snap = PolicySnapshot::fromPcu(probe->pcu());
+        DomainId initial = scenario.start_domain == ~DomainId{0}
+                               ? 0
+                               : scenario.start_domain;
+        std::vector<DomainId> targets = options.domains;
+        if (targets.empty()) {
+            DomainId domains = probe->pcu().gridReg(GridReg::DomainNr);
+            for (DomainId d = 1; d < domains; ++d)
+                targets.push_back(d);
+        }
+        for (DomainId target : targets) {
+            runRelationalCheck(probe->isa(), probe->mem(), snap,
+                               scenario.code_regions, initial, target,
+                               options, report.findings, report.stats);
+        }
+    }
+
+    if (options.run_dynamic) {
+        runSelfComposition(scenario, options, report.findings,
+                           report.stats);
+    }
+
+    // Every PLAUSIBLE static finding meets the machine: confirmed
+    // findings keep (or gain) Violation severity, discharged ones are
+    // demoted to Warning and kept for transparency.
+    if (options.run_static && options.run_dynamic) {
+        for (ContractFinding &f : report.findings) {
+            if (f.verdict != ContractVerdict::Plausible)
+                continue;
+            if (f.check == "rel-mask-observe") {
+                f.verdict = dischargeMaskObserve(scenario, f, options,
+                                                 report.stats);
+                if (f.verdict == ContractVerdict::Discharged)
+                    f.severity = Severity::Warning;
+            } else if (f.check == "rel-high-flow") {
+                f.verdict = dischargeHighFlow(scenario, f, options,
+                                              report.stats);
+                if (f.verdict == ContractVerdict::Confirmed)
+                    f.severity = Severity::Violation;
+            }
+            f.message += std::string("; dynamic experiment: ") +
+                         contractVerdictName(f.verdict);
+        }
+    }
+    return report;
+}
+
+} // namespace isagrid

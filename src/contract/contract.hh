@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Domain noninterference checking — the contract library's public
+ * surface.
+ *
+ * ISA-Grid's information-flow guarantee, stated as a universal
+ * contract: a domain confined to privilege set P observes and
+ * influences no architectural state outside P. Two cooperating
+ * checkers test it (docs/contracts.md):
+ *
+ *  - The dynamic self-composition oracle (selfcomp.hh) runs the same
+ *    image twice with low-equivalent initial states — the second run's
+ *    state is perturbed only *outside* the target domain's privilege
+ *    set — and flags any divergence of the target domain's observable
+ *    state, with a trace pinpointing the first divergent instruction
+ *    and a taint explanation (taint.hh).
+ *  - The static relational checker (relcheck.hh) lifts the model
+ *    checker's per-bit CSR abstraction to a two-copy abstract domain
+ *    over the domain-switch state space and proves the absence of
+ *    high-to-low flows, or reports PLAUSIBLE violations.
+ *
+ * Every PLAUSIBLE static finding is discharged or confirmed through a
+ *  targeted dynamic experiment (ContractChecker::run), so the two
+ * checkers never disagree silently.
+ */
+
+#ifndef ISAGRID_CONTRACT_CONTRACT_HH_
+#define ISAGRID_CONTRACT_CONTRACT_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "modelcheck/modelcheck.hh"
+#include "verify/verify.hh"
+
+namespace isagrid {
+
+/** How a finding fared against the dynamic oracle. */
+enum class ContractVerdict : std::uint8_t
+{
+    Confirmed,  //!< dynamically reproduced (a real violation)
+    Discharged, //!< dynamically refuted (static over-approximation)
+    Plausible,  //!< not yet checked dynamically
+};
+
+const char *contractVerdictName(ContractVerdict verdict);
+
+/** One noninterference finding. */
+struct ContractFinding
+{
+    Severity severity = Severity::Violation;
+    /** "dyn-divergence", "rel-mask-observe" or "rel-high-flow". */
+    std::string check;
+    /** The target domain whose view leaked. */
+    DomainId domain = 0;
+    /** The CSR carrying the flow (0 for memory-only flows). */
+    std::uint32_t csr_addr = 0;
+    std::string message;
+
+    // --- dynamic witness (dyn-divergence and confirmed findings) ---
+    /** Instruction index (from the run start) of the divergence. */
+    std::uint64_t step = 0;
+    /** PC of the first divergent instruction. */
+    Addr pc = 0;
+    /** What differed, plus the taint explanation. */
+    std::string divergence;
+
+    // --- static witness (rel-* findings) ---
+    /** Abstract event path, reusing the model checker's trace type. */
+    std::vector<TraceStep> trace;
+    /** rel-high-flow: the high CSRs the flow may originate from. */
+    std::vector<std::uint32_t> src_csrs;
+
+    ContractVerdict verdict = ContractVerdict::Confirmed;
+};
+
+/** Exploration / comparison statistics. */
+struct ContractStats
+{
+    std::uint64_t windows = 0;         //!< target-domain windows compared
+    std::uint64_t steps_compared = 0;  //!< lockstep instruction pairs
+    std::uint64_t forks = 0;           //!< perturbed re-executions
+    std::uint64_t rel_states = 0;      //!< relational states explored
+    std::uint64_t rel_transitions = 0;
+    std::uint64_t discharges = 0;      //!< targeted dynamic experiments
+};
+
+/** The combined report of both checkers. */
+struct ContractReport
+{
+    std::vector<ContractFinding> findings;
+    ContractStats stats;
+
+    std::size_t violations() const;
+    std::size_t warnings() const;
+    std::size_t confirmed() const;
+    std::size_t discharged() const;
+    std::size_t plausible() const;
+    bool clean() const { return violations() == 0; }
+
+    std::string text() const;
+    std::string json() const;
+};
+
+/** Options shared by both checkers. */
+struct ContractOptions
+{
+    /** Target domains; empty = every domain except domain-0. */
+    std::vector<DomainId> domains;
+    /** Cap on compared windows per target domain. */
+    std::uint64_t max_windows = 32;
+    /** Instruction budget of the reference run. */
+    std::uint64_t max_insts = 200'000;
+    /** Also perturb the free trusted-memory bytes. */
+    bool perturb_memory = true;
+    /** Compare cycle counts (the timing-visible channel). */
+    bool compare_timing = true;
+    /** Relational BFS depth bound (gate/CSR events). */
+    unsigned depth_bound = 6;
+    /** Relational state cap. */
+    std::uint64_t max_states = 1 << 16;
+    bool run_static = true;
+    bool run_dynamic = true;
+};
+
+/**
+ * One checkable configuration: a deterministic machine factory plus
+ * where execution starts. build() must return a fully configured
+ * machine (kernel image and payload loaded, PCU programmed); calling
+ * it twice must produce bit-identical machines — the determinism the
+ * replay tests (test_replay.cc) underwrite.
+ */
+struct ContractScenario
+{
+    std::function<std::unique_ptr<Machine>()> build;
+    /** PC execution starts at (boot_pc or payload entry). */
+    Addr start_pc = 0;
+    /** Domain installed before the run; ~0 = leave at domain-0. */
+    DomainId start_domain = ~DomainId{0};
+    /** Code regions of the image (for the relational checker). */
+    std::vector<CodeRegion> code_regions;
+
+    /** Apply start_pc / start_domain to a freshly built machine. */
+    void position(Machine &machine) const;
+};
+
+/**
+ * The combined checker: runs the relational pass, then the
+ * self-composition oracle, then discharges or confirms every
+ * PLAUSIBLE static finding with a targeted experiment.
+ */
+ContractReport checkContract(const ContractScenario &scenario,
+                             const ContractOptions &options = {});
+
+} // namespace isagrid
+
+#endif // ISAGRID_CONTRACT_CONTRACT_HH_

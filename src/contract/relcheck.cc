@@ -1,0 +1,455 @@
+#include "contract/relcheck.hh"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "isa/state.hh"
+#include "isagrid/privilege_set.hh"
+#include "isagrid/sgt.hh"
+
+namespace isagrid {
+
+namespace {
+
+/** One trusted-stack frame, shared by the pair of runs. */
+struct Frame
+{
+    Addr ret_pc = 0;
+    DomainId src = 0;
+    bool operator==(const Frame &) const = default;
+};
+
+/** One relational state (a set of run pairs; see relcheck.hh). */
+struct RelState
+{
+    DomainId domain = 0;
+    std::vector<Frame> stack;
+    /** Per tracked CSR: bits on which the two copies may differ. */
+    std::vector<RegVal> diff;
+    /** Per domain: tracked-CSR indices its registers may carry. */
+    std::vector<std::uint64_t> carry;
+};
+
+std::string
+keyOf(const RelState &s)
+{
+    std::string key;
+    auto put64 = [&key](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            key.push_back(char(v >> (8 * i)));
+    };
+    put64(s.domain);
+    put64(s.stack.size());
+    for (const Frame &f : s.stack) {
+        put64(f.ret_pc);
+        put64(f.src);
+    }
+    for (RegVal d : s.diff)
+        put64(d);
+    for (std::uint64_t c : s.carry)
+        put64(c);
+    return key;
+}
+
+/** One controlled CSR with its Section 4.1 indices. */
+struct TrackedCsr
+{
+    std::uint32_t addr = 0;
+    CsrIndex bitmap_index = invalidCsrIndex;
+    CsrIndex mask_index = invalidCsrIndex;
+    bool high = false; //!< outside the target's read set
+};
+
+/** One SGT entry pre-decoded at its registered address. */
+struct GateInfo
+{
+    SgtEntry entry;
+    bool usable = false;
+    bool extended = false;
+    InstTypeId type = invalidInstType;
+    std::uint8_t rs1 = 0;
+    std::uint8_t length = 0;
+};
+
+/** The per-target relational exploration. */
+struct RelChecker
+{
+    const IsaModel &isa;
+    const PhysMem &mem;
+    PolicyView policy;
+    const PolicySnapshot &snap;
+    DomainId target;
+    const ContractOptions &options;
+    std::vector<ContractFinding> &findings;
+    ContractStats &stats;
+
+    std::vector<TrackedCsr> csrs;
+    std::vector<GateInfo> gates;
+    std::map<DomainId, std::vector<Addr>> retSites;
+
+    struct Node
+    {
+        RelState state;
+        std::uint32_t parent = ~0u;
+        TraceStep edge;
+        unsigned depth = 0;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::uint32_t> index;
+    std::set<std::tuple<std::string, DomainId, std::uint32_t>> reported;
+    bool state_cap_hit = false;
+
+    RelChecker(const IsaModel &isa, const PhysMem &mem,
+               const PolicySnapshot &snap,
+               const std::vector<CodeRegion> &regions, DomainId target,
+               const ContractOptions &options,
+               std::vector<ContractFinding> &findings,
+               ContractStats &stats)
+        : isa(isa), mem(mem), policy(isa, mem, snap), snap(snap),
+          target(target), options(options), findings(findings),
+          stats(stats)
+    {
+        ArchState probe;
+        probe.zero_reg_hardwired = isa.name() != "x86";
+        isa.initState(probe);
+
+        for (std::uint32_t addr : isa.controlledCsrAddrs()) {
+            if (isa.isGridReg(addr))
+                continue;
+            if (!probe.csrs.exists(addr))
+                continue;
+            TrackedCsr c;
+            c.addr = addr;
+            c.bitmap_index = isa.csrBitmapIndex(addr);
+            c.mask_index = isa.csrMaskIndex(addr);
+            if (c.bitmap_index == invalidCsrIndex)
+                continue;
+            c.high = !PrivilegeSet::implicitInput(isa, addr) &&
+                     !policy.csrReadAllowed(target, c.bitmap_index);
+            // The carry sets are 64-bit: cap the tracked list (both
+            // ISA models control far fewer CSRs than that).
+            if (csrs.size() < 64)
+                csrs.push_back(c);
+        }
+
+        GateId n = policy.numGates();
+        if (n > 4096)
+            n = 4096; // corrupt gatenr: the structure checks flag it
+        for (GateId id = 0; id < n; ++id) {
+            GateInfo g;
+            g.entry = policy.gate(id);
+            std::uint8_t buf[16] = {};
+            if (g.entry.gate_addr + isa.maxInstBytes() <= mem.size()) {
+                mem.readBlock(g.entry.gate_addr, buf,
+                              isa.maxInstBytes());
+                DecodedInst inst = isa.decode(buf, isa.maxInstBytes(),
+                                              g.entry.gate_addr);
+                if (inst.valid && (inst.cls == InstClass::GateCall ||
+                                   inst.cls == InstClass::GateCallS)) {
+                    g.usable = true;
+                    g.extended = inst.cls == InstClass::GateCallS;
+                    g.type = inst.type;
+                    g.rs1 = inst.rs1;
+                    g.length = inst.length;
+                }
+            }
+            gates.push_back(g);
+        }
+
+        for (const CodeRegion &region : regions) {
+            walkRegion(isa, mem, region, [&](const ScanStep &step) {
+                if (step.inst->cls == InstClass::GateRet)
+                    retSites[region.domain].push_back(step.pc);
+            });
+        }
+    }
+
+    DomainId numDomains() const { return policy.numDomains(); }
+
+    std::size_t
+    stackCapacity() const
+    {
+        RegVal base = snap.reg(GridReg::Hcsb);
+        RegVal limit = snap.reg(GridReg::Hcsl);
+        return limit > base ? (limit - base) / 16 : 0;
+    }
+
+    std::vector<TraceStep>
+    pathTo(std::uint32_t node) const
+    {
+        std::vector<TraceStep> steps;
+        for (std::uint32_t i = node; nodes[i].parent != ~0u;
+             i = nodes[i].parent)
+            steps.push_back(nodes[i].edge);
+        return {steps.rbegin(), steps.rend()};
+    }
+
+    void
+    addFinding(Severity severity, std::string check, DomainId domain,
+               std::uint32_t csr_addr, std::string message,
+               std::vector<TraceStep> trace,
+               std::vector<std::uint32_t> src_csrs)
+    {
+        if (!reported.emplace(check, domain, csr_addr).second)
+            return;
+        ContractFinding f;
+        f.severity = severity;
+        f.check = std::move(check);
+        f.domain = domain;
+        f.csr_addr = csr_addr;
+        f.message = std::move(message);
+        f.trace = std::move(trace);
+        f.src_csrs = std::move(src_csrs);
+        f.verdict = ContractVerdict::Plausible;
+        findings.push_back(std::move(f));
+    }
+
+    std::uint32_t
+    discover(const RelState &s, std::uint32_t parent, TraceStep edge,
+             unsigned depth, std::deque<std::uint32_t> &frontier)
+    {
+        std::string key = keyOf(s);
+        auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        if (nodes.size() >= options.max_states) {
+            state_cap_hit = true;
+            return ~0u;
+        }
+        std::uint32_t id = std::uint32_t(nodes.size());
+        nodes.push_back({s, parent, std::move(edge), depth});
+        index.emplace(std::move(key), id);
+        frontier.push_back(id);
+        return id;
+    }
+
+    std::vector<std::uint32_t>
+    carriedAddrs(std::uint64_t carry) const
+    {
+        std::vector<std::uint32_t> addrs;
+        for (std::size_t i = 0; i < csrs.size(); ++i) {
+            if (carry & (std::uint64_t{1} << i))
+                addrs.push_back(csrs[i].addr);
+        }
+        return addrs;
+    }
+
+    void
+    expand(std::uint32_t id, std::deque<std::uint32_t> &frontier)
+    {
+        const unsigned depth = nodes[id].depth;
+        if (depth >= options.depth_bound)
+            return;
+        const DomainId d = nodes[id].state.domain;
+        const DomainId domains = numDomains();
+
+        // --- gate calls, executable from every domain (the SGT, not
+        // the caller, names the destination) ---
+        for (std::size_t gid = 0; gid < gates.size(); ++gid) {
+            const GateInfo &g = gates[gid];
+            if (!g.usable)
+                continue;
+            if (d != 0 && g.type != invalidInstType &&
+                !policy.instAllowed(d, g.type))
+                continue;
+            if (domains != 0 && g.entry.dest_domain >= domains)
+                continue; // faults; the model checker reports it
+            ++stats.rel_transitions;
+            RelState succ = nodes[id].state;
+            succ.domain = DomainId(g.entry.dest_domain);
+            if (g.extended) {
+                if (succ.stack.size() >= stackCapacity())
+                    continue;
+                succ.stack.push_back({g.entry.gate_addr + g.length, d});
+            }
+            TraceStep step;
+            step.kind = g.extended ? TraceStep::Kind::GateCallS
+                                   : TraceStep::Kind::GateCall;
+            step.pc = g.entry.gate_addr;
+            step.in_image = true;
+            step.gate = GateId(gid);
+            step.domain_before = d;
+            step.domain_after = succ.domain;
+            discover(succ, id, std::move(step), depth + 1, frontier);
+        }
+
+        // --- hcrets pops, as in the model checker ---
+        auto sites = retSites.find(d);
+        if (sites != retSites.end() && !sites->second.empty() &&
+            !nodes[id].state.stack.empty()) {
+            const Frame top = nodes[id].state.stack.back();
+            if (top.src != 0 && (domains == 0 || top.src < domains)) {
+                ++stats.rel_transitions;
+                RelState succ = nodes[id].state;
+                succ.stack.pop_back();
+                succ.domain = top.src;
+                TraceStep step;
+                step.kind = TraceStep::Kind::GateRet;
+                step.pc = sites->second.front();
+                step.in_image = true;
+                step.domain_before = d;
+                step.domain_after = top.src;
+                discover(succ, id, std::move(step), depth + 1,
+                         frontier);
+            }
+        }
+
+        if (d == 0)
+            return; // domain-0 is the trusted base of the contract
+
+        const std::uint64_t carry =
+            d < nodes[id].state.carry.size() ? nodes[id].state.carry[d]
+                                             : 0;
+
+        for (std::size_t i = 0; i < csrs.size(); ++i) {
+            const TrackedCsr &c = csrs[i];
+            const RegVal diff = nodes[id].state.diff[i];
+
+            // --- permitted reads: a differing value moves into the
+            // reader's registers ---
+            if (diff != 0 && policy.csrReadAllowed(d, c.bitmap_index) &&
+                (carry & (std::uint64_t{1} << i)) == 0) {
+                ++stats.rel_transitions;
+                RelState succ = nodes[id].state;
+                succ.carry[d] |= std::uint64_t{1} << i;
+                TraceStep step;
+                step.kind = TraceStep::Kind::Inst;
+                step.csr_addr = c.addr;
+                step.domain_before = step.domain_after = d;
+                step.note = "permitted read of a CSR whose copies "
+                            "differ (diff " + hexAddr(diff) + ")";
+                discover(succ, id, std::move(step), depth + 1,
+                         frontier);
+            }
+
+            // --- permitted writes ---
+            if (policy.csrWriteAllowed(d, c.bitmap_index)) {
+                // Full write: the written value comes from registers —
+                // equal across the pair unless the writer carries high
+                // data.
+                ++stats.rel_transitions;
+                RelState succ = nodes[id].state;
+                succ.diff[i] = carry != 0 ? ~RegVal{0} : 0;
+                TraceStep step;
+                step.kind = TraceStep::Kind::CsrWrite;
+                step.csr_addr = c.addr;
+                step.domain_before = step.domain_after = d;
+                step.note = carry != 0
+                                ? "full write from registers that may "
+                                  "carry high data"
+                                : "full write of a value equal in both "
+                                  "copies";
+                if (carry != 0 &&
+                    policy.csrReadAllowed(target, c.bitmap_index)) {
+                    std::vector<TraceStep> trace = pathTo(id);
+                    trace.push_back(step);
+                    addFinding(
+                        Severity::Warning, "rel-high-flow", d, c.addr,
+                        "domain " + std::to_string(d) +
+                            " may copy high state of domain " +
+                            std::to_string(target) + " into CSR " +
+                            hexAddr(c.addr) + ", which domain " +
+                            std::to_string(target) + " reads",
+                        std::move(trace), carriedAddrs(carry));
+                }
+                discover(succ, id, std::move(step), depth + 1,
+                         frontier);
+                continue;
+            }
+            if (c.mask_index == invalidCsrIndex)
+                continue;
+            RegVal mask = policy.mask(d, c.mask_index);
+            if (mask == 0)
+                continue;
+            if ((diff & ~mask) != 0) {
+                // The bit-mask equation consults the live old value:
+                // with the copies differing outside the mask, one copy
+                // accepts what the other faults — a fault channel.
+                if (d == target) {
+                    std::vector<TraceStep> trace = pathTo(id);
+                    TraceStep step;
+                    step.kind = TraceStep::Kind::CsrWrite;
+                    step.csr_addr = c.addr;
+                    step.flip = mask;
+                    step.masked = true;
+                    step.expect = FaultType::CsrMaskViolation;
+                    step.domain_before = step.domain_after = d;
+                    step.note = "masked write; diff " + hexAddr(diff) +
+                                " escapes mask " + hexAddr(mask);
+                    trace.push_back(std::move(step));
+                    addFinding(
+                        Severity::Violation, "rel-mask-observe", d,
+                        c.addr,
+                        "domain " + std::to_string(d) +
+                            " holds a bit-mask " + hexAddr(mask) +
+                            " on CSR " + hexAddr(c.addr) +
+                            " it cannot read: the mask-equation "
+                            "fault tells it the hidden bits " +
+                            hexAddr(diff & ~mask),
+                        std::move(trace), {c.addr});
+                }
+                // For other domains the pair's outcomes may disagree
+                // and the executions desynchronize — outside the
+                // lockstep abstraction, so the branch is pruned.
+                continue;
+            }
+            // Diff inside the mask: legality is identical in both
+            // copies. The accepted write replaces the value with one
+            // that differs at most inside the mask (and only if the
+            // writer carries high data).
+            ++stats.rel_transitions;
+            RelState succ = nodes[id].state;
+            succ.diff[i] = carry != 0 ? mask : 0;
+            TraceStep step;
+            step.kind = TraceStep::Kind::CsrWrite;
+            step.csr_addr = c.addr;
+            step.flip = mask;
+            step.masked = true;
+            step.domain_before = step.domain_after = d;
+            step.note = "masked write, mask " + hexAddr(mask);
+            discover(succ, id, std::move(step), depth + 1, frontier);
+        }
+    }
+
+    void
+    run(DomainId initial_domain)
+    {
+        RelState init;
+        init.domain = initial_domain;
+        init.diff.resize(csrs.size());
+        for (std::size_t i = 0; i < csrs.size(); ++i)
+            init.diff[i] = csrs[i].high ? ~RegVal{0} : 0;
+        DomainId domains = numDomains();
+        init.carry.assign(domains != 0 ? domains : 1, 0);
+
+        std::deque<std::uint32_t> frontier;
+        discover(init, ~0u, TraceStep{}, 0, frontier);
+        while (!frontier.empty()) {
+            std::uint32_t id = frontier.front();
+            frontier.pop_front();
+            expand(id, frontier);
+        }
+        stats.rel_states += nodes.size();
+    }
+};
+
+} // namespace
+
+void
+runRelationalCheck(const IsaModel &isa, const PhysMem &mem,
+                   const PolicySnapshot &snap,
+                   const std::vector<CodeRegion> &regions,
+                   DomainId initial_domain, DomainId target,
+                   const ContractOptions &options,
+                   std::vector<ContractFinding> &findings,
+                   ContractStats &stats)
+{
+    RelChecker checker(isa, mem, snap, regions, target, options,
+                       findings, stats);
+    checker.run(initial_domain);
+}
+
+} // namespace isagrid

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The dynamic self-composition oracle.
+ *
+ * Noninterference for a target domain T is a 2-safety property: no
+ * single trace witnesses a violation, but a *pair* of traces does. The
+ * oracle builds that pair from one deterministic scenario:
+ *
+ *  1. A reference run discovers the windows in which T executes
+ *     (maximal step ranges whose pre-step current domain is T).
+ *  2. For each window starting at global step k, two fresh machines are
+ *     built and deterministically fast-forwarded to k. The second
+ *     machine's *high* state — every controlled CSR outside T's read
+ *     set (PrivilegeSet::highCsrs) and the free trusted-memory bytes —
+ *     is then perturbed, making the two machines low-equivalent for T
+ *     but maximally different above T's privilege set.
+ *  3. The pair runs in lockstep through the window; after every
+ *     instruction T's observable state is compared: run outcome, PC,
+ *     privilege mode, current domain, general-purpose registers,
+ *     cycle count (the timing channel) and the CSRs T may read.
+ *
+ * The first difference is a noninterference violation: T observed
+ * state its privilege set hides. Singleton re-runs (one perturbation
+ * seed at a time) then attribute the divergence to its origin, and the
+ * taint tracker attached to the perturbed machine explains the path.
+ */
+
+#ifndef ISAGRID_CONTRACT_SELFCOMP_HH_
+#define ISAGRID_CONTRACT_SELFCOMP_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "contract/contract.hh"
+#include "contract/taint.hh"
+
+namespace isagrid {
+
+/** One unit of high-state perturbation (a taint seed). */
+struct Perturbation
+{
+    bool is_memory = false;
+    /** CSR seed: this address gets its value XORed with flip. */
+    std::uint32_t csr_addr = 0;
+    RegVal flip = 0;
+    /** Memory seed: every byte in [mem_lo, mem_hi) is inverted. */
+    Addr mem_lo = 0;
+    Addr mem_hi = 0;
+
+    std::string describe() const;
+};
+
+/**
+ * Plan the full perturbation of @p machine's state above @p target's
+ * privilege set, reading the live HPT configuration.
+ */
+std::vector<Perturbation> planPerturbation(Machine &machine,
+                                           DomainId target,
+                                           const ContractOptions &options);
+
+/**
+ * Apply @p seeds to @p machine and (when @p taint is non-null) seed
+ * the taint lattice with exactly the bits flipped.
+ */
+void applyPerturbation(Machine &machine,
+                       const std::vector<Perturbation> &seeds,
+                       TaintTracker *taint);
+
+/**
+ * Compare the state of @p target observable in @p a and @p b; returns
+ * a description of the first difference, or nullopt when
+ * indistinguishable. @p low_csrs is the precomputed list of controlled
+ * CSRs @p target may read.
+ */
+std::optional<std::string>
+compareObservable(Machine &a, Machine &b, DomainId target,
+                  const std::vector<std::uint32_t> &low_csrs,
+                  bool compare_timing);
+
+/**
+ * Run the full oracle over @p scenario for every requested target
+ * domain; findings are appended and @p stats updated.
+ */
+void runSelfComposition(const ContractScenario &scenario,
+                        const ContractOptions &options,
+                        std::vector<ContractFinding> &findings,
+                        ContractStats &stats);
+
+} // namespace isagrid
+
+#endif // ISAGRID_CONTRACT_SELFCOMP_HH_

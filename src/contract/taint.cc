@@ -1,0 +1,146 @@
+#include "contract/taint.hh"
+
+#include "verify/image_scan.hh" // hexAddr
+
+namespace isagrid {
+
+void
+TaintTracker::seedCsr(std::uint32_t csr_addr, RegVal bits)
+{
+    csr_taint[csr_addr] |= bits;
+    csr_seeds[csr_addr] |= bits;
+}
+
+void
+TaintTracker::seedPage(Addr addr)
+{
+    tainted_pages.insert(addr / pageSize);
+}
+
+RegVal
+TaintTracker::regTaint(unsigned reg) const
+{
+    return reg < 64 ? reg_taint[reg] : 0;
+}
+
+RegVal
+TaintTracker::csrTaint(std::uint32_t csr_addr) const
+{
+    auto it = csr_taint.find(csr_addr);
+    return it == csr_taint.end() ? 0 : it->second;
+}
+
+bool
+TaintTracker::pageTainted(Addr addr) const
+{
+    return tainted_pages.count(addr / pageSize) != 0;
+}
+
+void
+TaintTracker::onStep(const ArchState &state, const StepObservation &obs)
+{
+    const DecodedInst *inst = obs.inst;
+    if (!inst)
+        return;
+
+    auto reg_of = [this](unsigned r) { return regTaint(r); };
+    RegVal src = reg_of(inst->rs1) | reg_of(inst->rs2);
+
+    if (obs.fault != FaultType::None) {
+        // A fault whose check consumed tainted state is itself an
+        // observation: the trap-or-not outcome depends on high bits.
+        if (inst->isCsrAccess() && csrTaint(inst->csr_addr) != 0)
+            control_tainted = true;
+        if (src != 0)
+            control_tainted = true;
+        return;
+    }
+
+    if (obs.exec == nullptr) {
+        // Gate / prefetch / cache-flush paths: the operand register
+        // steers a privilege-structure access.
+        if (reg_of(inst->rs1) != 0)
+            control_tainted = true;
+        return;
+    }
+    const ExecResult &res = *obs.exec;
+
+    // Explicit CSR traffic. Order matters: the old value is read
+    // before the write commits.
+    RegVal old_csr_taint = 0;
+    if (res.csr_write || res.csr_old_reg_valid) {
+        std::uint32_t addr =
+            res.csr_write ? res.csr_write_addr : inst->csr_addr;
+        old_csr_taint = csrTaint(addr);
+        if (res.csr_write) {
+            RegVal t = reg_of(inst->rs1);
+            if (isa_.csrReadsOldValue(*inst) ||
+                inst->cls != InstClass::CsrWrite) {
+                t |= old_csr_taint; // read-modify-write forms
+            }
+            csr_taint[res.csr_write_addr] = t;
+        }
+        if (res.csr_old_reg_valid && res.csr_old_reg < 64)
+            reg_taint[res.csr_old_reg] = old_csr_taint;
+    }
+
+    // Memory traffic at page granularity.
+    if (res.mem_valid) {
+        RegVal addr_taint = reg_of(inst->rs1);
+        if (res.mem_write) {
+            if ((src | addr_taint) != 0)
+                tainted_pages.insert(res.mem_addr / pageSize);
+        } else {
+            RegVal t = addr_taint;
+            if (pageTainted(res.mem_addr))
+                t = ~RegVal{0};
+            if (res.mem_to_pc) {
+                if (t != 0)
+                    control_tainted = true;
+            } else if (res.mem_reg < 64) {
+                reg_taint[res.mem_reg] = t;
+            }
+        }
+    } else if (!inst->isCsrAccess() && !inst->csr_dynamic &&
+               inst->rd < 64) {
+        // Plain register-producing instruction: destination taint is
+        // the union of the sources (overwrites clear stale taint —
+        // immediate loads re-launder a register).
+        reg_taint[inst->rd] = src;
+    }
+
+    // Control flow steered by tainted state reaches the PC.
+    if ((inst->cls == InstClass::Branch ||
+         inst->cls == InstClass::Jump) &&
+        src != 0) {
+        control_tainted = true;
+    }
+
+    if (state.zero_reg_hardwired)
+        reg_taint[0] = 0;
+}
+
+std::string
+TaintTracker::maskNote(RegVal mask)
+{
+    if (mask == 0)
+        return "untainted";
+    if (mask == ~RegVal{0})
+        return "fully tainted";
+    return "tainted in bits " + hexAddr(mask);
+}
+
+std::string
+TaintTracker::describeReg(unsigned reg) const
+{
+    return "r" + std::to_string(reg) + " " + maskNote(regTaint(reg));
+}
+
+std::string
+TaintTracker::describeCsr(std::uint32_t csr_addr) const
+{
+    return "csr " + hexAddr(csr_addr) + " " +
+           maskNote(csrTaint(csr_addr));
+}
+
+} // namespace isagrid

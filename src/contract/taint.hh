@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-register / per-CSR-bit / per-page taint lattice.
+ *
+ * The self-composition oracle seeds taint from the perturbation it
+ * applies to the second run's high state, then attaches this tracker
+ * to the perturbed machine's core (cpu/step_hook.hh). When the two
+ * runs diverge, the taint of the divergent location explains *how* the
+ * high state reached it — the diagnostic layer on top of the two-run
+ * comparison, which alone decides whether a violation exists.
+ *
+ * The lattice is deliberately coarse where precision buys nothing:
+ * registers and CSRs carry 64-bit "may-differ" masks, memory is
+ * tracked at page (4 KiB) granularity, and any ALU combination unions
+ * its source masks. Over-taint only makes a diagnostic broader, never
+ * wrong: the divergence itself comes from the state comparison.
+ */
+
+#ifndef ISAGRID_CONTRACT_TAINT_HH_
+#define ISAGRID_CONTRACT_TAINT_HH_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "cpu/step_hook.hh"
+
+namespace isagrid {
+
+/** Taint tracker over one (perturbed) run (see file comment). */
+class TaintTracker : public StepHook
+{
+  public:
+    static constexpr Addr pageSize = 4096;
+
+    explicit TaintTracker(const IsaModel &isa) : isa_(isa) {}
+
+    /** Seed: the perturbed bits of one CSR. */
+    void seedCsr(std::uint32_t csr_addr, RegVal bits);
+
+    /** Seed: one perturbed page of (trusted) memory. */
+    void seedPage(Addr addr);
+
+    void onStep(const ArchState &state,
+                const StepObservation &obs) override;
+
+    RegVal regTaint(unsigned reg) const;
+    RegVal csrTaint(std::uint32_t csr_addr) const;
+    bool pageTainted(Addr addr) const;
+
+    /**
+     * True once a fault outcome or a control-flow decision depended on
+     * tainted state (the taint reached the program counter).
+     */
+    bool controlTainted() const { return control_tainted; }
+
+    /** One-line description of what the taint says about @p reg. */
+    std::string describeReg(unsigned reg) const;
+
+    /** One-line description of the taint state of @p csr_addr. */
+    std::string describeCsr(std::uint32_t csr_addr) const;
+
+    /** The seeded origins, for report annotations. */
+    const std::map<std::uint32_t, RegVal> &csrSeeds() const
+    {
+        return csr_seeds;
+    }
+
+  private:
+    static std::string maskNote(RegVal mask);
+
+    const IsaModel &isa_;
+    RegVal reg_taint[64] = {};
+    std::map<std::uint32_t, RegVal> csr_taint;
+    std::map<std::uint32_t, RegVal> csr_seeds;
+    std::set<Addr> tainted_pages;
+    bool control_tainted = false;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_CONTRACT_TAINT_HH_

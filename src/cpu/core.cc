@@ -145,8 +145,12 @@ CoreBase::stepOne(RunResult &result)
     const Addr pc = archState.pc;
     RetireInfo retire;
     retire.pc = pc;
+    StepObservation hookObs;
+    hookObs.pc = pc;
 
     auto finish = [&](bool keep_running) {
+        if (stepHook_) [[unlikely]]
+            stepHook_->onStep(archState, hookObs);
         ++instCount;
         Cycle delta = timeInstruction(retire);
         cycleCount += delta;
@@ -161,6 +165,7 @@ CoreBase::stepOne(RunResult &result)
         return keep_running;
     };
     auto fault_out = [&](FaultType fault, Addr fpc, RegVal info) {
+        hookObs.fault = fault;
         if (deliverFault(fault, fpc, info, retire))
             return finish(true);
         result.reason = StopReason::UnhandledFault;
@@ -232,6 +237,7 @@ CoreBase::stepOne(RunResult &result)
     }
     retire.inst = inst;
     retire.cls = inst->cls;
+    hookObs.inst = inst;
 
     // --- classical privilege-level check (coexists with ISA-Grid,
     // Section 4.1: either rejection raises an exception) ---
@@ -298,6 +304,7 @@ CoreBase::stepOne(RunResult &result)
 
     retire.taken_branch = res.taken_branch;
     retire.serializing = res.serializing;
+    hookObs.exec = &res;
 
     // --- trap return ---
     if (inst->cls == InstClass::TrapRet) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cpu/decode_cache.hh"
+#include "cpu/step_hook.hh"
 #include "isa/isa_model.hh"
 #include "isagrid/pcu.hh"
 #include "mem/cache.hh"
@@ -190,6 +191,14 @@ class CoreBase
             trace->setCycleSource(&cycleCount);
     }
 
+    /**
+     * Attach a per-instruction observation hook (cpu/step_hook.hh);
+     * nullptr detaches. Like the event-trace buffer, a detached hook
+     * costs a single null compare per step — the contract checkers'
+     * instrumentation is effectively compiled out when unused.
+     */
+    void setStepHook(StepHook *hook) { stepHook_ = hook; }
+
     /** Attach instruction/data TLB timing models (may be null). */
     void
     setTlbs(Tlb *instruction_tlb, Tlb *data_tlb)
@@ -263,6 +272,7 @@ class CoreBase
     StatGroup statGroup;
     std::ostream *traceStream = nullptr;
     TraceBuffer *eventTrace = nullptr;
+    StepHook *stepHook_ = nullptr;
 };
 
 } // namespace isagrid

@@ -131,6 +131,32 @@ DomainManager::allowCsrWrite(DomainId domain, std::uint32_t csr_addr)
 }
 
 void
+DomainManager::revokeCsrRead(DomainId domain, std::uint32_t csr_addr)
+{
+    checkDomain(domain);
+    CsrIndex index = pcu.isa().csrBitmapIndex(csr_addr);
+    ISAGRID_ASSERT(index != invalidCsrIndex, "csr %#x uncontrolled",
+                   csr_addr);
+    Addr addr = pcu.layout().regWordAddr(regBase, domain,
+                                         HptLayout::regGroupOf(index));
+    mem.write64(addr, mem.read64(addr) &
+                          ~(1ull << HptLayout::regReadBit(index)));
+}
+
+void
+DomainManager::revokeCsrWrite(DomainId domain, std::uint32_t csr_addr)
+{
+    checkDomain(domain);
+    CsrIndex index = pcu.isa().csrBitmapIndex(csr_addr);
+    ISAGRID_ASSERT(index != invalidCsrIndex, "csr %#x uncontrolled",
+                   csr_addr);
+    Addr addr = pcu.layout().regWordAddr(regBase, domain,
+                                         HptLayout::regGroupOf(index));
+    mem.write64(addr, mem.read64(addr) &
+                          ~(1ull << HptLayout::regWriteBit(index)));
+}
+
+void
 DomainManager::setCsrMask(DomainId domain, std::uint32_t csr_addr,
                           RegVal mask)
 {

@@ -57,6 +57,12 @@ class DomainManager
     /** Grant full write permission for a controlled CSR. */
     void allowCsrWrite(DomainId domain, std::uint32_t csr_addr);
 
+    /** Revoke read permission for a controlled CSR. */
+    void revokeCsrRead(DomainId domain, std::uint32_t csr_addr);
+
+    /** Revoke full write permission for a controlled CSR. */
+    void revokeCsrWrite(DomainId domain, std::uint32_t csr_addr);
+
     /**
      * Set the bit-level write mask of a bit-maskable CSR: writes may
      * change only bits set in @p mask (Section 4.1 equation).

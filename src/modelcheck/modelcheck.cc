@@ -180,6 +180,15 @@ McResult::json() const
     std::string out = "{";
     out += "\"violations\":" + std::to_string(violations());
     out += ",\"warnings\":" + std::to_string(warnings());
+    // Structured per-severity summary, matching the isagrid-verify
+    // report contract (minus lints, which the checker has none of).
+    out += ",\"summary\":{";
+    out += "\"violations\":" + std::to_string(violations());
+    out += ",\"warnings\":" + std::to_string(warnings());
+    out += ",\"total\":" +
+           std::to_string(violations() + warnings());
+    out += ",\"recorded\":" + std::to_string(findings.size());
+    out += "}";
     out += ",\"stats\":{";
     out += "\"states\":" + std::to_string(stats.states);
     out += ",\"transitions\":" + std::to_string(stats.transitions);

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * The domain-noninterference contract checkers (src/contract).
+ *
+ * Three layers under test: the taint lattice that explains dynamic
+ * divergences, the combined checker's verdict on stock configurations
+ * (clean, with every static over-approximation discharged) and on the
+ * contract-violation attack family (a confirmed first-divergence
+ * trace), and the static/dynamic agreement invariant across the whole
+ * attack corpus — after a full run nothing is left PLAUSIBLE, and a
+ * confirmed static violation exists exactly where the oracle also
+ * diverges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hh"
+#include "contract/contract.hh"
+#include "contract/taint.hh"
+#include "isa/riscv/opcodes.hh"
+#include "isa/x86/opcodes.hh"
+#include "kernel/kernel_builder.hh"
+#include "kernel/layout.hh"
+
+using namespace isagrid;
+
+namespace {
+
+constexpr const char *maskProbe = "Mask-probe side channel";
+
+/** Trimmed exploration caps: the findings fire at depth 1-2. */
+ContractOptions
+testOptions()
+{
+    ContractOptions opt;
+    opt.max_windows = 8;
+    opt.max_insts = 50'000;
+    opt.depth_bound = 4;
+    opt.max_states = 4096;
+    return opt;
+}
+
+ContractScenario
+kernelScenario(bool x86, KernelMode mode, Cycle timer = 0,
+               bool tstacks = false)
+{
+    ContractScenario scenario;
+    KernelConfig config;
+    config.mode = mode;
+    config.timer_interval = timer;
+    config.per_thread_tstack = tstacks;
+    scenario.build = [x86, config]() {
+        auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+        auto ua = x86 ? makeX86Asm(layout::userCodeBase)
+                      : makeRiscvAsm(layout::userCodeBase);
+        ua->li(ua->regArg(0), 0);
+        ua->halt(ua->regArg(0));
+        ua->loadInto(machine->mem());
+        KernelBuilder builder(*machine, config);
+        builder.build(layout::userCodeBase);
+        return machine;
+    };
+    auto probe = x86 ? Machine::gem5x86() : Machine::rocket();
+    auto pa = x86 ? makeX86Asm(layout::userCodeBase)
+                  : makeRiscvAsm(layout::userCodeBase);
+    pa->li(pa->regArg(0), 0);
+    pa->halt(pa->regArg(0));
+    pa->loadInto(probe->mem());
+    KernelBuilder builder(*probe, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    scenario.start_pc = image.boot_pc;
+    scenario.code_regions = image.code_regions;
+    return scenario;
+}
+
+ContractScenario
+attackScenario(const AttackScenario &s, bool x86)
+{
+    ContractScenario scenario;
+    scenario.build = [s, x86]() {
+        PreparedAttack prepared = prepareAttack(s, x86, true);
+        return std::move(prepared.machine);
+    };
+    PreparedAttack prepared = prepareAttack(s, x86, true);
+    scenario.start_pc = prepared.payload_entry;
+    scenario.start_domain = prepared.payload_domain;
+    scenario.code_regions = prepared.image.code_regions;
+    return scenario;
+}
+
+const AttackScenario *
+findAttack(const std::vector<AttackScenario> &list,
+           const std::string &name)
+{
+    for (const AttackScenario &s : list)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+const ContractFinding *
+findCheck(const ContractReport &report, const std::string &check)
+{
+    for (const ContractFinding &f : report.findings)
+        if (f.check == check)
+            return &f;
+    return nullptr;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Taint lattice
+// ---------------------------------------------------------------------
+
+TEST(Taint, SeedsAccumulateAndQueryByPage)
+{
+    auto m = Machine::rocket();
+    TaintTracker taint(m->isa());
+    taint.seedCsr(riscv::CSR_SSTATUS, 0x0f);
+    taint.seedCsr(riscv::CSR_SSTATUS, 0xf0);
+    EXPECT_EQ(taint.csrTaint(riscv::CSR_SSTATUS), 0xffu);
+    EXPECT_EQ(taint.csrTaint(riscv::CSR_SATP), 0u);
+    ASSERT_EQ(taint.csrSeeds().size(), 1u);
+    EXPECT_EQ(taint.csrSeeds().at(riscv::CSR_SSTATUS), 0xffu);
+
+    taint.seedPage(0x50008);
+    EXPECT_TRUE(taint.pageTainted(0x50ff8));  // same 4 KiB page
+    EXPECT_FALSE(taint.pageTainted(0x51000)); // next page
+    EXPECT_NE(taint.describeCsr(riscv::CSR_SSTATUS).find("tainted"),
+              std::string::npos);
+}
+
+TEST(Taint, PropagatesThroughRegistersMemoryAndBranches)
+{
+    constexpr Addr base = 0x40000;
+    constexpr Addr scratch = 0x50000;
+    auto m = Machine::rocket();
+    auto as = makeRiscvAsm(base);
+    as->li(as->regArg(1), scratch);
+    as->csrRead(as->regTmp(0), riscv::CSR_SSTATUS);
+    as->mov(as->regTmp(1), as->regTmp(0));
+    as->store64(as->regTmp(0), as->regArg(1), 0);
+    AsmIface::Label skip = as->newLabel();
+    as->beqz(as->regTmp(1), skip);
+    as->bind(skip);
+    as->li(as->regTmp(0), 5); // overwrite launders the register
+    as->li(as->regArg(0), 0);
+    as->halt(as->regArg(0));
+    as->loadInto(m->mem());
+
+    m->core().reset(base);
+    TaintTracker taint(m->isa());
+    taint.seedCsr(riscv::CSR_SSTATUS, 0xff);
+    m->core().setStepHook(&taint);
+    RunResult r = m->core().run(32);
+    m->core().setStepHook(nullptr);
+    ASSERT_EQ(r.reason, StopReason::Halted) << faultName(r.fault);
+
+    EXPECT_EQ(taint.regTaint(as->regTmp(1)), 0xffu)
+        << taint.describeReg(as->regTmp(1));
+    EXPECT_EQ(taint.regTaint(as->regTmp(0)), 0u)
+        << "immediate load must launder the register";
+    EXPECT_TRUE(taint.pageTainted(scratch));
+    EXPECT_TRUE(taint.controlTainted())
+        << "branch on a tainted register reaches the PC";
+}
+
+// ---------------------------------------------------------------------
+// Stock configurations are noninterference-clean
+// ---------------------------------------------------------------------
+
+class ContractStock
+    : public ::testing::TestWithParam<std::tuple<bool, KernelMode>>
+{
+};
+
+TEST_P(ContractStock, CleanWithNothingLeftPlausible)
+{
+    auto [x86, mode] = GetParam();
+    ContractReport report =
+        checkContract(kernelScenario(x86, mode), testOptions());
+    EXPECT_TRUE(report.clean()) << report.text();
+    EXPECT_EQ(report.plausible(), 0u) << report.text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ContractStock,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(KernelMode::Decomposed,
+                                         KernelMode::NestedMonitor)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "x86" : "riscv") +
+               (std::get<1>(info.param) == KernelMode::Decomposed
+                    ? "_decomposed"
+                    : "_nested");
+    });
+
+TEST(ContractStock, TimerAndPerThreadStacksStayClean)
+{
+    ContractReport report = checkContract(
+        kernelScenario(false, KernelMode::Decomposed, 500, true),
+        testOptions());
+    EXPECT_TRUE(report.clean()) << report.text();
+    EXPECT_EQ(report.plausible(), 0u) << report.text();
+}
+
+// ---------------------------------------------------------------------
+// The contract-violation attack family is detected and confirmed
+// ---------------------------------------------------------------------
+
+class ContractAttack : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ContractAttack, MaskProbeYieldsConfirmedFirstDivergence)
+{
+    bool x86 = GetParam();
+    std::vector<AttackScenario> list = attackScenarios(x86);
+    const AttackScenario *s = findAttack(list, maskProbe);
+    ASSERT_NE(s, nullptr);
+    ContractReport report =
+        checkContract(attackScenario(*s, x86), testOptions());
+
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.plausible(), 0u) << report.text();
+
+    const ContractFinding *dyn = findCheck(report, "dyn-divergence");
+    ASSERT_NE(dyn, nullptr) << report.text();
+    EXPECT_EQ(dyn->severity, Severity::Violation);
+    EXPECT_EQ(dyn->verdict, ContractVerdict::Confirmed);
+    std::uint32_t probed = x86 ? x86::CSR_CR4 : riscv::CSR_SSTATUS;
+    EXPECT_EQ(dyn->csr_addr, probed);
+    EXPECT_FALSE(dyn->divergence.empty());
+    EXPECT_NE(dyn->pc, 0u) << "first-divergence trace must name a PC";
+
+    // The static checker finds the same channel, and the targeted
+    // capability probe confirms it (no Discharged demotion).
+    const ContractFinding *rel = findCheck(report, "rel-mask-observe");
+    ASSERT_NE(rel, nullptr) << report.text();
+    EXPECT_EQ(rel->verdict, ContractVerdict::Confirmed);
+    EXPECT_EQ(rel->severity, Severity::Violation);
+    EXPECT_EQ(rel->csr_addr, probed);
+    EXPECT_FALSE(rel->trace.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, ContractAttack, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });
+
+// ---------------------------------------------------------------------
+// Static/dynamic agreement across the whole corpus
+// ---------------------------------------------------------------------
+
+class ContractAgreement : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ContractAgreement, CheckersNeverDisagreeSilently)
+{
+    bool x86 = GetParam();
+    ContractOptions opt = testOptions();
+    opt.depth_bound = 3;
+    opt.max_states = 2048;
+    opt.max_windows = 4;
+    opt.max_insts = 20'000;
+    for (const AttackScenario &s : attackScenarios(x86)) {
+        ContractReport report =
+            checkContract(attackScenario(s, x86), opt);
+        EXPECT_EQ(report.plausible(), 0u)
+            << s.name << ":\n" << report.text();
+
+        bool dyn_diverged =
+            findCheck(report, "dyn-divergence") != nullptr;
+        std::size_t confirmed_static = 0;
+        for (const ContractFinding &f : report.findings) {
+            if (f.check != "dyn-divergence" &&
+                f.severity == Severity::Violation)
+                confirmed_static +=
+                    f.verdict == ContractVerdict::Confirmed;
+        }
+        bool is_contract_attack = s.name == maskProbe;
+        EXPECT_EQ(dyn_diverged, is_contract_attack)
+            << s.name << ":\n" << report.text();
+        EXPECT_EQ(confirmed_static > 0, is_contract_attack)
+            << s.name << ":\n" << report.text();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, ContractAgreement, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });
+
+// ---------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------
+
+TEST(ContractReportRender, TextAndJsonCarryVerdictsAndStats)
+{
+    ContractReport report;
+    ContractFinding dyn;
+    dyn.severity = Severity::Violation;
+    dyn.check = "dyn-divergence";
+    dyn.domain = 2;
+    dyn.csr_addr = 0x100;
+    dyn.message = "domain 2 distinguishes high states";
+    dyn.step = 41;
+    dyn.pc = 0x60004;
+    dyn.divergence = "run outcome differs";
+    report.findings.push_back(dyn);
+
+    ContractFinding rel;
+    rel.severity = Severity::Warning;
+    rel.check = "rel-high-flow";
+    rel.domain = 1;
+    rel.csr_addr = 0x1004;
+    rel.message = "flow with \"quotes\"";
+    rel.src_csrs = {0x1000, 0x1003};
+    rel.verdict = ContractVerdict::Discharged;
+    TraceStep step;
+    step.kind = TraceStep::Kind::CsrWrite;
+    step.csr_addr = 0x1004;
+    rel.trace.push_back(step);
+    report.findings.push_back(rel);
+    report.stats.windows = 3;
+    report.stats.discharges = 1;
+
+    EXPECT_EQ(report.violations(), 1u);
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_EQ(report.confirmed(), 1u);
+    EXPECT_EQ(report.discharged(), 1u);
+    EXPECT_EQ(report.plausible(), 0u);
+    EXPECT_FALSE(report.clean());
+
+    std::string text = report.text();
+    EXPECT_NE(text.find("dyn-divergence"), std::string::npos);
+    EXPECT_NE(text.find("[confirmed]"), std::string::npos);
+    EXPECT_NE(text.find("[discharged]"), std::string::npos);
+    EXPECT_NE(text.find("step 41 pc 0x60004"), std::string::npos);
+
+    std::string json = report.json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"summary\":{\"violations\":1,\"warnings\":1,"
+                        "\"confirmed\":1,\"discharged\":1,"
+                        "\"plausible\":0,\"total\":2,\"recorded\":2}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"src_csrs\":[\"0x1000\",\"0x1003\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"windows\":3"), std::string::npos);
+}

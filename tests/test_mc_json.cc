@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Golden-file lock on the isagrid-mc --json report schema.
+ *
+ * CI and the contract checker's comparison scripts parse this output;
+ * field renames or formatting drift must show up as a test diff, not
+ * as a silent breakage. The golden file is
+ * tests/data/mc_report.golden.json; regenerate it deliberately with
+ * ISAGRID_REGEN_GOLDEN=1 after an intentional schema change and
+ * commit the diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "modelcheck/modelcheck.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(TEST_DATA_DIR) + "/mc_report.golden.json";
+}
+
+/**
+ * A result exercising both severities, a multi-step trace covering
+ * every step kind field, and message characters that need escaping.
+ */
+McResult
+sampleResult()
+{
+    McResult result;
+
+    McViolation v;
+    v.severity = Severity::Violation;
+    v.check = "mc-mask-composition";
+    v.domain = 3;
+    v.addr = 0x1040;
+    v.message = "masked writes by domains {1,3} compose to flip "
+                "0xffffffffffdfffff, covered by no single mask";
+    TraceStep call;
+    call.kind = TraceStep::Kind::GateCallS;
+    call.pc = 0x2000;
+    call.in_image = true;
+    call.gate = 2;
+    call.domain_before = 1;
+    call.domain_after = 3;
+    call.note = "push frame";
+    v.trace.push_back(call);
+    TraceStep write;
+    write.kind = TraceStep::Kind::CsrWrite;
+    write.csr_addr = 0x100;
+    write.flip = 0x2;
+    write.masked = true;
+    write.domain_before = 3;
+    write.domain_after = 3;
+    v.trace.push_back(write);
+    result.findings.push_back(v);
+
+    McViolation w;
+    w.severity = Severity::Warning;
+    w.check = "mc-domain0-entry";
+    w.domain = 2;
+    w.addr = 0x3000;
+    w.message = "gate 7 reaches domain-0 (\"trusted\" path)\n"
+                "second line with a backslash \\";
+    result.findings.push_back(w);
+
+    result.stats.states = 4096;
+    result.stats.transitions = 16384;
+    result.stats.peak_frontier = 512;
+    result.stats.depth_reached = 6;
+    return result;
+}
+
+} // namespace
+
+TEST(McJson, ReportMatchesGoldenFile)
+{
+    std::string actual = sampleResult().json();
+
+    if (std::getenv("ISAGRID_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run once with ISAGRID_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    while (!expected.empty() && expected.back() == '\n')
+        expected.pop_back();
+
+    EXPECT_EQ(actual, expected)
+        << "isagrid-mc --json schema drifted; if intentional, "
+           "regenerate with ISAGRID_REGEN_GOLDEN=1 and commit";
+}
+
+TEST(McJson, SummaryObjectMatchesVerifyContract)
+{
+    McResult result = sampleResult();
+    EXPECT_EQ(result.violations(), 1u);
+    EXPECT_EQ(result.warnings(), 1u);
+    EXPECT_FALSE(result.clean());
+
+    std::string json = result.json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"summary\":{\"violations\":1,\"warnings\":1,"
+                        "\"total\":2,\"recorded\":2}"),
+              std::string::npos)
+        << json;
+    // Escapes survive the rendering.
+    EXPECT_NE(json.find("\\\"trusted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
+
+TEST(McJson, EmptyResultHasZeroSummary)
+{
+    McResult result;
+    EXPECT_TRUE(result.clean());
+    EXPECT_NE(result.json().find(
+                  "\"summary\":{\"violations\":0,\"warnings\":0,"
+                  "\"total\":0,\"recorded\":0}"),
+              std::string::npos);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Counterexample-replay edge cases (modelcheck/replay.hh).
+ *
+ * The replay machinery underwrites two contracts the rest of the tree
+ * leans on: a trace that crosses a trusted-stack underflow must drive
+ * the simulator through the exact fault the checker predicted, and
+ * replay must be deterministic — the same trace on the same machine
+ * yields the same outcome however often it runs, with no architectural
+ * residue leaking from one replay into the next. The contract
+ * checker's scenario forks (src/contract) assume exactly this
+ * build-twice-get-identical-machines determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hh"
+#include "modelcheck/modelcheck.hh"
+#include "modelcheck/replay.hh"
+
+using namespace isagrid;
+
+namespace {
+
+/** The prepared ROP-style attack plus its checked counterexamples. */
+struct CheckedAttack
+{
+    PreparedAttack prepared;
+    PolicySnapshot snap;
+    McResult result;
+};
+
+CheckedAttack
+checkRopAttack(bool x86)
+{
+    CheckedAttack c;
+    for (const AttackScenario &s : attackScenarios(x86)) {
+        if (s.name.find("hcrets") == std::string::npos)
+            continue;
+        c.prepared = prepareAttack(s, x86, true);
+        c.snap = PolicySnapshot::fromPcu(c.prepared.machine->pcu());
+        ModelChecker checker(c.prepared.machine->isa(),
+                             c.prepared.machine->mem(), c.snap,
+                             c.prepared.image.code_regions,
+                             c.prepared.payload_domain, {});
+        c.result = checker.run();
+        return c;
+    }
+    ADD_FAILURE() << "no hcrets attack scenario for "
+                  << (x86 ? "x86" : "riscv");
+    return c;
+}
+
+const McViolation *
+findCheck(const McResult &result, const std::string &check)
+{
+    for (const McViolation &f : result.findings)
+        if (f.check == check)
+            return &f;
+    return nullptr;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// A counterexample crossing a trusted-stack underflow replays cleanly
+// ---------------------------------------------------------------------
+
+class ReplayUnderflow : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ReplayUnderflow, UnderflowTraceDrivesPredictedFault)
+{
+    CheckedAttack c = checkRopAttack(GetParam());
+    const McViolation *f = findCheck(c.result, "mc-ret-underflow");
+    ASSERT_NE(f, nullptr) << c.result.text();
+    ASSERT_FALSE(f->trace.empty());
+    // The trace's final step is the empty-stack hcrets itself, and the
+    // prediction is the PCU's trusted-stack fault — not a decode error
+    // or a generic privilege fault.
+    EXPECT_EQ(f->trace.back().expect, FaultType::TrustedStackFault);
+
+    ReplayResult r = replayTrace(*c.prepared.machine, f->trace, c.snap,
+                                 c.prepared.payload_domain);
+    EXPECT_TRUE(r.ok) << r.detail;
+    EXPECT_EQ(r.steps_run, f->trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, ReplayUnderflow, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "x86" : "riscv";
+                         });
+
+// ---------------------------------------------------------------------
+// Replay determinism
+// ---------------------------------------------------------------------
+
+TEST(ReplayDeterminism, SameTraceTwiceOnOneMachineIsIdentical)
+{
+    CheckedAttack c = checkRopAttack(false);
+    const McViolation *f = findCheck(c.result, "mc-ret-underflow");
+    ASSERT_NE(f, nullptr) << c.result.text();
+
+    ReplayResult first = replayTrace(*c.prepared.machine, f->trace,
+                                     c.snap,
+                                     c.prepared.payload_domain);
+    ReplayResult second = replayTrace(*c.prepared.machine, f->trace,
+                                      c.snap,
+                                      c.prepared.payload_domain);
+    EXPECT_EQ(first.ok, second.ok) << second.detail;
+    EXPECT_EQ(first.steps_run, second.steps_run);
+    EXPECT_EQ(first.detail, second.detail);
+}
+
+TEST(ReplayDeterminism, EveryViolationReplaysIdenticallyBackToBack)
+{
+    // Interleave replays of *different* traces and then repeat the
+    // whole sequence: any residue a replay leaves behind (a stale
+    // trusted-stack frame, an unflushed privilege cache, a clobbered
+    // CSR) skews the second pass.
+    CheckedAttack c = checkRopAttack(true);
+    std::vector<ReplayResult> first, second;
+    for (int pass = 0; pass < 2; ++pass) {
+        std::vector<ReplayResult> &out = pass == 0 ? first : second;
+        for (const McViolation &f : c.result.findings) {
+            if (f.severity != Severity::Violation)
+                continue;
+            out.push_back(replayTrace(*c.prepared.machine, f.trace,
+                                      c.snap,
+                                      c.prepared.payload_domain));
+        }
+    }
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].ok, second[i].ok) << second[i].detail;
+        EXPECT_EQ(first[i].steps_run, second[i].steps_run);
+        EXPECT_EQ(first[i].detail, second[i].detail);
+    }
+}
+
+TEST(ReplayDeterminism, TwoIdenticalBuildsRunIdentically)
+{
+    // The contract checker's fork-and-lockstep oracle builds the same
+    // scenario twice and requires bit-identical execution. Underwrite
+    // that: two independently prepared machines, run for the same
+    // budget, must agree on the stop reason and the architectural
+    // state they end in.
+    for (bool x86 : {false, true}) {
+        for (const AttackScenario &s : attackScenarios(x86)) {
+            if (s.name.find("hcrets") == std::string::npos)
+                continue;
+            PreparedAttack a = prepareAttack(s, x86, true);
+            PreparedAttack b = prepareAttack(s, x86, true);
+            a.machine->core().reset(a.payload_entry);
+            b.machine->core().reset(b.payload_entry);
+            a.machine->pcu().setGridReg(GridReg::Domain,
+                                        a.payload_domain);
+            b.machine->pcu().setGridReg(GridReg::Domain,
+                                        b.payload_domain);
+            RunResult ra = a.machine->core().run(1000);
+            RunResult rb = b.machine->core().run(1000);
+            EXPECT_EQ(ra.reason, rb.reason);
+            EXPECT_EQ(ra.fault, rb.fault);
+            EXPECT_EQ(ra.halt_code, rb.halt_code);
+            const ArchState &sa = a.machine->core().state();
+            const ArchState &sb = b.machine->core().state();
+            EXPECT_EQ(sa.pc, sb.pc);
+            EXPECT_EQ(sa.cycle, sb.cycle);
+            for (unsigned r = 0; r < a.machine->isa().numRegs(); ++r)
+                EXPECT_EQ(sa.regs[r], sb.regs[r]) << "reg " << r;
+        }
+    }
+}

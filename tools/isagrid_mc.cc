@@ -19,13 +19,15 @@
  *     --domain0-violation       gates into domain-0 are violations
  *     --replay                  execute every counterexample on the
  *                               simulator and assert each step
- *     --json                    machine-readable report
+ *     --fail-on=violation|warning  exit-1 threshold [violation]
+ *     --json                    machine-readable report (includes a
+ *                               "summary" object, as isagrid-verify)
  *     --stats                   exploration throughput line
  *
- * Exit status: 0 when the state space has no violations, 1 when it
- * has at least one, 2 on usage errors, 3 when --replay finds a trace
- * the simulator does not confirm (a checker/simulator disagreement —
- * always a bug in one of them).
+ * Exit status: 0 when the state space has no findings at or above the
+ * --fail-on threshold, 1 when it has at least one, 2 on usage errors,
+ * 3 when --replay finds a trace the simulator does not confirm (a
+ * checker/simulator disagreement — always a bug in one of them).
  *
  * Examples:
  *   isagrid-mc --arch=x86 --mode=nested --depth=6
@@ -58,6 +60,7 @@ struct Options
     bool replay = false;
     bool json = false;
     bool stats = false;
+    bool fail_on_warning = false;
     McOptions mc;
 };
 
@@ -70,7 +73,8 @@ usage(const char *argv0)
                  "  [--timer=N] [--tstacks] [--attack=NAME] "
                  "[--list-attacks]\n"
                  "  [--depth=N] [--max-states=N] [--domain0-violation]\n"
-                 "  [--replay] [--json] [--stats]\n",
+                 "  [--replay] [--fail-on=violation|warning] [--json] "
+                 "[--stats]\n",
                  argv0);
     std::exit(2);
 }
@@ -116,6 +120,11 @@ parse(int argc, char **argv)
             opt.mc.depth_bound = unsigned(std::stoul(v));
         } else if (eat(argv[i], "--max-states", v)) {
             opt.mc.max_states = std::stoull(v);
+        } else if (eat(argv[i], "--fail-on", v)) {
+            if (v == "warning")
+                opt.fail_on_warning = true;
+            else if (v != "violation")
+                usage(argv[0]);
         } else if (std::strcmp(argv[i], "--list-attacks") == 0) {
             opt.list_attacks = true;
         } else if (std::strcmp(argv[i], "--tstacks") == 0) {
@@ -268,5 +277,7 @@ main(int argc, char **argv)
 
     if (failed_replays > 0)
         return 3;
-    return result.violations() > 0 ? 1 : 0;
+    std::size_t failing = result.violations() +
+                          (opt.fail_on_warning ? result.warnings() : 0);
+    return failing > 0 ? 1 : 0;
 }
