@@ -154,6 +154,36 @@ attackScenarios(bool x86)
             list.push_back(s);
         }
         {
+            // Two-hop variant: the first immediate hides a short jmp
+            // whose target is itself hidden inside the next immediate,
+            // so no single occurrence scan sees a privileged opcode at
+            // the entry offset — only the superset reachability audit
+            // (isagrid-xscan) follows the chain to the hidden out. The
+            // payload leads with an aligned CR3 write the PCU blocks,
+            // so the runtime outcome matches the other Table 1 rows.
+            AttackScenario s;
+            s.name = "Hidden instruction chain (immediates)";
+            s.prerequisite = "jmp chained through immediates";
+            s.consequence =
+                "reach a hidden privileged instruction in two hops";
+            s.x86_only = true;
+            s.emit = [](AsmIface &a) {
+                // First immediate at +2: eb 08 = jmp +8, landing two
+                // bytes into the second movabs immediate: out ;
+                // halt(rax).
+                Addr mov1 = a.here();
+                a.li(a.regArg(4), 0x90909090909008ebull);
+                a.li(a.regArg(4), 0x0000001f0feeull);
+                Addr entry = a.here();
+                a.li(a.regArg(0), 0);
+                a.li(a.regTmp(0), 0x13370000);
+                a.csrWrite(x86::CSR_CR3, a.regTmp(0));
+                a.jmpAbs(mov1 + 2, a.regTmp(1));
+                return entry;
+            };
+            list.push_back(s);
+        }
+        {
             // Section 2.2: cycle counters speed up timing-based side
             // channels; ISA-Grid can deny rdtsc per component.
             AttackScenario s;
@@ -255,6 +285,38 @@ attackScenarios(bool x86)
                 Addr entry = a.here();
                 a.li(a.regArg(0), 0);
                 a.jmpAbs(island + 2, a.regTmp(0));
+                return entry;
+            };
+            list.push_back(s);
+        }
+        {
+            // Two-hop variant of the boundary attack: the half-word
+            // offset hides a jal whose target is a second hidden
+            // sfence.vma further into the carrier blob, so only the
+            // superset reachability audit (isagrid-xscan) follows the
+            // chain to it. The aligned satp write keeps the runtime
+            // outcome in line with the other rows.
+            AttackScenario s;
+            s.name = "Hidden instruction chain (carrier words)";
+            s.prerequisite = "jal chained through carrier words";
+            s.consequence =
+                "reach a hidden privileged instruction in two hops";
+            s.emit = [](AsmIface &a) {
+                // At island+2: jal x0, +12 — landing on island+14,
+                // where the carrier bytes hide sfence.vma ; halt(a0).
+                Addr island = a.here();
+                a.rawBytes({0x13, 0x00,                  // padding
+                            0x6f, 0x00, 0xc0, 0x00,      // jal x0, +12
+                            0x00, 0x00, 0x00, 0x00,      // skipped
+                            0x00, 0x00, 0x00, 0x00,
+                            0x73, 0x00, 0x00, 0x12,      // sfence.vma
+                            0x2b, 0x00, 0x05, 0x00,      // halt a0
+                            0x00, 0x00});                // pad to a word
+                Addr entry = a.here();
+                a.li(a.regArg(0), 0);
+                a.li(a.regTmp(0), 0x13370000);
+                a.csrWrite(riscv::CSR_SATP, a.regTmp(0));
+                a.jmpAbs(island + 2, a.regTmp(1));
                 return entry;
             };
             list.push_back(s);

@@ -5,6 +5,7 @@
 #include "isa/state.hh"
 #include "isagrid/privilege_set.hh"
 #include "kernel/asm_iface.hh"
+#include "verify/report_common.hh"
 
 namespace isagrid {
 
@@ -281,15 +282,14 @@ ContractReport::json() const
     out += ",\"warnings\":" + std::to_string(warnings());
     // Per-severity and per-verdict summary, mirroring the
     // isagrid-verify report contract.
-    out += ",\"summary\":{";
-    out += "\"violations\":" + std::to_string(violations());
-    out += ",\"warnings\":" + std::to_string(warnings());
-    out += ",\"confirmed\":" + std::to_string(confirmed());
-    out += ",\"discharged\":" + std::to_string(discharged());
-    out += ",\"plausible\":" + std::to_string(plausible());
-    out += ",\"total\":" + std::to_string(findings.size());
-    out += ",\"recorded\":" + std::to_string(findings.size());
-    out += "}";
+    out += ',';
+    appendSummaryObject(out, {{"violations", violations()},
+                              {"warnings", warnings()},
+                              {"confirmed", confirmed()},
+                              {"discharged", discharged()},
+                              {"plausible", plausible()},
+                              {"total", findings.size()},
+                              {"recorded", findings.size()}});
     out += ",\"stats\":{";
     out += "\"windows\":" + std::to_string(stats.windows);
     out += ",\"steps_compared\":" + std::to_string(stats.steps_compared);

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "isa/disasm.hh"
 #include "isa/state.hh"
 #include "isagrid/privilege_set.hh"
 #include "isagrid/sgt.hh"
@@ -141,20 +142,14 @@ struct RelChecker
         for (GateId id = 0; id < n; ++id) {
             GateInfo g;
             g.entry = policy.gate(id);
-            std::uint8_t buf[16] = {};
-            if (g.entry.gate_addr + isa.maxInstBytes() <= mem.size()) {
-                mem.readBlock(g.entry.gate_addr, buf,
-                              isa.maxInstBytes());
-                DecodedInst inst = isa.decode(buf, isa.maxInstBytes(),
-                                              g.entry.gate_addr);
-                if (inst.valid && (inst.cls == InstClass::GateCall ||
-                                   inst.cls == InstClass::GateCallS)) {
-                    g.usable = true;
-                    g.extended = inst.cls == InstClass::GateCallS;
-                    g.type = inst.type;
-                    g.rs1 = inst.rs1;
-                    g.length = inst.length;
-                }
+            DecodedInst inst = decodeAt(isa, mem, g.entry.gate_addr);
+            if (inst.valid && (inst.cls == InstClass::GateCall ||
+                               inst.cls == InstClass::GateCallS)) {
+                g.usable = true;
+                g.extended = inst.cls == InstClass::GateCallS;
+                g.type = inst.type;
+                g.rs1 = inst.rs1;
+                g.length = inst.length;
             }
             gates.push_back(g);
         }

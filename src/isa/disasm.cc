@@ -118,19 +118,29 @@ disassemble(const DecodedInst &inst)
     return out;
 }
 
-std::string
-disassembleAt(const IsaModel &isa, const PhysMem &mem, Addr pc)
+DecodedInst
+decodeAt(const IsaModel &isa, const PhysMem &mem, Addr pc, Addr limit)
 {
-    if (pc >= mem.size())
-        return "<invalid>";
+    if (pc >= mem.size() || (limit != 0 && pc >= limit))
+        return {};
     std::uint8_t buf[16] = {};
     std::size_t avail = std::size_t(mem.size() - pc);
+    if (limit != 0 && limit - pc < avail)
+        avail = std::size_t(limit - pc);
     if (avail > isa.maxInstBytes())
         avail = isa.maxInstBytes();
     if (avail > sizeof buf)
         avail = sizeof buf;
     mem.readBlock(pc, buf, avail);
-    return disassemble(isa.decode(buf, avail, pc));
+    return isa.decode(buf, avail, pc);
+}
+
+std::string
+disassembleAt(const IsaModel &isa, const PhysMem &mem, Addr pc)
+{
+    if (pc >= mem.size())
+        return "<invalid>";
+    return disassemble(decodeAt(isa, mem, pc));
 }
 
 } // namespace isagrid

@@ -29,6 +29,22 @@ std::string disassemble(const DecodedInst &inst);
  */
 std::string disassembleAt(const IsaModel &isa, const PhysMem &mem, Addr pc);
 
+/**
+ * Bounds-safe decode of the instruction at @p pc in guest memory.
+ *
+ * Clamps the available byte count to the end of physical memory (and,
+ * when @p limit is nonzero, to the end of [pc, limit)), so decoding
+ * the last bytes of a region or of memory itself is exact: a
+ * truncated encoding yields a well-defined invalid DecodedInst, never
+ * an out-of-range read. This is the decode primitive the superset
+ * scan calls at every byte offset; the older call sites that skipped
+ * decoding whenever `pc + maxInstBytes() > mem.size()` route through
+ * it too, so short instructions near the memory end now decode
+ * instead of being conservatively ignored.
+ */
+DecodedInst decodeAt(const IsaModel &isa, const PhysMem &mem, Addr pc,
+                     Addr limit = 0);
+
 } // namespace isagrid
 
 #endif // ISAGRID_ISA_DISASM_HH_

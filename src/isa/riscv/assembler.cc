@@ -43,10 +43,10 @@ void
 RiscvAsm::emit32(std::uint32_t word)
 {
     ISAGRID_ASSERT(!finalized, "emit after finalize");
-    code.push_back(word & 0xff);
-    code.push_back((word >> 8) & 0xff);
-    code.push_back((word >> 16) & 0xff);
-    code.push_back((word >> 24) & 0xff);
+    code.push_back(std::uint8_t(word & 0xff));
+    code.push_back(std::uint8_t((word >> 8) & 0xff));
+    code.push_back(std::uint8_t((word >> 16) & 0xff));
+    code.push_back(std::uint8_t((word >> 24) & 0xff));
 }
 
 void
@@ -322,10 +322,10 @@ RiscvAsm::finalize()
             patched = encodeB((old >> 12) & 7, (old >> 15) & 0x1f,
                               (old >> 20) & 0x1f, off);
         }
-        code[fix.offset] = patched & 0xff;
-        code[fix.offset + 1] = (patched >> 8) & 0xff;
-        code[fix.offset + 2] = (patched >> 16) & 0xff;
-        code[fix.offset + 3] = (patched >> 24) & 0xff;
+        code[fix.offset] = std::uint8_t(patched & 0xff);
+        code[fix.offset + 1] = std::uint8_t((patched >> 8) & 0xff);
+        code[fix.offset + 2] = std::uint8_t((patched >> 16) & 0xff);
+        code[fix.offset + 3] = std::uint8_t((patched >> 24) & 0xff);
     }
     return code;
 }

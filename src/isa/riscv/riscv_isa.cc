@@ -254,10 +254,10 @@ RiscvIsa::decode(const std::uint8_t *bytes, std::size_t avail,
                       (std::uint32_t(bytes[2]) << 16) |
                       (std::uint32_t(bytes[3]) << 24);
     std::uint32_t op = field(w, 0, 7);
-    std::uint32_t rd = field(w, 7, 5);
-    std::uint32_t f3 = field(w, 12, 3);
-    std::uint32_t rs1 = field(w, 15, 5);
-    std::uint32_t rs2 = field(w, 20, 5);
+    auto rd = std::uint8_t(field(w, 7, 5));
+    auto f3 = std::uint16_t(field(w, 12, 3));
+    auto rs1 = std::uint8_t(field(w, 15, 5));
+    auto rs2 = std::uint8_t(field(w, 20, 5));
     std::uint32_t f7 = field(w, 25, 7);
 
     DecodedInst inst;

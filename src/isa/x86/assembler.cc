@@ -28,10 +28,10 @@ void
 X86Asm::emitImm32(std::int32_t value)
 {
     std::uint32_t v = static_cast<std::uint32_t>(value);
-    emit(v & 0xff);
-    emit((v >> 8) & 0xff);
-    emit((v >> 16) & 0xff);
-    emit((v >> 24) & 0xff);
+    emit(std::uint8_t(v & 0xff));
+    emit(std::uint8_t((v >> 8) & 0xff));
+    emit(std::uint8_t((v >> 16) & 0xff));
+    emit(std::uint8_t((v >> 24) & 0xff));
 }
 
 X86Asm::Label
@@ -427,10 +427,10 @@ X86Asm::finalize()
             ISAGRID_ASSERT(rel >= INT32_MIN && rel <= INT32_MAX,
                            "rel32 out of range: %lld", (long long)rel);
             std::uint32_t v = static_cast<std::uint32_t>(rel);
-            code[fix.patch_offset] = v & 0xff;
-            code[fix.patch_offset + 1] = (v >> 8) & 0xff;
-            code[fix.patch_offset + 2] = (v >> 16) & 0xff;
-            code[fix.patch_offset + 3] = (v >> 24) & 0xff;
+            code[fix.patch_offset] = std::uint8_t(v & 0xff);
+            code[fix.patch_offset + 1] = std::uint8_t((v >> 8) & 0xff);
+            code[fix.patch_offset + 2] = std::uint8_t((v >> 16) & 0xff);
+            code[fix.patch_offset + 3] = std::uint8_t((v >> 24) & 0xff);
         }
     }
     return code;

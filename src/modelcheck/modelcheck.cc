@@ -9,9 +9,11 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "isa/disasm.hh"
 #include "isa/state.hh"
 #include "isagrid/hpt.hh"
 #include "isagrid/sgt.hh"
+#include "verify/report_common.hh"
 
 namespace isagrid {
 
@@ -182,13 +184,12 @@ McResult::json() const
     out += ",\"warnings\":" + std::to_string(warnings());
     // Structured per-severity summary, matching the isagrid-verify
     // report contract (minus lints, which the checker has none of).
-    out += ",\"summary\":{";
-    out += "\"violations\":" + std::to_string(violations());
-    out += ",\"warnings\":" + std::to_string(warnings());
-    out += ",\"total\":" +
-           std::to_string(violations() + warnings());
-    out += ",\"recorded\":" + std::to_string(findings.size());
-    out += "}";
+    out += ',';
+    appendSummaryObject(out,
+                        {{"violations", violations()},
+                         {"warnings", warnings()},
+                         {"total", violations() + warnings()},
+                         {"recorded", findings.size()}});
     out += ",\"stats\":{";
     out += "\"states\":" + std::to_string(stats.states);
     out += ",\"transitions\":" + std::to_string(stats.transitions);
@@ -296,19 +297,14 @@ struct ModelChecker::Impl
         for (GateId id = 0; id < n; ++id) {
             GateInfo g;
             g.entry = policy.gate(id);
-            std::uint8_t buf[16] = {};
-            if (g.entry.gate_addr + isa.maxInstBytes() <= mem.size()) {
-                mem.readBlock(g.entry.gate_addr, buf, isa.maxInstBytes());
-                DecodedInst inst = isa.decode(buf, isa.maxInstBytes(),
-                                              g.entry.gate_addr);
-                if (inst.valid && (inst.cls == InstClass::GateCall ||
-                                   inst.cls == InstClass::GateCallS)) {
-                    g.usable = true;
-                    g.extended = inst.cls == InstClass::GateCallS;
-                    g.type = inst.type;
-                    g.rs1 = inst.rs1;
-                    g.length = inst.length;
-                }
+            DecodedInst inst = decodeAt(isa, mem, g.entry.gate_addr);
+            if (inst.valid && (inst.cls == InstClass::GateCall ||
+                               inst.cls == InstClass::GateCallS)) {
+                g.usable = true;
+                g.extended = inst.cls == InstClass::GateCallS;
+                g.type = inst.type;
+                g.rs1 = inst.rs1;
+                g.length = inst.length;
             }
             gates.push_back(g);
             gateAt.emplace(g.entry.gate_addr, id);

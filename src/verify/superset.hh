@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Superset disassembly and unintended-instruction privilege audit
+ * (isagrid-xscan).
+ *
+ * The verifier's misaligned scan (verify.hh, check 2) reports every
+ * *occurrence* of a sensitive encoding at an unintended byte offset.
+ * Most occurrences are noise: nothing ever jumps into the middle of
+ * the carrier instruction. This pass turns the occurrence list into a
+ * reachability argument:
+ *
+ *  1. exhaustively decode every byte offset of every executable,
+ *     privilege-granted region (x86 steps by 1, RISC-V by its 2-byte
+ *     minimum encoding), building the superset graph of misaligned
+ *     control flows;
+ *  2. seed reachability with the addresses control can actually enter
+ *     through: SGT gate destinations, the caller-supplied explicit
+ *     entries (boot pc, trap vector, payload entry), every statically
+ *     resolved control-transfer target of the aligned walk, and every
+ *     address-taken constant an aligned li/movabs materialises into a
+ *     code region — the values an indirect jump can take;
+ *  3. close the seed set over the superset graph (fallthrough plus
+ *     direct branch/jump/call edges; unresolved indirects widen to the
+ *     aligned boundaries only — see docs/unintended_instructions.md
+ *     for the soundness argument) and prune everything unreachable.
+ *
+ * Each surviving misaligned offset that decodes to a gate instruction
+ * or to a privileged operation outside the enclosing domain's policy
+ * becomes a finding carrying the hidden instruction, its carrier, the
+ * reachability chain, and the exact fault the PCU must raise there.
+ * runXscan() then discharges every finding dynamically by steering a
+ * freshly built machine to the offset and asserting that prediction,
+ * so no PLAUSIBLE finding survives a full run.
+ */
+
+#ifndef ISAGRID_VERIFY_SUPERSET_HH_
+#define ISAGRID_VERIFY_SUPERSET_HH_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa_model.hh"
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+#include "verify/image_scan.hh"
+#include "verify/verify.hh"
+
+namespace isagrid {
+
+class Machine;
+
+/** How a finding fared against the dynamic probe. */
+enum class XscanVerdict : std::uint8_t
+{
+    Confirmed,  //!< the probe reproduced the predicted PCU behaviour
+    Discharged, //!< the probe refuted it (static over-approximation)
+    Plausible,  //!< not yet checked dynamically
+};
+
+const char *xscanVerdictName(XscanVerdict verdict);
+
+/** One reachable unintended instruction. */
+struct XscanFinding
+{
+    Severity severity = Severity::Violation;
+    /** "ui-priv-escape" or "ui-gate-forge". */
+    std::string check;
+    /** Domain owning the enclosing code region. */
+    DomainId domain = 0;
+    /** The misaligned offset the hidden instruction decodes at. */
+    Addr addr = 0;
+    /** Aligned instruction whose encoding contains @p addr (0: none). */
+    Addr carrier_pc = 0;
+    std::string carrier_text;
+    std::string hidden_text;
+    /** Superset-graph path from an entry point to @p addr. */
+    std::vector<Addr> chain;
+    /**
+     * The fault the PCU must raise executing the hidden instruction in
+     * @p domain — or None when the domain's policy permits it and the
+     * probe must complete without an ISA-Grid fault.
+     */
+    FaultType expect = FaultType::None;
+    XscanVerdict verdict = XscanVerdict::Plausible;
+    std::string message;
+};
+
+/** Superset-scan statistics. */
+struct XscanStats
+{
+    std::uint64_t regions = 0;
+    std::uint64_t offsets_scanned = 0;     //!< superset decode attempts
+    std::uint64_t hidden_valid = 0;        //!< valid decodes off boundaries
+    std::uint64_t entry_points = 0;        //!< seeds after filtering
+    std::uint64_t reachable = 0;           //!< offsets surviving pruning
+    std::uint64_t reachable_misaligned = 0;
+    std::uint64_t widened = 0;             //!< unresolved indirect widenings
+    std::uint64_t discharges = 0;          //!< dynamic probes run
+};
+
+/** Audit knobs. */
+struct XscanOptions
+{
+    bool run_static = true;
+    bool run_dynamic = true;
+    /** Stop recording after this many findings (counts keep going). */
+    std::size_t max_findings = 256;
+    /** Longest reachability chain recorded per finding. */
+    std::size_t max_chain = 32;
+};
+
+/** The audit result. */
+class XscanReport
+{
+  public:
+    void add(XscanFinding finding);
+
+    const std::vector<XscanFinding> &findings() const { return findings_; }
+    std::vector<XscanFinding> &findings() { return findings_; }
+    std::size_t violations() const { return counts[0]; }
+    std::size_t warnings() const { return counts[1]; }
+    std::size_t confirmed() const;
+    std::size_t discharged() const;
+    std::size_t plausible() const;
+    bool clean() const { return violations() == 0; }
+
+    /** Human-readable multi-line report (one line per finding). */
+    std::string text() const;
+
+    /** Structured JSON rendering of the same report. */
+    std::string json() const;
+
+    XscanStats stats;
+    std::size_t max_findings = ~std::size_t{0};
+
+  private:
+    std::vector<XscanFinding> findings_;
+    std::array<std::size_t, 2> counts{};
+};
+
+/**
+ * The static half: superset disassembly, reachability pruning, and
+ * policy classification of every surviving misaligned offset. Every
+ * finding is returned Plausible; runXscan() (or any caller holding a
+ * machine factory) discharges them.
+ *
+ * @param entries explicit entry points beyond what the SGT and the
+ *                aligned walk imply: boot pc, trap vector, payload
+ *                entry. Addresses outside every region are ignored.
+ */
+XscanReport scanSuperset(const IsaModel &isa, const PhysMem &mem,
+                         const PolicySnapshot &snap,
+                         const std::vector<CodeRegion> &regions,
+                         const std::vector<Addr> &entries,
+                         const XscanOptions &options = {});
+
+/**
+ * One auditable configuration: a deterministic machine factory (same
+ * contract as ContractScenario::build — calling it twice must produce
+ * bit-identical machines) plus the image's entry points and code map.
+ */
+struct XscanScenario
+{
+    std::function<std::unique_ptr<Machine>()> build;
+    /** Explicit entry points (boot pc, trap vector, payload entry). */
+    std::vector<Addr> entries;
+    std::vector<CodeRegion> code_regions;
+};
+
+/**
+ * The full audit: scanSuperset() on a freshly built machine's memory
+ * and PCU snapshot, then one dynamic probe per finding — a new machine
+ * steered to the misaligned offset in the accused domain, run for one
+ * instruction, and compared against the predicted fault. Implemented
+ * in the isagrid_xscan target (it needs the simulator).
+ */
+XscanReport runXscan(const XscanScenario &scenario,
+                     const XscanOptions &options = {});
+
+} // namespace isagrid
+
+#endif // ISAGRID_VERIFY_SUPERSET_HH_

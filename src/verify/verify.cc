@@ -11,6 +11,8 @@
 #include "isagrid/hpt.hh"
 #include "isagrid/pcu.hh"
 #include "isagrid/sgt.hh"
+#include "verify/report_common.hh"
+#include "verify/superset.hh"
 
 namespace isagrid {
 
@@ -80,14 +82,13 @@ VerifyReport::json() const
     // Structured per-severity summary: counts every finding (recorded
     // or not) plus how many made it under max_findings, so machine
     // consumers need not reconcile the two themselves.
-    out += ",\"summary\":{";
-    out += "\"violations\":" + std::to_string(violations());
-    out += ",\"warnings\":" + std::to_string(warnings());
-    out += ",\"lints\":" + std::to_string(lints());
-    out += ",\"total\":" +
-           std::to_string(violations() + warnings() + lints());
-    out += ",\"recorded\":" + std::to_string(findings_.size());
-    out += "}";
+    out += ',';
+    appendSummaryObject(
+        out, {{"violations", violations()},
+              {"warnings", warnings()},
+              {"lints", lints()},
+              {"total", violations() + warnings() + lints()},
+              {"recorded", findings_.size()}});
     out += ",\"findings\":[";
     bool first = true;
     for (const auto &f : findings_) {
@@ -217,12 +218,7 @@ Verifier::checkStructure(VerifyReport &report) const
                            " but only " + std::to_string(domains) +
                            " domains are configured");
         }
-        std::uint8_t buf[16] = {};
-        DecodedInst gi;
-        if (e.gate_addr + isa.maxInstBytes() <= mem.size()) {
-            mem.readBlock(e.gate_addr, buf, isa.maxInstBytes());
-            gi = isa.decode(buf, isa.maxInstBytes(), e.gate_addr);
-        }
+        DecodedInst gi = decodeAt(isa, mem, e.gate_addr);
         if (!gi.valid || (gi.cls != InstClass::GateCall &&
                           gi.cls != InstClass::GateCallS)) {
             report.add(Severity::Violation, "gate-decode", 0, e.gate_addr,
@@ -297,14 +293,9 @@ Verifier::scanRegion(const CodeRegion &region, RegionScan &scan,
     for (GateId id = 0; id < policy.numGates(); ++id) {
         SgtEntry e = policy.gate(id);
         gate_at.emplace(e.gate_addr, id);
-        std::uint8_t buf[16] = {};
-        if (e.gate_addr + isa.maxInstBytes() <= mem.size()) {
-            mem.readBlock(e.gate_addr, buf, isa.maxInstBytes());
-            DecodedInst gi = isa.decode(buf, isa.maxInstBytes(),
-                                        e.gate_addr);
-            if (gi.valid && gi.cls == InstClass::GateCallS)
-                hccalls_dests.insert(e.dest_domain);
-        }
+        DecodedInst gi = decodeAt(isa, mem, e.gate_addr);
+        if (gi.valid && gi.cls == InstClass::GateCallS)
+            hccalls_dests.insert(e.dest_domain);
     }
 
     auto visit = [&](const ScanStep &step) {
@@ -724,6 +715,21 @@ Verifier::run()
     checkTransitionGraph(report);
     if (options.lint)
         lintLeastPrivilege(scans, report);
+
+    if (options.superset) {
+        XscanOptions xopt;
+        xopt.max_findings = options.max_findings;
+        XscanReport xscan = scanSuperset(isa, mem, snap, regions,
+                                         options.entries, xopt);
+        for (const XscanFinding &f : xscan.findings()) {
+            std::string message = f.message;
+            if (f.expect != FaultType::None) {
+                message += " (expect " + std::string(faultName(f.expect)) +
+                           ")";
+            }
+            report.add(f.severity, f.check, f.domain, f.addr, message);
+        }
+    }
 
     return report;
 }

@@ -77,6 +77,16 @@ struct VerifyOptions
     bool lint = false;
     /** Run the ERIM-style misaligned-offset scan (check 2). */
     bool scan_misaligned = true;
+    /**
+     * Also run the superset-disassembly reachability audit
+     * (verify/superset.hh) and merge its findings (the ui-priv-escape /
+     * ui-gate-forge family) into the report. Off by default: the
+     * occurrence-level scan (check 2) already covers the image, and
+     * the audit needs the entry points below to prune well.
+     */
+    bool superset = false;
+    /** Explicit entry points for the superset audit (boot pc, trap). */
+    std::vector<Addr> entries;
     /** Stop recording after this many findings (the count keeps going). */
     std::size_t max_findings = 256;
 };

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The dynamic half of isagrid-xscan: discharge every superset-scan
+ * finding by steering a freshly built machine to the misaligned offset
+ * and comparing the PCU's behaviour against the static prediction.
+ *
+ * Lives in its own target (isagrid_xscan) because it needs the full
+ * simulator; scanSuperset() itself stays in isagrid_verify.
+ */
+
+#include "cpu/machine.hh"
+#include "verify/superset.hh"
+
+namespace isagrid {
+
+XscanReport
+runXscan(const XscanScenario &scenario, const XscanOptions &options)
+{
+    auto image = scenario.build();
+    PolicySnapshot snap = PolicySnapshot::fromPcu(image->pcu());
+
+    XscanReport report;
+    if (options.run_static) {
+        report = scanSuperset(image->isa(), image->mem(), snap,
+                              scenario.code_regions, scenario.entries,
+                              options);
+    }
+    if (!options.run_dynamic)
+        return report;
+
+    for (XscanFinding &f : report.findings()) {
+        if (f.verdict != XscanVerdict::Plausible)
+            continue;
+        // One probe per finding on a bit-identical machine: start the
+        // core at the misaligned offset in the accused domain (core
+        // reset re-initialises every CSR, so the trap vector is unset
+        // and any fault ends the run), execute one instruction, and
+        // hold the outcome against the prediction.
+        auto m = scenario.build();
+        m->core().reset(f.addr);
+        m->pcu().setGridReg(GridReg::Domain, f.domain);
+        RunResult r = m->core().run(1);
+        ++report.stats.discharges;
+
+        bool as_predicted;
+        if (f.expect != FaultType::None) {
+            as_predicted = r.reason == StopReason::UnhandledFault &&
+                           r.fault == f.expect && r.fault_pc == f.addr;
+        } else {
+            as_predicted = r.reason != StopReason::UnhandledFault;
+        }
+        if (as_predicted) {
+            f.verdict = XscanVerdict::Confirmed;
+        } else {
+            f.verdict = XscanVerdict::Discharged;
+            f.message += " (probe observed ";
+            f.message += r.reason == StopReason::UnhandledFault
+                             ? faultName(r.fault)
+                             : "no fault";
+            f.message += ", predicted ";
+            f.message += f.expect == FaultType::None ? "no fault"
+                                                     : faultName(f.expect);
+            f.message += ")";
+        }
+    }
+    return report;
+}
+
+} // namespace isagrid

@@ -38,7 +38,7 @@ TEST_P(Attacks, BlockedWithIsaGridSucceedsNatively)
 
 INSTANTIATE_TEST_SUITE_P(
     Table1, Attacks,
-    ::testing::Combine(::testing::Bool(), ::testing::Range(0, 15)),
+    ::testing::Combine(::testing::Bool(), ::testing::Range(0, 17)),
     [](const auto &info) {
         bool is_x86 = std::get<0>(info.param);
         int index = std::get<1>(info.param);

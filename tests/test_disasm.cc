@@ -11,6 +11,7 @@
 #include "isa/riscv/riscv_isa.hh"
 #include "isa/x86/assembler.hh"
 #include "isa/x86/x86_isa.hh"
+#include "mem/phys_mem.hh"
 
 using namespace isagrid;
 
@@ -96,4 +97,87 @@ TEST(Disasm, InvalidRenders)
 {
     DecodedInst bad;
     EXPECT_EQ(disassemble(bad), "<invalid>");
+}
+
+namespace {
+
+/** Assembled bytes of one instruction per ISA, for truncation tests. */
+std::vector<std::uint8_t>
+sampleBytes(bool is_x86)
+{
+    if (is_x86) {
+        x86::X86Asm a(0x1000);
+        a.movImm(0, 0x123456789abcdef0ull); // movabs: a long encoding
+        return a.finalize();
+    }
+    riscv::RiscvAsm a(0x1000);
+    a.add(1, 2, 3);
+    return a.finalize();
+}
+
+} // namespace
+
+TEST(Disasm, TruncatedBytesDecodeInvalidNotPastEnd)
+{
+    riscv::RiscvIsa riscv_isa;
+    x86::X86Isa x86_isa;
+    for (bool is_x86 : {false, true}) {
+        const IsaModel &isa =
+            is_x86 ? static_cast<const IsaModel &>(x86_isa)
+                   : static_cast<const IsaModel &>(riscv_isa);
+        auto bytes = sampleBytes(is_x86);
+        DecodedInst full = isa.decode(bytes.data(), bytes.size(), 0x1000);
+        ASSERT_TRUE(full.valid);
+        ASSERT_EQ(full.length, bytes.size());
+        // Every strict prefix must decode cleanly to invalid — never
+        // read past the supplied byte count, never claim validity.
+        for (std::size_t avail = 0; avail < bytes.size(); ++avail) {
+            DecodedInst cut = isa.decode(bytes.data(), avail, 0x1000);
+            EXPECT_FALSE(cut.valid)
+                << (is_x86 ? "x86" : "riscv") << " avail=" << avail;
+        }
+    }
+}
+
+TEST(Disasm, DecodeAtClampsToMemoryEnd)
+{
+    riscv::RiscvIsa riscv_isa;
+    x86::X86Isa x86_isa;
+    for (bool is_x86 : {false, true}) {
+        const IsaModel &isa =
+            is_x86 ? static_cast<const IsaModel &>(x86_isa)
+                   : static_cast<const IsaModel &>(riscv_isa);
+        auto bytes = sampleBytes(is_x86);
+        PhysMem mem(0x2000);
+
+        // Flush against the end of memory: decodes exactly.
+        Addr snug = mem.size() - bytes.size();
+        mem.writeBlock(snug, bytes.data(), bytes.size());
+        DecodedInst at_end = decodeAt(isa, mem, snug);
+        EXPECT_TRUE(at_end.valid) << (is_x86 ? "x86" : "riscv");
+        EXPECT_EQ(at_end.length, bytes.size());
+
+        // One byte hangs past the end: invalid, not an OOB read.
+        Addr cut = mem.size() - bytes.size() + 1;
+        mem.writeBlock(cut, bytes.data(), mem.size() - cut);
+        EXPECT_FALSE(decodeAt(isa, mem, cut).valid);
+
+        // Entirely outside memory: invalid.
+        EXPECT_FALSE(decodeAt(isa, mem, mem.size()).valid);
+        EXPECT_FALSE(decodeAt(isa, mem, mem.size() + 64).valid);
+    }
+}
+
+TEST(Disasm, DecodeAtHonorsExplicitLimit)
+{
+    riscv::RiscvIsa isa;
+    auto bytes = sampleBytes(false);
+    PhysMem mem(0x2000);
+    Addr base = 0x1000;
+    mem.writeBlock(base, bytes.data(), bytes.size());
+
+    // A limit at the region end admits the instruction; a limit that
+    // truncates it yields invalid (the superset scan's region edge).
+    EXPECT_TRUE(decodeAt(isa, mem, base, base + bytes.size()).valid);
+    EXPECT_FALSE(decodeAt(isa, mem, base, base + bytes.size() - 1).valid);
 }

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Golden-file lock on the isagrid-xscan --json report schema.
+ *
+ * CI parses this output to gate the unintended-instruction audit;
+ * field renames or formatting drift must show up as a test diff, not
+ * as silent breakage. The golden file is
+ * tests/data/xscan_report.golden.json; regenerate it deliberately with
+ * ISAGRID_REGEN_GOLDEN=1 after an intentional schema change and commit
+ * the diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "verify/superset.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(TEST_DATA_DIR) + "/xscan_report.golden.json";
+}
+
+/**
+ * A report exercising both severities, every verdict, a populated
+ * chain, carrier/hidden text needing JSON escaping, and nonzero
+ * statistics.
+ */
+XscanReport
+sampleReport()
+{
+    XscanReport report;
+    report.stats.regions = 11;
+    report.stats.offsets_scanned = 2011;
+    report.stats.hidden_valid = 256;
+    report.stats.entry_points = 31;
+    report.stats.reachable = 32;
+    report.stats.reachable_misaligned = 5;
+    report.stats.widened = 1;
+    report.stats.discharges = 3;
+
+    XscanFinding escape;
+    escape.severity = Severity::Violation;
+    escape.check = "ui-priv-escape";
+    escape.domain = 1;
+    escape.addr = 0x6000c;
+    escape.carrier_pc = 0x6000a;
+    escape.carrier_text = "movabs r0, 0x1f0fee";
+    escape.hidden_text = "out";
+    escape.chain = {0x60002, 0x6000c};
+    escape.expect = FaultType::InstPrivilege;
+    escape.verdict = XscanVerdict::Confirmed;
+    escape.message = "out hidden at an unintended offset of "
+                     "'attack \"payload\"' is reachable but denied";
+    report.add(escape);
+
+    XscanFinding forge;
+    forge.severity = Severity::Violation;
+    forge.check = "ui-gate-forge";
+    forge.domain = 2;
+    forge.addr = 0x1042;
+    forge.carrier_pc = 0x1040;
+    forge.carrier_text = "movabs r4, 0x1a0f";
+    forge.hidden_text = "hccall r0";
+    forge.chain = {0x1042};
+    forge.expect = FaultType::GateFault;
+    forge.verdict = XscanVerdict::Discharged;
+    forge.message = "gate encoding hidden at an unintended offset\n"
+                    "with a second line and a backslash \\";
+    report.add(forge);
+
+    XscanFinding benign;
+    benign.severity = Severity::Warning;
+    benign.check = "ui-priv-escape";
+    benign.domain = 0;
+    benign.addr = 0x2004;
+    benign.carrier_pc = 0;
+    benign.hidden_text = "csrrw csr:0x180, r3";
+    benign.expect = FaultType::None;
+    benign.verdict = XscanVerdict::Plausible;
+    benign.message = "permitted sensitive instruction at an "
+                     "unintended offset";
+    report.add(benign);
+
+    return report;
+}
+
+} // namespace
+
+TEST(XscanJson, ReportMatchesGoldenFile)
+{
+    std::string actual = sampleReport().json();
+
+    if (std::getenv("ISAGRID_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run once with ISAGRID_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    while (!expected.empty() && expected.back() == '\n')
+        expected.pop_back();
+
+    EXPECT_EQ(actual, expected)
+        << "isagrid-xscan --json schema drifted; if intentional, "
+           "regenerate with ISAGRID_REGEN_GOLDEN=1 and commit";
+}
+
+TEST(XscanJson, CountsAndVerdictsMatchFindings)
+{
+    XscanReport report = sampleReport();
+    EXPECT_EQ(report.violations(), 2u);
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_EQ(report.confirmed(), 1u);
+    EXPECT_EQ(report.discharged(), 1u);
+    EXPECT_EQ(report.plausible(), 1u);
+    EXPECT_EQ(report.findings().size(), 3u);
+    EXPECT_FALSE(report.clean());
+
+    std::string json = report.json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // Escapes survive the rendering.
+    EXPECT_NE(json.find("\\\"payload\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
+
+TEST(XscanJson, SummaryObjectCountsEveryVerdict)
+{
+    std::string json = sampleReport().json();
+    EXPECT_NE(json.find("\"summary\":{\"violations\":2,\"warnings\":1,"
+                        "\"confirmed\":1,\"discharged\":1,"
+                        "\"plausible\":1,\"total\":3,\"recorded\":3}"),
+              std::string::npos)
+        << json;
+}

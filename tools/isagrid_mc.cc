@@ -44,6 +44,7 @@
 #include "kernel/layout.hh"
 #include "modelcheck/modelcheck.hh"
 #include "modelcheck/replay.hh"
+#include "verify/report_common.hh"
 
 using namespace isagrid;
 
@@ -60,7 +61,7 @@ struct Options
     bool replay = false;
     bool json = false;
     bool stats = false;
-    bool fail_on_warning = false;
+    Severity fail_on = Severity::Violation;
     McOptions mc;
 };
 
@@ -79,29 +80,18 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-bool
-eat(const char *arg, const char *key, std::string &value)
-{
-    std::size_t len = std::strlen(key);
-    if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
-        value = arg + len + 1;
-        return true;
-    }
-    return false;
-}
-
 Options
 parse(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string v;
-        if (eat(argv[i], "--arch", v)) {
+        if (eatOption(argv[i], "--arch", v)) {
             if (v == "x86")
                 opt.x86 = true;
             else if (v != "riscv")
                 usage(argv[0]);
-        } else if (eat(argv[i], "--mode", v)) {
+        } else if (eatOption(argv[i], "--mode", v)) {
             if (v == "native")
                 opt.mode = KernelMode::Monolithic;
             else if (v == "decomposed")
@@ -110,20 +100,18 @@ parse(int argc, char **argv)
                 opt.mode = KernelMode::NestedMonitor;
             else
                 usage(argv[0]);
-        } else if (eat(argv[i], "--timer", v)) {
+        } else if (eatOption(argv[i], "--timer", v)) {
             opt.timer = std::stoull(v);
-        } else if (eat(argv[i], "--attack", v)) {
+        } else if (eatOption(argv[i], "--attack", v)) {
             if (v.empty())
                 usage(argv[0]);
             opt.attack = v;
-        } else if (eat(argv[i], "--depth", v)) {
+        } else if (eatOption(argv[i], "--depth", v)) {
             opt.mc.depth_bound = unsigned(std::stoul(v));
-        } else if (eat(argv[i], "--max-states", v)) {
+        } else if (eatOption(argv[i], "--max-states", v)) {
             opt.mc.max_states = std::stoull(v);
-        } else if (eat(argv[i], "--fail-on", v)) {
-            if (v == "warning")
-                opt.fail_on_warning = true;
-            else if (v != "violation")
+        } else if (eatOption(argv[i], "--fail-on", v)) {
+            if (!parseFailOn(v, false, opt.fail_on))
                 usage(argv[0]);
         } else if (std::strcmp(argv[i], "--list-attacks") == 0) {
             opt.list_attacks = true;
@@ -277,7 +265,6 @@ main(int argc, char **argv)
 
     if (failed_replays > 0)
         return 3;
-    std::size_t failing = result.violations() +
-                          (opt.fail_on_warning ? result.warnings() : 0);
-    return failing > 0 ? 1 : 0;
+    return failingCount(result.violations(), result.warnings(), 0,
+                        opt.fail_on) > 0 ? 1 : 0;
 }

@@ -16,6 +16,9 @@
  *     --list-attacks            print scenario names and exit
  *     --lint                    least-privilege lint findings
  *     --no-misaligned           skip the misaligned-offset scan
+ *     --superset                also run the superset-disassembly
+ *                               reachability audit (isagrid-xscan's
+ *                               static half) and merge its findings
  *     --fail-on=SEVERITY        exit non-zero at/above violation,
  *                               warning or lint          [violation]
  *     --json                    machine-readable report
@@ -37,6 +40,7 @@
 #include "attacks/attacks.hh"
 #include "kernel/kernel_builder.hh"
 #include "kernel/layout.hh"
+#include "verify/report_common.hh"
 #include "verify/verify.hh"
 
 using namespace isagrid;
@@ -64,21 +68,10 @@ usage(const char *argv0)
                  "[--mode=native|decomposed|nested]\n"
                  "  [--timer=N] [--tstacks] [--attack=NAME] "
                  "[--list-attacks]\n"
-                 "  [--lint] [--no-misaligned] "
+                 "  [--lint] [--no-misaligned] [--superset] "
                  "[--fail-on=violation|warning|lint] [--json]\n",
                  argv0);
     std::exit(2);
-}
-
-bool
-eat(const char *arg, const char *key, std::string &value)
-{
-    std::size_t len = std::strlen(key);
-    if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
-        value = arg + len + 1;
-        return true;
-    }
-    return false;
 }
 
 Options
@@ -87,12 +80,12 @@ parse(int argc, char **argv)
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string v;
-        if (eat(argv[i], "--arch", v)) {
+        if (eatOption(argv[i], "--arch", v)) {
             if (v == "x86")
                 opt.x86 = true;
             else if (v != "riscv")
                 usage(argv[0]);
-        } else if (eat(argv[i], "--mode", v)) {
+        } else if (eatOption(argv[i], "--mode", v)) {
             if (v == "native")
                 opt.mode = KernelMode::Monolithic;
             else if (v == "decomposed")
@@ -101,9 +94,9 @@ parse(int argc, char **argv)
                 opt.mode = KernelMode::NestedMonitor;
             else
                 usage(argv[0]);
-        } else if (eat(argv[i], "--timer", v)) {
+        } else if (eatOption(argv[i], "--timer", v)) {
             opt.timer = std::stoull(v);
-        } else if (eat(argv[i], "--attack", v)) {
+        } else if (eatOption(argv[i], "--attack", v)) {
             if (v.empty())
                 usage(argv[0]);
             opt.attack = v;
@@ -115,14 +108,10 @@ parse(int argc, char **argv)
             opt.verify.lint = true;
         } else if (std::strcmp(argv[i], "--no-misaligned") == 0) {
             opt.verify.scan_misaligned = false;
-        } else if (eat(argv[i], "--fail-on", v)) {
-            if (v == "violation")
-                opt.fail_on = Severity::Violation;
-            else if (v == "warning")
-                opt.fail_on = Severity::Warning;
-            else if (v == "lint")
-                opt.fail_on = Severity::Lint;
-            else
+        } else if (std::strcmp(argv[i], "--superset") == 0) {
+            opt.verify.superset = true;
+        } else if (eatOption(argv[i], "--fail-on", v)) {
+            if (!parseFailOn(v, true, opt.fail_on))
                 usage(argv[0]);
             // Failing on lints only makes sense if they are computed.
             if (opt.fail_on == Severity::Lint)
@@ -157,8 +146,10 @@ verifyKernel(const Options &opt)
     KernelImage image = builder.build(layout::userCodeBase);
 
     PolicySnapshot snap = PolicySnapshot::fromPcu(machine->pcu());
+    VerifyOptions vopt = opt.verify;
+    vopt.entries = {image.boot_pc, image.trap_entry};
     Verifier verifier(machine->isa(), machine->mem(), snap,
-                      image.code_regions, opt.verify);
+                      image.code_regions, vopt);
     return verifier.run();
 }
 
@@ -172,9 +163,12 @@ verifyAttack(const Options &opt)
         PreparedAttack prepared = prepareAttack(s, opt.x86, true);
         PolicySnapshot snap =
             PolicySnapshot::fromPcu(prepared.machine->pcu());
+        VerifyOptions vopt = opt.verify;
+        vopt.entries = {prepared.image.boot_pc, prepared.image.trap_entry,
+                        prepared.payload_entry};
         Verifier verifier(prepared.machine->isa(),
                           prepared.machine->mem(), snap,
-                          prepared.image.code_regions, opt.verify);
+                          prepared.image.code_regions, vopt);
         return verifier.run();
     }
     fatal("unknown attack scenario '%s' for %s (try --list-attacks)",
@@ -202,11 +196,6 @@ main(int argc, char **argv)
     else
         std::printf("%s", report.text().c_str());
 
-    std::size_t failing = report.violations();
-    if (opt.fail_on == Severity::Warning ||
-        opt.fail_on == Severity::Lint)
-        failing += report.warnings();
-    if (opt.fail_on == Severity::Lint)
-        failing += report.lints();
-    return failing > 0 ? 1 : 0;
+    return failingCount(report.violations(), report.warnings(),
+                        report.lints(), opt.fail_on) > 0 ? 1 : 0;
 }

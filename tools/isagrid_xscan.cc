@@ -1,42 +1,37 @@
 /**
  * @file
- * isagrid-contract — domain noninterference checker: taint-guided
- * self-composition plus a relational strengthening of the model
- * checker, with every PLAUSIBLE static finding discharged or
- * confirmed by a targeted dynamic experiment.
+ * isagrid-xscan — superset disassembly and unintended-instruction
+ * privilege audit: every byte offset of every privilege-granted code
+ * region is decoded, pruned against what control flow can actually
+ * reach, and each surviving hidden privileged instruction is
+ * discharged by a targeted dynamic probe
+ * (docs/unintended_instructions.md).
  *
  * Builds a mini-kernel configuration (or one of the attack scenarios)
- * and checks the universal contract — a domain confined to privilege
- * set P observes nothing outside P (docs/contracts.md):
+ * and audits the loaded image:
  *
- *   isagrid-contract [options]
+ *   isagrid-xscan [options]
  *     --arch=riscv|x86          target prototype       [riscv]
  *     --mode=native|decomposed|nested                  [decomposed]
  *     --timer=N                 timer interrupt period [0 = off]
  *     --tstacks                 per-thread trusted stacks
- *     --attack=NAME             check an attack-scenario image
+ *     --attack=NAME             audit an attack-scenario image
  *     --list-attacks            print scenario names and exit
- *     --domain=N                only check target domain N
- *     --max-insts=N             reference-run budget   [200000]
- *     --max-windows=N           windows per domain     [32]
- *     --depth=N                 relational depth bound [6]
- *     --max-states=N            relational state cap   [65536]
- *     --static-only             relational checker only
- *     --dynamic-only            self-composition oracle only
- *     --no-memory               do not perturb trusted memory
- *     --no-timing               ignore cycle-count divergence
+ *     --max-findings=N          recording cap          [256]
+ *     --static-only             skip the dynamic probes
  *     --fail-on=violation|warning  exit-1 threshold    [violation]
  *     --json                    machine-readable report
- *     --stats                   exploration statistics line
+ *     --stats                   scan statistics line
  *
- * Exit status: 0 when the contract holds at the --fail-on threshold,
- * 1 when it does not, 2 on usage errors, 3 when the two checkers
- * disagree — a finding left PLAUSIBLE after a full (static +
- * dynamic) run, which is always a bug in one of the checkers.
+ * Exit status: 0 when the image is clean at the --fail-on threshold,
+ * 1 when it is not, 2 on usage errors, 3 when a finding is left
+ * PLAUSIBLE after a full (static + dynamic) run — the probe harness
+ * and the scan disagree, which is always a bug in one of them.
  *
  * Examples:
- *   isagrid-contract --arch=x86 --mode=nested --stats
- *   isagrid-contract --attack="Mask-probe side channel" --json
+ *   isagrid-xscan --arch=x86 --mode=nested --stats
+ *   isagrid-xscan --arch=x86 \
+ *       --attack="Hidden instruction chain (immediates)" --json
  */
 
 #include <cstdio>
@@ -44,10 +39,10 @@
 #include <string>
 
 #include "attacks/attacks.hh"
-#include "contract/contract.hh"
 #include "kernel/kernel_builder.hh"
 #include "kernel/layout.hh"
 #include "verify/report_common.hh"
+#include "verify/superset.hh"
 
 using namespace isagrid;
 
@@ -64,7 +59,7 @@ struct Options
     bool json = false;
     bool stats = false;
     Severity fail_on = Severity::Violation;
-    ContractOptions contract;
+    XscanOptions xscan;
 };
 
 [[noreturn]] void
@@ -75,10 +70,7 @@ usage(const char *argv0)
                  "[--mode=native|decomposed|nested]\n"
                  "  [--timer=N] [--tstacks] [--attack=NAME] "
                  "[--list-attacks]\n"
-                 "  [--domain=N] [--max-insts=N] [--max-windows=N]\n"
-                 "  [--depth=N] [--max-states=N]\n"
-                 "  [--static-only] [--dynamic-only] [--no-memory] "
-                 "[--no-timing]\n"
+                 "  [--max-findings=N] [--static-only]\n"
                  "  [--fail-on=violation|warning] [--json] [--stats]\n",
                  argv0);
     std::exit(2);
@@ -110,17 +102,8 @@ parse(int argc, char **argv)
             if (v.empty())
                 usage(argv[0]);
             opt.attack = v;
-        } else if (eatOption(argv[i], "--domain", v)) {
-            opt.contract.domains.push_back(
-                DomainId(std::stoul(v)));
-        } else if (eatOption(argv[i], "--max-insts", v)) {
-            opt.contract.max_insts = std::stoull(v);
-        } else if (eatOption(argv[i], "--max-windows", v)) {
-            opt.contract.max_windows = std::stoull(v);
-        } else if (eatOption(argv[i], "--depth", v)) {
-            opt.contract.depth_bound = unsigned(std::stoul(v));
-        } else if (eatOption(argv[i], "--max-states", v)) {
-            opt.contract.max_states = std::stoull(v);
+        } else if (eatOption(argv[i], "--max-findings", v)) {
+            opt.xscan.max_findings = std::stoull(v);
         } else if (eatOption(argv[i], "--fail-on", v)) {
             if (!parseFailOn(v, false, opt.fail_on))
                 usage(argv[0]);
@@ -129,13 +112,7 @@ parse(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--tstacks") == 0) {
             opt.tstacks = true;
         } else if (std::strcmp(argv[i], "--static-only") == 0) {
-            opt.contract.run_dynamic = false;
-        } else if (std::strcmp(argv[i], "--dynamic-only") == 0) {
-            opt.contract.run_static = false;
-        } else if (std::strcmp(argv[i], "--no-memory") == 0) {
-            opt.contract.perturb_memory = false;
-        } else if (std::strcmp(argv[i], "--no-timing") == 0) {
-            opt.contract.compare_timing = false;
+            opt.xscan.run_dynamic = false;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opt.json = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -144,15 +121,13 @@ parse(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (!opt.contract.run_static && !opt.contract.run_dynamic)
-        usage(argv[0]);
     return opt;
 }
 
-ContractScenario
+XscanScenario
 kernelScenario(const Options &opt)
 {
-    ContractScenario scenario;
+    XscanScenario scenario;
     KernelConfig config;
     config.mode = opt.mode;
     config.timer_interval = opt.timer;
@@ -169,7 +144,7 @@ kernelScenario(const Options &opt)
         builder.build(layout::userCodeBase);
         return machine;
     };
-    // Probe build once for the start PC and the code map.
+    // Probe build once for the entry points and the code map.
     auto probe = opt.x86 ? Machine::gem5x86() : Machine::rocket();
     auto pa = opt.x86 ? makeX86Asm(layout::userCodeBase)
                       : makeRiscvAsm(layout::userCodeBase);
@@ -178,26 +153,27 @@ kernelScenario(const Options &opt)
     pa->loadInto(probe->mem());
     KernelBuilder builder(*probe, config);
     KernelImage image = builder.build(layout::userCodeBase);
-    scenario.start_pc = image.boot_pc;
+    scenario.entries = {image.boot_pc, image.trap_entry};
     scenario.code_regions = image.code_regions;
     return scenario;
 }
 
-ContractScenario
+XscanScenario
 attackScenario(const Options &opt)
 {
     for (const AttackScenario &s : attackScenarios(opt.x86)) {
         if (s.name != opt.attack)
             continue;
         bool x86 = opt.x86;
-        ContractScenario scenario;
+        XscanScenario scenario;
         scenario.build = [s, x86]() {
             PreparedAttack prepared = prepareAttack(s, x86, true);
             return std::move(prepared.machine);
         };
         PreparedAttack prepared = prepareAttack(s, opt.x86, true);
-        scenario.start_pc = prepared.payload_entry;
-        scenario.start_domain = prepared.payload_domain;
+        scenario.entries = {prepared.image.boot_pc,
+                            prepared.image.trap_entry,
+                            prepared.payload_entry};
         scenario.code_regions = prepared.image.code_regions;
         return scenario;
     }
@@ -218,10 +194,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    ContractScenario scenario = opt.attack.empty()
-                                    ? kernelScenario(opt)
-                                    : attackScenario(opt);
-    ContractReport report = checkContract(scenario, opt.contract);
+    XscanScenario scenario = opt.attack.empty() ? kernelScenario(opt)
+                                                : attackScenario(opt);
+    XscanReport report = runXscan(scenario, opt.xscan);
 
     if (opt.json)
         std::printf("%s\n", report.json().c_str());
@@ -229,24 +204,29 @@ main(int argc, char **argv)
         std::printf("%s", report.text().c_str());
     if (opt.stats) {
         std::fprintf(stderr,
-                     "contract-stats: windows=%llu steps=%llu "
-                     "forks=%llu rel_states=%llu rel_transitions=%llu "
-                     "discharges=%llu\n",
-                     (unsigned long long)report.stats.windows,
-                     (unsigned long long)report.stats.steps_compared,
-                     (unsigned long long)report.stats.forks,
-                     (unsigned long long)report.stats.rel_states,
-                     (unsigned long long)report.stats.rel_transitions,
+                     "xscan-stats: regions=%llu offsets=%llu "
+                     "hidden_valid=%llu entries=%llu reachable=%llu "
+                     "misaligned=%llu widened=%llu discharges=%llu\n",
+                     (unsigned long long)report.stats.regions,
+                     (unsigned long long)report.stats.offsets_scanned,
+                     (unsigned long long)report.stats.hidden_valid,
+                     (unsigned long long)report.stats.entry_points,
+                     (unsigned long long)report.stats.reachable,
+                     (unsigned long long)
+                         report.stats.reachable_misaligned,
+                     (unsigned long long)report.stats.widened,
                      (unsigned long long)report.stats.discharges);
     }
 
-    // A full run must leave nothing PLAUSIBLE: every static finding
-    // is either discharged or dynamically confirmed. A leftover means
-    // the checkers disagree — a bug in one of them.
-    if (opt.contract.run_static && opt.contract.run_dynamic &&
+    // A full run must leave nothing PLAUSIBLE: every finding is either
+    // dynamically confirmed or discharged. A leftover means the scan
+    // and the probe harness disagree — a bug in one of them.
+    if (opt.xscan.run_static && opt.xscan.run_dynamic &&
         report.plausible() > 0)
         return 3;
 
     return failingCount(report.violations(), report.warnings(), 0,
-                        opt.fail_on) > 0 ? 1 : 0;
+                        opt.fail_on) > 0
+               ? 1
+               : 0;
 }
