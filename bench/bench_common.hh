@@ -37,6 +37,10 @@ struct ScenarioOptions
     /** Host-side decoded-instruction cache size (0 disables). */
     std::uint32_t decode_cache_entries =
         MachineConfig{}.decode_cache_entries;
+    /** Run hot blocks through the block-translation engine. */
+    bool block_engine = false;
+    std::uint32_t block_hot_threshold =
+        BlockEngine::kDefaultHotThreshold;
 };
 
 /** What one scenario run simulated (totals across all its runs). */

@@ -7,9 +7,10 @@
  *
  * Scenarios return *guest* totals (cycles, instructions); the runner
  * adds host wall time and derives insts/sec. Every scenario honours
- * ScenarioOptions::decode_cache_entries, which only changes host
- * speed — the guest totals are identical either way (enforced by
- * tests/test_decode_cache.cc).
+ * ScenarioOptions::decode_cache_entries and ::block_engine, which
+ * only change host speed — the guest totals are identical either way
+ * (enforced by tests/test_decode_cache.cc and
+ * tests/test_block_equivalence.cc).
  */
 
 #include "bench_common.hh"
@@ -29,6 +30,8 @@ baseConfig(const ScenarioOptions &opts, PcuConfig pcu)
     MachineConfig mc;
     mc.pcu = pcu;
     mc.decode_cache_entries = opts.decode_cache_entries;
+    mc.block_engine = opts.block_engine;
+    mc.block_hot_threshold = opts.block_hot_threshold;
     return mc;
 }
 
@@ -97,6 +100,8 @@ attacksScenario(bool x86, const ScenarioOptions &opts)
                 prepareAttack(scenario, x86, with_isagrid);
             Machine &m = *prepared.machine;
             m.core().setDecodeCache(opts.decode_cache_entries);
+            if (opts.block_engine)
+                m.core().setBlockEngine(opts.block_hot_threshold);
             m.core().reset(prepared.payload_entry);
             if (with_isagrid) {
                 m.pcu().setGridReg(GridReg::Domain,

@@ -1,0 +1,213 @@
+#include "cpu/block/block_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace isagrid {
+
+BlockEngine::BlockEngine(const IsaModel &isa, PhysMem &mem,
+                         const PrivilegeCheckUnit &pcu,
+                         std::uint32_t hot_threshold)
+    : isa_(isa), mem(mem), pcu_(pcu),
+      hotThreshold_(std::max<std::uint32_t>(hot_threshold, 1)),
+      slots_(std::size_t{1} << kSlotBits),
+      heat_(std::size_t{1} << kHeatBits)
+{
+}
+
+TransBlock *
+BlockEngine::findCold(Addr pc)
+{
+    auto it = blocks_.find(pc);
+    if (it == blocks_.end())
+        return nullptr;
+    Slot &s = slots_[slotIndex(pc)];
+    s.pc = pc;
+    s.block = it->second.get();
+    return s.block;
+}
+
+TransBlock *
+BlockEngine::heat(Addr pc)
+{
+    HeatSlot &h = heat_[heatIndex(pc)];
+    if (h.pc != pc) {
+        // Collisions just replace the counter: a displaced pc only
+        // re-earns its heat, delaying (never preventing) translation.
+        h.pc = pc;
+        h.count = 1;
+        return nullptr;
+    }
+    if (++h.count < hotThreshold_)
+        return nullptr;
+    h.count = 0;
+    return translate(pc);
+}
+
+void
+BlockEngine::addLeaders(const std::vector<Addr> &leaders)
+{
+    leaders_.insert(leaders.begin(), leaders.end());
+}
+
+std::vector<Addr>
+BlockEngine::blockPcs() const
+{
+    std::vector<Addr> pcs;
+    pcs.reserve(blocks_.size());
+    for (const auto &[pc, b] : blocks_)
+        if (!b->dead)
+            pcs.push_back(pc);
+    std::sort(pcs.begin(), pcs.end());
+    return pcs;
+}
+
+void
+BlockEngine::flushAll()
+{
+    // No TransBlock pointer is live here: translation only runs from
+    // the top of the core's block loop (never while a block executes),
+    // and chain pointers die with the blocks that hold them.
+    blocks_.clear();
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+}
+
+bool
+BlockEngine::eligible(const DecodedInst &inst) const
+{
+    // Only instructions whose stepOne path is pure
+    // execute + memory + retire may join a block: anything touching
+    // CSRs, gates, traps, the PCU buffers or the halt/syscall exits
+    // terminates translation and stays with the interpreter.
+    switch (inst.cls) {
+      case InstClass::IntAlu:
+      case InstClass::Load:
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::Jump:
+      case InstClass::Nop:
+      case InstClass::SimMark:
+        break;
+      default:
+        return false;
+    }
+    return !inst.isCsrAccess() && !inst.csr_dynamic &&
+           inst.csr_addr == ~std::uint32_t{0};
+}
+
+void
+BlockEngine::translateInto(TransBlock &b)
+{
+    b.ops.clear();
+    b.bytes.clear();
+    b.line_gens.clear();
+    b.need_words.assign(pcu_.layout().numInstGroups(), 0);
+    b.memo_epoch = 0;
+    b.any_privileged = false;
+
+    const std::size_t max_inst = isa_.maxInstBytes();
+    Addr pc = b.start;
+    while (b.ops.size() < kMaxOps && pc - b.start < kMaxBytes) {
+        if (pc >= mem.size())
+            break;
+        if (!b.ops.empty() && isLeader(pc))
+            break;
+        std::uint8_t buf[16] = {};
+        std::size_t avail =
+            std::min<std::size_t>(max_inst, mem.size() - pc);
+        mem.readBlock(pc, buf, avail);
+        DecodedInst inst = isa_.decode(buf, avail, pc);
+        if (!inst.valid || !eligible(inst))
+            break;
+        b.any_privileged |= isa_.instPrivileged(inst);
+        b.need_words[HptLayout::instGroupOf(inst.type)] |=
+            std::uint64_t{1} << HptLayout::instBitOf(inst.type);
+        bool terminator = inst.cls == InstClass::Branch ||
+                          inst.cls == InstClass::Jump;
+        pc += inst.length;
+        b.ops.push_back(BlockOp{pc - inst.length, std::move(inst)});
+        if (terminator)
+            break;
+    }
+    b.byte_end = pc;
+    if (b.ops.empty()) {
+        b.dead = true;
+        ++stats_.dead_blocks;
+        return;
+    }
+    b.bytes.resize(b.byte_end - b.start);
+    mem.readBlock(b.start, b.bytes.data(), b.bytes.size());
+    for (Addr line = b.firstLine(); line < b.byte_end; line += 64)
+        b.line_gens.push_back(mem.lineGen(line));
+}
+
+TransBlock *
+BlockEngine::translate(Addr pc)
+{
+    if (blocks_.size() >= kMaxBlocks) {
+        ++stats_.flushes;
+        flushAll();
+    }
+    auto block = std::make_unique<TransBlock>();
+    block->start = pc;
+    translateInto(*block);
+    if (!block->dead)
+        ++stats_.translations;
+    TransBlock *raw = block.get();
+    blocks_.emplace(pc, std::move(block));
+    Slot &s = slots_[slotIndex(pc)];
+    s.pc = pc;
+    s.block = raw;
+    return raw;
+}
+
+BlockEngine::Revalidation
+BlockEngine::revalidate(TransBlock &b)
+{
+    bool stale = false;
+    Addr line = b.firstLine();
+    for (std::size_t i = 0; i < b.line_gens.size(); ++i, line += 64) {
+        if (mem.lineGen(line) != b.line_gens[i]) {
+            stale = true;
+            break;
+        }
+    }
+    if (!stale) [[likely]]
+        return Revalidation::Valid;
+
+    // A store touched a covered line. Distinguish a data write that
+    // merely shares the line (bytes intact: refresh the generations
+    // and keep the translation) from a real code patch.
+    std::vector<std::uint8_t> now(b.bytes.size());
+    mem.readBlock(b.start, now.data(), now.size());
+    if (now == b.bytes) {
+        line = b.firstLine();
+        for (std::size_t i = 0; i < b.line_gens.size(); ++i, line += 64)
+            b.line_gens[i] = mem.lineGen(line);
+        ++stats_.gen_refreshes;
+        return Revalidation::Refreshed;
+    }
+
+    ++stats_.invalidations;
+    if (++b.invalidations > kMaxInvalidations) {
+        // Pathologically self-patching code: stop burning translation
+        // work and leave this region to the interpreter for good.
+        b.dead = true;
+        b.ops.clear();
+        b.ops.shrink_to_fit();
+        b.bytes.clear();
+        b.bytes.shrink_to_fit();
+        ++stats_.dead_blocks;
+        return Revalidation::Dead;
+    }
+    // Rebuild in place: the object (and chain pointers to it) stays
+    // valid; the new code may translate to a different op sequence or
+    // prove untranslatable (dead).
+    translateInto(b);
+    if (b.dead)
+        return Revalidation::Dead;
+    ++stats_.retranslations;
+    return Revalidation::Retranslated;
+}
+
+} // namespace isagrid

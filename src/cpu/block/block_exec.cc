@@ -1,0 +1,384 @@
+/**
+ * @file
+ * The block-translation executor: CoreBase's translated fast path.
+ *
+ * runBlocks()/execBlock() mirror stepOne() exactly, minus the work
+ * the translation hoisted to block entry (fetch bounds, trusted-
+ * memory fetch check, decode, the classical privilege check and the
+ * ISA-Grid instruction-check memo — see cpu/block/block_engine.hh).
+ * Everything modeled — timing accesses, stats, fault delivery,
+ * per-domain accounting — happens per op exactly as the interpreter
+ * does it, so RunResult and every stat dump are bit-identical with
+ * the engine on or off (tests/test_block_equivalence.cc enforces
+ * this).
+ */
+
+#include <cstdint>
+
+#include "cpu/core.hh"
+#include "sim/logging.hh"
+
+namespace isagrid {
+
+void
+CoreBase::runBlocks(RunResult &result, std::uint64_t budget)
+{
+    BlockEngine &eng = *blockEngine_;
+    while (budget) {
+        TransBlock *b = eng.find(archState.pc);
+        if (!b)
+            b = eng.heat(archState.pc);
+        if (b && !b->dead) {
+            std::uint64_t consumed = 0;
+            bool keep = execBlock(*b, result, budget, consumed);
+            budget -= consumed;
+            if (!keep)
+                return;
+            if (consumed != 0)
+                continue;
+            // Entry conditions failed: hand the next instruction to
+            // the interpreter (it refills the bypass register, takes
+            // the pending fault or timer, etc.), then try again.
+        }
+        if (!stepOne(result))
+            return;
+        --budget;
+    }
+    result.reason = StopReason::MaxInstructions;
+}
+
+bool
+CoreBase::execBlock(TransBlock &block, RunResult &result,
+                    std::uint64_t budget, std::uint64_t &consumed)
+{
+    BlockEngine &eng = *blockEngine_;
+    const Cycle icache_hit = l1Hit(icache);
+    const Cycle dcache_hit = l1Hit(dcache);
+    const bool careful = eventTrace != nullptr;
+    TransBlock *b = &block;
+    bool chained = false;
+
+    for (;;) {
+        // --- exact SMC revalidation (per-line write generations) ---
+        switch (eng.revalidate(*b)) {
+          case BlockEngine::Revalidation::Valid:
+          case BlockEngine::Revalidation::Refreshed:
+            break;
+          case BlockEngine::Revalidation::Retranslated:
+            ISAGRID_TRACE_EVENT(eventTrace, TraceKind::BlockInvalidate,
+                                b->start, b->invalidations, 1);
+            break;
+          case BlockEngine::Revalidation::Dead:
+            ISAGRID_TRACE_EVENT(eventTrace, TraceKind::BlockInvalidate,
+                                b->start, b->invalidations, 2);
+            return true;
+        }
+
+        if (careful) {
+            // An event-trace buffer is attached: execute the block's
+            // ops through the interpreter so the per-op event stream
+            // (InstCheck, cache probes, ...) stays exact, but keep
+            // the block bookkeeping (BlockEnter marks, residency).
+            ++eng.stats().entries;
+            ++eng.stats().careful_entries;
+            if (chained)
+                ++eng.stats().chained_entries;
+            ISAGRID_TRACE_EVENT(eventTrace, TraceKind::BlockEnter,
+                                b->start, b->ops.size(),
+                                chained ? 1 : 0);
+            const std::size_t n = b->ops.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (archState.pc != b->ops[i].pc)
+                    break; // side exit (taken branch, fault, trap)
+                if (consumed == budget)
+                    return true;
+                bool keep = stepOne(result);
+                ++consumed;
+                ++eng.stats().translated_insts;
+                if (!keep)
+                    return false;
+            }
+        } else {
+            // --- hoisted entry conditions (hot mode) ---
+            const DomainId domain = pcu_.currentDomain();
+            bool ok = pcu_.trace() == nullptr &&
+                      pcu_.config().legal_cache_entries == 0 &&
+                      !(archState.mode == PrivMode::User &&
+                        b->any_privileged) &&
+                      pcu_.memoryAccessAllowed(b->start,
+                                               b->byte_end - b->start);
+            if (ok && domain != 0) {
+                // The per-(domain, block) check-memo: all needed
+                // instruction-bitmap bits must be granted by the
+                // current bypass register. A matching epoch proves
+                // that without rescanning.
+                if (!pcu_.bypassReady()) {
+                    ok = false;
+                } else if (b->memo_epoch == pcu_.bypassEpoch()) {
+                    ++eng.stats().memo_hits;
+                } else if (pcu_.bypassCovers(b->need_words.data(),
+                                             b->need_words.size())) {
+                    b->memo_epoch = pcu_.bypassEpoch();
+                    ++eng.stats().memo_fills;
+                } else {
+                    // Some op would be denied: the interpreter path
+                    // faults at exactly the right instruction.
+                    ok = false;
+                }
+            }
+            if (!ok) {
+                ++eng.stats().fallbacks;
+                return true;
+            }
+
+            ++eng.stats().entries;
+            if (chained)
+                ++eng.stats().chained_entries;
+
+            // The timer only fires in user mode, and the mode cannot
+            // change inside a block (no traps short of a fault, which
+            // exits the block): hoist the mode test out of the loop.
+            const Cycle deadline = archState.mode == PrivMode::User
+                                       ? nextTimer
+                                       : kTimerNever;
+            const bool domain0 = domain == 0;
+            const InOrderParams *scalar = scalarTiming_;
+            if (domain != curUsageDomain || !curUsage) [[unlikely]] {
+                curUsage = &domainUsage_[domain];
+                curUsageDomain = domain;
+            }
+            DomainUsage *usage = curUsage;
+
+            auto finish_op = [&](const RetireInfo &retire) {
+                ++instCount;
+                Cycle delta = scalar ? scalarRetireCost(*scalar, retire)
+                                     : timeInstruction(retire);
+                cycleCount += delta;
+                archState.cycle = cycleCount;
+                ++usage->instructions;
+                usage->cycles += delta;
+                ++consumed;
+                ++eng.stats().translated_insts;
+            };
+            // Mirrors stepOne's fault_out; returns keep-running.
+            auto fault_op = [&](FaultType fault, Addr fpc, RegVal info,
+                                RetireInfo &retire) {
+                if (deliverFault(fault, fpc, info, retire)) {
+                    finish_op(retire);
+                    return true;
+                }
+                result.reason = StopReason::UnhandledFault;
+                result.fault = fault;
+                result.fault_pc = fpc;
+                finish_op(retire);
+                return false;
+            };
+
+            const BlockOp *ops = b->ops.data();
+            const std::size_t n = b->ops.size();
+            const Addr blk_start = b->start;
+            const Addr blk_end = b->byte_end;
+            bool self_smc = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                const BlockOp &op = ops[i];
+                if (archState.pc != op.pc)
+                    break; // side exit of an earlier branch
+                if (cycleCount >= deadline) [[unlikely]]
+                    return true; // stepOne delivers the timer
+                if (consumed == budget) [[unlikely]]
+                    return true;
+
+                RetireInfo retire;
+                retire.pc = op.pc;
+                retire.inst = &op.inst;
+                retire.cls = op.inst.cls;
+
+                // Fetch timing (bounds + trusted-memory checks were
+                // hoisted to block entry; the modeled accesses were
+                // not). The memoized refs skip the set scans while
+                // the fetch stream stays on one line/page — exact by
+                // revalidation, see Cache::Ref.
+                if (itlb)
+                    retire.icache_extra +=
+                        itlb->accessRef(op.pc, itlbRef_);
+                if (icache) {
+                    retire.icache_extra +=
+                        icache->accessRef(op.pc, false, ifetchRef_) -
+                        icache_hit;
+                    Addr next_line = (op.pc & ~Addr{63}) + 64;
+                    if (next_line + 64 <= mem.size())
+                        icache->accessRef(next_line, false,
+                                          ifetchNextRef_);
+                }
+
+                // The hoisted ISA-Grid instruction check: the memo
+                // proved the outcome; account the check exactly as
+                // checkInstruction() would have.
+                pcu_.accountBlockCheck(domain0);
+
+                ExecResult res = isa_.execute(op.inst, archState);
+                if (res.fault != FaultType::None) [[unlikely]] {
+                    Addr fpc = res.fault == FaultType::SyscallTrap
+                                   ? op.pc + op.inst.length
+                                   : op.pc;
+                    return fault_op(res.fault, fpc, 0, retire);
+                }
+                ISAGRID_ASSERT(!res.csr_write,
+                               "csr write from a translated op");
+                retire.taken_branch = res.taken_branch;
+                retire.serializing = res.serializing;
+
+                if (res.mem_valid) {
+                    if (!pcu_.memoryAccessAllowed(res.mem_addr,
+                                                  res.mem_size)) {
+                        return fault_op(
+                            FaultType::TrustedMemoryViolation, op.pc,
+                            res.mem_addr, retire);
+                    }
+                    if (res.mem_addr + res.mem_size > mem.size()) {
+                        return fault_op(FaultType::MemoryFault, op.pc,
+                                        res.mem_addr, retire);
+                    }
+                    if (dtlb)
+                        retire.dcache_extra +=
+                            dtlb->accessRef(res.mem_addr, dtlbRef_);
+                    if (dcache) {
+                        retire.dcache_extra +=
+                            dcache->accessRef(res.mem_addr,
+                                              res.mem_write, dataRef_) -
+                            dcache_hit;
+                    }
+                    retire.mem_addr = res.mem_addr;
+                    if (res.mem_write) {
+                        ++storeCount;
+                        retire.is_store = true;
+                        switch (res.mem_size) {
+                          case 1: mem.write8(res.mem_addr,
+                                      std::uint8_t(res.store_value));
+                                  break;
+                          case 2: mem.write16(res.mem_addr,
+                                      std::uint16_t(res.store_value));
+                                  break;
+                          case 4: mem.write32(res.mem_addr,
+                                      std::uint32_t(res.store_value));
+                                  break;
+                          case 8: mem.write64(res.mem_addr,
+                                      res.store_value);
+                                  break;
+                          default:
+                            panic("bad store size %u", res.mem_size);
+                        }
+                        // A store into this block's own bytes: finish
+                        // the op, then exit so the next entry
+                        // revalidates (exact SMC).
+                        if (res.mem_addr < blk_end &&
+                            res.mem_addr + res.mem_size > blk_start)
+                            self_smc = true;
+                    } else {
+                        ++loadCount;
+                        retire.is_load = true;
+                        RegVal value = 0;
+                        switch (res.mem_size) {
+                          case 1:
+                            value = mem.read8(res.mem_addr);
+                            if (res.mem_sign_extend)
+                                value = RegVal(std::int64_t(
+                                    std::int8_t(value)));
+                            break;
+                          case 2:
+                            value = mem.read16(res.mem_addr);
+                            if (res.mem_sign_extend)
+                                value = RegVal(std::int64_t(
+                                    std::int16_t(value)));
+                            break;
+                          case 4:
+                            value = mem.read32(res.mem_addr);
+                            if (res.mem_sign_extend)
+                                value = RegVal(std::int64_t(
+                                    std::int32_t(value)));
+                            break;
+                          case 8:
+                            value = mem.read64(res.mem_addr);
+                            break;
+                          default:
+                            panic("bad load size %u", res.mem_size);
+                        }
+                        if (res.mem_to_pc)
+                            res.next_pc = value;
+                        else
+                            archState.setReg(res.mem_reg, value);
+                    }
+                }
+
+                if (res.flush_caches) [[unlikely]] {
+                    if (dcache)
+                        dcache->flushAll();
+                    if (icache)
+                        icache->flushAll();
+                }
+                if (res.flush_tlb) [[unlikely]] {
+                    if (itlb)
+                        itlb->flushAll();
+                    if (dtlb)
+                        dtlb->flushAll();
+                }
+                if (res.flush_tlb_page) [[unlikely]] {
+                    if (itlb)
+                        itlb->flushPage(res.flush_page_addr);
+                    if (dtlb)
+                        dtlb->flushPage(res.flush_page_addr);
+                }
+
+                if (retire.taken_branch)
+                    ++branchCount;
+
+                if (op.inst.cls == InstClass::SimMark) [[unlikely]] {
+                    simMarks.push_back({archState.reg(op.inst.rs1),
+                                        cycleCount, instCount.value()});
+                    ISAGRID_TRACE_EVENT(eventTrace, TraceKind::SimMark,
+                                        archState.reg(op.inst.rs1),
+                                        instCount.value(), 0);
+                }
+
+                if (res.halt) [[unlikely]] {
+                    result.reason = StopReason::Halted;
+                    result.halt_code = res.halt_code;
+                    finish_op(retire);
+                    return false;
+                }
+
+                archState.pc = res.next_pc;
+                finish_op(retire);
+                if (self_smc) [[unlikely]]
+                    return true;
+            }
+        }
+
+        // --- direct-branch chaining ---
+        const Addr next = archState.pc;
+        TransBlock *nb = nullptr;
+        if (b->chain[0].pc == next) {
+            nb = b->chain[0].target;
+            ++eng.stats().chain_hits;
+        } else if (b->chain[1].pc == next) {
+            nb = b->chain[1].target;
+            ++eng.stats().chain_hits;
+        } else {
+            nb = eng.find(next); // lookup only — never translates
+            ++eng.stats().chain_misses;
+            if (nb && !nb->dead) {
+                TransBlock::Chain &slot =
+                    b->chain[b->chain_victim & 1];
+                slot.pc = next;
+                slot.target = nb;
+                b->chain_victim ^= 1;
+            }
+        }
+        if (!nb || nb->dead)
+            return true;
+        b = nb;
+        chained = true;
+    }
+}
+
+} // namespace isagrid

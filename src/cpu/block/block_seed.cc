@@ -1,0 +1,25 @@
+#include "cpu/block/block_seed.hh"
+
+#include "verify/cfg.hh"
+
+namespace isagrid {
+
+void
+seedBlockLeaders(Machine &machine,
+                 const std::vector<CodeRegion> &regions,
+                 const std::vector<Addr> &extra_leaders)
+{
+    BlockEngine *engine = machine.core().blockEngine();
+    if (!engine)
+        return;
+    PolicySnapshot snap = PolicySnapshot::fromPcu(machine.pcu());
+    Cfg cfg = Cfg::build(machine.isa(), machine.mem(), snap, regions,
+                         extra_leaders);
+    std::vector<Addr> leaders;
+    leaders.reserve(cfg.blocks().size());
+    for (const BasicBlock &block : cfg.blocks())
+        leaders.push_back(block.start);
+    engine->addLeaders(leaders);
+}
+
+} // namespace isagrid

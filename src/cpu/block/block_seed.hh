@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CFG-based leader seeding for the block-translation engine.
+ *
+ * The engine discovers blocks dynamically (a pc becomes a block when
+ * it runs hot), which is always correct but initially produces blocks
+ * that overlap the program's real basic-block structure: a superblock
+ * translated from a fallthrough path runs past branch targets, so
+ * entries at those targets translate fresh overlapping blocks instead
+ * of chaining. Seeding the static CFG's leaders (src/verify/cfg.hh —
+ * the machinery isagrid-minpriv already builds over the finished
+ * kernel image) aligns translation boundaries with the real blocks
+ * from the start: translation stops at every leader and direct
+ * branches chain block-to-block at the CFG's edges.
+ *
+ * Purely an optimization: correctness never depends on the leader
+ * set, since entry revalidation and side-exit pc tracking handle any
+ * block shape.
+ */
+
+#ifndef ISAGRID_CPU_BLOCK_BLOCK_SEED_HH_
+#define ISAGRID_CPU_BLOCK_BLOCK_SEED_HH_
+
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "verify/image_scan.hh"
+
+namespace isagrid {
+
+/**
+ * Build the static CFG of @p regions over @p machine's memory and
+ * current PCU policy and seed its block leaders into the machine's
+ * block engine. No-op when the engine is disabled.
+ * @param extra_leaders  entry points reached by means other than an
+ *                       edge (trap vectors, boot code)
+ */
+void seedBlockLeaders(Machine &machine,
+                      const std::vector<CodeRegion> &regions,
+                      const std::vector<Addr> &extra_leaders = {});
+
+} // namespace isagrid
+
+#endif // ISAGRID_CPU_BLOCK_BLOCK_SEED_HH_

@@ -85,14 +85,19 @@ CoreBase::run(std::uint64_t max_insts)
     const std::uint64_t inst_start = instCount.value();
     const Cycle cycle_start = cycleCount;
     RunResult result;
-    for (std::uint64_t i = 0; i < max_insts; ++i) {
-        if (!stepOne(result)) {
-            result.instructions = instCount.value() - inst_start;
-            result.cycles = cycleCount - cycle_start;
-            return result;
+    result.reason = StopReason::MaxInstructions;
+    if (blockEngine_ && !stepHook_ && !traceStream) {
+        // Step hooks and the text trace need per-step fidelity the
+        // translated fast path cannot provide; everything else
+        // (including an event-trace buffer, handled inside the block
+        // loop) keeps identical architectural behavior.
+        runBlocks(result, max_insts);
+    } else {
+        for (std::uint64_t i = 0; i < max_insts; ++i) {
+            if (!stepOne(result))
+                break;
         }
     }
-    result.reason = StopReason::MaxInstructions;
     result.instructions = instCount.value() - inst_start;
     result.cycles = cycleCount - cycle_start;
     return result;

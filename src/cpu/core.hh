@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/block/block_engine.hh"
 #include "cpu/decode_cache.hh"
 #include "cpu/step_hook.hh"
 #include "isa/isa_model.hh"
@@ -50,6 +51,47 @@ struct RetireInfo
     Cycle pcu_stall = 0;    //!< privilege-cache miss / gate traffic
     bool trap = false;      //!< this instruction entered a trap handler
 };
+
+/** Timing parameters of the in-order model (cpu/inorder). */
+struct InOrderParams
+{
+    Cycle branch_penalty = 3;    //!< redirect after a taken branch
+    Cycle serialize_penalty = 1; //!< CSR writes, fences, gates
+    Cycle trap_penalty = 5;      //!< full flush plus vector fetch
+};
+
+/**
+ * Retire cost of the in-order scalar model. Defined here (not in
+ * cpu/inorder) because the model is stateless per instruction: a core
+ * that registers its params via CoreBase::scalarTiming_ lets the
+ * block executor apply the formula inline instead of paying a virtual
+ * timeInstruction() call per translated op. InOrderCore's
+ * timeInstruction() wraps this same function, so the two dispatch
+ * paths cannot diverge.
+ */
+inline Cycle
+scalarRetireCost(const InOrderParams &params, const RetireInfo &info)
+{
+    Cycle cost = 1; // scalar pipeline, CPI 1 baseline
+
+    // Fetch and data misses stall a blocking in-order pipeline fully.
+    cost += info.icache_extra;
+    cost += info.dcache_extra;
+
+    // PCU stalls (privilege-cache fills, trusted-stack traffic).
+    cost += info.pcu_stall;
+
+    if (info.inst && info.inst->exec_latency > 1)
+        cost += info.inst->exec_latency - 1;
+
+    if (info.taken_branch)
+        cost += params.branch_penalty;
+    if (info.serializing)
+        cost += params.serialize_penalty;
+    if (info.trap)
+        cost += params.trap_penalty;
+    return cost;
+}
 
 /** Why run() returned. */
 enum class StopReason
@@ -147,6 +189,32 @@ class CoreBase
     /** The decode cache, or nullptr when disabled (tests/tools). */
     const DecodeCache *decodeCache() const { return decodeCache_.get(); }
 
+    /**
+     * Enable (or disable, with 0) the block-translation engine
+     * (cpu/block/block_engine.hh): hot basic blocks execute as
+     * pre-decoded threaded code with the fetch-range, classical
+     * privilege and ISA-Grid instruction checks hoisted to block
+     * entry. Purely a host-speed knob — architectural results, cycle
+     * counts and all modeled stats are identical either way, and the
+     * core falls back to the interpreter whenever a step hook or text
+     * trace needs per-step fidelity (an attached event-trace buffer
+     * runs blocks op-by-op through the interpreter instead, keeping
+     * the event stream exact while still emitting BlockEnter marks).
+     */
+    void
+    setBlockEngine(std::uint32_t hot_threshold)
+    {
+        if (hot_threshold == 0)
+            blockEngine_.reset();
+        else
+            blockEngine_ = std::make_unique<BlockEngine>(
+                isa_, mem, pcu_, hot_threshold);
+    }
+
+    /** The block engine, or nullptr when disabled (tests/tools). */
+    BlockEngine *blockEngine() { return blockEngine_.get(); }
+    const BlockEngine *blockEngine() const { return blockEngine_.get(); }
+
     Cycle cycles() const { return cycleCount; }
     std::uint64_t instructions() const { return instCount.value(); }
     const std::vector<SimMark> &marks() const { return simMarks; }
@@ -205,6 +273,8 @@ class CoreBase
     {
         itlb = instruction_tlb;
         dtlb = data_tlb;
+        itlbRef_ = Tlb::Ref{};
+        dtlbRef_ = Tlb::Ref{};
     }
 
     StatGroup &stats() { return statGroup; }
@@ -212,6 +282,14 @@ class CoreBase
   protected:
     /** Advance the timing model by one retired instruction. */
     virtual Cycle timeInstruction(const RetireInfo &info) = 0;
+
+    /**
+     * Set by cores whose timeInstruction() is exactly
+     * scalarRetireCost() over these params (the in-order model): the
+     * block executor then applies the formula inline, devirtualizing
+     * the per-op retire. Null for stateful timing models (o3).
+     */
+    const InOrderParams *scalarTiming_ = nullptr;
 
     /** Extra cycles charged when a trap redirects the front end. */
     virtual Cycle trapPenalty() const = 0;
@@ -231,6 +309,23 @@ class CoreBase
     /** One architectural step; returns false when the run must stop. */
     bool stepOne(RunResult &result);
 
+    /**
+     * Block-translation run loop (cpu/block/block_exec.cc): executes
+     * up to @p budget instructions through translated blocks, falling
+     * back to stepOne per instruction where no block applies. Fills
+     * @p result exactly as the interpreter loop would.
+     */
+    void runBlocks(RunResult &result, std::uint64_t budget);
+
+    /**
+     * Execute @p block (and any blocks it chains to). @p consumed
+     * counts retired instructions; returns false when the run must
+     * stop (result filled). Returning true with consumed == 0 means
+     * the entry conditions failed and the interpreter must take over.
+     */
+    bool execBlock(TransBlock &block, RunResult &result,
+                   std::uint64_t budget, std::uint64_t &consumed);
+
     /** Deliver @p fault; returns false if no handler is installed. */
     bool deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
                       RetireInfo &retire);
@@ -245,6 +340,20 @@ class CoreBase
 
     /** L1 hit latency of a hierarchy (0 if null). */
     static Cycle l1Hit(CacheHierarchy *h);
+
+    /**
+     * Memoized line/slot refs for the block executor's modeled
+     * accesses (mem/cache.hh Cache::Ref, mem/tlb.hh Tlb::Ref). Pure
+     * fast-path state: each use revalidates against the model, so a
+     * stale ref costs one set scan, never a wrong outcome. The TLB
+     * refs are reset in setTlbs() because the TLB objects themselves
+     * may be swapped; the cache hierarchies are fixed at construction.
+     */
+    Cache::Ref ifetchRef_;
+    Cache::Ref ifetchNextRef_;
+    Cache::Ref dataRef_;
+    Tlb::Ref itlbRef_;
+    Tlb::Ref dtlbRef_;
 
     ArchState archState;
     Cycle cycleCount = 0;
@@ -269,6 +378,7 @@ class CoreBase
     DomainId curUsageDomain = ~DomainId{0};
     std::vector<SimMark> simMarks;
     std::unique_ptr<DecodeCache> decodeCache_;
+    std::unique_ptr<BlockEngine> blockEngine_;
     StatGroup statGroup;
     std::ostream *traceStream = nullptr;
     TraceBuffer *eventTrace = nullptr;

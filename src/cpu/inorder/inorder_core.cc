@@ -5,25 +5,7 @@ namespace isagrid {
 Cycle
 InOrderCore::timeInstruction(const RetireInfo &info)
 {
-    Cycle cost = 1; // scalar pipeline, CPI 1 baseline
-
-    // Fetch and data misses stall a blocking in-order pipeline fully.
-    cost += info.icache_extra;
-    cost += info.dcache_extra;
-
-    // PCU stalls (privilege-cache fills, trusted-stack traffic).
-    cost += info.pcu_stall;
-
-    if (info.inst && info.inst->exec_latency > 1)
-        cost += info.inst->exec_latency - 1;
-
-    if (info.taken_branch)
-        cost += params.branch_penalty;
-    if (info.serializing)
-        cost += params.serialize_penalty;
-    if (info.trap)
-        cost += params.trap_penalty;
-    return cost;
+    return scalarRetireCost(params, info);
 }
 
 } // namespace isagrid

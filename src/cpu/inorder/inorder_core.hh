@@ -19,14 +19,6 @@
 
 namespace isagrid {
 
-/** Timing parameters of the in-order model. */
-struct InOrderParams
-{
-    Cycle branch_penalty = 3;    //!< redirect after a taken branch
-    Cycle serialize_penalty = 1; //!< CSR writes, fences, gates
-    Cycle trap_penalty = 5;      //!< full flush plus vector fetch
-};
-
 /** Rocket-like in-order scalar core (see file comment). */
 class InOrderCore : public CoreBase
 {
@@ -37,6 +29,7 @@ class InOrderCore : public CoreBase
                 const InOrderParams &params = InOrderParams{})
         : CoreBase(isa, mem, pcu, icache, dcache), params(params)
     {
+        scalarTiming_ = &this->params;
     }
 
   protected:

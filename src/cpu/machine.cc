@@ -52,6 +52,8 @@ Machine::rocket(MachineConfig config)
                                              m->dcache.get());
     m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
     m->core_->setDecodeCache(config.decode_cache_entries);
+    if (config.block_engine)
+        m->core_->setBlockEngine(config.block_hot_threshold);
     return m;
 }
 
@@ -90,6 +92,8 @@ Machine::gem5x86(MachineConfig config)
                                         m->dcache.get());
     m->core_->setTlbs(m->itlb.get(), m->dtlb.get());
     m->core_->setDecodeCache(config.decode_cache_entries);
+    if (config.block_engine)
+        m->core_->setBlockEngine(config.block_hot_threshold);
     return m;
 }
 

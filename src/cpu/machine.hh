@@ -39,6 +39,18 @@ struct MachineConfig
      * bit-identical either way.
      */
     std::uint32_t decode_cache_entries = 16384;
+    /**
+     * Enable the block-translation engine (cpu/block): hot basic
+     * blocks run as pre-decoded threaded code with privilege checks
+     * hoisted to block entry. Like the decode cache this is a pure
+     * host-speed knob — architectural results and all modeled stats
+     * are bit-identical either way (tests/test_block_equivalence.cc).
+     * Off by default; the bench harness turns it on per scenario.
+     */
+    bool block_engine = false;
+    /** Executions before a basic block is translated. */
+    std::uint32_t block_hot_threshold =
+        BlockEngine::kDefaultHotThreshold;
 };
 
 /** A fully assembled simulated machine (see file comment). */

@@ -127,7 +127,22 @@ PrivilegeCheckUnit::refillBypass()
                        hptTag(HptKind::InstBitmap, domain, g), stall);
     }
     bypassValid = true;
+    ++bypassEpoch_;
     return stall;
+}
+
+bool
+PrivilegeCheckUnit::bypassCovers(const std::uint64_t *need,
+                                 std::size_t words) const
+{
+    ISAGRID_ASSERT(words <= bypassBitmap.size(),
+                   "check-memo with %zu groups against a %zu-group "
+                   "bypass register", words, bypassBitmap.size());
+    for (std::size_t g = 0; g < words; ++g) {
+        if ((bypassBitmap[g] & need[g]) != need[g])
+            return false;
+    }
+    return true;
 }
 
 CheckOutcome

@@ -231,6 +231,48 @@ class PrivilegeCheckUnit
     std::uint64_t faults() const { return faultCount.value(); }
     std::uint64_t bypassChecks() const { return bypassCheckCount.value(); }
 
+    // --- block-translation support (cpu/block/block_engine.hh) ---
+
+    /**
+     * Monotonic generation of the instruction-privilege bypass
+     * register: bumped on every refill, so (valid, epoch) uniquely
+     * identifies the bitmap content — and implicitly the domain —
+     * a translated block's check-memo was validated against. Domain
+     * switches and pflh invalidate the register; the next check
+     * refills it under a fresh epoch, forcing memo re-validation.
+     */
+    std::uint64_t bypassEpoch() const { return bypassEpoch_; }
+
+    /** Is the bypass register enabled and currently valid? */
+    bool
+    bypassReady() const
+    {
+        return config_.bypass_enabled && bypassValid;
+    }
+
+    /**
+     * Are all instruction-privilege bits in @p need (one word per HPT
+     * instruction group, HptLayout::instGroupOf/instBitOf layout)
+     * granted by the current bypass register content?
+     */
+    bool bypassCovers(const std::uint64_t *need,
+                      std::size_t words) const;
+
+    /**
+     * Account one instruction check whose outcome was hoisted to a
+     * block-entry memo: increments exactly the counters
+     * checkInstruction() would have (an allowed domain-0 check, or an
+     * allowed bypass-register hit), so stat dumps are identical with
+     * the block engine on or off.
+     */
+    void
+    accountBlockCheck(bool domain0)
+    {
+        ++instChecks;
+        if (!domain0)
+            ++bypassCheckCount;
+    }
+
     /**
      * Cache tag combining domain and structure index. The index gets a
      * full 32-bit field (a CSR/word index above 2^16 must not alias the
@@ -308,6 +350,8 @@ class PrivilegeCheckUnit
     /** Instruction-privilege register (cache bypass, Section 4.3). */
     std::vector<std::uint64_t> bypassBitmap;
     bool bypassValid = false;
+    /** Refill generation (see bypassEpoch()). */
+    std::uint64_t bypassEpoch_ = 0;
 
     Counter instChecks;
     Counter csrReadChecks;

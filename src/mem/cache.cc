@@ -96,6 +96,10 @@ CacheHierarchy::CacheHierarchy(const std::vector<CacheParams> &level_params,
         levels.push_back(std::make_unique<Cache>(p));
         statGroup.addChild(levels.back()->stats());
     }
+    if (!levels.empty()) {
+        l1_ = levels.front().get();
+        l1Hit_ = l1_->params().hit_latency;
+    }
     statGroup.addCounter("mem_accesses", memAccesses,
                          "accesses reaching main memory");
 }

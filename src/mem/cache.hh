@@ -40,6 +40,9 @@ struct CacheParams
  */
 class Cache
 {
+  private:
+    struct Line;
+
   public:
     explicit Cache(const CacheParams &params);
 
@@ -47,13 +50,51 @@ class Cache
     bool contains(Addr addr) const;
 
     /**
+     * A memoized reference to the line a previous access() hit or
+     * filled, letting a hot caller (the block engine's execution
+     * loop) skip the set scan when it re-touches the same line.
+     *
+     * refHit() is *exact*, not approximate: it revalidates the full
+     * line identity (address, residency, tag) — precisely access()'s
+     * hit condition — and on success performs precisely access()'s
+     * hit-path mutations (LRU touch, dirty bit, hit counter). Any
+     * intervening eviction, flush or address change simply fails the
+     * revalidation and the caller falls back to access(), so timing,
+     * replacement state and stats are bit-identical either way.
+     */
+    class Ref
+    {
+        friend class Cache;
+        Line *line = nullptr;
+        std::uint64_t tag = 0;
+        std::uint64_t lba = ~std::uint64_t{0}; //!< addr >> lineShift
+    };
+
+    /** Hit-only fast path over @p r (see Ref); false = use access(). */
+    bool
+    refHit(Ref &r, Addr addr, bool is_write)
+    {
+        if ((addr >> lineShift) != r.lba) [[unlikely]]
+            return false;
+        Line *line = r.line;
+        if (!line->valid || line->tag != r.tag) [[unlikely]]
+            return false;
+        line->lru = ++lruClock;
+        line->dirty = line->dirty || is_write;
+        ++hitCount;
+        return true;
+    }
+
+    /**
      * Look up the line containing addr, filling it on a miss.
      * @param addr      byte address of the access
      * @param is_write  marks the line dirty on hit/fill
      * @param hit       out-parameter: whether this level hit
+     * @param ref       optional: memoize the touched line for refHit()
      * @return latency contributed by this level (its hit latency)
      */
-    Cycle access(Addr addr, bool is_write, bool &hit);
+    Cycle access(Addr addr, bool is_write, bool &hit,
+                 Ref *ref = nullptr);
 
     /** Invalidate every line (e.g. wbinvd). */
     void flushAll();
@@ -101,7 +142,7 @@ class Cache
 };
 
 inline Cycle
-Cache::access(Addr addr, bool is_write, bool &hit)
+Cache::access(Addr addr, bool is_write, bool &hit, Ref *ref)
 {
     std::uint64_t set = setIndex(addr);
     std::uint64_t tag = tagOf(addr);
@@ -113,6 +154,11 @@ Cache::access(Addr addr, bool is_write, bool &hit)
             line.dirty = line.dirty || is_write;
             ++hitCount;
             hit = true;
+            if (ref) {
+                ref->line = &line;
+                ref->tag = tag;
+                ref->lba = addr >> lineShift;
+            }
             return params_.hit_latency;
         }
         if (!victim || !line.valid ||
@@ -129,6 +175,11 @@ Cache::access(Addr addr, bool is_write, bool &hit)
     victim->dirty = is_write;
     victim->tag = tag;
     victim->lru = ++lruClock;
+    if (ref) {
+        ref->line = victim;
+        ref->tag = tag;
+        ref->lba = addr >> lineShift;
+    }
     return params_.hit_latency;
 }
 
@@ -163,6 +214,30 @@ class CacheHierarchy
         return latency + memLatency;
     }
 
+    /**
+     * Timed access through a memoized L1 line ref (see Cache::Ref):
+     * bit-identical to access() in latency, replacement state and
+     * stats, but skips the L1 set scan when @p ref still covers the
+     * touched line. The ref is refreshed on the fallback path, so the
+     * next same-line access fast-paths again.
+     */
+    Cycle
+    accessRef(Addr addr, bool is_write, Cache::Ref &ref)
+    {
+        if (l1_ && l1_->refHit(ref, addr, is_write)) [[likely]]
+            return l1Hit_;
+        Cycle latency = 0;
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            bool hit = false;
+            latency += levels[i]->access(addr, is_write, hit,
+                                         i == 0 ? &ref : nullptr);
+            if (hit)
+                return latency;
+        }
+        ++memAccesses;
+        return latency + memLatency;
+    }
+
     /** Untimed probe of the first level. */
     bool l1Contains(Addr addr) const;
 
@@ -180,6 +255,8 @@ class CacheHierarchy
 
   private:
     std::vector<std::unique_ptr<Cache>> levels;
+    Cache *l1_ = nullptr;  //!< levels[0], hoisted for accessRef()
+    Cycle l1Hit_ = 0;      //!< l1_->params().hit_latency
     Cycle memLatency;
     Counter memAccesses;
     StatGroup statGroup;

@@ -36,6 +36,9 @@ struct TlbParams
 /** Set-associative LRU TLB (see file comment). */
 class Tlb
 {
+  private:
+    struct Slot;
+
   public:
     explicit Tlb(const TlbParams &params)
         : params_(params), statGroup(params.name)
@@ -64,9 +67,37 @@ class Tlb
         });
     }
 
+    /**
+     * A memoized reference to the slot a previous access() hit or
+     * filled. Like Cache::Ref, refHit() is exact: it revalidates the
+     * slot against the accessed page and replays precisely access()'s
+     * hit-path mutations, so any flush or eviction in between simply
+     * falls back to the full set scan.
+     */
+    class Ref
+    {
+        friend class Tlb;
+        Slot *slot = nullptr;
+        std::uint64_t vpn = ~std::uint64_t{0};
+    };
+
+    /** Hit-only fast path over @p r (see Ref); false = use access(). */
+    bool
+    refHit(Ref &r, Addr addr)
+    {
+        if ((addr >> pageShift) != r.vpn) [[unlikely]]
+            return false;
+        Slot *slot = r.slot;
+        if (!slot->valid || slot->vpn != r.vpn) [[unlikely]]
+            return false;
+        slot->lru = ++lruClock;
+        ++hitCount;
+        return true;
+    }
+
     /** Translate (timing only): returns added cycles (0 on hit). */
     Cycle
-    access(Addr addr)
+    access(Addr addr, Ref *ref = nullptr)
     {
         std::uint64_t vpn = addr >> pageShift;
         std::uint64_t set = vpn & (numSets - 1);
@@ -76,6 +107,10 @@ class Tlb
             if (slot.valid && slot.vpn == vpn) {
                 slot.lru = ++lruClock;
                 ++hitCount;
+                if (ref) {
+                    ref->slot = &slot;
+                    ref->vpn = vpn;
+                }
                 return 0;
             }
             if (!victim || !slot.valid ||
@@ -87,7 +122,20 @@ class Tlb
         victim->valid = true;
         victim->vpn = vpn;
         victim->lru = ++lruClock;
+        if (ref) {
+            ref->slot = victim;
+            ref->vpn = vpn;
+        }
         return params_.walk_latency;
+    }
+
+    /** access() through the memoized @p ref (bit-identical timing). */
+    Cycle
+    accessRef(Addr addr, Ref &ref)
+    {
+        if (refHit(ref, addr)) [[likely]]
+            return 0;
+        return access(addr, &ref);
     }
 
     /** Full invalidation (sfence.vma / address-space switch). */

@@ -33,6 +33,8 @@ const char *const kKindNames[numTraceKinds] = {
     "csr-commit",     // CsrCommit
     "sim-mark",       // SimMark
     "domain-name",    // DomainName
+    "block-enter",    // BlockEnter
+    "block-invalidate", // BlockInvalidate
 };
 
 std::size_t
@@ -99,6 +101,9 @@ parseTraceFilter(const std::string &spec, std::uint64_t &mask,
     constexpr std::uint64_t kMarkGroup =
         traceKindBit(TraceKind::SimMark) |
         traceKindBit(TraceKind::DomainName);
+    constexpr std::uint64_t kBlockGroup =
+        traceKindBit(TraceKind::BlockEnter) |
+        traceKindBit(TraceKind::BlockInvalidate);
 
     mask = 0;
     std::stringstream tokens(spec);
@@ -129,6 +134,8 @@ parseTraceFilter(const std::string &spec, std::uint64_t &mask,
             mask |= kCsrGroup;
         } else if (token == "mark") {
             mask |= kMarkGroup;
+        } else if (token == "block") {
+            mask |= kBlockGroup;
         } else {
             bool found = false;
             for (unsigned k = 0; k < numTraceKinds; ++k) {
@@ -591,6 +598,15 @@ exportPerfetto(const TraceFile &trace, std::ostream &os,
                << ", \"pid\": 1, \"tid\": " << unsigned{e.core}
                << ", \"args\": {\"target\": " << e.a << ", \"ok\": "
                << ((e.flags & 1) ? "true" : "false") << "}}";
+            break;
+          }
+          case TraceKind::BlockInvalidate: {
+            w.begin();
+            os << "\"name\": \"block-invalidate\", \"cat\": \"block\", "
+               << "\"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.cycle
+               << ", \"pid\": 1, \"tid\": " << unsigned{e.core}
+               << ", \"args\": {\"pc\": " << e.a
+               << ", \"invalidations\": " << e.b << "}}";
             break;
           }
           default:

@@ -74,6 +74,9 @@ enum class TraceKind : std::uint8_t
     CsrCommit,     //!< a=csr addr, b=committed value
     SimMark,       //!< a=mark value, b=retired instructions
     DomainName,    //!< metadata: a=domain id, b=packed 8-char name
+    BlockEnter,    //!< a=block start pc, b=op count; flags&1: chained
+    BlockInvalidate, //!< a=block start pc, b=invalidation count;
+                     //!< flags&1: retranslated, flags&2: blacklisted
     NumKinds,
 };
 
@@ -142,13 +145,17 @@ inline constexpr std::uint64_t kTraceFilterDefault =
     traceKindBit(TraceKind::TimerIrq) |
     traceKindBit(TraceKind::CsrCommit) |
     traceKindBit(TraceKind::SimMark) |
-    traceKindBit(TraceKind::DomainName);
+    traceKindBit(TraceKind::DomainName) |
+    // BlockInvalidate is rare (code patches); BlockEnter scales with
+    // executed blocks and stays opt-in like the per-check kinds.
+    traceKindBit(TraceKind::BlockInvalidate);
 
 /**
  * Parse a --trace-filter specification: a comma-separated list of
  * kind names (traceKindName spellings) and group aliases — "all",
  * "default"/"switching", "check", "cache", "gate", "trap", "csr",
- * "mark". Returns false (and sets @p error) on an unknown token.
+ * "mark", "block". Returns false (and sets @p error) on an unknown
+ * token.
  */
 bool parseTraceFilter(const std::string &spec, std::uint64_t &mask,
                       std::string &error);

@@ -11,7 +11,15 @@
  * The simulator is deterministic: guest cycles and instructions are
  * identical across repeats, only host wall time varies. With
  * `--compare-decode-cache` each scenario is additionally timed with
- * the decoded-instruction cache disabled and the speedup recorded.
+ * the decoded-instruction cache disabled and the speedup recorded;
+ * `--compare-engine` runs the full three-way ablation (plain
+ * interpreter / decode cache / block-translation engine). Compared
+ * configurations are timed *interleaved* — one run of each per
+ * repeat, round-robin — so slow drifts in host load bias every
+ * configuration equally instead of whichever happened to run last.
+ * Config-vs-config ratios use each configuration's *fastest* repeat
+ * (Timing::best_seconds): contention on a deterministic workload only
+ * adds time, so the minimum is the noise-robust estimate.
  */
 
 #include <algorithm>
@@ -40,6 +48,7 @@ struct Options
     std::string filter;
     std::string out_dir = ".";
     bool compare_decode_cache = false;
+    bool compare_engine = false;
     bool list_only = false;
     double min_mips = 0.0;
 };
@@ -48,14 +57,24 @@ struct Timing
 {
     ScenarioResult result;
     double median_seconds = 0.0;
+    /**
+     * Fastest repeat. Config-vs-config ratios are computed from the
+     * minima, not the medians: the workloads are deterministic and
+     * single-threaded, so host contention only ever *adds* time, and
+     * the minimum is the estimate least distorted by a loaded or
+     * frequency-scaled machine.
+     */
+    double best_seconds = 0.0;
 };
 
 struct Measured
 {
     const Scenario *scenario = nullptr;
     Timing on;            //!< decode cache at its default size
-    Timing off;           //!< decode cache disabled (compare mode)
-    bool compared = false;
+    Timing off;           //!< plain interpreter (decode cache off)
+    Timing block;         //!< block-translation engine on
+    bool compared = false;        //!< `off` valid (decode-cache mode)
+    bool engine_compared = false; //!< `off` and `block` valid
 };
 
 double
@@ -67,24 +86,34 @@ median(std::vector<double> samples)
                  : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
-/** Warmup + repeat timed runs of one scenario configuration. */
-Timing
-timeScenario(const Scenario &s, const ScenarioOptions &opts,
+/**
+ * Warmup + repeat timed runs of one scenario under each configuration
+ * in @p configs, interleaved round-robin (see the file comment).
+ */
+std::vector<Timing>
+timeScenario(const Scenario &s, const std::vector<ScenarioOptions> &configs,
              unsigned warmup, unsigned repeat)
 {
     for (unsigned i = 0; i < warmup; ++i)
-        s.run(opts);
-    Timing t;
-    std::vector<double> walls;
+        for (const ScenarioOptions &cfg : configs)
+            s.run(cfg);
+    std::vector<Timing> timings(configs.size());
+    std::vector<std::vector<double>> walls(configs.size());
     for (unsigned i = 0; i < repeat; ++i) {
-        auto t0 = std::chrono::steady_clock::now();
-        t.result = s.run(opts);
-        auto t1 = std::chrono::steady_clock::now();
-        walls.push_back(
-            std::chrono::duration<double>(t1 - t0).count());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            auto t0 = std::chrono::steady_clock::now();
+            timings[c].result = s.run(configs[c]);
+            auto t1 = std::chrono::steady_clock::now();
+            walls[c].push_back(
+                std::chrono::duration<double>(t1 - t0).count());
+        }
     }
-    t.median_seconds = median(std::move(walls));
-    return t;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        timings[c].best_seconds =
+            *std::min_element(walls[c].begin(), walls[c].end());
+        timings[c].median_seconds = median(std::move(walls[c]));
+    }
+    return timings;
 }
 
 double
@@ -126,14 +155,36 @@ writeGroupJson(const std::string &path, const std::string &group,
         if (m.compared) {
             os << ",\n      \"decode_cache_compare\": {\n";
             std::snprintf(buf, sizeof buf, "%.6f",
-                          m.off.median_seconds);
+                          m.off.best_seconds);
             os << "        \"off_wall_seconds\": " << buf << ",\n";
-            double speedup = m.on.median_seconds > 0.0
-                                 ? m.off.median_seconds /
-                                       m.on.median_seconds
+            double speedup = m.on.best_seconds > 0.0
+                                 ? m.off.best_seconds /
+                                       m.on.best_seconds
                                  : 0.0;
             std::snprintf(buf, sizeof buf, "%.3f", speedup);
             os << "        \"speedup\": " << buf << "\n";
+            os << "      }";
+        }
+        if (m.engine_compared) {
+            auto ratio = [](double base, double other) {
+                return other > 0.0 ? base / other : 0.0;
+            };
+            os << ",\n      \"engine_compare\": {\n";
+            std::snprintf(buf, sizeof buf, "%.6f",
+                          m.off.best_seconds);
+            os << "        \"interpret_wall_seconds\": " << buf
+               << ",\n";
+            std::snprintf(buf, sizeof buf, "%.6f",
+                          m.block.best_seconds);
+            os << "        \"block_wall_seconds\": " << buf << ",\n";
+            std::snprintf(buf, sizeof buf, "%.3f",
+                          ratio(m.off.best_seconds,
+                                m.block.best_seconds));
+            os << "        \"block_vs_interpret\": " << buf << ",\n";
+            std::snprintf(buf, sizeof buf, "%.3f",
+                          ratio(m.on.best_seconds,
+                                m.block.best_seconds));
+            os << "        \"block_vs_decode_cache\": " << buf << "\n";
             os << "      }";
         }
         os << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -155,6 +206,8 @@ usage()
         "  --out DIR             directory for BENCH_<group>.json\n"
         "  --compare-decode-cache  also time with the decode cache\n"
         "                        off and record the speedup\n"
+        "  --compare-engine      three-way ablation: interpreter,\n"
+        "                        decode cache, block engine\n"
         "  --min-mips X          fail if any scenario simulates\n"
         "                        slower than X MIPS (smoke check)\n"
         "  --list                list scenarios and exit\n");
@@ -185,6 +238,8 @@ main(int argc, char **argv)
             opts.out_dir = value();
         } else if (arg == "--compare-decode-cache") {
             opts.compare_decode_cache = true;
+        } else if (arg == "--compare-engine") {
+            opts.compare_engine = true;
         } else if (arg == "--min-mips") {
             opts.min_mips = std::atof(value());
         } else if (arg == "--list") {
@@ -225,19 +280,60 @@ main(int argc, char **argv)
             const Scenario &s = scenarios[idx];
             Measured &m = measured[idx];
             m.scenario = &s;
-            m.on = timeScenario(s, ScenarioOptions{}, opts.warmup,
-                                opts.repeat);
-            if (opts.compare_decode_cache) {
-                ScenarioOptions off;
-                off.decode_cache_entries = 0;
-                m.off = timeScenario(s, off, opts.warmup, opts.repeat);
-                m.compared = true;
+            // Configuration 0 is always the default (headline MIPS);
+            // compare modes append the ablation points. The plain
+            // interpreter serves both compare modes.
+            std::vector<ScenarioOptions> configs{ScenarioOptions{}};
+            int off_idx = -1, block_idx = -1;
+            if (opts.compare_decode_cache || opts.compare_engine) {
+                ScenarioOptions interp;
+                interp.decode_cache_entries = 0;
+                off_idx = int(configs.size());
+                configs.push_back(interp);
+            }
+            if (opts.compare_engine) {
+                ScenarioOptions blk;
+                blk.block_engine = true;
+                block_idx = int(configs.size());
+                configs.push_back(blk);
+            }
+            std::vector<Timing> timings =
+                timeScenario(s, configs, opts.warmup, opts.repeat);
+            m.on = timings[0];
+            if (off_idx >= 0)
+                m.off = timings[off_idx];
+            m.compared = opts.compare_decode_cache;
+            m.engine_compared = opts.compare_engine;
+            if (block_idx >= 0)
+                m.block = timings[block_idx];
+            // The fast paths must not change what was simulated.
+            for (const Timing &t : timings) {
+                if (t.result.guest_cycles != m.on.result.guest_cycles ||
+                    t.result.guest_instructions !=
+                        m.on.result.guest_instructions) {
+                    fatal("%s/%s: guest totals differ between engine "
+                          "configurations",
+                          s.group.c_str(), s.name.c_str());
+                }
             }
             std::lock_guard<std::mutex> lock(print_mutex);
             std::printf("  %-28s %12llu cycles  %8.3f s  %7.1f MIPS\n",
                         (s.group + "/" + s.name).c_str(),
                         (unsigned long long)m.on.result.guest_cycles,
                         m.on.median_seconds, mips(m.on));
+            if (opts.compare_engine) {
+                auto best_mips = [](const Timing &t) {
+                    return t.best_seconds > 0.0
+                               ? t.result.guest_instructions /
+                                     t.best_seconds / 1e6
+                               : 0.0;
+                };
+                std::printf("    engines: interpret %7.1f  "
+                            "decode-cache %7.1f  block %7.1f MIPS "
+                            "(best of repeats)\n",
+                            best_mips(m.off), best_mips(m.on),
+                            best_mips(m.block));
+            }
         }
     };
 

@@ -13,6 +13,8 @@
  *     --blocks=N                app run length         [24000]
  *     --iters=N                 lmbench iterations     [200]
  *     --pcu=16e|8e|8en          privilege caches       [8e]
+ *     --block-engine[=N]        run hot blocks translated (host fast
+ *                               path; N = hotness threshold)
  *     --timer=N                 timer interrupt period [0 = off]
  *     --tstacks                 per-thread trusted stacks
  *     --monitor-log             journal mapping changes (nested)
@@ -61,6 +63,8 @@ struct Options
     unsigned blocks = 24000;
     unsigned iters = 200;
     PcuConfig pcu = PcuConfig::config8E();
+    bool block_engine = false;
+    std::uint32_t block_hot_threshold = BlockEngine::kDefaultHotThreshold;
     Cycle timer = 0;
     bool tstacks = false;
     bool monitor_log = false;
@@ -79,8 +83,8 @@ usage(const char *argv0)
                  "[--mode=native|decomposed|nested]\n"
                  "  [--workload=sqlite|mbedtls|gzip|tar|lmbench|attacks] "
                  "[--blocks=N] [--iters=N]\n"
-                 "  [--pcu=16e|8e|8en] [--timer=N] [--tstacks] "
-                 "[--monitor-log]\n"
+                 "  [--pcu=16e|8e|8en] [--block-engine[=N]] "
+                 "[--timer=N] [--tstacks] [--monitor-log]\n"
                  "  [--trace=FILE] [--trace-events=FILE] "
                  "[--trace-filter=KINDS]\n"
                  "  [--stats] [--stats-json=FILE]\n",
@@ -134,6 +138,11 @@ parse(int argc, char **argv)
                 opt.pcu = PcuConfig::config8EN();
             else
                 usage(argv[0]);
+        } else if (eat(argv[i], "--block-engine", v)) {
+            opt.block_engine = true;
+            opt.block_hot_threshold = unsigned(std::stoul(v));
+        } else if (std::strcmp(argv[i], "--block-engine") == 0) {
+            opt.block_engine = true;
         } else if (eat(argv[i], "--timer", v)) {
             opt.timer = std::stoull(v);
         } else if (eat(argv[i], "--trace", v)) {
@@ -247,6 +256,8 @@ runAttackCorpus(const Options &opt, std::ofstream *events_os)
             PreparedAttack prepared =
                 prepareAttack(scenario, opt.x86, with_isagrid);
             Machine &m = *prepared.machine;
+            if (opt.block_engine)
+                m.core().setBlockEngine(opt.block_hot_threshold);
             if (sink) {
                 wireTrace(m, opt, *sink, next_core++);
                 emitDomainNames(*m.trace(), prepared.image);
@@ -307,6 +318,8 @@ main(int argc, char **argv)
 
     MachineConfig mc;
     mc.pcu = opt.pcu;
+    mc.block_engine = opt.block_engine;
+    mc.block_hot_threshold = opt.block_hot_threshold;
     auto machine = opt.x86 ? Machine::gem5x86(mc) : Machine::rocket(mc);
 
     Addr entry;

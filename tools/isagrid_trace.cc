@@ -195,6 +195,17 @@ report(const TraceFile &trace, const Options &opt)
     std::map<std::uint64_t, std::uint64_t> csr_traffic;
     std::map<std::uint64_t, std::uint64_t> fault_counts;
     std::vector<const TraceEvent *> faults;
+    struct BlockTotals
+    {
+        std::uint64_t enters = 0;
+        std::uint64_t chained = 0;
+        std::uint64_t insts = 0; //!< ops retired from blocks
+        std::uint64_t invalidations = 0;
+        std::uint64_t retranslated = 0;
+        std::uint64_t blacklisted = 0;
+    } blocks;
+    std::map<std::uint32_t, std::uint64_t> block_domain_insts;
+    std::map<std::uint64_t, std::uint64_t> block_invalidate_pcs;
 
     for (const TraceEvent &e : trace.events) {
         if (e.kind >= numTraceKinds)
@@ -233,6 +244,18 @@ report(const TraceFile &trace, const Options &opt)
             ++fault_counts[e.a];
             faults.push_back(&e);
             break;
+          case TraceKind::BlockEnter:
+            ++blocks.enters;
+            blocks.chained += e.flags & 1;
+            blocks.insts += e.b;
+            block_domain_insts[e.domain] += e.b;
+            break;
+          case TraceKind::BlockInvalidate:
+            ++blocks.invalidations;
+            blocks.retranslated += (e.flags & 1) != 0;
+            blocks.blacklisted += (e.flags & 2) != 0;
+            ++block_invalidate_pcs[e.a];
+            break;
           default:
             break;
         }
@@ -262,6 +285,42 @@ report(const TraceFile &trace, const Options &opt)
                         total ? 100.0 * double(r.cycles) / double(total)
                               : 0.0,
                         (unsigned long long)r.switches_in);
+        }
+    }
+
+    if (blocks.enters || blocks.invalidations) {
+        // Requires BlockEnter in the capture filter
+        // (--trace-filter=...,block); BlockInvalidate alone still
+        // yields the invalidation summary below.
+        std::printf("\ntranslated-block residency:\n");
+        std::printf("  block entries    : %10llu (%.1f%% chained)\n",
+                    (unsigned long long)blocks.enters,
+                    blocks.enters ? 100.0 * double(blocks.chained) /
+                                        double(blocks.enters)
+                                  : 0.0);
+        std::printf("  translated insts : %10llu\n",
+                    (unsigned long long)blocks.insts);
+        for (const auto &[domain, insts] : block_domain_insts) {
+            std::printf("    %-16s %12llu insts (%5.2f%%)\n",
+                        domainLabel(domain).c_str(),
+                        (unsigned long long)insts,
+                        blocks.insts ? 100.0 * double(insts) /
+                                           double(blocks.insts)
+                                     : 0.0);
+        }
+        std::printf("  invalidations    : %10llu "
+                    "(retranslated %llu, blacklisted %llu)\n",
+                    (unsigned long long)blocks.invalidations,
+                    (unsigned long long)blocks.retranslated,
+                    (unsigned long long)blocks.blacklisted);
+        if (!block_invalidate_pcs.empty()) {
+            std::printf("  top invalidated blocks:\n");
+            for (const auto &[pc, count] :
+                 topN(block_invalidate_pcs, opt.top)) {
+                std::printf("    pc %#-12llx %10llu invalidations\n",
+                            (unsigned long long)pc,
+                            (unsigned long long)count);
+            }
         }
     }
 
