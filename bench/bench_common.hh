@@ -41,6 +41,16 @@ struct ScenarioOptions
     bool block_engine = false;
     std::uint32_t block_hot_threshold =
         BlockEngine::kDefaultHotThreshold;
+    /**
+     * When non-empty, the scenario enables the performance monitor
+     * (sim/metrics.hh) on its machine and writes the metrics JSON
+     * document to this path after the run. Honoured by the
+     * single-machine scenarios (fig5 lmbench, table4 switching); the
+     * multi-machine ones (apps, attacks) have no single series to
+     * export and ignore it. The runner only sets this on untimed
+     * extra runs, so the timed numbers never include sampling cost.
+     */
+    std::string metrics_out;
 };
 
 /** What one scenario run simulated (totals across all its runs). */

@@ -13,6 +13,8 @@
  * tests/test_block_equivalence.cc).
  */
 
+#include <fstream>
+
 #include "bench_common.hh"
 
 #include "attacks/attacks.hh"
@@ -42,6 +44,36 @@ accumulate(ScenarioResult &acc, const RunResult &r)
     acc.guest_instructions += r.instructions;
 }
 
+/**
+ * Metrics export for single-machine scenarios (ScenarioOptions::
+ * metrics_out). Sampling is finer than the PerfConfig defaults: these
+ * runs are untimed, so overhead does not matter, and the short bench
+ * workloads need tighter epochs to yield a usable series.
+ */
+void
+maybeEnableMetrics(Machine &machine, const ScenarioOptions &opts)
+{
+    if (opts.metrics_out.empty())
+        return;
+    PerfConfig config;
+    config.metrics_interval = 100'000;
+    config.profile_interval = 10'000;
+    machine.enableMetrics(config);
+}
+
+void
+maybeWriteMetrics(Machine &machine, const ScenarioOptions &opts,
+                  const RunResult &r)
+{
+    if (opts.metrics_out.empty() || !machine.perf())
+        return;
+    machine.perf()->finalize(r.instructions, r.cycles);
+    std::ofstream os(opts.metrics_out);
+    if (!os)
+        fatal("cannot write %s", opts.metrics_out.c_str());
+    machine.perf()->writeJson(os);
+}
+
 // --- fig5: LMbench suite under the decomposed RISC-V kernel ---------
 
 ScenarioResult
@@ -57,9 +89,11 @@ lmbenchScenario(KernelMode mode, PcuConfig pcu,
     config.mode = mode;
     KernelBuilder builder(*machine, config);
     KernelImage image = builder.build(entry);
+    maybeEnableMetrics(*machine, opts);
     RunResult r = machine->run(image.boot_pc, 500'000'000);
     if (r.reason != StopReason::Halted)
         fatal("lmbench scenario did not halt: %s", faultName(r.fault));
+    maybeWriteMetrics(*machine, opts, r);
     ScenarioResult res;
     accumulate(res, r);
     return res;
@@ -176,6 +210,7 @@ hccallScenario(bool x86, const ScenarioOptions &opts)
     auto machine = x86 ? Machine::gem5x86(mc) : Machine::rocket(mc);
     DomainId d1 = machine->domains().createBaselineDomain();
     DomainId d2 = machine->domains().createBaselineDomain();
+    maybeEnableMetrics(*machine, opts);
     std::vector<GatePlan> gates;
     RunResult r = runSwitchLoop(
         *machine,
@@ -189,6 +224,7 @@ hccallScenario(bool x86, const ScenarioOptions &opts)
             gates.push_back({pc, dest, (site % 2) ? d1 : d2});
         },
         &gates);
+    maybeWriteMetrics(*machine, opts, r);
     ScenarioResult res;
     accumulate(res, r);
     return res;
@@ -226,9 +262,11 @@ syscallScenario(bool x86, bool pti, const ScenarioOptions &opts)
     config.pti = pti;
     KernelBuilder builder(*machine, config);
     KernelImage image = builder.build(layout::userCodeBase);
+    maybeEnableMetrics(*machine, opts);
     RunResult r = machine->run(image.boot_pc, 200'000'000);
     if (r.reason != StopReason::Halted)
         fatal("syscall scenario did not halt: %s", faultName(r.fault));
+    maybeWriteMetrics(*machine, opts, r);
     ScenarioResult res;
     accumulate(res, r);
     return res;

@@ -116,7 +116,9 @@ class BlockEngine
 
     /**
      * Host-side counters (never registered with the StatGroup tree:
-     * stat dumps are byte-identical with the engine on or off).
+     * text stat dumps are byte-identical with the engine on or off).
+     * Machine::dumpStatsJson surfaces them under `host.block.*`, with
+     * zeros when the engine is disabled.
      */
     struct HostStats
     {

@@ -54,7 +54,19 @@ CoreBase::execBlock(TransBlock &block, RunResult &result,
     BlockEngine &eng = *blockEngine_;
     const Cycle icache_hit = l1Hit(icache);
     const Cycle dcache_hit = l1Hit(dcache);
-    const bool careful = eventTrace != nullptr;
+    // Per-instruction event kinds (the checks and privilege-cache
+    // probes hoisted to block entry) only exist on the interpreter
+    // path: when either attached buffer's filter requests one, run
+    // the block's ops through stepOne so the event stream stays
+    // exact. Any other filter — including the default — keeps the
+    // translated fast path, whose stream (BlockEnter, SimMark, traps,
+    // plus everything the interpreter residue emits) is complete for
+    // the kinds it enables.
+    const TraceBuffer *ptrace = pcu_.trace();
+    const bool careful =
+        (eventTrace &&
+         (eventTrace->filterMask() & kTraceFilterPerOp) != 0) ||
+        (ptrace && (ptrace->filterMask() & kTraceFilterPerOp) != 0);
     TransBlock *b = &block;
     bool chained = false;
 
@@ -101,8 +113,7 @@ CoreBase::execBlock(TransBlock &block, RunResult &result,
         } else {
             // --- hoisted entry conditions (hot mode) ---
             const DomainId domain = pcu_.currentDomain();
-            bool ok = pcu_.trace() == nullptr &&
-                      pcu_.config().legal_cache_entries == 0 &&
+            bool ok = pcu_.config().legal_cache_entries == 0 &&
                       !(archState.mode == PrivMode::User &&
                         b->any_privileged) &&
                       pcu_.memoryAccessAllowed(b->start,
@@ -134,6 +145,9 @@ CoreBase::execBlock(TransBlock &block, RunResult &result,
             ++eng.stats().entries;
             if (chained)
                 ++eng.stats().chained_entries;
+            ISAGRID_TRACE_EVENT(eventTrace, TraceKind::BlockEnter,
+                                b->start, b->ops.size(),
+                                chained ? 1 : 0);
 
             // The timer only fires in user mode, and the mode cannot
             // change inside a block (no traps short of a fault, which
@@ -159,6 +173,8 @@ CoreBase::execBlock(TransBlock &block, RunResult &result,
                 usage->cycles += delta;
                 ++consumed;
                 ++eng.stats().translated_insts;
+                if (instCount.value() >= perfNextAt_) [[unlikely]]
+                    perfTick(retire.pc, b->start);
             };
             // Mirrors stepOne's fault_out; returns keep-running.
             auto fault_op = [&](FaultType fault, Addr fpc, RegVal info,

@@ -54,6 +54,26 @@ CoreBase::faultsTaken(FaultType fault) const
     return faultCounters[static_cast<std::size_t>(fault)].value();
 }
 
+void
+CoreBase::perfTick(Addr pc, Addr block_start)
+{
+    PerfFrame chain[kMaxPerfFrames];
+    PerfTickInfo info;
+    info.instructions = instCount.value();
+    info.cycles = cycleCount;
+    info.pc = pc;
+    info.block_start = block_start;
+    info.domain = static_cast<std::uint32_t>(pcu_.currentDomain());
+    info.chain = chain;
+    // The trusted-stack walk reads guest memory; only pay for it when
+    // this boundary actually takes a profile sample.
+    info.chain_depth = perfMonitor_->profileDue(info.instructions)
+                           ? pcu_.trustedStackFrames(chain,
+                                                     kMaxPerfFrames)
+                           : 0;
+    perfNextAt_ = perfMonitor_->tick(info);
+}
+
 bool
 CoreBase::deliverFault(FaultType fault, Addr faulting_pc, RegVal info,
                        RetireInfo &retire)
@@ -167,6 +187,8 @@ CoreBase::stepOne(RunResult &result)
         }
         ++curUsage->instructions;
         curUsage->cycles += delta;
+        if (instCount.value() >= perfNextAt_) [[unlikely]]
+            perfTick(pc, 0);
         return keep_running;
     };
     auto fault_out = [&](FaultType fault, Addr fpc, RegVal info) {

@@ -30,6 +30,7 @@
 #include "mem/cache.hh"
 #include "mem/phys_mem.hh"
 #include "mem/tlb.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 
 namespace isagrid {
@@ -197,9 +198,12 @@ class CoreBase
      * entry. Purely a host-speed knob — architectural results, cycle
      * counts and all modeled stats are identical either way, and the
      * core falls back to the interpreter whenever a step hook or text
-     * trace needs per-step fidelity (an attached event-trace buffer
-     * runs blocks op-by-op through the interpreter instead, keeping
-     * the event stream exact while still emitting BlockEnter marks).
+     * trace needs per-step fidelity. An attached event-trace buffer
+     * only forces the op-by-op interpreter path when its filter
+     * requests per-instruction kinds (kTraceFilterPerOp — the checks
+     * and cache probes the translation hoists to block entry); any
+     * other filter, including the default, traces translated
+     * execution at full speed with an exact event stream.
      */
     void
     setBlockEngine(std::uint32_t hot_threshold)
@@ -267,6 +271,26 @@ class CoreBase
      */
     void setStepHook(StepHook *hook) { stepHook_ = hook; }
 
+    /**
+     * Attach a performance monitor (sim/metrics.hh): the hot retire
+     * paths (interpreter and block engine alike) pay one integer
+     * compare of the instruction count against the monitor's next
+     * epoch boundary; everything else — the guest PC sample with its
+     * trusted-stack call chain, the metrics snapshot — happens in the
+     * cold perfTick() path, a few times per million retires. Pass
+     * nullptr to detach (Machine::enableMetrics wires a whole
+     * machine).
+     */
+    void
+    attachPerf(PerfMonitor *perf)
+    {
+        perfMonitor_ = perf;
+        perfNextAt_ = perf ? perf->arm(instCount.value()) : kPerfNever;
+    }
+
+    /** The attached monitor, or nullptr. */
+    PerfMonitor *perfMonitor() { return perfMonitor_; }
+
     /** Attach instruction/data TLB timing models (may be null). */
     void
     setTlbs(Tlb *instruction_tlb, Tlb *data_tlb)
@@ -306,6 +330,12 @@ class CoreBase
     /** Sentinel: no timer tick will ever reach this cycle count. */
     static constexpr Cycle kTimerNever = ~Cycle{0};
 
+    /** Sentinel: no perf epoch will ever reach this retire count. */
+    static constexpr std::uint64_t kPerfNever = ~std::uint64_t{0};
+
+    /** Deepest trusted-stack chain attached to one profile sample. */
+    static constexpr std::size_t kMaxPerfFrames = 32;
+
     /** One architectural step; returns false when the run must stop. */
     bool stepOne(RunResult &result);
 
@@ -340,6 +370,14 @@ class CoreBase
 
     /** L1 hit latency of a hierarchy (0 if null). */
     static Cycle l1Hit(CacheHierarchy *h);
+
+    /**
+     * Cold path of the attachPerf() hook: builds the sample (pc,
+     * domain, block, trusted-stack chain), hands it to the monitor
+     * and refreshes perfNextAt_. Only called when the retire counter
+     * reaches the armed boundary.
+     */
+    void perfTick(Addr pc, Addr block_start);
 
     /**
      * Memoized line/slot refs for the block executor's modeled
@@ -383,6 +421,9 @@ class CoreBase
     std::ostream *traceStream = nullptr;
     TraceBuffer *eventTrace = nullptr;
     StepHook *stepHook_ = nullptr;
+    PerfMonitor *perfMonitor_ = nullptr;
+    /** Retire count of the next perf epoch (kPerfNever when detached). */
+    std::uint64_t perfNextAt_ = kPerfNever;
 };
 
 } // namespace isagrid

@@ -26,8 +26,9 @@
  * the core still performs the fetch-side trusted-memory check and the
  * icache/ITLB timing accesses on the fast path. Its hit/miss counters
  * are deliberately NOT registered with the stats system — they are
- * host instrumentation, and dumps must stay bit-identical between
- * cache-on and cache-off runs.
+ * host instrumentation, and text dumps must stay bit-identical
+ * between cache-on and cache-off runs. Machine::dumpStatsJson
+ * surfaces them under `host.decode_cache.*`.
  */
 
 #ifndef ISAGRID_CPU_DECODE_CACHE_HH_

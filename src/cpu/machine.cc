@@ -116,17 +116,62 @@ Machine::dumpStats(std::ostream &os)
 }
 
 void
-Machine::dumpStatsJson(std::ostream &os)
+Machine::collectStatsValues(std::map<std::string, double> &values)
 {
-    // One flat object over every unit, keyed exactly like the dump()
-    // text rendering so names stay greppable across both formats.
-    std::map<std::string, double> values;
+    // Keyed exactly like the dump() text rendering so names stay
+    // greppable across both formats.
     core_->stats().values("", values);
     pcu_->stats().values("", values);
     icache->stats().values("icache", values);
     dcache->stats().values("dcache", values);
     itlb->stats().values("", values);
     dtlb->stats().values("", values);
+
+    // Host-side (simulator speed) counters under the distinct `host.`
+    // prefix: not part of the modeled machine — the text dump stays
+    // bit-identical with the engines on or off, which
+    // tests/test_block_equivalence.cc relies on — but always present
+    // here (zeros when the unit is disabled) so the JSON schema is
+    // stable for dashboards and the metrics layer.
+    const DecodeCache *dc = core_->decodeCache();
+    values["host.decode_cache.hits"] = dc ? double(dc->hits()) : 0.0;
+    values["host.decode_cache.misses"] = dc ? double(dc->misses()) : 0.0;
+    values["host.decode_cache.invalidations"] =
+        dc ? double(dc->invalidations()) : 0.0;
+
+    const BlockEngine *eng = core_->blockEngine();
+    static const BlockEngine::HostStats kNoBlocks{};
+    const BlockEngine::HostStats &bs =
+        eng ? eng->stats() : kNoBlocks;
+    values["host.block.translations"] = double(bs.translations);
+    values["host.block.retranslations"] = double(bs.retranslations);
+    values["host.block.invalidations"] = double(bs.invalidations);
+    values["host.block.gen_refreshes"] = double(bs.gen_refreshes);
+    values["host.block.dead_blocks"] = double(bs.dead_blocks);
+    values["host.block.entries"] = double(bs.entries);
+    values["host.block.chained_entries"] = double(bs.chained_entries);
+    values["host.block.chain_hits"] = double(bs.chain_hits);
+    values["host.block.chain_misses"] = double(bs.chain_misses);
+    values["host.block.careful_entries"] = double(bs.careful_entries);
+    values["host.block.fallbacks"] = double(bs.fallbacks);
+    values["host.block.memo_hits"] = double(bs.memo_hits);
+    values["host.block.memo_fills"] = double(bs.memo_fills);
+    values["host.block.translated_insts"] = double(bs.translated_insts);
+    values["host.block.flushes"] = double(bs.flushes);
+    double chain_probes = double(bs.chain_hits + bs.chain_misses);
+    values["host.block.chain_hit_rate"] =
+        chain_probes == 0 ? 0.0 : double(bs.chain_hits) / chain_probes;
+    double memo_probes = double(bs.memo_hits + bs.memo_fills);
+    values["host.block.memo_hit_rate"] =
+        memo_probes == 0 ? 0.0 : double(bs.memo_hits) / memo_probes;
+}
+
+void
+Machine::dumpStatsJson(std::ostream &os)
+{
+    // One flat object over every unit, modeled stats plus host.* keys.
+    std::map<std::string, double> values;
+    collectStatsValues(values);
     StatGroup::writeJson(os, values);
 }
 
@@ -139,6 +184,24 @@ Machine::enableTracing(std::size_t capacity)
         core_->attachTrace(trace_.get());
     }
     return *trace_;
+}
+
+PerfMonitor &
+Machine::enableMetrics(PerfConfig config)
+{
+    if (!perf_) {
+        perf_ = std::make_unique<PerfMonitor>(config);
+        // Per-domain privilege-cache hit accounting is off the PCU's
+        // hot path unless someone is watching; the monitor is that
+        // someone.
+        pcu_->setDomainStatsEnabled(true);
+        perf_->registry().addFill([this](auto &values) {
+            collectStatsValues(values);
+            pcu_->domainCacheValues(values);
+        });
+        core_->attachPerf(perf_.get());
+    }
+    return *perf_;
 }
 
 } // namespace isagrid

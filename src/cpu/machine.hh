@@ -80,8 +80,18 @@ class Machine
     /** Dump all statistics. */
     void dumpStats(std::ostream &os);
 
-    /** All statistics of every unit as one sorted JSON object. */
+    /**
+     * All statistics of every unit as one sorted JSON object:
+     * modeled stats keyed like dumpStats(), plus the host-side
+     * decode-cache and block-engine counters under `host.*` (always
+     * present, zeros when the unit is disabled). The text dump
+     * deliberately excludes `host.*` so it stays bit-identical with
+     * the host-speed engines on or off.
+     */
     void dumpStatsJson(std::ostream &os);
+
+    /** The dumpStatsJson() key/value set, merged into @p values. */
+    void collectStatsValues(std::map<std::string, double> &values);
 
     /**
      * Create (once) and wire the machine-owned event-trace buffer into
@@ -93,6 +103,20 @@ class Machine
 
     /** The machine-owned trace buffer, or nullptr before enableTracing. */
     TraceBuffer *trace() { return trace_.get(); }
+
+    /**
+     * Create (once) and wire the machine-owned performance monitor
+     * (sim/metrics.hh): registers probes for every modeled statistic
+     * (collectStatsValues, host.* included), the PCU's per-domain
+     * privilege-cache hit rates, and attaches the core's epoch hook.
+     * The caller seeds the profiler's code regions
+     * (perf().profiler().setRegions) and exports after the run.
+     * Idempotent; @p config only applies to the first call.
+     */
+    PerfMonitor &enableMetrics(PerfConfig config = {});
+
+    /** The machine-owned monitor, or nullptr before enableMetrics. */
+    PerfMonitor *perf() { return perf_.get(); }
 
   private:
     Machine() = default;
@@ -108,6 +132,7 @@ class Machine
     std::unique_ptr<DomainManager> domainMgr;
     std::unique_ptr<CoreBase> core_;
     std::unique_ptr<TraceBuffer> trace_;
+    std::unique_ptr<PerfMonitor> perf_;
 };
 
 } // namespace isagrid

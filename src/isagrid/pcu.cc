@@ -105,8 +105,11 @@ PrivilegeCheckUnit::cachedWord(PcuCache<std::uint64_t> &cache, Addr addr,
                                std::uint64_t tag, Cycle &stall)
 {
     std::uint64_t word = 0;
-    if (cache.numEntries() > 0 && cache.lookup(tag, word))
+    if (cache.numEntries() > 0 && cache.lookup(tag, word)) {
+        accountDomainProbe(true);
         return word;
+    }
+    accountDomainProbe(false);
     word = mem.read64(addr);
     stall += fillLatency(addr);
     if (cache.numEntries() > 0)
@@ -353,6 +356,7 @@ PrivilegeCheckUnit::gateCallImpl(GateId gate, Addr gate_pc, bool extended,
     Addr table = gridRegs[idx(GridReg::GateAddr)];
     SgtEntry entry;
     bool hit = sgtCache_.numEntries() > 0 && sgtCache_.lookup(gate, entry);
+    accountDomainProbe(hit);
     if (!hit) {
         entry = sgtRead(mem, table, gate);
         out.stall += fillLatency(sgtEntryAddr(table, gate));
@@ -579,6 +583,44 @@ PrivilegeCheckUnit::setGridReg(GridReg reg, RegVal value)
         // takes effect once they describe a valid range.
         if (limit > base)
             tmem.configure(base, limit);
+    }
+}
+
+std::size_t
+PrivilegeCheckUnit::trustedStackFrames(PerfFrame *out,
+                                       std::size_t max) const
+{
+    const RegVal base = gridRegs[idx(GridReg::Hcsb)];
+    const RegVal sp = gridRegs[idx(GridReg::Hcsp)];
+    // An unconfigured or corrupt stack yields no chain rather than a
+    // bogus one: frames are 16 bytes and must all lie inside memory.
+    if (sp <= base || (sp - base) % 16 != 0 || sp > mem.size())
+        return 0;
+    std::size_t frames = static_cast<std::size_t>((sp - base) / 16);
+    std::size_t first = frames > max ? frames - max : 0;
+    std::size_t depth = 0;
+    for (std::size_t f = first; f < frames; ++f) {
+        Addr addr = base + 16 * f;
+        out[depth].return_pc = mem.read64(addr);
+        out[depth].domain =
+            static_cast<std::uint32_t>(mem.read64(addr + 8));
+        ++depth;
+    }
+    return depth;
+}
+
+void
+PrivilegeCheckUnit::domainCacheValues(
+    std::map<std::string, double> &out) const
+{
+    for (const auto &[domain, counts] : domainCacheCounts_) {
+        std::string prefix =
+            "pcu.domain." + std::to_string(domain) + ".";
+        double total = double(counts.hits + counts.misses);
+        out[prefix + "cache_hits"] = double(counts.hits);
+        out[prefix + "cache_misses"] = double(counts.misses);
+        out[prefix + "cache_hit_rate"] =
+            total == 0 ? 0.0 : double(counts.hits) / total;
     }
 }
 

@@ -29,6 +29,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "isa/isa_model.hh"
@@ -38,6 +40,7 @@
 #include "mem/cache.hh"
 #include "mem/phys_mem.hh"
 #include "mem/trusted_memory.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -231,6 +234,50 @@ class PrivilegeCheckUnit
     std::uint64_t faults() const { return faultCount.value(); }
     std::uint64_t bypassChecks() const { return bypassCheckCount.value(); }
 
+    /**
+     * Walk the trusted stack (the hccalls frames at Hcsb..Hcsp) into
+     * @p out, outermost frame first: the gate-derived call chain the
+     * PC-sampling profiler attributes samples to. When the stack
+     * holds more than @p max frames the innermost @p max are kept.
+     * Read-only (no stats, no trace events, no modeled latency — a
+     * host-side observation, not an architectural access).
+     */
+    std::size_t trustedStackFrames(PerfFrame *out, std::size_t max) const;
+
+    // --- per-domain cache statistics (the metrics layer) ---
+
+    /** Per-domain privilege-cache probe counts (all HPT/SGT caches). */
+    struct DomainCacheCounts
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /**
+     * Enable per-domain hit/miss accounting of every privilege-cache
+     * probe. Off by default: the accounting is two compares and an
+     * increment per probe, so it is opt-in for metrics-enabled runs
+     * and leaves plain simulation untouched.
+     */
+    void setDomainStatsEnabled(bool enabled)
+    {
+        domainStatsEnabled = enabled;
+    }
+
+    const std::map<DomainId, DomainCacheCounts> &
+    domainCacheCounts() const
+    {
+        return domainCacheCounts_;
+    }
+
+    /**
+     * Merge the per-domain series into @p out as
+     * "pcu.domain.<id>.cache_hits" / ".cache_misses" /
+     * ".cache_hit_rate" (the key shape the Prometheus exporter folds
+     * into a `domain` label).
+     */
+    void domainCacheValues(std::map<std::string, double> &out) const;
+
     // --- block-translation support (cpu/block/block_engine.hh) ---
 
     /**
@@ -319,6 +366,28 @@ class PrivilegeCheckUnit
     std::uint64_t cachedWord(PcuCache<std::uint64_t> &cache, Addr addr,
                              std::uint64_t tag, Cycle &stall);
 
+    /**
+     * Attribute one privilege-cache probe to the current domain (see
+     * setDomainStatsEnabled). The current domain's slot is memoized —
+     * std::map nodes are stable — so the common case is one compare
+     * and one increment.
+     */
+    void
+    accountDomainProbe(bool hit)
+    {
+        if (!domainStatsEnabled) [[likely]]
+            return;
+        DomainId domain = currentDomain();
+        if (!curDomainCounts || domain != curDomainCountsId) {
+            curDomainCounts = &domainCacheCounts_[domain];
+            curDomainCountsId = domain;
+        }
+        if (hit)
+            ++curDomainCounts->hits;
+        else
+            ++curDomainCounts->misses;
+    }
+
     /** Refill the instruction-privilege bypass register. */
     Cycle refillBypass();
 
@@ -366,6 +435,12 @@ class PrivilegeCheckUnit
     Histogram switchLatency{12};
     StatGroup statGroup;
     TraceBuffer *trace_ = nullptr;
+
+    /** Per-domain probe accounting (see setDomainStatsEnabled). */
+    bool domainStatsEnabled = false;
+    std::map<DomainId, DomainCacheCounts> domainCacheCounts_;
+    DomainCacheCounts *curDomainCounts = nullptr;
+    DomainId curDomainCountsId = ~DomainId{0};
 };
 
 } // namespace isagrid

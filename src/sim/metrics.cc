@@ -1,0 +1,290 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/stats.hh"
+
+namespace isagrid {
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry()
+    : start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+MetricsRegistry::addCounter(const std::string &name, Probe probe,
+                            const std::string &help)
+{
+    declared_.push_back({name, std::move(probe), help, false});
+}
+
+void
+MetricsRegistry::addGauge(const std::string &name, Probe probe,
+                          const std::string &help)
+{
+    declared_.push_back({name, std::move(probe), help, true});
+    gauges_.insert(name);
+}
+
+void
+MetricsRegistry::addFill(Fill fill)
+{
+    fills_.push_back(std::move(fill));
+}
+
+void
+MetricsRegistry::collect(std::map<std::string, double> &out) const
+{
+    for (const Declared &d : declared_)
+        out[d.name] = d.probe();
+    for (const Fill &fill : fills_)
+        fill(out);
+}
+
+void
+MetricsRegistry::snapshot(std::uint64_t instructions, Cycle cycles)
+{
+    MetricsEpoch epoch;
+    epoch.index = epochs_.size();
+    epoch.instructions = instructions;
+    epoch.cycles = cycles;
+    epoch.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    collect(epoch.values);
+    epochs_.push_back(std::move(epoch));
+}
+
+void
+MetricsRegistry::reset()
+{
+    epochs_.clear();
+    start_ = std::chrono::steady_clock::now();
+}
+
+bool
+MetricsRegistry::isGauge(const std::string &name) const
+{
+    if (gauges_.count(name))
+        return true;
+    // Fill-provided keys carry no declaration; derived ratios are the
+    // only non-monotonic values the stats tree exposes.
+    return name.find("rate") != std::string::npos;
+}
+
+const std::string &
+MetricsRegistry::help(const std::string &name) const
+{
+    static const std::string empty;
+    for (const Declared &d : declared_)
+        if (d.name == name)
+            return d.help;
+    return empty;
+}
+
+// ---------------------------------------------------------------------
+// PerfMonitor
+// ---------------------------------------------------------------------
+
+PerfMonitor::PerfMonitor(PerfConfig config) : config_(config) {}
+
+std::uint64_t
+PerfMonitor::arm(std::uint64_t instructions)
+{
+    nextMetricsAt_ = config_.metrics_interval
+                         ? instructions + config_.metrics_interval
+                         : kNever;
+    nextProfileAt_ = config_.profile_interval
+                         ? instructions + config_.profile_interval
+                         : kNever;
+    return std::min(nextMetricsAt_, nextProfileAt_);
+}
+
+std::uint64_t
+PerfMonitor::tick(const PerfTickInfo &info)
+{
+    if (info.instructions >= nextProfileAt_) {
+        profiler_.sample(info.pc, info.domain, info.block_start,
+                         info.chain, info.chain_depth);
+        // One sample per boundary crossed: the per-retire compare
+        // fires exactly at the threshold, but a re-arm after a long
+        // pause must not replay missed epochs.
+        while (nextProfileAt_ <= info.instructions)
+            nextProfileAt_ += config_.profile_interval;
+    }
+    if (info.instructions >= nextMetricsAt_) {
+        registry_.snapshot(info.instructions, info.cycles);
+        while (nextMetricsAt_ <= info.instructions)
+            nextMetricsAt_ += config_.metrics_interval;
+    }
+    return std::min(nextMetricsAt_, nextProfileAt_);
+}
+
+void
+PerfMonitor::finalize(std::uint64_t instructions, Cycle cycles)
+{
+    if (!registry_.epochs().empty() &&
+        registry_.epochs().back().instructions >= instructions) {
+        return;
+    }
+    registry_.snapshot(instructions, cycles);
+}
+
+void
+PerfMonitor::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"version\": 1,\n  \"metrics_interval\": "
+       << config_.metrics_interval
+       << ",\n  \"profile_interval\": " << config_.profile_interval
+       << ",\n  \"epochs\": [";
+    bool first = true;
+    for (const MetricsEpoch &e : registry_.epochs()) {
+        char head[160];
+        std::snprintf(head, sizeof head,
+                      "%s\n    {\"index\": %llu, \"instructions\": %llu,"
+                      " \"cycles\": %llu, \"wall_seconds\": %.9f,"
+                      " \"values\": ",
+                      first ? "" : ",", (unsigned long long)e.index,
+                      (unsigned long long)e.instructions,
+                      (unsigned long long)e.cycles, e.wall_seconds);
+        os << head;
+        StatGroup::writeJson(os, e.values);
+        os << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n  ]");
+
+    os << ",\n  \"totals\": ";
+    if (registry_.epochs().empty()) {
+        std::map<std::string, double> now;
+        registry_.collect(now);
+        StatGroup::writeJson(os, now);
+    } else {
+        StatGroup::writeJson(os, registry_.epochs().back().values);
+    }
+
+    os << ",\n  \"profile\": ";
+    profiler_.writeJson(os, config_.profile_interval);
+    os << "\n}\n";
+}
+
+namespace {
+
+/** Map a dotted stat name onto the Prometheus name charset. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "isagrid_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/**
+ * Split a ".domain.<id>." key (the per-domain series convention, see
+ * MetricsRegistry::addFill) into the label-free name and the id.
+ * Returns false for ordinary keys.
+ */
+bool
+splitDomainKey(const std::string &name, std::string &base,
+               std::string &id)
+{
+    const std::string marker = ".domain.";
+    std::size_t at = name.find(marker);
+    if (at == std::string::npos)
+        return false;
+    std::size_t digits = at + marker.size();
+    std::size_t end = digits;
+    while (end < name.size() && name[end] >= '0' && name[end] <= '9')
+        ++end;
+    if (end == digits || end >= name.size() || name[end] != '.')
+        return false;
+    base = name.substr(0, at) + name.substr(end);
+    id = name.substr(digits, end - digits);
+    return true;
+}
+
+void
+promValue(std::ostream &os, double v)
+{
+    if (std::isnan(v)) {
+        os << "NaN";
+    } else if (std::isinf(v)) {
+        os << (v > 0 ? "+Inf" : "-Inf");
+    } else if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", (long long)v);
+        os << buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.10g", v);
+        os << buf;
+    }
+}
+
+} // namespace
+
+void
+PerfMonitor::writePrometheus(std::ostream &os) const
+{
+    std::map<std::string, double> now;
+    registry_.collect(now);
+
+    // Per-domain keys collapse onto one labeled metric family; group
+    // them so TYPE/HELP headers print once per family.
+    std::map<std::string,
+             std::vector<std::pair<std::string, double>>>
+        families; // prom name -> [(label or "", value)]
+    std::map<std::string, std::string> familySource;
+    for (const auto &[name, value] : now) {
+        std::string base, id;
+        if (splitDomainKey(name, base, id)) {
+            families[promName(base)].emplace_back(id, value);
+            familySource.emplace(promName(base), base);
+        } else {
+            families[promName(name)].emplace_back("", value);
+            familySource.emplace(promName(name), name);
+        }
+    }
+
+    for (const auto &[family, series] : families) {
+        const std::string &source = familySource[family];
+        bool gauge = registry_.isGauge(source);
+        const std::string &help = registry_.help(source);
+        os << "# HELP " << family << ' '
+           << (help.empty() ? source : help) << '\n';
+        os << "# TYPE " << family << ' '
+           << (gauge ? "gauge" : "counter") << '\n';
+        for (const auto &[label, value] : series) {
+            os << family;
+            if (!label.empty())
+                os << "{domain=\"" << label << "\"}";
+            os << ' ';
+            promValue(os, value);
+            os << '\n';
+        }
+    }
+
+    os << "# HELP isagrid_profile_samples guest pc samples taken\n"
+          "# TYPE isagrid_profile_samples counter\n";
+    if (profiler_.domainSamples().empty()) {
+        os << "isagrid_profile_samples " << profiler_.samples() << '\n';
+    } else {
+        for (const auto &[domain, count] : profiler_.domainSamples()) {
+            os << "isagrid_profile_samples{domain=\"" << domain
+               << "\"} " << count << '\n';
+        }
+    }
+}
+
+} // namespace isagrid

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Epoch-sampled metrics: continuous time-series on top of sim/stats.
+ *
+ * End-of-run counters (sim/stats.hh) answer "how many, in total";
+ * event tracing (sim/trace.hh) answers "which one, when" for a
+ * window. This layer answers "how does it evolve over the whole run":
+ * every N retired instructions (a sampling *epoch*) the registry
+ * snapshots all registered probes into one data point, producing
+ * per-interval series for MIPS, cache hit rates, gate traffic and
+ * anything else a probe exposes — without a single wall-clock read or
+ * map walk on the hot path.
+ *
+ * The pieces:
+ *
+ *  - MetricsRegistry: named probes (std::function<double()>) plus
+ *    bulk fill callbacks (for StatGroup::values subtrees and dynamic
+ *    key sets like per-domain counters). snapshot() runs them all and
+ *    appends a MetricsEpoch; the one steady_clock read per epoch
+ *    happens here, off the hot path.
+ *  - PerfMonitor: couples a registry with a GuestProfiler
+ *    (sim/profiler.hh) and owns the epoch arithmetic. The core keeps
+ *    a single "next stop" instruction count and compares it against
+ *    the retire counter — one integer compare per retired
+ *    instruction; everything else happens in the cold tick() call.
+ *  - Exporters: writeJson() renders the full time-series plus the
+ *    profile tables; writePrometheus() renders the *current* probe
+ *    values in Prometheus text exposition format (the scrape surface
+ *    a serve daemon exposes). `tools/isagrid-perf` consumes the JSON.
+ *
+ * Wiring for a whole machine is one call: Machine::enableMetrics()
+ * registers probes for every core/PCU/cache/TLB statistic, the
+ * host-side decode-cache and block-engine counters, and the PCU's
+ * per-domain privilege-cache hit rates.
+ */
+
+#ifndef ISAGRID_SIM_METRICS_HH_
+#define ISAGRID_SIM_METRICS_HH_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/profiler.hh"
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** One sampled data point: all probe values at one epoch boundary. */
+struct MetricsEpoch
+{
+    std::uint64_t index = 0;        //!< 0-based epoch number
+    std::uint64_t instructions = 0; //!< cumulative retired instructions
+    Cycle cycles = 0;               //!< cumulative simulated cycles
+    double wall_seconds = 0;        //!< host time since registry start
+    /** Cumulative probe values, keyed by dotted name. */
+    std::map<std::string, double> values;
+};
+
+/**
+ * Named value probes plus the epoch series they are sampled into.
+ * Probes return *cumulative* values; consumers difference adjacent
+ * epochs for interval rates (MIPS, per-epoch hit rates).
+ */
+class MetricsRegistry
+{
+  public:
+    using Probe = std::function<double()>;
+    /** Bulk probe: merge any number of named values into the map. */
+    using Fill = std::function<void(std::map<std::string, double> &)>;
+
+    MetricsRegistry();
+
+    /** Register a monotonically increasing probe (Prometheus counter). */
+    void addCounter(const std::string &name, Probe probe,
+                    const std::string &help = "");
+
+    /** Register a point-in-time probe (Prometheus gauge). */
+    void addGauge(const std::string &name, Probe probe,
+                  const std::string &help = "");
+
+    /**
+     * Register a bulk fill callback — the hook for StatGroup::values
+     * subtrees and key sets only known at sample time (per-domain
+     * counters). Keys containing a ".domain.<id>." segment are
+     * rendered as a Prometheus `domain` label by the exporter; keys
+     * containing "rate" are typed as gauges.
+     */
+    void addFill(Fill fill);
+
+    /** Run every probe and fill into @p out (current values). */
+    void collect(std::map<std::string, double> &out) const;
+
+    /**
+     * Append one epoch sampled at @p instructions / @p cycles. The
+     * single wall-clock read per epoch happens here.
+     */
+    void snapshot(std::uint64_t instructions, Cycle cycles);
+
+    const std::vector<MetricsEpoch> &epochs() const { return epochs_; }
+
+    /** Restart the wall clock and drop recorded epochs. */
+    void reset();
+
+    /** Should @p name be exported as a gauge (vs. counter)? */
+    bool isGauge(const std::string &name) const;
+
+    /** Help string of a declared probe ("" for fill-provided keys). */
+    const std::string &help(const std::string &name) const;
+
+  private:
+    struct Declared
+    {
+        std::string name;
+        Probe probe;
+        std::string help;
+        bool gauge = false;
+    };
+
+    std::vector<Declared> declared_;
+    std::vector<Fill> fills_;
+    std::set<std::string> gauges_;
+    std::vector<MetricsEpoch> epochs_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Sampling intervals, in retired instructions. 0 disables a layer. */
+struct PerfConfig
+{
+    std::uint64_t metrics_interval = 1'000'000;
+    std::uint64_t profile_interval = 100'000;
+};
+
+/**
+ * Everything the cold tick path needs from the core, passed as plain
+ * data so sim/ stays independent of cpu/ and isagrid/.
+ */
+struct PerfTickInfo
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    Addr pc = 0;          //!< pc of the instruction that hit the epoch
+    Addr block_start = 0; //!< translated-block start, 0 if interpreted
+    std::uint32_t domain = 0;
+    /** Trusted-stack call chain, outermost first; may be null. */
+    const PerfFrame *chain = nullptr;
+    std::size_t chain_depth = 0;
+};
+
+/**
+ * The coordinator the core talks to (see file comment). The core
+ * calls arm() once on attach and tick() whenever its retire counter
+ * reaches the returned threshold; both return the next threshold so
+ * the hot path stays a single compare.
+ */
+class PerfMonitor
+{
+  public:
+    /** Sentinel threshold: no epoch will ever be reached. */
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    explicit PerfMonitor(PerfConfig config = {});
+
+    MetricsRegistry &registry() { return registry_; }
+    const MetricsRegistry &registry() const { return registry_; }
+    GuestProfiler &profiler() { return profiler_; }
+    const GuestProfiler &profiler() const { return profiler_; }
+    const PerfConfig &config() const { return config_; }
+
+    /**
+     * (Re)base the epoch boundaries on the current retire count;
+     * returns the first threshold for the core's compare.
+     */
+    std::uint64_t arm(std::uint64_t instructions);
+
+    /** Will tick() take a profile sample at @p instructions? */
+    bool
+    profileDue(std::uint64_t instructions) const
+    {
+        return instructions >= nextProfileAt_;
+    }
+
+    /**
+     * The cold path: take the profile sample and/or metrics snapshot
+     * that fell due, and return the next threshold.
+     */
+    std::uint64_t tick(const PerfTickInfo &info);
+
+    /**
+     * Record the tail of the run as a final (partial) epoch so the
+     * series always covers every retired instruction. Idempotent for
+     * an unchanged instruction count.
+     */
+    void finalize(std::uint64_t instructions, Cycle cycles);
+
+    /** Full JSON document: config, epoch series, profile tables. */
+    void writeJson(std::ostream &os) const;
+
+    /** Prometheus text exposition of the current probe values. */
+    void writePrometheus(std::ostream &os) const;
+
+  private:
+    PerfConfig config_;
+    MetricsRegistry registry_;
+    GuestProfiler profiler_;
+    std::uint64_t nextMetricsAt_ = kNever;
+    std::uint64_t nextProfileAt_ = kNever;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_METRICS_HH_

@@ -1,0 +1,169 @@
+#include "sim/profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace isagrid {
+
+namespace {
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx", (unsigned long long)addr);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+GuestProfiler::setRegions(std::vector<ProfRegion> regions)
+{
+    regions_ = std::move(regions);
+    std::sort(regions_.begin(), regions_.end(),
+              [](const ProfRegion &a, const ProfRegion &b) {
+                  return a.base < b.base;
+              });
+}
+
+const ProfRegion *
+GuestProfiler::findRegion(Addr addr) const
+{
+    // First region with base > addr; the one before it (if any) is
+    // the only candidate that can contain addr.
+    auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), addr,
+        [](Addr a, const ProfRegion &r) { return a < r.base; });
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    return addr < it->limit ? &*it : nullptr;
+}
+
+std::string
+GuestProfiler::frameName(Addr addr, std::uint32_t domain) const
+{
+    if (const ProfRegion *r = findRegion(addr))
+        return r->name;
+    return "domain" + std::to_string(domain);
+}
+
+void
+GuestProfiler::sample(Addr pc, std::uint32_t domain, Addr block_start,
+                      const PerfFrame *chain, std::size_t depth)
+{
+    ++sampleCount;
+    ++pcSamples_[pc];
+    if (block_start)
+        ++blockSamples_[block_start];
+    ++domainSamples_[domain];
+    ++regionSamples_[frameName(pc, domain)];
+
+    // Collapsed stack: trusted-stack frames outermost first, then the
+    // sampled leaf. Each frame is attributed to the region its return
+    // pc falls into — the code that performed the gate call.
+    std::string stack;
+    for (std::size_t i = 0; i < depth; ++i) {
+        stack += frameName(chain[i].return_pc, chain[i].domain);
+        stack += ';';
+    }
+    stack += frameName(pc, domain);
+    ++stacks_[stack];
+}
+
+void
+GuestProfiler::reset()
+{
+    sampleCount = 0;
+    pcSamples_.clear();
+    blockSamples_.clear();
+    domainSamples_.clear();
+    regionSamples_.clear();
+    stacks_.clear();
+}
+
+void
+GuestProfiler::writeCollapsed(std::ostream &os) const
+{
+    for (const auto &[stack, count] : stacks_)
+        os << stack << ' ' << count << '\n';
+}
+
+void
+GuestProfiler::writeJson(std::ostream &os, std::uint64_t interval) const
+{
+    os << "{\n    \"samples\": " << sampleCount
+       << ",\n    \"interval\": " << interval;
+
+    os << ",\n    \"hot_pcs\": [";
+    bool first = true;
+    for (const auto &[pc, count] : pcSamples_) {
+        os << (first ? "" : ",") << "\n      {\"pc\": \"" << hexAddr(pc)
+           << "\", \"samples\": " << count << ", \"region\": \""
+           << jsonEscape(frameName(pc, 0)) << "\"}";
+        first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+
+    os << ",\n    \"hot_blocks\": [";
+    first = true;
+    for (const auto &[start, count] : blockSamples_) {
+        os << (first ? "" : ",") << "\n      {\"start\": \""
+           << hexAddr(start) << "\", \"samples\": " << count << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+
+    os << ",\n    \"domains\": [";
+    first = true;
+    for (const auto &[domain, count] : domainSamples_) {
+        os << (first ? "" : ",") << "\n      {\"domain\": " << domain
+           << ", \"samples\": " << count << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+
+    os << ",\n    \"regions\": [";
+    first = true;
+    for (const auto &[name, count] : regionSamples_) {
+        os << (first ? "" : ",") << "\n      {\"region\": \""
+           << jsonEscape(name) << "\", \"samples\": " << count << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+
+    os << ",\n    \"stacks\": [";
+    first = true;
+    for (const auto &[stack, count] : stacks_) {
+        os << (first ? "" : ",") << "\n      {\"stack\": \""
+           << jsonEscape(stack) << "\", \"samples\": " << count << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+
+    os << "\n  }";
+}
+
+} // namespace isagrid

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Guest PC-sampling profiler: where do the retired instructions go?
+ *
+ * Every N retires (the profile interval, see sim/metrics.hh) the core
+ * hands the profiler one sample: the current pc, domain, the
+ * translated-block start when the block engine was executing, and the
+ * gate call chain reconstructed from the PCU's trusted stack. The
+ * profiler aggregates:
+ *
+ *  - hot-pc and hot-block tables (sample counts per address),
+ *  - per-domain and per-code-region sample totals,
+ *  - collapsed call stacks in FlameGraph "frame;frame;leaf count"
+ *    format, with frames named after the code regions the trusted
+ *    stack's return pcs fall into.
+ *
+ * Each sample statistically represents `interval` retired
+ * instructions, so sample counts scale directly to instruction
+ * attribution: tests hold `samples * interval` to the retired total
+ * within one interval of error.
+ */
+
+#ifndef ISAGRID_SIM_PROFILER_HH_
+#define ISAGRID_SIM_PROFILER_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace isagrid {
+
+/** One trusted-stack frame of a sample's call chain. */
+struct PerfFrame
+{
+    std::uint32_t domain = 0; //!< domain the frame returns to
+    Addr return_pc = 0;       //!< saved return pc
+};
+
+/** A named guest code range samples are attributed to. */
+struct ProfRegion
+{
+    Addr base = 0;
+    Addr limit = 0; //!< one past the last byte
+    std::uint32_t domain = 0;
+    std::string name;
+};
+
+/** Aggregated sample tables (see file comment). */
+class GuestProfiler
+{
+  public:
+    /** Replace the region table (sorted internally by base). */
+    void setRegions(std::vector<ProfRegion> regions);
+
+    const std::vector<ProfRegion> &regions() const { return regions_; }
+
+    /** Record one sample (cold path; called every profile interval). */
+    void sample(Addr pc, std::uint32_t domain, Addr block_start,
+                const PerfFrame *chain, std::size_t depth);
+
+    std::uint64_t samples() const { return sampleCount; }
+
+    /** Drop all recorded samples (regions are kept). */
+    void reset();
+
+    /** Region containing @p addr, or nullptr. */
+    const ProfRegion *findRegion(Addr addr) const;
+
+    /** Attribution label for @p addr in @p domain (region or fallback). */
+    std::string frameName(Addr addr, std::uint32_t domain) const;
+
+    const std::map<Addr, std::uint64_t> &pcSamples() const
+    {
+        return pcSamples_;
+    }
+    const std::map<Addr, std::uint64_t> &blockSamples() const
+    {
+        return blockSamples_;
+    }
+    const std::map<std::uint32_t, std::uint64_t> &domainSamples() const
+    {
+        return domainSamples_;
+    }
+    const std::map<std::string, std::uint64_t> &regionSamples() const
+    {
+        return regionSamples_;
+    }
+    const std::map<std::string, std::uint64_t> &stacks() const
+    {
+        return stacks_;
+    }
+
+    /** Collapsed stacks, FlameGraph format: "a;b;leaf count\n". */
+    void writeCollapsed(std::ostream &os) const;
+
+    /** The profile tables as one JSON object (no trailing newline). */
+    void writeJson(std::ostream &os, std::uint64_t interval) const;
+
+  private:
+    std::vector<ProfRegion> regions_; //!< sorted by base
+    std::uint64_t sampleCount = 0;
+    std::map<Addr, std::uint64_t> pcSamples_;
+    std::map<Addr, std::uint64_t> blockSamples_;
+    std::map<std::uint32_t, std::uint64_t> domainSamples_;
+    std::map<std::string, std::uint64_t> regionSamples_;
+    std::map<std::string, std::uint64_t> stacks_;
+};
+
+} // namespace isagrid
+
+#endif // ISAGRID_SIM_PROFILER_HH_

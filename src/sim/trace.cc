@@ -35,6 +35,7 @@ const char *const kKindNames[numTraceKinds] = {
     "domain-name",    // DomainName
     "block-enter",    // BlockEnter
     "block-invalidate", // BlockInvalidate
+    "drop-mark",      // Drops
 };
 
 std::size_t
@@ -180,6 +181,23 @@ TraceBuffer::emit(TraceKind kind, std::uint64_t a, std::uint64_t b,
             flush();
         } else {
             ++droppedCount;
+            pendingDropMark = true;
+            return;
+        }
+    }
+
+    if (pendingDropMark && kind != TraceKind::Drops) [[unlikely]] {
+        // The episode that set the flag has ended (there is room
+        // again): record its marker exactly once, before the event
+        // that found the room. Bypasses the filter — a drop marker is
+        // the only in-band record that data is missing.
+        pendingDropMark = false;
+        emit(TraceKind::Drops, droppedCount, 0, 0);
+        headSeq = head.load(std::memory_order_relaxed);
+        if (headSeq - tail.load(std::memory_order_acquire) >=
+            ring.size()) {
+            ++droppedCount;
+            pendingDropMark = true;
             return;
         }
     }
@@ -347,6 +365,10 @@ validateTrace(const std::vector<TraceEvent> &events)
         std::int64_t stack_depth = 0;
         bool domain_known = false;
         std::uint32_t domain = 0;
+        bool block_seen = false;
+        /** Switching activity since the last BlockEnter on this core. */
+        bool switched_since_block = false;
+        std::uint64_t last_drop_count = 0;
     };
     std::map<std::uint8_t, CoreState> cores;
     unsigned budget = 16;
@@ -400,17 +422,57 @@ validateTrace(const std::vector<TraceEvent> &events)
           case TraceKind::DomainSwitch:
             cs.domain_known = true;
             cs.domain = static_cast<std::uint32_t>(e.a);
+            cs.switched_since_block = true;
+            break;
+          case TraceKind::GateCall:
+          case TraceKind::GateRet:
+            cs.switched_since_block = true;
             break;
           case TraceKind::StackPush:
             ++cs.stack_depth;
+            cs.switched_since_block = true;
             break;
           case TraceKind::StackPop:
             --cs.stack_depth;
+            cs.switched_since_block = true;
             if (cs.stack_depth < 0) {
                 addProblem(v, budget, std::string(where) +
                            ": trusted-stack pop without matching push");
                 cs.stack_depth = 0;
             }
+            break;
+          case TraceKind::BlockEnter:
+            // Block-granular interleaving with the switching stream:
+            // a chained entry (flags&1) means execution flowed
+            // straight from the previous block — gates are never
+            // translated, so no switching event may sit between the
+            // two BlockEnters. Non-chained entries interleave freely
+            // with DomainSwitch/Gate events (the interpreter ran in
+            // between); the generic domain-continuity check above
+            // already ties each entry to the current domain.
+            if ((e.flags & 1) && cs.block_seen &&
+                cs.switched_since_block) {
+                addProblem(v, budget, std::string(where) +
+                           ": chained block entry after a domain "
+                           "switch or gate event");
+            }
+            cs.block_seen = true;
+            cs.switched_since_block = false;
+            break;
+          case TraceKind::Drops:
+            // Markers carry cumulative counts: monotonicity is the
+            // "each episode reported once" contract.
+            if (e.a < cs.last_drop_count) {
+                addProblem(v, budget, std::string(where) +
+                           ": drop marker went backwards (" +
+                           std::to_string(e.a) + " < " +
+                           std::to_string(cs.last_drop_count) + ")");
+            } else if (e.a == cs.last_drop_count) {
+                addProblem(v, budget, std::string(where) +
+                           ": duplicate drop marker for " +
+                           std::to_string(e.a) + " dropped events");
+            }
+            cs.last_drop_count = e.a;
             break;
           default:
             break;

@@ -77,6 +77,8 @@ enum class TraceKind : std::uint8_t
     BlockEnter,    //!< a=block start pc, b=op count; flags&1: chained
     BlockInvalidate, //!< a=block start pc, b=invalidation count;
                      //!< flags&1: retranslated, flags&2: blacklisted
+    Drops,         //!< a=cumulative dropped events (buffer-emitted
+                   //!< marker after sink-less overflow subsides)
     NumKinds,
 };
 
@@ -148,7 +150,24 @@ inline constexpr std::uint64_t kTraceFilterDefault =
     traceKindBit(TraceKind::DomainName) |
     // BlockInvalidate is rare (code patches); BlockEnter scales with
     // executed blocks and stays opt-in like the per-check kinds.
-    traceKindBit(TraceKind::BlockInvalidate);
+    traceKindBit(TraceKind::BlockInvalidate) |
+    // Drop markers are rarer still (sink-less overflow) and the only
+    // record that data is missing — never filter them by default.
+    traceKindBit(TraceKind::Drops);
+
+/**
+ * Kinds the interpreter emits per retired instruction — the ISA-Grid
+ * instruction check and the privilege-cache probes it performs. The
+ * block engine hoists exactly these to block entry, so its hot path
+ * only runs when the active filter requests none of them; any other
+ * filter (including the default) traces translated execution at full
+ * speed with an exact event stream (cpu/block/block_exec.cc).
+ */
+inline constexpr std::uint64_t kTraceFilterPerOp =
+    traceKindBit(TraceKind::InstCheck) |
+    traceKindBit(TraceKind::CacheHit) |
+    traceKindBit(TraceKind::CacheMiss) |
+    traceKindBit(TraceKind::CacheFill);
 
 /**
  * Parse a --trace-filter specification: a comma-separated list of
@@ -211,6 +230,12 @@ class TraceBuffer
     /**
      * Append one event. When the ring is full it is drained to the
      * sink first; with no sink the event is dropped (and counted).
+     * Once a drop episode subsides — ring space frees up again — the
+     * next emit first records one TraceKind::Drops marker carrying
+     * the cumulative dropped count, so offline consumers can tell
+     * data is missing (and how much) from the stream alone. Each
+     * episode is reported exactly once; marker payloads are
+     * monotonically non-decreasing.
      */
     void emit(TraceKind kind, std::uint64_t a, std::uint64_t b = 0,
               std::uint16_t flags = 0);
@@ -241,6 +266,8 @@ class TraceBuffer
     std::uint8_t coreId = 0;
     std::uint64_t emittedCount = 0;
     std::uint64_t droppedCount = 0;
+    /** A drop episode ended; emit its Drops marker when space frees. */
+    bool pendingDropMark = false;
 };
 
 /**
@@ -341,8 +368,11 @@ struct TraceValidation
 /**
  * Structural validation of an event stream: known kinds, per-core
  * monotonically non-decreasing cycles, trusted-stack pops never
- * exceeding pushes, and domain continuity (after a DomainSwitch every
- * event carries the switched-to domain until the next switch).
+ * exceeding pushes, domain continuity (after a DomainSwitch every
+ * event carries the switched-to domain until the next switch — block
+ * entries included, which is what ties translated execution into the
+ * switching stream), chained BlockEnters never straddling a switching
+ * event, and drop markers strictly increasing.
  */
 TraceValidation validateTrace(const std::vector<TraceEvent> &events);
 

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Metrics/profiler subsystem tests: registry probe and epoch
+ * semantics, the PerfMonitor threshold arithmetic the core's
+ * single-compare hot path relies on, guest-profiler attribution and
+ * collapsed-stack output, the JSON/Prometheus exporters, and the
+ * end-to-end acceptance bound — profile sample counts must account
+ * for every retired instruction to within one sampling interval.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/machine.hh"
+#include "kernel/kernel_builder.hh"
+#include "sim/metrics.hh"
+#include "sim/profiler.hh"
+#include "workloads/lmbench.hh"
+
+using namespace isagrid;
+
+namespace {
+
+/** Run the decomposed lmbench kernel on @p machine. */
+RunResult
+runDecomposedSuite(Machine &machine, int iters = 3)
+{
+    Addr entry = buildLmbenchSuite(machine, iters);
+    KernelConfig config;
+    config.mode = KernelMode::Decomposed;
+    KernelBuilder builder(machine, config);
+    KernelImage image = builder.build(entry);
+    return machine.run(image.boot_pc);
+}
+
+/** The profiler region table of a built kernel image. */
+std::vector<ProfRegion>
+profRegions(const KernelImage &image)
+{
+    std::vector<ProfRegion> regions;
+    for (const CodeRegion &r : image.code_regions)
+        regions.push_back({r.base, r.limit, std::uint32_t(r.domain),
+                           r.name});
+    return regions;
+}
+
+} // namespace
+
+TEST(MetricsRegistry, CollectsProbesAndFills)
+{
+    MetricsRegistry reg;
+    double counter = 0;
+    reg.addCounter("work.done", [&] { return counter; }, "units done");
+    reg.addGauge("queue.depth", [] { return 3.0; });
+    reg.addFill([](std::map<std::string, double> &out) {
+        out["pcu.domain.2.cache_hits"] = 7;
+        out["pcu.domain.2.cache_hit_rate"] = 0.5;
+    });
+
+    counter = 42;
+    std::map<std::string, double> values;
+    reg.collect(values);
+    EXPECT_EQ(values.at("work.done"), 42.0);
+    EXPECT_EQ(values.at("queue.depth"), 3.0);
+    EXPECT_EQ(values.at("pcu.domain.2.cache_hits"), 7.0);
+
+    // Gauge typing: declared, or any fill key naming a rate.
+    EXPECT_FALSE(reg.isGauge("work.done"));
+    EXPECT_TRUE(reg.isGauge("queue.depth"));
+    EXPECT_TRUE(reg.isGauge("pcu.domain.2.cache_hit_rate"));
+    EXPECT_FALSE(reg.isGauge("pcu.domain.2.cache_hits"));
+    EXPECT_EQ(reg.help("work.done"), "units done");
+}
+
+TEST(MetricsRegistry, EpochsRecordCumulativeSeries)
+{
+    MetricsRegistry reg;
+    double counter = 0;
+    reg.addCounter("c", [&] { return counter; });
+
+    counter = 10;
+    reg.snapshot(1000, 5000);
+    counter = 25;
+    reg.snapshot(2000, 11000);
+
+    ASSERT_EQ(reg.epochs().size(), 2u);
+    const MetricsEpoch &first = reg.epochs()[0];
+    const MetricsEpoch &second = reg.epochs()[1];
+    EXPECT_EQ(first.index, 0u);
+    EXPECT_EQ(first.instructions, 1000u);
+    EXPECT_EQ(first.cycles, 5000u);
+    EXPECT_EQ(first.values.at("c"), 10.0);
+    EXPECT_EQ(second.index, 1u);
+    EXPECT_EQ(second.values.at("c"), 25.0);
+    EXPECT_GE(second.wall_seconds, first.wall_seconds);
+
+    reg.reset();
+    EXPECT_TRUE(reg.epochs().empty());
+}
+
+TEST(PerfMonitor, ArmAndTickKeepSingleCompareInvariant)
+{
+    PerfConfig config;
+    config.metrics_interval = 100;
+    config.profile_interval = 40;
+    PerfMonitor perf(config);
+    perf.registry().addCounter("c", [] { return 1.0; });
+
+    // First threshold is the nearer of the two layers.
+    EXPECT_EQ(perf.arm(0), 40u);
+    EXPECT_TRUE(perf.profileDue(40));
+    EXPECT_FALSE(perf.profileDue(39));
+
+    PerfTickInfo info;
+    info.instructions = 40;
+    info.pc = 0x100;
+    info.domain = 1;
+    EXPECT_EQ(perf.tick(info), 80u);
+    EXPECT_EQ(perf.profiler().samples(), 1u);
+    EXPECT_TRUE(perf.registry().epochs().empty());
+
+    info.instructions = 80;
+    EXPECT_EQ(perf.tick(info), 100u); // metrics epoch is now nearer
+    info.instructions = 100;
+    perf.tick(info);
+    EXPECT_EQ(perf.registry().epochs().size(), 1u);
+
+    // A long pause past several boundaries yields one sample/epoch,
+    // not a replay; the next threshold moves past the current count.
+    info.instructions = 1000;
+    std::uint64_t next = perf.tick(info);
+    EXPECT_GT(next, 1000u);
+    EXPECT_EQ(perf.profiler().samples(), 3u);
+    EXPECT_EQ(perf.registry().epochs().size(), 2u);
+
+    // finalize() records the tail once.
+    perf.finalize(1234, 99);
+    perf.finalize(1234, 99);
+    EXPECT_EQ(perf.registry().epochs().size(), 3u);
+    EXPECT_EQ(perf.registry().epochs().back().instructions, 1234u);
+}
+
+TEST(PerfMonitor, ZeroIntervalsDisableALayer)
+{
+    PerfConfig config;
+    config.metrics_interval = 0;
+    config.profile_interval = 0;
+    PerfMonitor perf(config);
+    EXPECT_EQ(perf.arm(0), PerfMonitor::kNever);
+}
+
+TEST(GuestProfiler, AttributesSamplesToRegionsAndStacks)
+{
+    GuestProfiler prof;
+    prof.setRegions({{0x2000, 0x3000, 2, "service"},
+                     {0x1000, 0x2000, 1, "kernel"}});
+
+    ASSERT_NE(prof.findRegion(0x1000), nullptr);
+    EXPECT_EQ(prof.findRegion(0x1fff)->name, "kernel");
+    EXPECT_EQ(prof.findRegion(0x2000)->name, "service");
+    EXPECT_EQ(prof.findRegion(0x3000), nullptr);
+    EXPECT_EQ(prof.findRegion(0x10), nullptr);
+    EXPECT_EQ(prof.frameName(0x10, 7), "domain7");
+
+    // Leaf in "service", called through a gate whose return pc sits
+    // in "kernel": one collapsed stack "kernel;service".
+    PerfFrame chain[1] = {{1, 0x1800}};
+    prof.sample(0x2100, 2, 0x2100, chain, 1);
+    prof.sample(0x2104, 2, 0x2100, chain, 1);
+    prof.sample(0x1400, 1, 0, nullptr, 0);
+
+    EXPECT_EQ(prof.samples(), 3u);
+    EXPECT_EQ(prof.pcSamples().at(0x2100), 1u);
+    EXPECT_EQ(prof.blockSamples().at(0x2100), 2u);
+    EXPECT_EQ(prof.domainSamples().at(2), 2u);
+    EXPECT_EQ(prof.regionSamples().at("service"), 2u);
+    EXPECT_EQ(prof.regionSamples().at("kernel"), 1u);
+    EXPECT_EQ(prof.stacks().at("kernel;service"), 2u);
+    EXPECT_EQ(prof.stacks().at("kernel"), 1u);
+
+    std::stringstream collapsed;
+    prof.writeCollapsed(collapsed);
+    EXPECT_NE(collapsed.str().find("kernel;service 2\n"),
+              std::string::npos);
+    EXPECT_NE(collapsed.str().find("kernel 1\n"), std::string::npos);
+
+    prof.reset();
+    EXPECT_EQ(prof.samples(), 0u);
+    EXPECT_TRUE(prof.stacks().empty());
+    EXPECT_FALSE(prof.regions().empty()); // regions survive a reset
+}
+
+TEST(PerfExport, JsonAndPrometheusRenderAllFamilies)
+{
+    PerfConfig config;
+    config.metrics_interval = 100;
+    config.profile_interval = 50;
+    PerfMonitor perf(config);
+    double hits = 12;
+    perf.registry().addCounter("pcu.hits", [&] { return hits; },
+                               "privilege cache hits");
+    perf.registry().addGauge("mips", [] { return 1.5; });
+    perf.registry().addFill([](std::map<std::string, double> &out) {
+        out["pcu.domain.1.cache_hits"] = 4;
+        out["pcu.domain.2.cache_hits"] = 6;
+        out["pcu.domain.2.cache_hit_rate"] = 0.75;
+    });
+    perf.arm(0);
+    PerfTickInfo info;
+    info.instructions = 100;
+    info.cycles = 400;
+    info.pc = 0x800;
+    info.domain = 1;
+    perf.tick(info);
+    perf.finalize(130, 520);
+
+    std::stringstream js;
+    perf.writeJson(js);
+    const std::string json = js.str();
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics_interval\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"instructions\": 130"), std::string::npos);
+    EXPECT_NE(json.find("\"pcu.hits\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"profile\""), std::string::npos);
+    EXPECT_NE(json.find("\"pc\": \"0x800\""), std::string::npos);
+
+    std::stringstream prom;
+    perf.writePrometheus(prom);
+    const std::string text = prom.str();
+    // Declared counter with its help string.
+    EXPECT_NE(text.find("# HELP isagrid_pcu_hits privilege cache hits"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE isagrid_pcu_hits counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("isagrid_pcu_hits 12\n"), std::string::npos);
+    // Declared gauge.
+    EXPECT_NE(text.find("# TYPE isagrid_mips gauge"), std::string::npos);
+    // Per-domain keys fold into one labeled family.
+    EXPECT_NE(text.find("isagrid_pcu_cache_hits{domain=\"1\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("isagrid_pcu_cache_hits{domain=\"2\"} 6"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE isagrid_pcu_cache_hit_rate gauge"),
+              std::string::npos);
+    // Profiler totals ride along.
+    EXPECT_NE(text.find("isagrid_profile_samples{domain=\"1\"} 1"),
+              std::string::npos);
+}
+
+TEST(MetricsMachine, SampleCountsAccountForEveryRetiredInstruction)
+{
+    // The acceptance bound: each profile sample statistically stands
+    // for `interval` retired instructions, so the totals must agree
+    // to within one interval — on both the interpreter path and the
+    // block-engine hot path.
+    for (bool block_engine : {false, true}) {
+        MachineConfig mconfig;
+        mconfig.block_engine = block_engine;
+        auto machine = Machine::rocket(mconfig);
+        PerfConfig pconfig;
+        pconfig.metrics_interval = 500;
+        pconfig.profile_interval = 50;
+        PerfMonitor &perf = machine->enableMetrics(pconfig);
+
+        RunResult r = runDecomposedSuite(*machine);
+        ASSERT_EQ(r.reason, StopReason::Halted);
+        std::uint64_t retired = std::uint64_t(
+            machine->core().stats().lookup("core.instructions"));
+        perf.finalize(retired, 0);
+
+        const GuestProfiler &prof = perf.profiler();
+        ASSERT_GT(prof.samples(), 10u) << "block_engine="
+                                       << block_engine;
+        std::uint64_t attributed =
+            prof.samples() * pconfig.profile_interval;
+        EXPECT_LE(attributed, retired);
+        EXPECT_GT(attributed + pconfig.profile_interval, retired);
+
+        // Every breakdown table sums back to the sample total.
+        std::uint64_t by_domain = 0;
+        for (const auto &[domain, count] : prof.domainSamples())
+            by_domain += count;
+        EXPECT_EQ(by_domain, prof.samples());
+        std::uint64_t by_pc = 0;
+        for (const auto &[pc, count] : prof.pcSamples())
+            by_pc += count;
+        EXPECT_EQ(by_pc, prof.samples());
+        std::uint64_t by_stack = 0;
+        for (const auto &[stack, count] : prof.stacks())
+            by_stack += count;
+        EXPECT_EQ(by_stack, prof.samples());
+
+        // On the hot path most samples land inside translated blocks.
+        if (block_engine) {
+            std::uint64_t in_blocks = 0;
+            for (const auto &[start, count] : prof.blockSamples())
+                in_blocks += count;
+            EXPECT_GT(in_blocks, 0u);
+        }
+
+        // The epoch series covers the full run and carries the
+        // per-domain privilege-cache breakdown.
+        const MetricsRegistry &reg = perf.registry();
+        ASSERT_FALSE(reg.epochs().empty());
+        EXPECT_EQ(reg.epochs().back().instructions, retired);
+        EXPECT_EQ(reg.epochs().back().values.at("core.instructions"),
+                  double(retired));
+        bool has_domain_key = false;
+        for (const auto &[name, value] : reg.epochs().back().values)
+            if (name.rfind("pcu.domain.", 0) == 0)
+                has_domain_key = true;
+        EXPECT_TRUE(has_domain_key);
+        for (std::size_t i = 1; i < reg.epochs().size(); ++i) {
+            EXPECT_GT(reg.epochs()[i].instructions,
+                      reg.epochs()[i - 1].instructions);
+            EXPECT_GE(reg.epochs()[i].wall_seconds,
+                      reg.epochs()[i - 1].wall_seconds);
+        }
+    }
+}
+
+TEST(MetricsMachine, ProfilerAttributesKernelRegionsAndGateStacks)
+{
+    MachineConfig mconfig;
+    mconfig.block_engine = true;
+    auto machine = Machine::rocket(mconfig);
+    PerfConfig pconfig;
+    pconfig.profile_interval = 20;
+    PerfMonitor &perf = machine->enableMetrics(pconfig);
+
+    Addr entry = buildLmbenchSuite(*machine, 3);
+    KernelConfig kconfig;
+    kconfig.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, kconfig);
+    KernelImage image = builder.build(entry);
+    ASSERT_FALSE(image.code_regions.empty());
+    perf.profiler().setRegions(profRegions(image));
+
+    RunResult r = machine->run(image.boot_pc);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+
+    // Samples must resolve to the image's named regions, and the
+    // decomposed kernel's gate traffic must surface at least one
+    // multi-frame collapsed stack from the trusted stack walk.
+    const GuestProfiler &prof = perf.profiler();
+    ASSERT_GT(prof.samples(), 0u);
+    EXPECT_FALSE(prof.regionSamples().empty());
+    bool named = false;
+    for (const auto &[name, count] : prof.regionSamples())
+        if (name.rfind("domain", 0) != 0)
+            named = true;
+    EXPECT_TRUE(named);
+    bool multi_frame = false;
+    for (const auto &[stack, count] : prof.stacks())
+        if (stack.find(';') != std::string::npos)
+            multi_frame = true;
+    EXPECT_TRUE(multi_frame);
+}
+
+TEST(MetricsMachine, EnableMetricsIsIdempotent)
+{
+    auto machine = Machine::rocket();
+    PerfMonitor &first = machine->enableMetrics();
+    PerfMonitor &second = machine->enableMetrics(
+        PerfConfig{1, 1}); // later config must not re-wire
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(machine->perf(), &first);
+    EXPECT_EQ(first.config().metrics_interval, 1'000'000u);
+}

@@ -1,11 +1,14 @@
 /**
  * @file
  * Histogram statistic semantics and a golden-file lock on the
- * StatGroup JSON rendering (the `--stats-json` output schema).
+ * `--stats-json` output schema: the full Machine::dumpStatsJson key
+ * set of a freshly built rocket() machine (every modeled stat plus
+ * the `host.*` decode-cache/block-engine counters), values all zero
+ * or null because the machine never runs.
  *
  * The golden file is tests/data/stats_dump.golden.json; regenerate it
  * deliberately with ISAGRID_REGEN_GOLDEN=1 after an intentional
- * format change and commit the diff.
+ * schema change and commit the diff.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cpu/machine.hh"
 #include "sim/stats.hh"
 
 using namespace isagrid;
@@ -110,9 +114,13 @@ TEST(Histogram, RegistersInAStatGroup)
 
 TEST(StatsJson, DumpMatchesGoldenFile)
 {
-    SampleStats stats;
+    // A never-run machine renders deterministically (zero counters,
+    // null formulas), so the golden locks the complete key schema —
+    // including the host.* block-engine and decode-cache counters,
+    // present with zeros even though only the decode cache is on.
+    auto machine = Machine::rocket();
     std::stringstream ss;
-    stats.group.dumpJson(ss);
+    machine->dumpStatsJson(ss);
     std::string actual = ss.str();
 
     if (std::getenv("ISAGRID_REGEN_GOLDEN")) {

@@ -248,6 +248,130 @@ TEST(TraceValidate, CatchesStructuralViolations)
     EXPECT_FALSE(v.ok);
 }
 
+TEST(TraceBuffer, DropMarkerPerOverflowEpisodeWithCumulativeCount)
+{
+    TraceBuffer buf(16);
+    std::vector<TraceEvent> collected;
+    auto drain = [&] {
+        for (const TraceEvent &e : buf.snapshot())
+            collected.push_back(e);
+        buf.clear();
+    };
+
+    // Episode 1: sink-less overflow drops the four newest events.
+    for (std::uint64_t i = 0; i < 20; ++i)
+        buf.emit(TraceKind::SimMark, i);
+    EXPECT_EQ(buf.droppedEvents(), 4u);
+    drain();
+
+    // Room again: exactly one marker, carrying the cumulative count,
+    // slots in before the event that found the room.
+    buf.emit(TraceKind::SimMark, 100);
+    buf.emit(TraceKind::SimMark, 101);
+    std::vector<TraceEvent> pending = buf.snapshot();
+    ASSERT_EQ(pending.size(), 3u);
+    EXPECT_EQ(pending[0].kind, std::uint8_t(TraceKind::Drops));
+    EXPECT_EQ(pending[0].a, 4u);
+    EXPECT_EQ(pending[1].a, 100u);
+    drain();
+
+    // Episode 2 across another drain cycle: the next marker reports
+    // the grown cumulative count, and only once.
+    for (std::uint64_t i = 0; i < 18; ++i)
+        buf.emit(TraceKind::SimMark, i);
+    EXPECT_EQ(buf.droppedEvents(), 6u);
+    drain();
+    buf.emit(TraceKind::SimMark, 200);
+    buf.emit(TraceKind::SimMark, 201);
+    pending = buf.snapshot();
+    ASSERT_EQ(pending.size(), 3u);
+    EXPECT_EQ(pending[0].kind, std::uint8_t(TraceKind::Drops));
+    EXPECT_EQ(pending[0].a, 6u);
+    EXPECT_EQ(pending[1].kind, std::uint8_t(TraceKind::SimMark));
+    EXPECT_EQ(pending[2].kind, std::uint8_t(TraceKind::SimMark));
+    drain();
+
+    // The interleaved stream with its markers validates clean.
+    TraceValidation v = validateTrace(collected);
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+}
+
+TEST(TraceValidate, DropMarkersMustBeStrictlyIncreasing)
+{
+    TraceValidation v = validateTrace({
+        event(TraceKind::Drops, 10, 0, 0, 4),
+        event(TraceKind::Drops, 20, 0, 0, 9),
+    });
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+
+    // Equal counts mean an episode was reported twice.
+    v = validateTrace({
+        event(TraceKind::Drops, 10, 0, 0, 4),
+        event(TraceKind::Drops, 20, 0, 0, 4),
+    });
+    EXPECT_FALSE(v.ok);
+    ASSERT_FALSE(v.problems.empty());
+    EXPECT_NE(v.problems[0].find("duplicate"), std::string::npos);
+
+    // Cumulative counts can never shrink.
+    v = validateTrace({
+        event(TraceKind::Drops, 10, 0, 0, 9),
+        event(TraceKind::Drops, 20, 0, 0, 4),
+    });
+    EXPECT_FALSE(v.ok);
+    ASSERT_FALSE(v.problems.empty());
+    EXPECT_NE(v.problems[0].find("backwards"), std::string::npos);
+}
+
+TEST(TraceValidate, BlockEntriesInterleaveWithSwitchingEvents)
+{
+    auto chained = [](Cycle cycle, std::uint32_t domain, Addr start) {
+        TraceEvent e = event(TraceKind::BlockEnter, cycle, 0, domain,
+                             start, 4);
+        e.flags = 1;
+        return e;
+    };
+
+    // Non-chained entries interleave freely with domain switches, and
+    // chained entries are fine while the domain stream is quiet.
+    TraceValidation v = validateTrace({
+        event(TraceKind::BlockEnter, 10, 0, 0, 0x1000, 4),
+        chained(20, 0, 0x2000),
+        event(TraceKind::DomainSwitch, 30, 0, 2, /*dest=*/2),
+        event(TraceKind::BlockEnter, 40, 0, 2, 0x3000, 4),
+        chained(50, 2, 0x4000),
+    });
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+
+    // A chained entry cannot straddle a switch: gates and domain
+    // crossings never run inside translated code.
+    v = validateTrace({
+        event(TraceKind::BlockEnter, 10, 0, 0, 0x1000, 4),
+        event(TraceKind::DomainSwitch, 20, 0, 2, /*dest=*/2),
+        chained(30, 2, 0x2000),
+    });
+    EXPECT_FALSE(v.ok);
+    ASSERT_FALSE(v.problems.empty());
+    EXPECT_NE(v.problems[0].find("chained block entry"),
+              std::string::npos);
+
+    // Same for a gate event between two chained entries.
+    v = validateTrace({
+        event(TraceKind::BlockEnter, 10, 0, 0, 0x1000, 4),
+        event(TraceKind::GateCall, 20, 0, 0, /*gate=*/7),
+        chained(30, 0, 0x2000),
+    });
+    EXPECT_FALSE(v.ok);
+
+    // A block entry carrying a stale domain still trips the generic
+    // continuity check.
+    v = validateTrace({
+        event(TraceKind::DomainSwitch, 10, 0, 2, /*dest=*/2),
+        event(TraceKind::BlockEnter, 20, 0, 0, 0x1000, 4),
+    });
+    EXPECT_FALSE(v.ok);
+}
+
 TEST(TracePerfetto, EmitsValidChromeTraceJson)
 {
     TraceFile trace;
@@ -306,4 +430,87 @@ TEST(TraceMachine, EndToEndRunProducesAValidatableTrace)
     EXPECT_GT(switches, 0u);
     EXPECT_EQ(double(switches),
               machine->pcu().stats().lookup("pcu.switches"));
+}
+
+TEST(TraceMachine, BlockEngineTracesHotBlocksAndValidates)
+{
+    // With the block engine on and a filter that requests no per-op
+    // kinds, translated blocks run at full speed and still emit
+    // BlockEnter events interleaved with the switching stream — the
+    // combined trace must satisfy the chained-entry invariant.
+    MachineConfig config;
+    config.block_engine = true;
+    auto machine = Machine::rocket(config);
+    TraceBuffer &trace = machine->enableTracing();
+    VectorTraceSink sink;
+    trace.attachSink(&sink);
+    std::uint64_t mask = 0;
+    std::string error;
+    ASSERT_TRUE(parseTraceFilter("default,block", mask, error)) << error;
+    ASSERT_EQ(mask & kTraceFilterPerOp, 0u);
+    trace.setFilter(mask);
+
+    Addr entry = buildLmbenchSuite(*machine, 3);
+    KernelConfig kconfig;
+    kconfig.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, kconfig);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    trace.flush();
+
+    // The engine must actually have taken its hot path (not careful
+    // mode) while tracing.
+    const BlockEngine *eng = machine->core().blockEngine();
+    ASSERT_NE(eng, nullptr);
+    EXPECT_GT(eng->stats().entries, 0u);
+    EXPECT_GT(eng->stats().entries, eng->stats().careful_entries);
+
+    std::uint64_t block_enters = 0;
+    std::uint64_t switches = 0;
+    for (const TraceEvent &e : sink.events()) {
+        if (e.kind == std::uint8_t(TraceKind::BlockEnter))
+            ++block_enters;
+        if (e.kind == std::uint8_t(TraceKind::DomainSwitch))
+            ++switches;
+    }
+    EXPECT_GT(block_enters, 0u);
+    EXPECT_GT(switches, 0u);
+
+    TraceValidation v = validateTrace(sink.events());
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems[0]);
+}
+
+TEST(TraceMachine, PerOpFilterForcesCarefulBlocks)
+{
+    // Asking for per-op check/cache kinds makes translated blocks run
+    // in careful (op-by-op) mode so those events keep appearing.
+    MachineConfig config;
+    config.block_engine = true;
+    auto machine = Machine::rocket(config);
+    TraceBuffer &trace = machine->enableTracing();
+    VectorTraceSink sink;
+    trace.attachSink(&sink);
+    trace.setFilter(kTraceFilterDefault | kTraceFilterPerOp);
+
+    Addr entry = buildLmbenchSuite(*machine, 2);
+    KernelConfig kconfig;
+    kconfig.mode = KernelMode::Decomposed;
+    KernelBuilder builder(*machine, kconfig);
+    KernelImage image = builder.build(entry);
+    RunResult r = machine->run(image.boot_pc);
+    ASSERT_EQ(r.reason, StopReason::Halted);
+    trace.flush();
+
+    const BlockEngine *eng = machine->core().blockEngine();
+    ASSERT_NE(eng, nullptr);
+    if (eng->stats().entries > 0)
+        EXPECT_EQ(eng->stats().entries, eng->stats().careful_entries);
+
+    bool saw_per_op = false;
+    for (const TraceEvent &e : sink.events()) {
+        if (traceKindBit(TraceKind(e.kind)) & kTraceFilterPerOp)
+            saw_per_op = true;
+    }
+    EXPECT_TRUE(saw_per_op);
 }

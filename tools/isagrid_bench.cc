@@ -20,15 +20,26 @@
  * Config-vs-config ratios use each configuration's *fastest* repeat
  * (Timing::best_seconds): contention on a deterministic workload only
  * adds time, so the minimum is the noise-robust estimate.
+ *
+ * With `--metrics-out DIR` every single-machine scenario gets one
+ * extra *untimed* run with the performance monitor attached, writing
+ * `DIR/<group>_<name>.metrics.json` (the sim/metrics.hh document that
+ * tools/isagrid-perf consumes). After the group files are written, an
+ * informational delta report compares each scenario against the
+ * committed `BENCH_<group>.json` baseline: host-MIPS drift (expected
+ * to move with the host) and guest-cycle totals (deterministic — any
+ * change means the modeled behavior changed, not the machine load).
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +51,10 @@ using namespace isagrid::bench;
 
 namespace {
 
+#ifndef BENCH_BASELINE_DIR
+#define BENCH_BASELINE_DIR "."
+#endif
+
 struct Options
 {
     unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -47,6 +62,8 @@ struct Options
     unsigned warmup = 1;
     std::string filter;
     std::string out_dir = ".";
+    std::string metrics_out; //!< dir for per-scenario metrics JSON
+    std::string baseline_dir = BENCH_BASELINE_DIR;
     bool compare_decode_cache = false;
     bool compare_engine = false;
     bool list_only = false;
@@ -75,6 +92,7 @@ struct Measured
     Timing block;         //!< block-translation engine on
     bool compared = false;        //!< `off` valid (decode-cache mode)
     bool engine_compared = false; //!< `off` and `block` valid
+    std::string metrics_file;     //!< written by the untimed metrics run
 };
 
 double
@@ -193,6 +211,85 @@ writeGroupJson(const std::string &path, const std::string &group,
     os << "}\n";
 }
 
+/**
+ * `"name": "<name>" ... "<field>": <number>` out of a committed
+ * BENCH_<group>.json, by plain text scan (same idiom as the overhead
+ * benches — the files are machine-written, so no parser needed).
+ */
+bool
+scanScenarioField(const std::string &text, const std::string &name,
+                  const std::string &field, double &out)
+{
+    std::size_t at = text.find("\"name\": \"" + name + "\"");
+    if (at == std::string::npos)
+        return false;
+    std::string key = "\"" + field + "\":";
+    std::size_t k = text.find(key, at);
+    if (k == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + k + key.size(), nullptr);
+    return true;
+}
+
+/**
+ * Informational drift report against the committed BENCH_<group>.json
+ * files. Host MIPS moves with the machine the bench ran on; guest
+ * cycles are deterministic, so a changed total is always a modeled-
+ * behavior change and gets flagged loudly. Never affects exit status:
+ * the committed numbers come from a different host.
+ */
+void
+reportBaselineDeltas(const Options &opts,
+                     const std::vector<std::string> &groups,
+                     const std::vector<Measured> &measured)
+{
+    for (const auto &g : groups) {
+        std::string path = opts.baseline_dir + "/BENCH_" + g + ".json";
+        std::ifstream is(path);
+        if (!is) {
+            std::printf("no committed baseline %s; skipping delta "
+                        "report\n", path.c_str());
+            continue;
+        }
+        std::stringstream ss;
+        ss << is.rdbuf();
+        std::string text = ss.str();
+        std::printf("delta vs committed %s (informational):\n",
+                    path.c_str());
+        for (const auto &m : measured) {
+            if (m.scenario->group != g)
+                continue;
+            double base_ips = 0, base_cycles = 0;
+            if (!scanScenarioField(text, m.scenario->name,
+                                   "insts_per_second", base_ips) ||
+                !scanScenarioField(text, m.scenario->name,
+                                   "guest_cycles", base_cycles)) {
+                std::printf("  %-28s not in committed baseline\n",
+                            m.scenario->name.c_str());
+                continue;
+            }
+            double now_mips = mips(m.on);
+            double host_delta =
+                base_ips > 0 ? 100.0 * (now_mips * 1e6 / base_ips - 1.0)
+                             : 0.0;
+            auto cycles = double(m.on.result.guest_cycles);
+            std::printf("  %-28s host %6.1f -> %6.1f MIPS (%+.1f%%)  "
+                        "guest cycles %s\n",
+                        m.scenario->name.c_str(), base_ips / 1e6,
+                        now_mips, host_delta,
+                        cycles == base_cycles
+                            ? "match"
+                            : "CHANGED — modeled behavior differs");
+            if (cycles != base_cycles) {
+                std::printf("    committed %.0f, measured %llu\n",
+                            base_cycles,
+                            (unsigned long long)
+                                m.on.result.guest_cycles);
+            }
+        }
+    }
+}
+
 void
 usage()
 {
@@ -204,6 +301,12 @@ usage()
         "  --filter SUBSTR       run scenarios whose group or name\n"
         "                        contains SUBSTR\n"
         "  --out DIR             directory for BENCH_<group>.json\n"
+        "  --metrics-out DIR     one extra untimed metrics-enabled\n"
+        "                        run per single-machine scenario,\n"
+        "                        writing <group>_<name>.metrics.json\n"
+        "  --baseline DIR        committed BENCH_<group>.json files\n"
+        "                        for the informational delta report\n"
+        "                        (default: the source tree)\n"
         "  --compare-decode-cache  also time with the decode cache\n"
         "                        off and record the speedup\n"
         "  --compare-engine      three-way ablation: interpreter,\n"
@@ -236,6 +339,10 @@ main(int argc, char **argv)
             opts.filter = value();
         } else if (arg == "--out") {
             opts.out_dir = value();
+        } else if (arg == "--metrics-out") {
+            opts.metrics_out = value();
+        } else if (arg == "--baseline") {
+            opts.baseline_dir = value();
         } else if (arg == "--compare-decode-cache") {
             opts.compare_decode_cache = true;
         } else if (arg == "--compare-engine") {
@@ -316,6 +423,17 @@ main(int argc, char **argv)
                           s.group.c_str(), s.name.c_str());
                 }
             }
+            if (!opts.metrics_out.empty()) {
+                // One untimed run with the monitor attached; the
+                // scenario writes the document itself (and skips it
+                // when it has no single machine to sample).
+                ScenarioOptions cfg;
+                cfg.metrics_out = opts.metrics_out + "/" + s.group +
+                                  "_" + s.name + ".metrics.json";
+                s.run(cfg);
+                if (std::ifstream(cfg.metrics_out).good())
+                    m.metrics_file = cfg.metrics_out;
+            }
             std::lock_guard<std::mutex> lock(print_mutex);
             std::printf("  %-28s %12llu cycles  %8.3f s  %7.1f MIPS\n",
                         (s.group + "/" + s.name).c_str(),
@@ -334,6 +452,9 @@ main(int argc, char **argv)
                             best_mips(m.off), best_mips(m.on),
                             best_mips(m.block));
             }
+            if (!m.metrics_file.empty())
+                std::printf("    metrics: wrote %s\n",
+                            m.metrics_file.c_str());
         }
     };
 
@@ -367,6 +488,8 @@ main(int argc, char **argv)
         writeGroupJson(path, g, opts, rows);
         std::printf("wrote %s\n", path.c_str());
     }
+
+    reportBaselineDeltas(opts, groups, measured);
 
     if (opts.min_mips > 0.0) {
         bool ok = true;

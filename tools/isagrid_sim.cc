@@ -23,19 +23,31 @@
  *     --trace-filter=KINDS      event kinds to record  [default]
  *     --stats                   dump all statistics
  *     --stats-json=FILE         dump all statistics as JSON
+ *     --metrics-out=FILE        epoch-sampled metrics + profile JSON
+ *     --metrics-prom=FILE       final metrics, Prometheus exposition
+ *     --flame-out=FILE          collapsed stacks (FlameGraph format)
+ *     --metrics-interval=N      instructions per metrics epoch [1M]
+ *     --profile-interval=N      instructions per pc sample   [100k]
  *
  * --trace-filter takes a comma-separated list of event-kind names
  * (domain-switch, gate-call, cache-miss, ...) or group aliases (all,
- * default/switching, check, cache, gate, trap, csr, mark); see
+ * default/switching, check, cache, gate, trap, csr, mark, block); see
  * sim/trace.hh. The --workload=attacks corpus runs every Table 1
  * attack payload natively and under ISA-Grid, stamping each run with
  * its own trace core id.
+ *
+ * Any --metrics-out/--metrics-prom/--flame-out flag enables the
+ * performance monitor (sim/metrics.hh): probes sampled every
+ * --metrics-interval retired instructions, guest pcs every
+ * --profile-interval. `tools/isagrid-perf` analyzes the JSON.
  *
  * Examples:
  *   isagrid-sim --arch=x86 --mode=nested --workload=tar --stats
  *   isagrid-sim --workload=lmbench --trace-events=lm.isatrace
  *   isagrid-sim --workload=attacks --trace-events=atk.isatrace \
  *       --trace-filter=all --stats-json=atk.json
+ *   isagrid-sim --workload=lmbench --block-engine \
+ *       --metrics-out=lm.metrics.json --flame-out=lm.folded
  */
 
 #include <cstdio>
@@ -47,6 +59,7 @@
 
 #include "attacks/attacks.hh"
 #include "kernel/kernel_builder.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "workloads/apps.hh"
 #include "workloads/lmbench.hh"
@@ -73,6 +86,17 @@ struct Options
     std::uint64_t trace_filter = kTraceFilterDefault;
     bool stats = false;
     std::string stats_json_file;
+    std::string metrics_out_file;
+    std::string metrics_prom_file;
+    std::string flame_out_file;
+    PerfConfig perf; //!< intervals; outputs above enable the monitor
+
+    bool
+    wantMetrics() const
+    {
+        return !metrics_out_file.empty() ||
+               !metrics_prom_file.empty() || !flame_out_file.empty();
+    }
 };
 
 [[noreturn]] void
@@ -87,7 +111,10 @@ usage(const char *argv0)
                  "[--timer=N] [--tstacks] [--monitor-log]\n"
                  "  [--trace=FILE] [--trace-events=FILE] "
                  "[--trace-filter=KINDS]\n"
-                 "  [--stats] [--stats-json=FILE]\n",
+                 "  [--stats] [--stats-json=FILE]\n"
+                 "  [--metrics-out=FILE] [--metrics-prom=FILE] "
+                 "[--flame-out=FILE]\n"
+                 "  [--metrics-interval=N] [--profile-interval=N]\n",
                  argv0);
     std::exit(2);
 }
@@ -155,6 +182,16 @@ parse(int argc, char **argv)
                 fatal("--trace-filter: %s", error.c_str());
         } else if (eat(argv[i], "--stats-json", v)) {
             opt.stats_json_file = v;
+        } else if (eat(argv[i], "--metrics-out", v)) {
+            opt.metrics_out_file = v;
+        } else if (eat(argv[i], "--metrics-prom", v)) {
+            opt.metrics_prom_file = v;
+        } else if (eat(argv[i], "--flame-out", v)) {
+            opt.flame_out_file = v;
+        } else if (eat(argv[i], "--metrics-interval", v)) {
+            opt.perf.metrics_interval = std::stoull(v);
+        } else if (eat(argv[i], "--profile-interval", v)) {
+            opt.perf.profile_interval = std::stoull(v);
         } else if (std::strcmp(argv[i], "--tstacks") == 0) {
             opt.tstacks = true;
         } else if (std::strcmp(argv[i], "--monitor-log") == 0) {
@@ -232,6 +269,51 @@ wireTrace(Machine &machine, const Options &opt, BinaryTraceSink &sink,
     trace.setCoreId(core_id);
 }
 
+/** Enable the monitor and seed its regions from the kernel image. */
+void
+wireMetrics(Machine &machine, const Options &opt,
+            const KernelImage &image)
+{
+    if (!opt.wantMetrics())
+        return;
+    PerfMonitor &perf = machine.enableMetrics(opt.perf);
+    std::vector<ProfRegion> regions;
+    for (const CodeRegion &r : image.code_regions)
+        regions.push_back({r.base, r.limit, std::uint32_t(r.domain),
+                           r.name});
+    perf.profiler().setRegions(std::move(regions));
+}
+
+/** Finalize the epoch series and write every requested export. */
+void
+writeMetricsOutputs(Machine &machine, const Options &opt)
+{
+    PerfMonitor *perf = machine.perf();
+    if (!perf)
+        return;
+    perf->finalize(
+        std::uint64_t(machine.core().stats().lookup("core.instructions")),
+        Cycle(machine.core().stats().lookup("core.cycles")));
+    if (!opt.metrics_out_file.empty()) {
+        std::ofstream os(opt.metrics_out_file);
+        if (!os)
+            fatal("cannot open %s", opt.metrics_out_file.c_str());
+        perf->writeJson(os);
+    }
+    if (!opt.metrics_prom_file.empty()) {
+        std::ofstream os(opt.metrics_prom_file);
+        if (!os)
+            fatal("cannot open %s", opt.metrics_prom_file.c_str());
+        perf->writePrometheus(os);
+    }
+    if (!opt.flame_out_file.empty()) {
+        std::ofstream os(opt.flame_out_file);
+        if (!os)
+            fatal("cannot open %s", opt.flame_out_file.c_str());
+        perf->profiler().writeCollapsed(os);
+    }
+}
+
 /**
  * The attack-corpus workload: every Table 1 scenario, natively and
  * under ISA-Grid. Each run gets its own machine and trace core id;
@@ -262,6 +344,7 @@ runAttackCorpus(const Options &opt, std::ofstream *events_os)
                 wireTrace(m, opt, *sink, next_core++);
                 emitDomainNames(*m.trace(), prepared.image);
             }
+            wireMetrics(m, opt, prepared.image);
             m.core().reset(prepared.payload_entry);
             if (with_isagrid) {
                 m.pcu().setGridReg(GridReg::Domain,
@@ -293,6 +376,10 @@ runAttackCorpus(const Options &opt, std::ofstream *events_os)
             fatal("cannot open %s", opt.stats_json_file.c_str());
         last_machine->dumpStatsJson(os);
     }
+    // Like --stats-json, the metrics exports cover the last run of
+    // the corpus (each scenario gets a fresh machine).
+    if (last_machine)
+        writeMetricsOutputs(*last_machine, opt);
     return 0;
 }
 
@@ -352,11 +439,13 @@ main(int argc, char **argv)
         wireTrace(*machine, opt, sink, 0);
         emitDomainNames(*machine->trace(), image);
     }
+    wireMetrics(*machine, opt, image);
 
     RunResult r = machine->run(image.boot_pc, 2'000'000'000ull);
     machine->core().setTrace(nullptr);
     if (events_os)
         machine->trace()->flush();
+    writeMetricsOutputs(*machine, opt);
     if (r.reason != StopReason::Halted) {
         std::printf("stopped: %s at %#llx\n", faultName(r.fault),
                     (unsigned long long)r.fault_pc);

@@ -206,6 +206,9 @@ report(const TraceFile &trace, const Options &opt)
     } blocks;
     std::map<std::uint32_t, std::uint64_t> block_domain_insts;
     std::map<std::uint64_t, std::uint64_t> block_invalidate_pcs;
+    // Drop markers carry cumulative per-buffer counts; the last one
+    // per core is the total that buffer lost.
+    std::map<std::uint8_t, std::uint64_t> drops_by_core;
 
     for (const TraceEvent &e : trace.events) {
         if (e.kind >= numTraceKinds)
@@ -256,6 +259,10 @@ report(const TraceFile &trace, const Options &opt)
             blocks.blacklisted += (e.flags & 2) != 0;
             ++block_invalidate_pcs[e.a];
             break;
+          case TraceKind::Drops:
+            drops_by_core[e.core] =
+                std::max(drops_by_core[e.core], e.a);
+            break;
           default:
             break;
         }
@@ -263,6 +270,17 @@ report(const TraceFile &trace, const Options &opt)
 
     std::printf("events          : %zu (%u cores)\n",
                 trace.events.size(), unsigned(cursors.size()));
+    if (!drops_by_core.empty()) {
+        std::uint64_t dropped = 0;
+        std::uint64_t markers = kind_counts[std::size_t(
+            TraceKind::Drops)];
+        for (const auto &[core, count] : drops_by_core)
+            dropped += count;
+        std::printf("dropped events  : %llu lost to sink-less ring "
+                    "overflow (%llu drop markers)\n",
+                    (unsigned long long)dropped,
+                    (unsigned long long)markers);
+    }
     std::printf("by kind:\n");
     for (unsigned k = 0; k < numTraceKinds; ++k) {
         if (kind_counts[k]) {
