@@ -251,7 +251,10 @@ CoreBase::execBlock(TransBlock &block, RunResult &result,
                             FaultType::TrustedMemoryViolation, op.pc,
                             res.mem_addr, retire);
                     }
-                    if (res.mem_addr + res.mem_size > mem.size()) {
+                    // Overflow-safe, matching the interpreter: an
+                    // address near 2^64 must not wrap past the bound.
+                    if (res.mem_addr >= mem.size() ||
+                        mem.size() - res.mem_addr < res.mem_size) {
                         return fault_op(FaultType::MemoryFault, op.pc,
                                         res.mem_addr, retire);
                     }

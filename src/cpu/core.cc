@@ -417,8 +417,12 @@ CoreBase::stepOne(RunResult &result)
             return fault_out(FaultType::TrustedMemoryViolation, pc,
                              res.mem_addr);
         }
-        if (res.mem_addr + res.mem_size > mem.size())
+        // Overflow-safe: mem_addr near 2^64 must not wrap past the
+        // bound and reach the backing store.
+        if (res.mem_addr >= mem.size() ||
+            mem.size() - res.mem_addr < res.mem_size) {
             return fault_out(FaultType::MemoryFault, pc, res.mem_addr);
+        }
         if (dtlb)
             retire.dcache_extra += dtlb->access(res.mem_addr);
         if (dcache) {

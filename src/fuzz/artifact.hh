@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Guest-configuration artifacts: a saveable, replayable snapshot of
+ * everything the five analyses consume — the guest memory image
+ * (kernel, payload, HPT/SGT tables), the Table 2 register values, the
+ * per-domain code map and the analysis entry points.
+ *
+ * KernelBuilder and prepareAttack() configure a live Machine; the
+ * fuzzer needs the same configuration as a value it can mutate, hash,
+ * write to disk, and restore into as many fresh machines as the
+ * differential oracles demand. captureArtifact() lifts a configured
+ * machine into that value; restore() is the inverse. The text
+ * serialization is deterministic byte-for-byte (sorted, coalesced
+ * memory chunks; fixed field order), so corpus files diff cleanly and
+ * the determinism tests can compare whole directories with cmp.
+ */
+
+#ifndef ISAGRID_FUZZ_ARTIFACT_HH_
+#define ISAGRID_FUZZ_ARTIFACT_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "verify/image_scan.hh"
+
+namespace isagrid {
+
+/** One contiguous run of non-zero guest memory. */
+struct MemChunk
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+
+    bool operator==(const MemChunk &) const = default;
+};
+
+/**
+ * A complete analyzable guest configuration (see file comment).
+ * start_domain uses the replay convention: ~0 leaves the machine at
+ * its reset domain (domain-0 boot), anything else is installed into
+ * the domain register before the run, exactly as runAttack() does for
+ * a compromised component.
+ */
+struct FuzzArtifact
+{
+    bool x86 = false;
+    std::string name;
+    Addr start_pc = 0;
+    DomainId start_domain = ~DomainId{0};
+    /** Analysis entry points (boot pc, trap vector, payload entry). */
+    std::vector<Addr> entries;
+    /** The Table 2 register values the PCU was configured with. */
+    PolicySnapshot snapshot;
+    /** Per-domain code map (payload region included). */
+    std::vector<CodeRegion> regions;
+    /** Sorted, coalesced, non-overlapping non-zero memory. */
+    std::vector<MemChunk> chunks;
+
+    bool startsAtReset() const { return start_domain == ~DomainId{0}; }
+
+    /** Initial domain for the state-space analyses (reset = 0). */
+    DomainId analysisDomain() const
+    {
+        return startsAtReset() ? 0 : start_domain;
+    }
+
+    /** Read one little-endian 64-bit word; gaps read as zero. */
+    std::uint64_t read64(Addr addr) const;
+
+    /**
+     * Write one little-endian 64-bit word, extending or inserting a
+     * chunk when the address falls into a gap. Keeps the chunk list
+     * sorted and coalesced, so serialization stays canonical.
+     */
+    void write64(Addr addr, std::uint64_t value);
+
+    std::uint8_t read8(Addr addr) const;
+    void write8(Addr addr, std::uint8_t value);
+
+    /** Deterministic text serialization (see file comment). */
+    std::string serialize() const;
+
+    /**
+     * Parse a serialized artifact. Returns false (with a diagnostic
+     * in @p error) on malformed input; @p out is unspecified then.
+     */
+    static bool parse(const std::string &text, FuzzArtifact &out,
+                      std::string &error);
+
+    /**
+     * Build a fresh machine holding this configuration: factory for
+     * the right ISA, memory image written, grid registers installed.
+     * The caller positions the core (position()) before running. The
+     * host-side engine knob is exposed because the engine-equivalence
+     * oracle needs the same artifact under both execution engines.
+     */
+    std::unique_ptr<Machine> restore(bool block_engine = false) const;
+
+    /** Apply start_pc / start_domain to a freshly restored machine. */
+    void position(Machine &machine) const;
+};
+
+/**
+ * Lift a configured machine into an artifact. Scans guest memory for
+ * non-zero 64-byte lines (the write-generation map makes untouched
+ * lines free to skip) and captures the PCU's live register values.
+ */
+FuzzArtifact captureArtifact(Machine &machine, bool x86,
+                             std::string name, Addr start_pc,
+                             DomainId start_domain,
+                             std::vector<Addr> entries,
+                             std::vector<CodeRegion> regions);
+
+} // namespace isagrid
+
+#endif // ISAGRID_FUZZ_ARTIFACT_HH_

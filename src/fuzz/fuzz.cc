@@ -1,0 +1,389 @@
+#include "fuzz/fuzz.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "attacks/attacks.hh"
+#include "kernel/kernel_builder.hh"
+#include "kernel/layout.hh"
+#include "sim/logging.hh"
+#include "verify/report_common.hh"
+
+namespace isagrid {
+
+namespace {
+
+/** Corpus growth cap: parents beyond this stop being retained. */
+constexpr std::size_t kCorpusCap = 128;
+
+/** Per-case RNG stream: one SplitMix64 hop decorrelates the
+ *  (seed, round, index) triple before it seeds the case stream. */
+std::uint64_t
+caseSeed(std::uint64_t seed, std::uint64_t round, std::uint64_t index)
+{
+    SplitMix64 mix(seed ^ (round * 0x9e3779b97f4a7c15ULL) ^
+                   (index << 32));
+    return mix.next();
+}
+
+FuzzArtifact
+buildKernelSeed(bool x86, const char *name, KernelMode mode,
+                bool tstacks)
+{
+    auto machine = x86 ? Machine::gem5x86() : Machine::rocket();
+    {
+        auto ua = x86 ? makeX86Asm(layout::userCodeBase)
+                      : makeRiscvAsm(layout::userCodeBase);
+        ua->li(ua->regArg(0), 0);
+        ua->halt(ua->regArg(0));
+        ua->loadInto(machine->mem());
+    }
+    KernelConfig config;
+    config.mode = mode;
+    config.per_thread_tstack = tstacks;
+    KernelBuilder builder(*machine, config);
+    KernelImage image = builder.build(layout::userCodeBase);
+    return captureArtifact(*machine, x86, name, image.boot_pc,
+                           ~DomainId{0},
+                           {image.boot_pc, image.trap_entry},
+                           image.code_regions);
+}
+
+/** Run one closure per index across a small worker pool, preserving
+ *  result order (the isagrid_bench parallel-runner shape). */
+void
+runBatch(std::vector<std::function<void()>> &tasks, unsigned jobs)
+{
+    unsigned workers = std::min<std::size_t>(
+        jobs == 0 ? 1 : jobs, tasks.size());
+    if (workers <= 1) {
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (true) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= tasks.size())
+                    return;
+                tasks[i]();
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+/** Greedy delta-debugging over the mutation list: drop mutations one
+ *  at a time while the same invariant still fires. */
+std::vector<Mutation>
+minimizeMutations(const FuzzArtifact &parent,
+                  std::vector<Mutation> mutations,
+                  const std::string &invariant,
+                  const OracleOptions &oracle, FuzzStats &stats)
+{
+    bool progress = true;
+    while (progress && mutations.size() > 1) {
+        progress = false;
+        for (std::size_t i = 0; i < mutations.size(); ++i) {
+            std::vector<Mutation> trial;
+            trial.reserve(mutations.size() - 1);
+            for (std::size_t j = 0; j < mutations.size(); ++j) {
+                if (j != i)
+                    trial.push_back(mutations[j]);
+            }
+            FuzzArtifact candidate = parent;
+            applyMutations(candidate, trial);
+            ++stats.minimize_runs;
+            OracleOutcome outcome = runOracles(candidate, oracle);
+            bool still = std::any_of(
+                outcome.disagreements.begin(),
+                outcome.disagreements.end(),
+                [&](const Disagreement &d) {
+                    return d.invariant == invariant;
+                });
+            if (still) {
+                mutations = std::move(trial);
+                progress = true;
+                break;
+            }
+        }
+    }
+    return mutations;
+}
+
+} // namespace
+
+std::vector<FuzzArtifact>
+builtinSeeds(bool x86)
+{
+    std::vector<FuzzArtifact> seeds;
+    seeds.push_back(buildKernelSeed(x86, "kernel-decomposed",
+                                    KernelMode::Decomposed, false));
+    seeds.push_back(buildKernelSeed(x86, "kernel-nested",
+                                    KernelMode::NestedMonitor, false));
+    seeds.push_back(buildKernelSeed(x86, "kernel-decomposed-tstacks",
+                                    KernelMode::Decomposed, true));
+    for (const AttackScenario &s : attackScenarios(x86)) {
+        PreparedAttack prepared = prepareAttack(s, x86, true);
+        seeds.push_back(captureArtifact(
+            *prepared.machine, x86, "attack/" + s.name,
+            prepared.payload_entry, prepared.payload_domain,
+            {prepared.image.boot_pc, prepared.image.trap_entry,
+             prepared.payload_entry},
+            prepared.image.code_regions));
+    }
+    return seeds;
+}
+
+std::string
+FuzzResult::text() const
+{
+    std::string out;
+    for (const FuzzFinding &f : findings) {
+        out += "DISAGREEMENT " + f.invariant + " case '" + f.case_name +
+               "': " + f.detail + "\n";
+        for (const Mutation &m : f.mutations)
+            out += "    mutation " + m.describe() + "\n";
+    }
+    out += std::to_string(findings.size()) + " disagreements; " +
+           std::to_string(stats.seeds) + " seeds, " +
+           std::to_string(stats.cases) + " cases, " +
+           std::to_string(stats.retained) + " retained, " +
+           std::to_string(coverage.size()) + " coverage keys, " +
+           std::to_string(stats.contract_runs) + " contract runs, " +
+           std::to_string(stats.minimize_runs) + " minimize runs\n";
+    return out;
+}
+
+std::string
+FuzzResult::json() const
+{
+    std::string out = "{";
+    out += "\"tool\":\"isagrid-fuzz\"";
+    out += ",\"arch\":\"";
+    out += x86 ? "x86" : "riscv";
+    out += "\",\"seed\":" + std::to_string(seed);
+    out += ',';
+    appendSummaryObject(out,
+                        {{"disagreements", findings.size()},
+                         {"seeds", stats.seeds},
+                         {"cases", stats.cases},
+                         {"retained", stats.retained},
+                         {"coverage", coverage.size()},
+                         {"contract_runs", stats.contract_runs},
+                         {"minimize_runs", stats.minimize_runs}});
+    out += ",\"findings\":[";
+    bool first = true;
+    for (const FuzzFinding &f : findings) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"invariant\":\"";
+        jsonEscape(out, f.invariant);
+        out += "\",\"case\":\"";
+        jsonEscape(out, f.case_name);
+        out += "\",\"detail\":\"";
+        jsonEscape(out, f.detail);
+        out += "\",\"mutations\":[";
+        bool mfirst = true;
+        for (const Mutation &m : f.mutations) {
+            if (!mfirst)
+                out += ',';
+            mfirst = false;
+            out += '"';
+            jsonEscape(out, m.describe());
+            out += '"';
+        }
+        out += "]}";
+    }
+    out += "],\"coverage\":[";
+    first = true;
+    for (const std::string &key : coverage) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        jsonEscape(out, key);
+        out += '"';
+    }
+    out += "]}";
+    return out;
+}
+
+FuzzResult
+runFuzz(const FuzzOptions &options)
+{
+    FuzzResult result;
+    result.x86 = options.x86;
+    result.seed = options.seed;
+
+    // --- assemble the seed corpus ---
+    std::vector<FuzzArtifact> seeds = builtinSeeds(options.x86);
+    if (!options.corpus_dir.empty()) {
+        std::vector<std::filesystem::path> paths;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(options.corpus_dir)) {
+            if (entry.path().extension() == ".art")
+                paths.push_back(entry.path());
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const auto &path : paths) {
+            std::ifstream in(path);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            FuzzArtifact artifact;
+            std::string error;
+            if (!FuzzArtifact::parse(buf.str(), artifact, error))
+                fatal("fuzz corpus %s: %s", path.c_str(), error.c_str());
+            if (artifact.x86 != options.x86)
+                continue;
+            seeds.push_back(std::move(artifact));
+        }
+    }
+    if (!options.filter.empty()) {
+        std::erase_if(seeds, [&](const FuzzArtifact &a) {
+            return a.name.find(options.filter) == std::string::npos;
+        });
+    }
+    if (seeds.empty())
+        fatal("fuzz: no seeds match filter '%s'", options.filter.c_str());
+
+    // The ISA model used by mutation generation (the probe machine
+    // outlives every reference the mutators take).
+    auto probe =
+        options.x86 ? Machine::gem5x86() : Machine::rocket();
+    const IsaModel &isa = probe->isa();
+
+    auto start_time = std::chrono::steady_clock::now();
+    auto timeUp = [&] {
+        if (options.max_seconds == 0)
+            return false;
+        auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_time);
+        return static_cast<std::uint64_t>(elapsed.count()) >=
+               options.max_seconds;
+    };
+
+    std::set<std::string> coverage;
+    std::vector<FuzzArtifact> corpus;
+    std::uint64_t global_case = 0;
+
+    // --- phase 1: every seed must itself pass all oracles ---
+    {
+        std::vector<OracleOutcome> outcomes(seeds.size());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(seeds.size());
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            OracleOptions oracle = options.oracle;
+            oracle.run_contract =
+                options.contract_stride != 0 &&
+                (i % options.contract_stride) == 0;
+            if (oracle.run_contract)
+                ++result.stats.contract_runs;
+            tasks.push_back([&outcomes, &seeds, i, oracle] {
+                outcomes[i] = runOracles(seeds[i], oracle);
+            });
+        }
+        runBatch(tasks, options.jobs);
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            ++result.stats.seeds;
+            coverage.insert(outcomes[i].coverageKey());
+            for (const Disagreement &d : outcomes[i].disagreements) {
+                result.findings.push_back(
+                    {d.invariant, seeds[i].name, d.detail, {}, seeds[i]});
+            }
+            corpus.push_back(std::move(seeds[i]));
+        }
+    }
+
+    // --- phase 2: mutation rounds (see fuzz.hh for the determinism
+    //     argument) ---
+    struct Case
+    {
+        std::size_t parent = 0;
+        std::vector<Mutation> mutations;
+        FuzzArtifact artifact;
+        std::string name;
+        OracleOptions oracle;
+        OracleOutcome outcome;
+    };
+    std::uint64_t done = 0;
+    std::uint64_t round = 0;
+    // Fixed round size: the (seed, round, index) RNG schedule — and
+    // with it every output byte — must not depend on --jobs.
+    const std::uint64_t round_size = 16;
+    while (!options.seeds_only && done < options.max_iters && !timeUp()) {
+        std::uint64_t n = std::min(round_size, options.max_iters - done);
+        std::vector<Case> cases(n);
+        for (std::uint64_t j = 0; j < n; ++j) {
+            Case &c = cases[j];
+            SplitMix64 rng(caseSeed(options.seed, round, j));
+            c.parent = rng.below(corpus.size());
+            c.artifact = corpus[c.parent];
+            c.name = c.artifact.name + "+r" + std::to_string(round) +
+                     "c" + std::to_string(j);
+            c.artifact.name = c.name;
+            std::uint64_t count = 1 + rng.below(3);
+            for (std::uint64_t k = 0; k < count; ++k) {
+                Mutation m = generateMutation(rng, c.artifact, isa);
+                m.apply(c.artifact);
+                c.mutations.push_back(m);
+            }
+            c.oracle = options.oracle;
+            c.oracle.run_contract =
+                options.contract_stride != 0 &&
+                ((global_case + j) % options.contract_stride) == 0;
+            if (c.oracle.run_contract)
+                ++result.stats.contract_runs;
+        }
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::uint64_t j = 0; j < n; ++j) {
+            Case &c = cases[j];
+            tasks.push_back([&c] { c.outcome = runOracles(c.artifact,
+                                                          c.oracle); });
+        }
+        runBatch(tasks, options.jobs);
+        for (std::uint64_t j = 0; j < n; ++j) {
+            Case &c = cases[j];
+            ++result.stats.cases;
+            if (!c.outcome.agree()) {
+                const Disagreement &d = c.outcome.disagreements.front();
+                std::vector<Mutation> minimized = minimizeMutations(
+                    corpus[c.parent], c.mutations, d.invariant,
+                    c.oracle, result.stats);
+                FuzzArtifact reduced = corpus[c.parent];
+                applyMutations(reduced, minimized);
+                reduced.name = c.name;
+                result.findings.push_back({d.invariant, c.name, d.detail,
+                                           std::move(minimized),
+                                           std::move(reduced)});
+            } else if (coverage.insert(c.outcome.coverageKey()).second &&
+                       corpus.size() < kCorpusCap) {
+                ++result.stats.retained;
+                corpus.push_back(std::move(c.artifact));
+            }
+        }
+        global_case += n;
+        done += n;
+        ++round;
+    }
+
+    result.coverage.assign(coverage.begin(), coverage.end());
+    result.corpus = std::move(corpus);
+    return result;
+}
+
+} // namespace isagrid

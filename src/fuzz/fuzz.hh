@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The coverage-guided differential fuzzer over the trust stack
+ * (isagrid-fuzz).
+ *
+ * Seeds are the configurations the repo already trusts: the stock
+ * mini-kernels in every protection mode and the full attack corpus,
+ * lifted into FuzzArtifact values. Each fuzz case picks a corpus
+ * parent and applies 1..3 structure-aware mutations (mutate.hh), then
+ * runs the whole oracle stack (oracles.hh). A case that violates an
+ * agreement invariant is minimized (greedy one-mutation-at-a-time
+ * removal while the same invariant still fires) and reported; a case
+ * whose cheap-signal coverage key is new is retained as a future
+ * parent.
+ *
+ * Determinism: everything derives from --seed through SplitMix64.
+ * Cases execute in rounds; every case's RNG is seeded from
+ * (seed, round, index) and mutation generation reads only the
+ * round-start corpus, so workers can run cases concurrently while
+ * results are folded in strictly by index — thread scheduling cannot
+ * change a single output byte. Two runs with the same seed and
+ * --max-iters produce byte-identical reports and corpus directories
+ * (--max-seconds trades that away: it may stop between rounds at a
+ * wall-clock-dependent point; per-case results remain deterministic).
+ */
+
+#ifndef ISAGRID_FUZZ_FUZZ_HH_
+#define ISAGRID_FUZZ_FUZZ_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/artifact.hh"
+#include "fuzz/mutate.hh"
+#include "fuzz/oracles.hh"
+
+namespace isagrid {
+
+/** Fuzzing campaign knobs (the CLI maps onto these 1:1). */
+struct FuzzOptions
+{
+    bool x86 = false;
+    std::uint64_t seed = 1;
+    /** Mutated cases to run (seed validation is extra). */
+    std::uint64_t max_iters = 100;
+    /** Wall-clock budget; 0 = none. Breaks byte-determinism. */
+    std::uint64_t max_seconds = 0;
+    unsigned jobs = 1;
+    /** Substring filter on seed names. */
+    std::string filter;
+    /** Directory of extra seed artifacts (*.art) to load. */
+    std::string corpus_dir;
+    /** Directory to write retained corpus + disagreement artifacts. */
+    std::string save_dir;
+    /** Run the contract oracle every Nth case (0 = never). */
+    std::uint64_t contract_stride = 16;
+    /** Per-case oracle bounds. */
+    OracleOptions oracle;
+    /** Skip mutation entirely: validate seeds only. */
+    bool seeds_only = false;
+};
+
+/** One reported (minimized) agreement failure. */
+struct FuzzFinding
+{
+    std::string invariant;
+    std::string case_name; //!< "<seed-name>+r<round>c<index>"
+    std::string detail;
+    std::vector<Mutation> mutations; //!< minimized list
+    FuzzArtifact artifact;           //!< parent + minimized mutations
+};
+
+/** Campaign counters. */
+struct FuzzStats
+{
+    std::uint64_t seeds = 0;
+    std::uint64_t cases = 0;     //!< mutated cases executed
+    std::uint64_t retained = 0;  //!< new-coverage corpus additions
+    std::uint64_t minimize_runs = 0;
+    std::uint64_t contract_runs = 0;
+};
+
+/** The campaign result. */
+struct FuzzResult
+{
+    bool x86 = false;
+    std::uint64_t seed = 0;
+    std::vector<FuzzFinding> findings;
+    /** Sorted unique coverage keys observed. */
+    std::vector<std::string> coverage;
+    /** The final corpus: seeds plus every retained mutant. */
+    std::vector<FuzzArtifact> corpus;
+    FuzzStats stats;
+
+    bool clean() const { return findings.empty(); }
+    std::string text() const;
+    /** Shares the verify-report summary-object dialect. */
+    std::string json() const;
+};
+
+/**
+ * The built-in seed corpus for one ISA: the stock kernels (decomposed,
+ * nested-monitor, decomposed + per-thread trusted stacks) and every
+ * attack scenario, each prepared exactly as its own CLI prepares it.
+ */
+std::vector<FuzzArtifact> builtinSeeds(bool x86);
+
+/** Run a campaign (see file comment). */
+FuzzResult runFuzz(const FuzzOptions &options);
+
+} // namespace isagrid
+
+#endif // ISAGRID_FUZZ_FUZZ_HH_

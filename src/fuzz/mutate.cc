@@ -1,0 +1,214 @@
+#include "fuzz/mutate.hh"
+
+#include <cstdio>
+
+#include "fuzz/artifact.hh"
+#include "isa/grid_regs.hh"
+#include "isagrid/hpt.hh"
+#include "isagrid/sgt.hh"
+
+namespace isagrid {
+
+namespace {
+
+std::string
+hex(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** The guest physical memory size restore() machines are built with. */
+constexpr Addr kMemLimit = 64ull * 1024 * 1024;
+
+Addr
+clampAddr(Addr addr)
+{
+    return addr + 8 <= kMemLimit ? addr : kMemLimit - 8;
+}
+
+/** A value for a tampered SGT field: in-range ids, real code
+ *  addresses, and wild words all exercise different check paths. */
+std::uint64_t
+tamperValue(SplitMix64 &rng, const FuzzArtifact &artifact)
+{
+    switch (rng.below(4)) {
+      case 0: // plausible small id / domain
+        return rng.below(artifact.snapshot.reg(GridReg::DomainNr) + 2);
+      case 1: { // a real instruction boundary-ish address
+        const CodeRegion &r =
+            artifact.regions[rng.below(artifact.regions.size())];
+        if (r.limit <= r.base)
+            return r.base;
+        return r.base + rng.below(r.limit - r.base);
+      }
+      case 2: // zero (an unregistered / cleared entry)
+        return 0;
+      default: // wild word
+        return rng.next();
+    }
+}
+
+} // namespace
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::SgtTamper: return "sgt-tamper";
+      case MutationKind::GateIdRewrite: return "gate-id-rewrite";
+      case MutationKind::MaskFlip: return "mask-flip";
+      case MutationKind::PolicyFlip: return "policy-flip";
+      case MutationKind::CodeBytes: return "code-bytes";
+    }
+    return "unknown";
+}
+
+void
+Mutation::apply(FuzzArtifact &artifact) const
+{
+    switch (kind) {
+      case MutationKind::SgtTamper:
+        artifact.write64(addr, a);
+        break;
+      case MutationKind::GateIdRewrite:
+        for (unsigned i = 0; i < SgtEntry::sizeBytes; i += 8) {
+            std::uint64_t x = artifact.read64(addr + i);
+            std::uint64_t y = artifact.read64(a + i);
+            artifact.write64(addr + i, y);
+            artifact.write64(a + i, x);
+        }
+        break;
+      case MutationKind::MaskFlip:
+      case MutationKind::PolicyFlip:
+        artifact.write64(addr, artifact.read64(addr) ^ a);
+        break;
+      case MutationKind::CodeBytes:
+        for (std::uint64_t i = 0; i < b; ++i) {
+            artifact.write8(addr + i,
+                            static_cast<std::uint8_t>(a >> (8 * i)));
+        }
+        break;
+    }
+}
+
+std::string
+Mutation::describe() const
+{
+    std::string out = mutationKindName(kind);
+    out += " @" + hex(addr);
+    switch (kind) {
+      case MutationKind::SgtTamper:
+        out += " := " + hex(a);
+        break;
+      case MutationKind::GateIdRewrite:
+        out += " <-> " + hex(a);
+        break;
+      case MutationKind::MaskFlip:
+      case MutationKind::PolicyFlip:
+        out += " ^= " + hex(a);
+        break;
+      case MutationKind::CodeBytes:
+        out += " := " + hex(a) + " len " + std::to_string(b);
+        break;
+    }
+    return out;
+}
+
+Mutation
+generateMutation(SplitMix64 &rng, const FuzzArtifact &artifact,
+                 const IsaModel &isa)
+{
+    const PolicySnapshot &snap = artifact.snapshot;
+    HptLayout hpt(isa.numInstTypes(), isa.numControlledCsrs(),
+                  isa.numMaskableCsrs());
+    std::uint64_t gates = snap.reg(GridReg::GateNr);
+    std::uint64_t domains = snap.reg(GridReg::DomainNr);
+
+    Mutation m;
+    m.kind = static_cast<MutationKind>(rng.below(5));
+
+    // Fall back to the always-available family when the drawn one has
+    // no substrate in this artifact.
+    if ((m.kind == MutationKind::SgtTamper && gates == 0) ||
+        (m.kind == MutationKind::GateIdRewrite && gates < 2) ||
+        ((m.kind == MutationKind::MaskFlip ||
+          m.kind == MutationKind::PolicyFlip) &&
+         domains < 2)) {
+        m.kind = MutationKind::CodeBytes;
+    }
+    if (m.kind == MutationKind::MaskFlip && hpt.numMaskEntries() == 0)
+        m.kind = MutationKind::PolicyFlip;
+
+    switch (m.kind) {
+      case MutationKind::SgtTamper: {
+        GateId gate = rng.below(gates);
+        unsigned field = static_cast<unsigned>(rng.below(3));
+        m.addr = clampAddr(
+            sgtEntryAddr(snap.reg(GridReg::GateAddr), gate) + field * 8);
+        m.a = tamperValue(rng, artifact);
+        break;
+      }
+      case MutationKind::GateIdRewrite: {
+        GateId g1 = rng.below(gates);
+        GateId g2 = rng.below(gates - 1);
+        if (g2 >= g1)
+            ++g2;
+        m.addr = clampAddr(sgtEntryAddr(snap.reg(GridReg::GateAddr), g1));
+        m.a = clampAddr(sgtEntryAddr(snap.reg(GridReg::GateAddr), g2));
+        break;
+      }
+      case MutationKind::MaskFlip: {
+        DomainId domain = 1 + rng.below(domains - 1);
+        CsrIndex index =
+            static_cast<CsrIndex>(rng.below(hpt.numMaskEntries()));
+        m.addr = clampAddr(
+            hpt.maskAddr(snap.reg(GridReg::CsrBitMask), domain, index));
+        unsigned bits = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned i = 0; i < bits; ++i)
+            m.a |= 1ull << rng.below(64);
+        break;
+      }
+      case MutationKind::PolicyFlip: {
+        DomainId domain = 1 + rng.below(domains - 1);
+        if (rng.chance(1, 2)) {
+            std::uint32_t group = static_cast<std::uint32_t>(
+                rng.below(hpt.numInstGroups()));
+            m.addr = clampAddr(hpt.instWordAddr(
+                snap.reg(GridReg::InstCap), domain, group));
+        } else {
+            std::uint32_t group = static_cast<std::uint32_t>(
+                rng.below(hpt.numRegGroups()));
+            m.addr = clampAddr(hpt.regWordAddr(
+                snap.reg(GridReg::CsrCap), domain, group));
+        }
+        m.a = 1ull << rng.below(64);
+        break;
+      }
+      case MutationKind::CodeBytes: {
+        const CodeRegion &r =
+            artifact.regions[rng.below(artifact.regions.size())];
+        Addr size = r.limit > r.base ? r.limit - r.base : 1;
+        Addr offset = rng.below(size);
+        m.addr = r.base + offset;
+        m.b = 1 + rng.below(8);
+        if (m.b > size - offset)
+            m.b = size - offset;
+        m.a = rng.next() & (m.b >= 8 ? ~0ull : (1ull << (8 * m.b)) - 1);
+        break;
+      }
+    }
+    return m;
+}
+
+void
+applyMutations(FuzzArtifact &artifact,
+               const std::vector<Mutation> &mutations)
+{
+    for (const Mutation &m : mutations)
+        m.apply(artifact);
+}
+
+} // namespace isagrid

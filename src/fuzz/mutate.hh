@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Structure-aware mutations over guest-configuration artifacts.
+ *
+ * Random byte soup almost never survives the PCU's structural checks
+ * long enough to stress the interesting disagreement surface, so every
+ * mutator edits one of the structures the five analyses actually
+ * reason about, at its real in-memory location (computed through the
+ * artifact's own snapshot registers and the HptLayout/SGT helpers, the
+ * same arithmetic the PCU uses on a privilege-cache miss):
+ *
+ *  - SgtTamper:     rewrite one field of one gate-table entry —
+ *                   redirect a destination, re-home a gate site, or
+ *                   point a switch at an out-of-range domain;
+ *  - GateIdRewrite: swap two whole SGT entries, re-keying which gate
+ *                   id reaches which destination;
+ *  - MaskFlip:      flip 1..3 bits of one domain's CSR write-mask
+ *                   word (the value-dependent check surface);
+ *  - PolicyFlip:    flip one instruction-bitmap or register-bitmap
+ *                   bit — privilege over- or under-provisioning;
+ *  - CodeBytes:     overwrite 1..8 bytes inside a code region at an
+ *                   arbitrary (boundary-straddling) offset, feeding
+ *                   the superset-disassembly surface isagrid-xscan
+ *                   audits.
+ *
+ * A Mutation is a closed value: generation (which needs the RNG, the
+ * ISA's index mappings and the artifact) resolves everything down to
+ * absolute addresses and operand words, so applying one is pure
+ * artifact arithmetic and a minimized case replays without the RNG.
+ */
+
+#ifndef ISAGRID_FUZZ_MUTATE_HH_
+#define ISAGRID_FUZZ_MUTATE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/artifact.hh"
+#include "isa/isa_model.hh"
+#include "sim/random.hh"
+
+namespace isagrid {
+
+/** Mutation families (see file comment). */
+enum class MutationKind : std::uint8_t
+{
+    SgtTamper,
+    GateIdRewrite,
+    MaskFlip,
+    PolicyFlip,
+    CodeBytes,
+};
+
+const char *mutationKindName(MutationKind kind);
+
+/** One resolved mutation (see file comment). */
+struct Mutation
+{
+    MutationKind kind = MutationKind::CodeBytes;
+    /** Absolute guest address of the primary edit. */
+    Addr addr = 0;
+    /**
+     * Kind-specific operands:
+     *  - SgtTamper:     a = replacement field value
+     *  - GateIdRewrite: a = address of the second entry
+     *  - MaskFlip:      a = xor pattern
+     *  - PolicyFlip:    a = xor pattern
+     *  - CodeBytes:     a = replacement bytes (LE), b = length 1..8
+     */
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+
+    void apply(FuzzArtifact &artifact) const;
+    std::string describe() const;
+};
+
+/**
+ * Draw one mutation for @p artifact. Falls back to CodeBytes when the
+ * drawn family has no substrate (no gates, a single domain, ...); a
+ * non-empty region list is the only hard requirement.
+ */
+Mutation generateMutation(SplitMix64 &rng, const FuzzArtifact &artifact,
+                          const IsaModel &isa);
+
+/** Apply a whole mutation list in order. */
+void applyMutations(FuzzArtifact &artifact,
+                    const std::vector<Mutation> &mutations);
+
+} // namespace isagrid
+
+#endif // ISAGRID_FUZZ_MUTATE_HH_

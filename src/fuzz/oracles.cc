@@ -1,0 +1,314 @@
+#include "fuzz/oracles.hh"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <sstream>
+
+#include "contract/contract.hh"
+#include "isagrid/pcu.hh"
+#include "modelcheck/modelcheck.hh"
+#include "modelcheck/replay.hh"
+#include "verify/dataflow.hh"
+#include "verify/minimize.hh"
+#include "verify/superset.hh"
+#include "verify/verify.hh"
+
+namespace isagrid {
+
+namespace {
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Halted: return "halted";
+      case StopReason::MaxInstructions: return "max-insts";
+      case StopReason::UnhandledFault: return "fault";
+    }
+    return "unknown";
+}
+
+/** log2 bucket: 0, 1, 2, 4, 8... collapse into a small stable id. */
+unsigned
+bucket(std::uint64_t value)
+{
+    return value == 0 ? 0 : std::bit_width(value);
+}
+
+std::string
+describeRun(const RunResult &r)
+{
+    std::string out = stopReasonName(r.reason);
+    if (r.reason == StopReason::Halted)
+        out += " code " + std::to_string(r.halt_code);
+    if (r.reason == StopReason::UnhandledFault) {
+        out += ' ';
+        out += faultName(r.fault);
+        out += " @" + hexAddr(r.fault_pc);
+    }
+    out += " insts " + std::to_string(r.instructions);
+    out += " cycles " + std::to_string(r.cycles);
+    return out;
+}
+
+/** First line on which the two stat dumps differ. */
+std::string
+firstStatDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream ia(a), ib(b);
+    std::string la, lb;
+    while (true) {
+        bool ga = static_cast<bool>(std::getline(ia, la));
+        bool gb = static_cast<bool>(std::getline(ib, lb));
+        if (!ga && !gb)
+            return "(no textual diff)";
+        if (!ga || !gb || la != lb) {
+            return "interp '" + (ga ? la : std::string("<eof>")) +
+                   "' vs block '" + (gb ? lb : std::string("<eof>")) + "'";
+        }
+    }
+}
+
+const CodeRegion *
+regionOf(const std::vector<CodeRegion> &regions, Addr addr)
+{
+    for (const CodeRegion &r : regions) {
+        if (r.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+OracleOutcome::coverageKey() const
+{
+    std::string key = stopReasonName(interp.reason);
+    key += '/';
+    key += faultName(interp.fault);
+    key += "/halt" + std::to_string(interp.halt_code);
+    key += "/dom" + std::to_string(final_domain);
+    key += "/sw" + std::to_string(bucket(pcu_switches));
+    key += "/flt" + std::to_string(bucket(pcu_faults));
+    key += "/in" + std::to_string(bucket(interp.instructions));
+    key += "/mc" + std::to_string(bucket(mc_states));
+    key += "/ck:";
+    for (const std::string &c : finding_checks) {
+        key += c;
+        key += ',';
+    }
+    return key;
+}
+
+OracleOutcome
+runOracles(const FuzzArtifact &artifact, const OracleOptions &options)
+{
+    OracleOutcome out;
+    auto disagree = [&](const char *invariant, std::string detail) {
+        out.disagreements.push_back({invariant, std::move(detail)});
+    };
+
+    // --- oracle 1: the interpreter ---
+    auto interp = artifact.restore(false);
+    artifact.position(*interp);
+    out.interp = interp->core().run(options.run_insts);
+    out.final_domain = interp->pcu().currentDomain();
+    out.pcu_switches = interp->pcu().switches();
+    out.pcu_faults = interp->pcu().faults();
+    std::ostringstream interp_stats;
+    interp->dumpStats(interp_stats);
+
+    // --- oracle 2: the block engine, same image ---
+    {
+        auto block = artifact.restore(true);
+        artifact.position(*block);
+        RunResult r = block->core().run(options.run_insts);
+        std::ostringstream block_stats;
+        block->dumpStats(block_stats);
+        if (r.reason != out.interp.reason ||
+            r.halt_code != out.interp.halt_code ||
+            r.fault != out.interp.fault ||
+            r.fault_pc != out.interp.fault_pc ||
+            r.instructions != out.interp.instructions ||
+            r.cycles != out.interp.cycles) {
+            disagree("engine-equivalence",
+                     "interp: " + describeRun(out.interp) +
+                         " | block: " + describeRun(r));
+        } else if (interp_stats.str() != block_stats.str()) {
+            disagree("engine-equivalence",
+                     "stat dump diverged: " +
+                         firstStatDiff(interp_stats.str(),
+                                       block_stats.str()));
+        }
+    }
+
+    // --- static oracles share one pristine restore ---
+    auto pristine = artifact.restore(false);
+    const IsaModel &isa = pristine->isa();
+    const PolicySnapshot &snap = artifact.snapshot;
+    std::set<std::string> checks;
+
+    // --- oracle 3: isagrid-verify ---
+    VerifyOptions vopt;
+    vopt.entries = artifact.entries;
+    Verifier verifier(isa, pristine->mem(), snap, artifact.regions, vopt);
+    VerifyReport vreport = verifier.run();
+    for (const Finding &f : vreport.findings())
+        checks.insert(f.check);
+
+    // --- oracle 4: isagrid-xscan (static + dynamic discharge) ---
+    std::size_t xscan_violations = 0, xscan_warnings = 0;
+    if (options.run_xscan) {
+        XscanScenario scenario;
+        scenario.build = [&artifact] { return artifact.restore(); };
+        scenario.entries = artifact.entries;
+        scenario.code_regions = artifact.regions;
+        XscanOptions xopt;
+        xopt.max_findings = options.xscan_max_findings;
+        XscanReport xreport = runXscan(scenario, xopt);
+        xscan_violations = xreport.violations();
+        xscan_warnings = xreport.warnings();
+        for (const XscanFinding &f : xreport.findings())
+            checks.insert(f.check);
+        if (xreport.plausible() != 0) {
+            const XscanFinding *left = nullptr;
+            for (const XscanFinding &f : xreport.findings()) {
+                if (f.verdict == XscanVerdict::Plausible) {
+                    left = &f;
+                    break;
+                }
+            }
+            disagree("xscan-plausible",
+                     std::to_string(xreport.plausible()) +
+                         " finding(s) left undischarged" +
+                         (left ? ": " + left->check + " @" +
+                                     hexAddr(left->addr)
+                               : std::string()));
+        }
+    }
+
+    // --- oracle 5: isagrid-mc + counterexample replay ---
+    McOptions mopt;
+    mopt.depth_bound = options.mc_depth;
+    mopt.max_states = options.mc_max_states;
+    mopt.max_violations = 16;
+    ModelChecker checker(isa, pristine->mem(), snap, artifact.regions,
+                         artifact.analysisDomain(), mopt);
+    McResult mc = checker.run();
+    out.mc_states = mc.stats.states;
+    for (const McViolation &f : mc.findings)
+        checks.insert(f.check);
+    std::size_t replays = 0;
+    for (const McViolation &f : mc.findings) {
+        if (f.trace.empty() || replays >= options.mc_max_replays)
+            continue;
+        ++replays;
+        auto machine = artifact.restore();
+        ReplayResult rr = replayTrace(*machine, f.trace, snap,
+                                      artifact.analysisDomain());
+        if (!rr.ok) {
+            disagree("mc-replay",
+                     f.check + " @" + hexAddr(f.addr) +
+                         " did not replay (step " +
+                         std::to_string(rr.steps_run) + "): " + rr.detail);
+        }
+    }
+
+    // --- invariant: static-clean implies no decode-determined
+    //     dynamic privilege fault (see header for the exact scope) ---
+    bool static_clean = vreport.violations() == 0 &&
+                        vreport.warnings() == 0 &&
+                        xscan_violations == 0 && xscan_warnings == 0;
+    if (static_clean && options.run_xscan &&
+        out.interp.reason == StopReason::UnhandledFault &&
+        (out.interp.fault == FaultType::InstPrivilege ||
+         out.interp.fault == FaultType::CsrPrivilege)) {
+        const CodeRegion *region =
+            regionOf(artifact.regions, out.interp.fault_pc);
+        if (region && region->domain == out.final_domain) {
+            // The static tools analysed the committed image; a run
+            // that rewrote its own code bytes voids their claim.
+            bool self_modified = false;
+            for (unsigned i = 0; i < 16; ++i) {
+                Addr a = out.interp.fault_pc + i;
+                if (a >= interp->mem().size())
+                    break;
+                if (interp->mem().read8(a) != artifact.read8(a)) {
+                    self_modified = true;
+                    break;
+                }
+            }
+            if (!self_modified) {
+                disagree("static-dynamic",
+                         std::string(faultName(out.interp.fault)) +
+                             " @" + hexAddr(out.interp.fault_pc) +
+                             " in domain " +
+                             std::to_string(out.final_domain) +
+                             " (region '" + region->name +
+                             "') but verify+xscan reported no findings");
+            }
+        }
+    }
+
+    // --- oracle 6: isagrid-minpriv differential validation ---
+    if (options.run_minpriv) {
+        PrivilegeInference inference(isa, pristine->mem(), snap,
+                                     artifact.regions);
+        for (Addr e : artifact.entries) {
+            const CodeRegion *region = regionOf(artifact.regions, e);
+            inference.addEntry(region ? region->domain : 0, e);
+        }
+        MinimizeResult minimized =
+            minimizePolicy(isa, pristine->mem(), snap, inference);
+        for (const Finding &f : minimized.findings)
+            checks.insert(f.check);
+        if (!minimized.subset) {
+            disagree("minpriv-subset",
+                     "minimized policy is not a semantic subset of the "
+                     "configured one");
+        } else {
+            auto machine = artifact.restore();
+            applyMinimizedPolicy(isa, machine->mem(), snap, minimized,
+                                 &machine->pcu());
+            artifact.position(*machine);
+            RunResult r = machine->core().run(options.run_insts);
+            if (r.reason != out.interp.reason ||
+                r.halt_code != out.interp.halt_code ||
+                r.fault != out.interp.fault ||
+                r.instructions != out.interp.instructions) {
+                disagree("minpriv-equivalence",
+                         "baseline: " + describeRun(out.interp) +
+                             " | minimized: " + describeRun(r));
+            }
+        }
+    }
+
+    // --- oracle 7: isagrid-contract (sampled by the driver) ---
+    if (options.run_contract) {
+        ContractScenario scenario;
+        scenario.build = [&artifact] { return artifact.restore(); };
+        scenario.start_pc = artifact.start_pc;
+        scenario.start_domain = artifact.start_domain;
+        scenario.code_regions = artifact.regions;
+        ContractOptions copt;
+        copt.max_windows = options.contract_windows;
+        copt.max_insts = options.contract_insts;
+        copt.depth_bound = options.contract_depth;
+        copt.max_states = options.contract_states;
+        ContractReport creport = checkContract(scenario, copt);
+        for (const ContractFinding &f : creport.findings)
+            checks.insert(f.check);
+        if (creport.plausible() != 0) {
+            disagree("contract-plausible",
+                     std::to_string(creport.plausible()) +
+                         " finding(s) neither confirmed nor discharged");
+        }
+    }
+
+    out.finding_checks.assign(checks.begin(), checks.end());
+    return out;
+}
+
+} // namespace isagrid

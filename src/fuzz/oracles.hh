@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The differential oracle harness: run one guest-configuration
+ * artifact through every analysis in the trust stack and check the
+ * cross-tool agreement invariants the ROADMAP names.
+ *
+ * Oracles (each on its own freshly restored machine, so none can
+ * perturb another):
+ *
+ *  1. the interpreter (a bounded core().run from the artifact's
+ *     start position);
+ *  2. the block-translation engine on the identical image;
+ *  3. isagrid-verify's static policy verifier;
+ *  4. isagrid-xscan's superset audit (static + dynamic discharge);
+ *  5. isagrid-mc's bounded exploration, with every counterexample
+ *     trace replayed on the simulator;
+ *  6. isagrid-minpriv's least-privilege inference, with the
+ *     minimized policy re-run differentially;
+ *  7. isagrid-contract's noninterference checker (sampled — it is
+ *     the most expensive oracle).
+ *
+ * Agreement invariants (each failure is a Disagreement, i.e. by
+ * construction a bug in one of the tools):
+ *
+ *  - engine-equivalence: interpreter and block engine must agree on
+ *    the full RunResult and the modeled-statistics text dump
+ *    (host.* counters are deliberately excluded from that dump);
+ *  - mc-replay: every state the model checker calls reachable must
+ *    replay step-for-step on the simulator;
+ *  - static-dynamic: if verify and xscan are finding-free, a bounded
+ *    run must not raise a decode-determined privilege fault
+ *    (inst-privilege / csr-privilege) inside a mapped code region
+ *    while executing that region's own domain on unmodified bytes.
+ *    Value-dependent faults (mask violations, gate-id checks,
+ *    trusted-memory data accesses) are out of scope by design — the
+ *    static tools never claim to decide runtime values
+ *    (docs/fuzzing.md walks through each exclusion);
+ *  - xscan-plausible / contract-plausible: after a full static +
+ *    dynamic run, no finding may remain undischarged — a leftover
+ *    Plausible is precisely a static/dynamic checker disagreement
+ *    (the CLIs' exit-3 contract);
+ *  - minpriv-subset: the minimized policy must be a semantic subset
+ *    of the configured one;
+ *  - minpriv-equivalence: re-running under the minimized policy must
+ *    reproduce the baseline outcome (stop reason, halt code, fault,
+ *    instruction count) — least privilege must not change behavior.
+ */
+
+#ifndef ISAGRID_FUZZ_ORACLES_HH_
+#define ISAGRID_FUZZ_ORACLES_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "fuzz/artifact.hh"
+
+namespace isagrid {
+
+/** Per-case oracle bounds (tight: the fuzzer runs thousands). */
+struct OracleOptions
+{
+    std::uint64_t run_insts = 20'000;
+    unsigned mc_depth = 4;
+    std::size_t mc_max_states = 4096;
+    /** Replay at most this many mc counterexample traces. */
+    std::size_t mc_max_replays = 4;
+    std::size_t xscan_max_findings = 64;
+    bool run_xscan = true;
+    bool run_minpriv = true;
+    /** The contract oracle is sampled by the driver (stride). */
+    bool run_contract = false;
+    std::uint64_t contract_windows = 2;
+    std::uint64_t contract_insts = 5'000;
+    unsigned contract_depth = 3;
+    std::uint64_t contract_states = 2048;
+};
+
+/** One violated agreement invariant. */
+struct Disagreement
+{
+    std::string invariant; //!< e.g. "engine-equivalence"
+    std::string detail;
+};
+
+/** Everything one oracle pass produced (signals + verdicts). */
+struct OracleOutcome
+{
+    RunResult interp;
+    DomainId final_domain = 0;
+    std::uint64_t pcu_switches = 0;
+    std::uint64_t pcu_faults = 0;
+    std::uint64_t mc_states = 0;
+    /** Sorted, unique finding check-ids across all static tools. */
+    std::vector<std::string> finding_checks;
+    std::vector<Disagreement> disagreements;
+
+    bool agree() const { return disagreements.empty(); }
+
+    /**
+     * The cheap-signal coverage fingerprint: stop reason, fault kind,
+     * final domain, log2 buckets of the dynamic counters and the mc
+     * state count, plus the finding-check set. Two cases with the
+     * same key exercise (approximately) the same behaviour.
+     */
+    std::string coverageKey() const;
+};
+
+/** Run every oracle over @p artifact and check the invariants. */
+OracleOutcome runOracles(const FuzzArtifact &artifact,
+                         const OracleOptions &options = {});
+
+} // namespace isagrid
+
+#endif // ISAGRID_FUZZ_ORACLES_HH_

@@ -58,8 +58,10 @@ class TrustedMemory
     {
         if (!enabled())
             return false;
+        // A wrapped end means the access reaches the top of the
+        // address space, which any enabled range below it overlaps.
         Addr end = addr + len;
-        return addr < limit_ && end > base_;
+        return addr < limit_ && (end < addr || end > base_);
     }
 
     /**

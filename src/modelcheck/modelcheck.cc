@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -13,6 +14,7 @@
 #include "isa/state.hh"
 #include "isagrid/hpt.hh"
 #include "isagrid/sgt.hh"
+#include "kernel/asm_iface.hh"
 #include "verify/report_common.hh"
 
 namespace isagrid {
@@ -260,6 +262,18 @@ struct ModelChecker::Impl
     std::map<Addr, GateId> gateAt; //!< registered gate addresses
     std::map<DomainId, std::vector<RetSite>> retSites;
 
+    /**
+     * Instruction types the replay stub executes for synthesized
+     * CsrWrite steps (per maskable CSR) and for synthesized Store
+     * steps. The PCU checks the instruction-type bitmap before every
+     * gate/CSR/memory check, so a domain whose grants miss any stub
+     * type inst-privilege-faults instead of performing the modelled
+     * operation — the checker must not synthesize such a transition,
+     * or its trace has no executable witness.
+     */
+    std::vector<std::vector<InstTypeId>> csrStubTypes;
+    std::vector<InstTypeId> storeStubTypes;
+
     // --- BFS bookkeeping ---
     struct Node
     {
@@ -290,6 +304,18 @@ struct ModelChecker::Impl
                 continue;
             maskables.push_back({addr, isa.csrBitmapIndex(addr), mi});
         }
+        for (const MaskableCsr &mc : maskables) {
+            csrStubTypes.push_back(
+                stubTypes([&mc](AsmIface &a, RegVal v) {
+                    a.li(a.regArg(3), v);
+                    a.csrWrite(mc.addr, a.regArg(3));
+                }));
+        }
+        storeStubTypes = stubTypes([](AsmIface &a, RegVal v) {
+            a.li(a.regTmp(0), v);
+            a.li(a.regTmp(1), v);
+            a.store64(a.regTmp(1), a.regTmp(0), 0);
+        });
 
         GateId n = policy.numGates();
         if (n > 4096)
@@ -309,6 +335,52 @@ struct ModelChecker::Impl
             gates.push_back(g);
             gateAt.emplace(g.entry.gate_addr, id);
         }
+    }
+
+    /**
+     * Decode the instruction types one replay stub executes. The body
+     * is assembled twice — with a small and a full-width literal — so
+     * every load-immediate expansion the assembler might pick for the
+     * runtime value is covered, followed by the li+halt tail every
+     * stub shares (replay.cc).
+     */
+    std::vector<InstTypeId>
+    stubTypes(const std::function<void(AsmIface &, RegVal)> &body) const
+    {
+        std::vector<InstTypeId> types;
+        for (RegVal v : {RegVal{0x5a}, ~(RegVal{0x5a} << 33)}) {
+            auto asm_ = isa.name() == "x86" ? makeX86Asm(0x100)
+                                            : makeRiscvAsm(0x100);
+            body(*asm_, v);
+            asm_->li(asm_->regTmp(2), 0x5a);
+            asm_->halt(asm_->regTmp(2));
+            PhysMem scratch(0x1000);
+            asm_->loadInto(scratch);
+            for (Addr pc = 0x100; pc < asm_->here();) {
+                DecodedInst di = decodeAt(isa, scratch, pc);
+                if (!di.valid || di.length == 0)
+                    break;
+                if (di.type != invalidInstType)
+                    types.push_back(di.type);
+                pc += di.length;
+            }
+        }
+        std::sort(types.begin(), types.end());
+        types.erase(std::unique(types.begin(), types.end()),
+                    types.end());
+        return types;
+    }
+
+    bool
+    stubAllowed(DomainId d, const std::vector<InstTypeId> &types) const
+    {
+        if (d == 0)
+            return true;
+        for (InstTypeId t : types) {
+            if (!policy.instAllowed(d, t))
+                return false;
+        }
+        return true;
     }
 
     DomainId numDomains() const { return policy.numDomains(); }
@@ -475,8 +547,19 @@ struct ModelChecker::Impl
         // Trusted-stack storage outside trusted memory: any domain in
         // an extended call can rewrite its own return frame and land
         // in an arbitrary (domain, pc).
-        if (has_ret && !s.stack.empty() && !stackInsideTmem()) {
-            const RetSite &site = sites->second.front();
+        if (has_ret && !s.stack.empty() && !stackInsideTmem() &&
+            stubAllowed(s.domain, storeStubTypes)) {
+            const RetSite *forge_site = nullptr;
+            for (const RetSite &c : sites->second) {
+                if (c.type == invalidInstType ||
+                    policy.instAllowed(s.domain, c.type)) {
+                    forge_site = &c;
+                    break;
+                }
+            }
+            if (forge_site == nullptr)
+                return;
+            const RetSite &site = *forge_site;
             DomainId forged = 0;
             for (DomainId d = numDomains(); d-- > 1;) {
                 if (d != s.domain) {
@@ -644,6 +727,13 @@ struct ModelChecker::Impl
         if (d != 0) {
             for (std::size_t m = 0; m < maskables.size(); ++m) {
                 const MaskableCsr &mc = maskables[m];
+                if (!stubAllowed(d, csrStubTypes[m])) {
+                    // The write instruction's own type (or the li
+                    // feeding it) is revoked for this domain: the PCU
+                    // inst-privilege-faults before the CSR check, so
+                    // no write of any kind can happen.
+                    continue;
+                }
                 if (mc.bitmap_index != invalidCsrIndex &&
                     policy.csrWriteAllowed(d, mc.bitmap_index)) {
                     // Authorized full write: the value is no longer
@@ -1001,6 +1091,25 @@ struct ModelChecker::Impl
         TraceStep jump = instStep(pc, d, FaultType::None, inst, consts,
                                   "transfer to " + hexAddr(target));
 
+        // An x86 call pushes the return address before transferring:
+        // with an unknown stack pointer the push lands anywhere (and
+        // may genuinely fault), so a "clean" jump step only has an
+        // executable witness when the stack slot is known and safe.
+        std::string_view mn = inst.mnemonic;
+        if (isa.name() == "x86" && (mn == "call" || mn == "callr")) {
+            constexpr unsigned rsp = 4;
+            auto sp = consts.value(rsp);
+            if (!sp)
+                return;
+            Addr slot = *sp - 8;
+            RegVal tb = snap.reg(GridReg::Tmemb);
+            RegVal tl = snap.reg(GridReg::Tmeml);
+            bool in_tmem = tl > tb && slot < tl && slot + 8 > tb;
+            if (slot >= mem.size() || mem.size() - slot < 8 || in_tmem)
+                return;
+            jump.seed.emplace_back(rsp, *sp);
+        }
+
         const CodeRegion *r = regionOf(target);
         if (r != nullptr) {
             if (boundariesOf(*r).count(target))
@@ -1063,7 +1172,11 @@ struct ModelChecker::Impl
         if (hidden.cls == InstClass::GateCall ||
             hidden.cls == InstClass::GateCallS) {
             // Dynamically injected gate: its address matches no SGT
-            // entry, so property (i) faults it.
+            // entry, so property (i) faults it — unless the domain's
+            // instruction bitmap already denies the gate instruction
+            // itself, which the PCU checks first.
+            bool denied = hidden.type != invalidInstType &&
+                          !policy.instAllowed(d, hidden.type);
             extra.push_back(jump);
             TraceStep gate;
             gate.kind = hidden.cls == InstClass::GateCallS
@@ -1071,7 +1184,8 @@ struct ModelChecker::Impl
                             : TraceStep::Kind::GateCall;
             gate.pc = target;
             gate.in_image = true;
-            gate.expect = FaultType::GateFault;
+            gate.expect = denied ? FaultType::InstPrivilege
+                                 : FaultType::GateFault;
             gate.domain_before = gate.domain_after = d;
             RegVal id = 0;
             if (auto v = consts.value(hidden.rs1))
@@ -1085,8 +1199,13 @@ struct ModelChecker::Impl
                         "runtime-written " +
                             std::string(hidden.mnemonic) + " at " +
                             hexAddr(target) +
-                            " is registered in no SGT entry: the PCU "
-                            "must gate-fault the injected switch",
+                            (denied ? " is denied by the domain's "
+                                      "instruction bitmap: the PCU "
+                                      "must inst-privilege-fault the "
+                                      "injected switch"
+                                    : " is registered in no SGT "
+                                      "entry: the PCU must gate-fault "
+                                      "the injected switch"),
                         std::move(extra));
             return;
         }

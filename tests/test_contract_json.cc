@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Golden-file lock on the isagrid-contract --json report schema.
+ *
+ * CI and the fuzzing harness parse this output; field renames or
+ * formatting drift must show up as a test diff, not as a silent
+ * breakage. The golden file is tests/data/contract_report.golden.json;
+ * regenerate it deliberately with ISAGRID_REGEN_GOLDEN=1 after an
+ * intentional schema change and commit the diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "contract/contract.hh"
+
+using namespace isagrid;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(TEST_DATA_DIR) + "/contract_report.golden.json";
+}
+
+/**
+ * A report exercising every verdict, both severities, all three check
+ * families (with the dyn-divergence extra fields and a rel-* trace),
+ * and message characters that need escaping.
+ */
+ContractReport
+sampleReport()
+{
+    ContractReport report;
+
+    ContractFinding dyn;
+    dyn.severity = Severity::Violation;
+    dyn.check = "dyn-divergence";
+    dyn.domain = 2;
+    dyn.csr_addr = 0x180;
+    dyn.message = "domain 2's view diverges after a masked write by "
+                  "domain 1 (\"high\" input)";
+    dyn.step = 731;
+    dyn.pc = 0x1468;
+    dyn.divergence = "reg a0: 0x0 vs 0x2\ntainted by csr 0x180";
+    dyn.verdict = ContractVerdict::Confirmed;
+    report.findings.push_back(dyn);
+
+    ContractFinding rel;
+    rel.severity = Severity::Warning;
+    rel.check = "rel-mask-observe";
+    rel.domain = 3;
+    rel.csr_addr = 0x100;
+    rel.message = "readable mask bits overlap a higher domain's "
+                  "write mask \\ composition window";
+    TraceStep step;
+    step.kind = TraceStep::Kind::CsrWrite;
+    step.csr_addr = 0x100;
+    step.flip = 0x4;
+    step.masked = true;
+    step.domain_before = 1;
+    step.domain_after = 1;
+    rel.trace.push_back(step);
+    rel.verdict = ContractVerdict::Discharged;
+    report.findings.push_back(rel);
+
+    ContractFinding flow;
+    flow.severity = Severity::Violation;
+    flow.check = "rel-high-flow";
+    flow.domain = 1;
+    flow.message = "high CSR state flows into domain 1's observable "
+                   "window";
+    flow.src_csrs = {0x100, 0x180};
+    flow.verdict = ContractVerdict::Plausible;
+    report.findings.push_back(flow);
+
+    report.stats.windows = 4;
+    report.stats.steps_compared = 20000;
+    report.stats.forks = 12;
+    report.stats.rel_states = 2048;
+    report.stats.rel_transitions = 8192;
+    report.stats.discharges = 3;
+    return report;
+}
+
+} // namespace
+
+TEST(ContractJson, ReportMatchesGoldenFile)
+{
+    std::string actual = sampleReport().json();
+
+    if (std::getenv("ISAGRID_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << actual << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " (run once with ISAGRID_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+    while (!expected.empty() && expected.back() == '\n')
+        expected.pop_back();
+
+    EXPECT_EQ(actual, expected)
+        << "isagrid-contract --json schema drifted; if intentional, "
+           "regenerate with ISAGRID_REGEN_GOLDEN=1 and commit";
+}
+
+TEST(ContractJson, SummaryCountsMatchVerdicts)
+{
+    ContractReport report = sampleReport();
+    EXPECT_EQ(report.violations(), 2u);
+    EXPECT_EQ(report.warnings(), 1u);
+    EXPECT_EQ(report.confirmed(), 1u);
+    EXPECT_EQ(report.discharged(), 1u);
+    EXPECT_EQ(report.plausible(), 1u);
+    EXPECT_FALSE(report.clean());
+
+    std::string json = report.json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    // Escapes survive the rendering.
+    EXPECT_NE(json.find("\\\"high\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+}
+
+TEST(ContractJson, EmptyReportIsClean)
+{
+    ContractReport report;
+    EXPECT_TRUE(report.clean());
+    std::string json = report.json();
+    EXPECT_NE(json.find("\"violations\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
